@@ -1,0 +1,86 @@
+#include "common/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+namespace skute::bench {
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--epochs=", 9) == 0) {
+      args.epochs = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--sample=", 9) == 0) {
+      args.sample_every = std::atoi(arg + 9);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      args.full_csv = true;
+    }
+  }
+  return args;
+}
+
+void PrintHeader(const std::string& title, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSection(const std::string& label) {
+  std::printf("\n--- %s ---\n", label.c_str());
+}
+
+void ShapeChecks::Check(const std::string& name, bool pass,
+                        const std::string& detail) {
+  entries_.push_back(Entry{name, pass, detail});
+}
+
+int ShapeChecks::Summarize() const {
+  std::printf("\n=== shape checks ===\n");
+  int failures = 0;
+  for (const Entry& e : entries_) {
+    std::printf("[%s] %s — %s\n", e.pass ? "PASS" : "FAIL",
+                e.name.c_str(), e.detail.c_str());
+    if (!e.pass) ++failures;
+  }
+  std::printf("%d/%zu checks passed\n",
+              static_cast<int>(entries_.size()) - failures,
+              entries_.size());
+  return failures;
+}
+
+void PrintSampledCsv(const MetricsCollector& metrics, int every) {
+  std::ostringstream full;
+  metrics.WriteCsv(&full);
+  const std::string text = full.str();
+  std::istringstream lines(text);
+  std::string line;
+  size_t index = 0;
+  size_t total = 0;
+  for (char c : text) {
+    if (c == '\n') ++total;
+  }
+  while (std::getline(lines, line)) {
+    const bool is_header = index == 0;
+    const bool is_last = index + 1 == total;
+    const bool sampled = every <= 1 || ((index - 1) % every == 0);
+    if (is_header || is_last || sampled) {
+      std::printf("%s\n", line.c_str());
+    }
+    ++index;
+  }
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+}  // namespace skute::bench

@@ -1,0 +1,57 @@
+#ifndef SKUTE_BENCH_COMMON_BENCH_UTIL_H_
+#define SKUTE_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "skute/sim/metrics.h"
+
+namespace skute::bench {
+
+/// Command-line options shared by the figure benches.
+struct Args {
+  int epochs = -1;        ///< -1 = bench default
+  uint64_t seed = 42;
+  int sample_every = 0;   ///< 0 = bench default; CSV row downsampling
+  bool full_csv = false;  ///< print every epoch regardless of sampling
+};
+
+/// Parses --epochs=N, --seed=S, --sample=K, --csv; ignores unknown flags.
+Args ParseArgs(int argc, char** argv);
+
+/// Prints the bench banner: which figure, the paper's claim, parameters.
+void PrintHeader(const std::string& title, const std::string& claim);
+
+/// Prints a section separator line with a label.
+void PrintSection(const std::string& label);
+
+/// \brief Collects qualitative shape checks (the "does the figure look
+/// like the paper's" assertions) and renders a PASS/FAIL summary.
+/// Exit code of a bench = number of failed checks.
+class ShapeChecks {
+ public:
+  void Check(const std::string& name, bool pass,
+             const std::string& detail);
+
+  /// Prints all results; returns the number of failures.
+  int Summarize() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    bool pass;
+    std::string detail;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Streams the collector's CSV, keeping one row in `every` (first and
+/// last rows always kept).
+void PrintSampledCsv(const MetricsCollector& metrics, int every);
+
+/// "12.34" formatting helper.
+std::string Fmt(double v, int precision = 2);
+
+}  // namespace skute::bench
+
+#endif  // SKUTE_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,205 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: the diversity
+// mask, Eq. 2/Eq. 3 evaluation, ring routing, the skiplist engine, the
+// deterministic samplers, and a full simulation epoch.
+
+#include <benchmark/benchmark.h>
+
+#include "skute/common/hash.h"
+#include "skute/common/random.h"
+#include "skute/economy/availability.h"
+#include "skute/economy/candidate.h"
+#include "skute/ring/ring.h"
+#include "skute/sim/simulation.h"
+#include "skute/storage/kvstore.h"
+#include "skute/storage/skiplist.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+// --- topology ---------------------------------------------------------------
+
+void BM_DiversityValue(benchmark::State& state) {
+  const Location a = Location::Of(1, 0, 1, 0, 1, 3);
+  const Location b = Location::Of(1, 0, 1, 0, 0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiversityValue(a, b));
+  }
+}
+BENCHMARK(BM_DiversityValue);
+
+// --- hashing ---------------------------------------------------------------
+
+void BM_Hash64(benchmark::State& state) {
+  const std::string key(static_cast<size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(key));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(8)->Arg(64)->Arg(1024);
+
+// --- economy ---------------------------------------------------------------
+
+/// Builds a cluster of `n` servers on a paper-like grid (cycled).
+std::unique_ptr<Cluster> MakeCluster(size_t n) {
+  auto cluster = std::make_unique<Cluster>(PricingParams{});
+  auto grid = BuildGrid(GridSpec::Paper());
+  for (size_t i = 0; i < n; ++i) {
+    cluster->AddServer((*grid)[i % grid->size()], ServerResources{},
+                       ServerEconomics{});
+  }
+  cluster->BeginEpoch();
+  return cluster;
+}
+
+void BM_AvailabilityEq2(benchmark::State& state) {
+  auto cluster = MakeCluster(200);
+  Partition p(0, 0, KeyRange{0, 0}, 1.0);
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)p.AddReplica(static_cast<ServerId>(i * 37 % 200), i, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AvailabilityModel::OfPartition(p, *cluster));
+  }
+}
+BENCHMARK(BM_AvailabilityEq2)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CandidateScanEq3(benchmark::State& state) {
+  auto cluster = MakeCluster(static_cast<size_t>(state.range(0)));
+  Partition p(0, 0, KeyRange{0, 0}, 1.0);
+  (void)p.AddReplica(0, 0, 0);
+  (void)p.AddReplica(7, 1, 0);
+  (void)p.AddReplica(23, 2, 0);
+  CandidateParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectReplicaTarget(*cluster, p, nullptr, params));
+  }
+}
+BENCHMARK(BM_CandidateScanEq3)->Arg(200)->Arg(800)->Arg(3200);
+
+// --- ring routing ------------------------------------------------------------
+
+void BM_RingLookup(benchmark::State& state) {
+  VirtualRing ring(0, 0);
+  (void)ring.InitializePartitions(static_cast<uint32_t>(state.range(0)),
+                                  0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.FindPartition(rng.NextUint64()));
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(200)->Arg(4096);
+
+void BM_PartitionUpsert(benchmark::State& state) {
+  Partition p(0, 0, KeyRange{0, 0}, 1.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    p.UpsertObject(rng.NextUint64(), 500);
+  }
+}
+BENCHMARK(BM_PartitionUpsert);
+
+// --- storage engine ------------------------------------------------------------
+
+void BM_SkipListInsert(benchmark::State& state) {
+  SkipList<uint64_t, uint64_t> list;
+  Rng rng(3);
+  for (auto _ : state) {
+    list.Insert(rng.NextUint64(), 1);
+  }
+}
+BENCHMARK(BM_SkipListInsert);
+
+void BM_SkipListLookup(benchmark::State& state) {
+  SkipList<uint64_t, uint64_t> list;
+  Rng fill(4);
+  for (int i = 0; i < 100000; ++i) list.Insert(fill.NextUint64(), 1);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.Find(rng.NextUint64()));
+  }
+}
+BENCHMARK(BM_SkipListLookup);
+
+void BM_KvStorePut(benchmark::State& state) {
+  KvStore store;
+  uint64_t i = 0;
+  const std::string value(128, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Put("key-" + std::to_string(i++ % 100000), value));
+  }
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_KvStoreGet(benchmark::State& state) {
+  KvStore store;
+  const std::string value(128, 'v');
+  for (int i = 0; i < 100000; ++i) {
+    (void)store.Put("key-" + std::to_string(i), value);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Get("key-" + std::to_string(i++ % 100000)));
+  }
+}
+BENCHMARK(BM_KvStoreGet);
+
+// --- samplers -----------------------------------------------------------------
+
+void BM_Poisson(benchmark::State& state) {
+  Rng rng(5);
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Poisson(lambda));
+  }
+}
+BENCHMARK(BM_Poisson)->Arg(3)->Arg(3000)->Arg(183000);
+
+void BM_Pareto(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Pareto(1.0, 50.0 / 49.0));
+  }
+}
+BENCHMARK(BM_Pareto);
+
+// --- whole simulation epoch ------------------------------------------------------
+
+void BM_SimEpochTiny(benchmark::State& state) {
+  SimConfig config = SimConfig::Tiny();
+  Simulation sim(config);
+  if (!sim.Initialize().ok()) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  for (auto _ : state) {
+    sim.Step();
+  }
+}
+BENCHMARK(BM_SimEpochTiny)->Unit(benchmark::kMillisecond);
+
+void BM_SimEpochPaperScale(benchmark::State& state) {
+  SimConfig config = SimConfig::Paper();
+  // Quarter-size data keeps the fixture setup short while preserving the
+  // per-epoch costs' structure (partition counts scale with data).
+  for (auto& app : config.apps) app.initial_bytes /= 4;
+  Simulation sim(config);
+  if (!sim.Initialize().ok()) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  for (auto _ : state) {
+    sim.Step();
+  }
+}
+BENCHMARK(BM_SimEpochPaperScale)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skute
+
+BENCHMARK_MAIN();

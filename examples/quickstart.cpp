@@ -1,0 +1,101 @@
+// Quickstart: a sixteen-server data cloud, one application with a
+// 3-replica availability SLA, a handful of writes and reads, and a look
+// at what the economy did with the data.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "skute/core/store.h"
+#include "skute/economy/availability.h"
+#include "skute/topology/topology.h"
+
+using namespace skute;
+
+int main() {
+  // 1. Build the cloud: 2 continents x 2 countries x 2 racks x 2 servers.
+  GridSpec grid;
+  grid.continents = 2;
+  grid.countries_per_continent = 2;
+  grid.datacenters_per_country = 1;
+  grid.rooms_per_datacenter = 1;
+  grid.racks_per_room = 2;
+  grid.servers_per_rack = 2;
+
+  Cluster cluster{PricingParams{}};
+  auto locations = BuildGrid(grid);
+  if (!locations.ok()) {
+    std::printf("grid error: %s\n", locations.status().ToString().c_str());
+    return 1;
+  }
+  ServerResources resources;
+  resources.storage_capacity = 64 * kMiB;
+  for (const Location& loc : *locations) {
+    cluster.AddServer(loc, resources, ServerEconomics{});
+  }
+  std::printf("cloud: %zu servers across %u countries\n", cluster.size(),
+              grid.continents * grid.countries_per_continent);
+
+  // 2. Create the store, an application, and a ring with a 3-replica SLA.
+  SkuteOptions options;
+  options.max_partition_bytes = 8 * kMiB;
+  SkuteStore store(&cluster, options);
+  const AppId app = store.CreateApplication("quickstart");
+  auto ring = store.AttachRing(app, SlaLevel::ForReplicas(3, 1.0), 4);
+  if (!ring.ok()) {
+    std::printf("ring error: %s\n", ring.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Write and read some data.
+  store.BeginEpoch();
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "user:" + std::to_string(i);
+    const std::string value = "profile-of-user-" + std::to_string(i);
+    const Status st = store.Put(*ring, key, value);
+    if (!st.ok()) {
+      std::printf("put failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  auto value = store.Get(*ring, "user:42");
+  std::printf("get user:42 -> %s\n",
+              value.ok() ? value->c_str() : value.status().ToString().c_str());
+
+  // 4. Let the virtual economy replicate the partitions to their SLA.
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    store.EndEpoch();
+    store.BeginEpoch();
+  }
+
+  // 5. Inspect the result: every partition should now meet its SLA.
+  std::printf("\npartition placement after %lld epochs:\n",
+              static_cast<long long>(store.epoch()));
+  for (const auto& p : store.catalog().ring(*ring)->partitions()) {
+    std::printf("  partition %llu [%016llx..): %zu replicas on servers [",
+                static_cast<unsigned long long>(p->id()),
+                static_cast<unsigned long long>(p->range().begin),
+                p->replica_count());
+    for (size_t i = 0; i < p->replicas().size(); ++i) {
+      const ServerId s = p->replicas()[i].server;
+      std::printf("%s%u(%s)", i > 0 ? ", " : "", s,
+                  cluster.server(s)->location().ToString().c_str());
+    }
+    std::printf("], availability=%.1f (th=%.1f)\n",
+                AvailabilityModel::OfPartition(*p, cluster),
+                store.sla_of_ring(*ring)->min_availability);
+  }
+
+  // 6. Reads still work after all the replication/migration.
+  store.BeginEpoch();
+  auto again = store.Get(*ring, "user:42");
+  std::printf("\nget user:42 (after convergence) -> %s\n",
+              again.ok() ? again->c_str()
+                         : again.status().ToString().c_str());
+  const RingReport report = store.ReportRing(*ring);
+  std::printf("ring report: %zu partitions, %zu vnodes, %zu below SLA, "
+              "%s logical\n",
+              report.partitions, report.vnodes, report.below_threshold,
+              FormatBytes(report.logical_bytes).c_str());
+  return report.below_threshold == 0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#include "skute/cluster/board.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skute {
+
+double Board::MarginalUsagePrice(const Server& server) const {
+  const double per_epoch_cost =
+      server.economics().monthly_cost / params_.epochs_per_month;
+  const double mean_util =
+      params_.use_live_mean_utilization
+          ? std::max(server.mean_utilization(),
+                     params_.min_mean_utilization)
+          : params_.reference_utilization;
+  return per_epoch_cost / mean_util;
+}
+
+void Board::UpdatePrices(const std::vector<Server*>& servers) {
+  for (const Server* s : servers) {
+    if (s->id() >= rents_.size()) {
+      rents_.resize(s->id() + 1,
+                    std::numeric_limits<double>::infinity());
+    }
+  }
+  min_rent_ = std::numeric_limits<double>::infinity();
+  for (const Server* s : servers) {
+    if (!s->online()) {
+      rents_[s->id()] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double up = MarginalUsagePrice(*s);
+    const double rent = up * (1.0 + params_.alpha * s->storage_utilization() +
+                              params_.beta * s->query_utilization());
+    rents_[s->id()] = rent;
+    min_rent_ = std::min(min_rent_, rent);
+  }
+  if (min_rent_ == std::numeric_limits<double>::infinity()) {
+    min_rent_ = 0.0;  // no online servers
+  }
+  ++updates_;
+}
+
+double Board::RentOf(ServerId id) const {
+  if (id >= rents_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rents_[id];
+}
+
+}  // namespace skute

@@ -1,0 +1,82 @@
+#ifndef SKUTE_CLUSTER_BOARD_H_
+#define SKUTE_CLUSTER_BOARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "skute/cluster/server.h"
+
+namespace skute {
+
+/// Parameters of the virtual-rent formula (Eq. 1):
+///   c = up * (1 + alpha * storage_usage + beta * query_load)
+/// where up = monthly_cost / epochs_per_month / max(mean_util, floor).
+struct PricingParams {
+  /// Eq. 1's "normalizing factors" (unspecified in the paper). alpha
+  /// must make the storage-pressure rent spread wider than the migration
+  /// savings gate (DecisionParams::migration_savings_threshold), or
+  /// vnodes on full servers never find a target "cheap enough" to flee
+  /// to and inserts start failing far below cluster saturation
+  /// (Fig. 5 calibration; see DESIGN.md).
+  double alpha = 4.0;
+  double beta = 1.0;
+  /// Epoch granularity: the paper prices per epoch against a monthly real
+  /// rent; hourly epochs over a 30-day month by default.
+  double epochs_per_month = 720.0;
+  /// The "mean usage of the server in the previous month" that divides
+  /// the marginal usage price. Every experiment in the paper is shorter
+  /// than a month, so the divisor is a constant prior (default). Feeding
+  /// the *live* trailing mean instead (use_live_mean_utilization) creates
+  /// an idle-server death spiral: an empty server's usage history decays,
+  /// its quoted rent rises, so it attracts even less — by 60% cluster
+  /// utilization the overflow has nowhere to go (observed in the Fig. 5
+  /// scenario; kept as an ablation).
+  double reference_utilization = 0.5;
+  bool use_live_mean_utilization = false;
+  /// Utilization floor for the live-mean divisor, preventing an idle
+  /// server from quoting an unbounded price.
+  double min_mean_utilization = 0.10;
+};
+
+/// \brief The paper's price board: an elected server that publishes every
+/// server's virtual rent at the start of each epoch.
+///
+/// Virtual-node agents read prices only from here, never from servers
+/// directly, which reproduces the paper's information model (prices are a
+/// snapshot, up to one epoch stale during an epoch).
+class Board {
+ public:
+  explicit Board(const PricingParams& params) : params_(params) {}
+
+  /// Recomputes all rents from the servers' last-epoch usage (Eq. 1).
+  /// Offline servers get an infinite rent so no agent ever selects them.
+  void UpdatePrices(const std::vector<Server*>& servers);
+
+  /// Virtual rent of a server for the current epoch; +infinity for unknown
+  /// or offline servers.
+  double RentOf(ServerId id) const;
+
+  /// The cluster-wide minimum rent over online servers — the utility floor
+  /// of Section II-C ("sets lowest utility value to the current lowest
+  /// virtual rent price"). 0 before the first update.
+  double min_rent() const { return min_rent_; }
+
+  /// Marginal usage price `up` of Eq. 1 for a given server (exposed for
+  /// tests and benches).
+  double MarginalUsagePrice(const Server& server) const;
+
+  const PricingParams& params() const { return params_; }
+
+  /// Number of price updates published (equals completed epochs).
+  uint64_t updates_published() const { return updates_; }
+
+ private:
+  PricingParams params_;
+  std::vector<double> rents_;  // indexed by ServerId
+  double min_rent_ = 0.0;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CLUSTER_BOARD_H_

@@ -1,0 +1,107 @@
+#include "skute/cluster/cluster.h"
+
+namespace skute {
+
+ServerId Cluster::AddServer(const Location& location,
+                            const ServerResources& resources,
+                            const ServerEconomics& economics) {
+  const ServerId id = static_cast<ServerId>(servers_.size());
+  servers_.push_back(
+      std::make_unique<Server>(id, location, resources, economics));
+  return id;
+}
+
+Status Cluster::FailServer(ServerId id) {
+  Server* s = server(id);
+  if (s == nullptr) return Status::NotFound("no such server");
+  if (!s->online()) {
+    return Status::FailedPrecondition("server already offline");
+  }
+  s->set_online(false);
+  s->WipeStorage();
+  return Status::OK();
+}
+
+Status Cluster::RecoverServer(ServerId id) {
+  Server* s = server(id);
+  if (s == nullptr) return Status::NotFound("no such server");
+  if (s->online()) {
+    return Status::FailedPrecondition("server already online");
+  }
+  s->set_online(true);
+  return Status::OK();
+}
+
+Server* Cluster::server(ServerId id) {
+  if (id >= servers_.size()) return nullptr;
+  return servers_[id].get();
+}
+
+const Server* Cluster::server(ServerId id) const {
+  if (id >= servers_.size()) return nullptr;
+  return servers_[id].get();
+}
+
+size_t Cluster::online_count() const {
+  size_t n = 0;
+  for (const auto& s : servers_) {
+    if (s->online()) ++n;
+  }
+  return n;
+}
+
+std::vector<ServerId> Cluster::OnlineServers() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    if (s->online()) out.push_back(s->id());
+  }
+  return out;
+}
+
+std::vector<Server*> Cluster::AllServers() {
+  std::vector<Server*> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s.get());
+  return out;
+}
+
+void Cluster::BeginEpoch() {
+  for (const auto& s : servers_) {
+    if (s->online()) s->BeginEpoch();
+  }
+  board_.UpdatePrices(AllServers());
+}
+
+uint64_t Cluster::TotalStorageCapacity() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    if (s->online()) total += s->resources().storage_capacity;
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalUsedStorage() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    if (s->online()) total += s->used_storage();
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalQueriesDroppedThisEpoch() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->queries_dropped_this_epoch();
+  }
+  return total;
+}
+
+double Cluster::StorageUtilization() const {
+  const uint64_t capacity = TotalStorageCapacity();
+  if (capacity == 0) return 1.0;
+  return static_cast<double>(TotalUsedStorage()) /
+         static_cast<double>(capacity);
+}
+
+}  // namespace skute

@@ -1,0 +1,75 @@
+#ifndef SKUTE_CLUSTER_CLUSTER_H_
+#define SKUTE_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "skute/cluster/board.h"
+#include "skute/cluster/server.h"
+#include "skute/common/result.h"
+
+namespace skute {
+
+/// \brief The data cloud: server membership plus the price board.
+///
+/// Server ids are dense and never reused; a removed/failed server keeps its
+/// slot but is offline. The Cluster owns the servers; everything above
+/// refers to them by ServerId.
+class Cluster {
+ public:
+  explicit Cluster(const PricingParams& pricing = PricingParams())
+      : board_(pricing) {}
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Adds a server (initially online) and returns its id.
+  ServerId AddServer(const Location& location,
+                     const ServerResources& resources,
+                     const ServerEconomics& economics);
+
+  /// Marks a server offline. Data it held is gone (hard failure); the
+  /// storage accounting is wiped so a later recovery starts empty.
+  Status FailServer(ServerId id);
+
+  /// Brings a previously failed server back, empty.
+  Status RecoverServer(ServerId id);
+
+  /// Mutable/const access; nullptr for out-of-range ids.
+  Server* server(ServerId id);
+  const Server* server(ServerId id) const;
+
+  /// Total number of slots ever allocated (online + offline).
+  size_t size() const { return servers_.size(); }
+  size_t online_count() const;
+
+  /// Ids of all online servers, ascending.
+  std::vector<ServerId> OnlineServers() const;
+
+  /// Raw pointers to all servers (for the board update).
+  std::vector<Server*> AllServers();
+
+  Board& board() { return board_; }
+  const Board& board() const { return board_; }
+
+  /// Starts a new epoch: rolls every server's counters, then publishes the
+  /// new virtual rents from last epoch's usage (the paper's "virtual rent
+  /// of each server is announced at a board ... updated at the beginning
+  /// of a new epoch").
+  void BeginEpoch();
+
+  // Aggregates over online servers.
+  uint64_t TotalStorageCapacity() const;
+  uint64_t TotalUsedStorage() const;
+  uint64_t TotalQueriesDroppedThisEpoch() const;
+  /// Fraction of online capacity in use, in [0, 1].
+  double StorageUtilization() const;
+
+ private:
+  std::vector<std::unique_ptr<Server>> servers_;
+  Board board_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CLUSTER_CLUSTER_H_

@@ -1,0 +1,41 @@
+#include "skute/cluster/failure.h"
+
+#include "skute/topology/topology.h"
+
+namespace skute {
+
+std::vector<ServerId> FailureInjector::FailRandomServers(size_t count,
+                                                         Rng* rng) {
+  std::vector<ServerId> online = cluster_->OnlineServers();
+  rng->Shuffle(&online);
+  if (online.size() > count) online.resize(count);
+  for (ServerId id : online) {
+    // Ignore per-server status: ids come fresh from OnlineServers().
+    (void)cluster_->FailServer(id);
+  }
+  total_failed_ += online.size();
+  return online;
+}
+
+std::vector<ServerId> FailureInjector::FailScope(const Location& prefix,
+                                                 GeoLevel level) {
+  std::vector<ServerId> failed;
+  for (ServerId id : cluster_->OnlineServers()) {
+    const Server* s = cluster_->server(id);
+    if (LocationUnder(s->location(), prefix, level)) {
+      (void)cluster_->FailServer(id);
+      failed.push_back(id);
+    }
+  }
+  total_failed_ += failed.size();
+  return failed;
+}
+
+Status FailureInjector::RecoverServers(const std::vector<ServerId>& ids) {
+  for (ServerId id : ids) {
+    SKUTE_RETURN_IF_ERROR(cluster_->RecoverServer(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace skute

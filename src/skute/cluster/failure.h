@@ -1,0 +1,42 @@
+#ifndef SKUTE_CLUSTER_FAILURE_H_
+#define SKUTE_CLUSTER_FAILURE_H_
+
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/common/random.h"
+#include "skute/topology/location.h"
+
+namespace skute {
+
+/// \brief Injects the failure classes the paper motivates: individual
+/// machine failures, rack failures (~40-80 machines in a real datacenter),
+/// and PDU/datacenter failures (~500-1000 machines). Scope failures take
+/// out every online server under a location prefix.
+class FailureInjector {
+ public:
+  explicit FailureInjector(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Fails `count` distinct online servers picked uniformly at random;
+  /// returns the ids actually failed (fewer if the cluster is smaller).
+  std::vector<ServerId> FailRandomServers(size_t count, Rng* rng);
+
+  /// Fails every online server under `prefix` truncated at `level`
+  /// (e.g. level=kRack: one rack; kDatacenter: a PDU failure).
+  /// Returns the failed ids.
+  std::vector<ServerId> FailScope(const Location& prefix, GeoLevel level);
+
+  /// Recovers a set of servers (they come back empty).
+  Status RecoverServers(const std::vector<ServerId>& ids);
+
+  /// Total servers failed through this injector.
+  size_t total_failed() const { return total_failed_; }
+
+ private:
+  Cluster* cluster_;
+  size_t total_failed_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CLUSTER_FAILURE_H_

@@ -1,0 +1,94 @@
+#include "skute/cluster/server.h"
+
+#include <algorithm>
+
+namespace skute {
+
+namespace {
+// EWMA weight chosen so the utilization memory spans roughly a month of
+// hourly epochs (1/720); see ServerEconomics/Board for how it feeds `up`.
+constexpr double kUtilizationEwmaWeight = 1.0 / 720.0;
+}  // namespace
+
+Server::Server(ServerId id, const Location& location,
+               const ServerResources& resources,
+               const ServerEconomics& economics)
+    : id_(id),
+      location_(location),
+      resources_(resources),
+      economics_(economics) {}
+
+Status Server::ReserveStorage(uint64_t bytes) {
+  if (!online_) {
+    return Status::Unavailable("server offline");
+  }
+  if (used_storage_ + bytes > resources_.storage_capacity) {
+    return Status::ResourceExhausted("storage capacity exceeded");
+  }
+  used_storage_ += bytes;
+  return Status::OK();
+}
+
+Status Server::ReleaseStorage(uint64_t bytes) {
+  if (bytes > used_storage_) {
+    used_storage_ = 0;
+    return Status::Internal("storage over-release");
+  }
+  used_storage_ -= bytes;
+  return Status::OK();
+}
+
+double Server::storage_utilization() const {
+  if (resources_.storage_capacity == 0) return 1.0;
+  return static_cast<double>(used_storage_) /
+         static_cast<double>(resources_.storage_capacity);
+}
+
+uint64_t Server::ServeQueries(uint64_t n) {
+  if (!online_) {
+    queries_dropped_ += n;
+    return 0;
+  }
+  const uint64_t capacity = resources_.query_capacity_per_epoch;
+  const uint64_t remaining =
+      queries_served_ >= capacity ? 0 : capacity - queries_served_;
+  const uint64_t accepted = std::min(n, remaining);
+  queries_served_ += accepted;
+  queries_dropped_ += n - accepted;
+  return accepted;
+}
+
+double Server::query_utilization() const {
+  if (resources_.query_capacity_per_epoch == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(last_queries_served_) /
+                           static_cast<double>(
+                               resources_.query_capacity_per_epoch));
+}
+
+void Server::BeginEpoch() {
+  // Pay down one epoch of transfer debt.
+  replication_debt_ -= std::min(replication_debt_,
+                                resources_.replication_bw_per_epoch);
+  migration_debt_ -= std::min(migration_debt_,
+                              resources_.migration_bw_per_epoch);
+
+  // Archive query counters.
+  last_queries_served_ = queries_served_;
+  queries_served_ = 0;
+  queries_dropped_ = 0;
+
+  // Trailing utilization for the marginal usage price. Deliberately slow
+  // (monthly time constant) and seeded from a 0.5 prior: `up` is the
+  // paper's *previous-month* mean usage, quasi-static against per-epoch
+  // load, so short-term congestion moves the rent only through Eq. 1's
+  // alpha/beta terms. A fast mean here would invert the congestion
+  // signal (a hot server would look cheap), breaking the Section II-C
+  // eviction dynamics.
+  const double current =
+      0.5 * (storage_utilization() + query_utilization());
+  mean_utilization_ = (1.0 - kUtilizationEwmaWeight) * mean_utilization_ +
+                      kUtilizationEwmaWeight * current;
+  ++age_;
+}
+
+}  // namespace skute

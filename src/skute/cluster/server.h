@@ -1,0 +1,149 @@
+#ifndef SKUTE_CLUSTER_SERVER_H_
+#define SKUTE_CLUSTER_SERVER_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "skute/common/result.h"
+#include "skute/common/units.h"
+#include "skute/topology/location.h"
+
+namespace skute {
+
+/// Dense server identifier assigned by the Cluster in arrival order.
+using ServerId = uint32_t;
+inline constexpr ServerId kInvalidServer =
+    std::numeric_limits<ServerId>::max();
+
+/// \brief Fixed, reserved capacities of a physical node (Section III-A:
+/// fixed storage, fixed bandwidth for replication / migration / queries).
+struct ServerResources {
+  uint64_t storage_capacity = 16 * kGiB;
+  /// Reserved transfer budgets, bytes per epoch.
+  uint64_t replication_bw_per_epoch = 300 * kMB;
+  uint64_t migration_bw_per_epoch = 100 * kMB;
+  /// Query-serving capacity, queries per epoch.
+  uint64_t query_capacity_per_epoch = 2500;
+};
+
+/// \brief Cost/trust profile of a server: what the data owner really pays
+/// per month, and the paper's subjective confidence in [0, 1].
+struct ServerEconomics {
+  double monthly_cost = 100.0;
+  double confidence = 1.0;
+};
+
+/// \brief One physical node of the data cloud.
+///
+/// The server owns its *resource accounting*: storage reservation, transfer
+/// bandwidth with cross-epoch debt (see DESIGN.md "Bandwidth debt"), and
+/// per-epoch query counters. Placement logic lives above, in
+/// skute/core — a Server never decides anything.
+class Server {
+ public:
+  Server(ServerId id, const Location& location,
+         const ServerResources& resources, const ServerEconomics& economics);
+
+  ServerId id() const { return id_; }
+  const Location& location() const { return location_; }
+  const ServerResources& resources() const { return resources_; }
+  const ServerEconomics& economics() const { return economics_; }
+
+  bool online() const { return online_; }
+  void set_online(bool online) { online_ = online; }
+
+  // --- Storage accounting -------------------------------------------------
+
+  /// Reserves `bytes`; fails with kResourceExhausted when the capacity
+  /// would be exceeded and kUnavailable when the server is offline.
+  Status ReserveStorage(uint64_t bytes);
+
+  /// Releases previously reserved bytes (clamped at zero; over-release is a
+  /// caller bug surfaced by the kInternal status).
+  Status ReleaseStorage(uint64_t bytes);
+
+  /// Drops all stored bytes — models the data loss of a hard failure.
+  void WipeStorage() { used_storage_ = 0; }
+
+  uint64_t used_storage() const { return used_storage_; }
+  uint64_t available_storage() const {
+    return resources_.storage_capacity - used_storage_;
+  }
+  /// Fraction of storage in use, in [0, 1].
+  double storage_utilization() const;
+
+  // --- Transfer bandwidth (replication / migration) -----------------------
+
+  /// Whether a replication transfer may start this epoch (debt below one
+  /// epoch's budget). The transfer itself is charged with
+  /// ChargeReplication().
+  bool CanStartReplication() const {
+    return online_ && replication_debt_ < resources_.replication_bw_per_epoch;
+  }
+  bool CanStartMigration() const {
+    return online_ && migration_debt_ < resources_.migration_bw_per_epoch;
+  }
+  void ChargeReplication(uint64_t bytes) { replication_debt_ += bytes; }
+  void ChargeMigration(uint64_t bytes) { migration_debt_ += bytes; }
+
+  uint64_t replication_debt() const { return replication_debt_; }
+  uint64_t migration_debt() const { return migration_debt_; }
+
+  // --- Query serving ------------------------------------------------------
+
+  /// Accepts up to the remaining per-epoch query capacity; returns how many
+  /// of `n` queries were actually served (the rest are counted as dropped).
+  uint64_t ServeQueries(uint64_t n);
+
+  uint64_t queries_served_this_epoch() const { return queries_served_; }
+  uint64_t queries_dropped_this_epoch() const { return queries_dropped_; }
+  uint64_t queries_served_last_epoch() const { return last_queries_served_; }
+
+  /// Query load of the previous (completed) epoch as a fraction of
+  /// capacity, in [0, 1] — the `query_load` term of Eq. 1.
+  double query_utilization() const;
+
+  // --- Epoch lifecycle ----------------------------------------------------
+
+  /// Rolls the per-epoch counters: pays down one epoch of bandwidth debt,
+  /// archives query counters, and updates the trailing mean utilization
+  /// that feeds the marginal usage price (Eq. 1's `up`).
+  void BeginEpoch();
+
+  /// The "mean usage of the server in the previous month" that Eq. 1's
+  /// marginal usage price divides by. Starts from a 0.5 prior (a server
+  /// is provisioned expecting ~half use) and drifts with a monthly EWMA —
+  /// so over any experiment shorter than a month it is quasi-constant,
+  /// and *current* congestion moves the rent only through Eq. 1's
+  /// alpha/beta terms. Seeding this from live utilization instead would
+  /// invert the congestion signal: a full server would quote ever lower
+  /// rents and never shed load (observed: Fig. 5 insert failures at 63%
+  /// instead of >90% cluster utilization).
+  double mean_utilization() const { return mean_utilization_; }
+
+  /// Number of epochs this server has been through (age).
+  Epoch age_epochs() const { return age_; }
+
+ private:
+  ServerId id_;
+  Location location_;
+  ServerResources resources_;
+  ServerEconomics economics_;
+
+  bool online_ = true;
+  uint64_t used_storage_ = 0;
+
+  uint64_t replication_debt_ = 0;
+  uint64_t migration_debt_ = 0;
+
+  uint64_t queries_served_ = 0;
+  uint64_t queries_dropped_ = 0;
+  uint64_t last_queries_served_ = 0;
+
+  double mean_utilization_ = 0.5;  // previous-month prior; see accessor
+  Epoch age_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CLUSTER_SERVER_H_

@@ -1,0 +1,50 @@
+#include "skute/common/crc32.h"
+
+#include <array>
+
+namespace skute {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82f63b78u;  // reflected CRC-32C
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  const auto& table = Table();
+  uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  // Rotate right by 15 bits and add a constant (LevelDB's scheme).
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace skute

@@ -1,0 +1,23 @@
+#ifndef SKUTE_COMMON_CRC32_H_
+#define SKUTE_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace skute {
+
+/// \brief CRC-32C (Castagnoli, the RocksDB/LevelDB log checksum
+/// polynomial), table-driven software implementation.
+///
+/// Guards every write-ahead-log record (see skute/storage/wal.h) against
+/// torn writes and bit rot; stable across platforms.
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+/// LevelDB-style masked CRC: storing a CRC of data that itself contains
+/// CRCs is error-prone, so stored checksums are masked.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_CRC32_H_

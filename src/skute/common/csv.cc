@@ -1,0 +1,63 @@
+#include "skute/common/csv.h"
+
+#include <cstdio>
+
+namespace skute {
+
+void CsvWriter::Header(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) Field(c);
+  EndRow();
+}
+
+void CsvWriter::Separate() {
+  if (row_open_) {
+    *out_ << ',';
+  } else {
+    row_open_ = true;
+  }
+}
+
+CsvWriter& CsvWriter::Field(std::string_view v) {
+  Separate();
+  const bool needs_quotes =
+      v.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) {
+    *out_ << v;
+    return *this;
+  }
+  *out_ << '"';
+  for (char c : v) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+  return *this;
+}
+
+CsvWriter& CsvWriter::Field(double v) {
+  Separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out_ << buf;
+  return *this;
+}
+
+CsvWriter& CsvWriter::Field(uint64_t v) {
+  Separate();
+  *out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::Field(int64_t v) {
+  Separate();
+  *out_ << v;
+  return *this;
+}
+
+void CsvWriter::EndRow() {
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace skute

@@ -1,0 +1,47 @@
+#ifndef SKUTE_COMMON_CSV_H_
+#define SKUTE_COMMON_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skute {
+
+/// \brief Minimal CSV emitter for the benchmark harnesses: every figure
+/// bench streams its series as CSV so plots can be regenerated offline.
+///
+/// Values are written with enough precision to round-trip doubles that
+/// matter at simulation scale (6 significant digits). Fields containing
+/// commas/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (not owned, must outlive this).
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Emits the header row. Call once, before any Row().
+  void Header(const std::vector<std::string>& columns);
+
+  /// Row-building API: Field() appends one cell, EndRow() terminates it.
+  CsvWriter& Field(std::string_view v);
+  CsvWriter& Field(const char* v) { return Field(std::string_view(v)); }
+  CsvWriter& Field(double v);
+  CsvWriter& Field(uint64_t v);
+  CsvWriter& Field(int64_t v);
+  CsvWriter& Field(int v) { return Field(static_cast<int64_t>(v)); }
+  void EndRow();
+
+  size_t rows_written() const { return rows_; }
+
+ private:
+  void Separate();
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  size_t rows_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_CSV_H_

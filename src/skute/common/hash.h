@@ -1,0 +1,23 @@
+#ifndef SKUTE_COMMON_HASH_H_
+#define SKUTE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace skute {
+
+/// \brief 64-bit hash of a byte string (xxHash64-style construction,
+/// implemented from scratch; stable across platforms and library versions).
+///
+/// This is the hash that places keys on the consistent-hashing ring, so its
+/// exact output sequence is part of the on-disk/on-ring contract and must
+/// never change.
+uint64_t Hash64(std::string_view data, uint64_t seed = 0);
+
+/// \brief Bijective 64-bit finalizer (SplitMix64's mixer). Useful for
+/// spreading sequential ids uniformly over the ring.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_HASH_H_

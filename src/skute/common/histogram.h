@@ -1,0 +1,55 @@
+#ifndef SKUTE_COMMON_HISTOGRAM_H_
+#define SKUTE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skute {
+
+/// \brief Reservoir-free exact histogram over double samples.
+///
+/// Stores all samples (the simulations produce at most a few hundred
+/// thousand per series) and computes order statistics exactly. Percentile
+/// queries sort lazily and cache the sorted order until the next Add.
+class Histogram {
+ public:
+  /// Adds one sample.
+  void Add(double v);
+
+  /// Merges all samples of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  /// Number of samples.
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population standard deviation (0 for fewer than 2 samples).
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Exact p-th percentile, p in [0, 100]; nearest-rank method.
+  /// Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..." summary line.
+  std::string ToString() const;
+
+  /// Removes all samples.
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_HISTOGRAM_H_

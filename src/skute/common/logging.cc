@@ -1,0 +1,46 @@
+#include "skute/common/logging.h"
+
+#include <cstdio>
+
+namespace skute {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+std::string* g_sink = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logging::SetLevel(LogLevel level) { g_level = level; }
+
+LogLevel Logging::level() { return g_level; }
+
+void Logging::SetSink(std::string* sink) { g_sink = sink; }
+
+void Logging::Write(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  if (g_sink != nullptr) {
+    g_sink->append(LevelName(level));
+    g_sink->append(": ");
+    g_sink->append(msg);
+    g_sink->push_back('\n');
+    return;
+  }
+  std::fprintf(stderr, "[skute %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace skute

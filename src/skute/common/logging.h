@@ -1,0 +1,52 @@
+#ifndef SKUTE_COMMON_LOGGING_H_
+#define SKUTE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace skute {
+
+/// Log severity; messages below the global threshold are discarded.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// \brief Process-wide logging configuration. The simulator defaults to
+/// kWarning so that benchmark output stays machine-readable; tests and
+/// examples may lower it.
+class Logging {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  /// Routes log lines through `sink` instead of stderr (nullptr resets).
+  /// The sink pointer must stay valid until reset.
+  static void SetSink(std::string* sink);
+
+  /// Emits one line (used by the SKUTE_LOG macro below).
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+/// \brief RAII line builder: streams into a buffer, emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logging::Write(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace skute
+
+/// SKUTE_LOG(kInfo) << "epoch " << e << " done";
+#define SKUTE_LOG(severity)                                        \
+  if (::skute::LogLevel::severity < ::skute::Logging::level()) {   \
+  } else                                                           \
+    ::skute::LogMessage(::skute::LogLevel::severity)
+
+#endif  // SKUTE_COMMON_LOGGING_H_

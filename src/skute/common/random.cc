@@ -1,0 +1,169 @@
+#include "skute/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skute {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpen() {
+  return (static_cast<double>(NextUint64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) return lo;
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return NextUint64();  // full 64-bit range
+  // Debiased modulo (Lemire-style rejection on the tail).
+  const uint64_t limit = (~0ull) - (~0ull) % span;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit && limit != 0);
+  return lo + v % span;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double rate) {
+  return -std::log(NextDoubleOpen()) / rate;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box–Muller without state: draws two uniforms per variate.
+  const double u1 = NextDoubleOpen();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 256.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Gaussian approximation for large means (see header).
+  const double v = Gaussian(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(v));
+}
+
+double Rng::Pareto(double scale_xm, double shape_alpha) {
+  return scale_xm / std::pow(NextDoubleOpen(), 1.0 / shape_alpha);
+}
+
+double Rng::BoundedPareto(double scale_xm, double shape_alpha, double cap) {
+  if (cap <= scale_xm) return scale_xm;
+  // Inverse CDF of the truncated Pareto: no rejection loop needed.
+  const double la = std::pow(scale_xm, shape_alpha);
+  const double ha = std::pow(cap, shape_alpha);
+  const double u = NextDouble();
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(1.0 / x, 1.0 / shape_alpha);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Devroye's rejection method for the Zipf(s) distribution on [1, n].
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  const double hn = h(nd + 0.5);
+  const double h1 = h(1.5) - 1.0;
+  for (;;) {
+    const double u = h1 + NextDouble() * (hn - h1);
+    double x;
+    if (s == 1.0) {
+      x = std::exp(u);
+    } else {
+      x = std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+    }
+    x = std::clamp(x, 1.0, nd);
+    const uint64_t k = static_cast<uint64_t>(x + 0.5);
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0.0;
+  if (total <= 0.0) return 0;
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t label) {
+  return Rng(NextUint64() ^ (label * 0x9e3779b97f4a7c15ull));
+}
+
+CdfSampler::CdfSampler(const std::vector<double>& weights) {
+  cdf_.reserve(weights.size());
+  for (double w : weights) {
+    total_ += w > 0 ? w : 0.0;
+    cdf_.push_back(total_);
+  }
+}
+
+size_t CdfSampler::Sample(Rng* rng) const {
+  if (cdf_.empty()) return 0;
+  if (total_ <= 0.0) return 0;
+  const double target = rng->NextDouble() * total_;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), target);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace skute

@@ -1,0 +1,90 @@
+#ifndef SKUTE_COMMON_RESULT_H_
+#define SKUTE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "skute/common/status.h"
+
+namespace skute {
+
+/// \brief A Status or a value: the return type of fallible producers
+/// (absl::StatusOr-style). Holds exactly one of {error Status, T}.
+///
+/// Usage:
+/// \code
+///   Result<ServerId> r = SelectTarget(...);
+///   if (!r.ok()) return r.status();
+///   ServerId id = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. Constructing from an OK status is a
+  /// programming error (there would be no value) and is remapped to
+  /// kInternal.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate an error Status from an expression that yields Status.
+#define SKUTE_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::skute::Status _skute_st = (expr);               \
+    if (!_skute_st.ok()) return _skute_st;            \
+  } while (false)
+
+/// Evaluate an expression yielding Result<T>; on error, return its Status;
+/// otherwise bind the value to `lhs` (declaration or assignable lvalue).
+#define SKUTE_ASSIGN_OR_RETURN(lhs, expr)             \
+  SKUTE_ASSIGN_OR_RETURN_IMPL_(                       \
+      SKUTE_RESULT_CONCAT_(_skute_res, __LINE__), lhs, expr)
+
+#define SKUTE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define SKUTE_RESULT_CONCAT_(a, b) SKUTE_RESULT_CONCAT_IMPL_(a, b)
+#define SKUTE_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_RESULT_H_

@@ -1,0 +1,76 @@
+#include "skute/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skute {
+
+void RunningStat::Add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double CoefficientOfVariation(const std::vector<double>& values) {
+  RunningStat s;
+  for (double v : values) s.Add(v);
+  if (s.count() == 0 || s.mean() == 0.0) return 0.0;
+  return s.stddev() / s.mean();
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum = 0.0;      // sum of rank-weighted values
+  double total = 0.0;
+  const size_t n = values.size();
+  for (size_t i = 0; i < n; ++i) {
+    cum += static_cast<double>(i + 1) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double nd = static_cast<double>(n);
+  return (2.0 * cum) / (nd * total) - (nd + 1.0) / nd;
+}
+
+double PeakToAverage(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double peak = values.front();
+  for (double v : values) {
+    sum += v;
+    peak = std::max(peak, v);
+  }
+  if (sum <= 0.0) return 0.0;
+  return peak * static_cast<double>(values.size()) / sum;
+}
+
+}  // namespace skute

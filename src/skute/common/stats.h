@@ -1,0 +1,52 @@
+#ifndef SKUTE_COMMON_STATS_H_
+#define SKUTE_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace skute {
+
+/// \brief Constant-memory running statistics (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double v);
+  /// Merges another accumulator (Chan et al. parallel formula).
+  void Merge(const RunningStat& other);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance.
+  double variance() const { return n_ == 0 ? 0.0 : m2_ / double(n_); }
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  void Clear() { *this = RunningStat(); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Coefficient of variation (stddev/mean) of a sample; the paper's
+/// load-balance figures are judged by how small this stays. Returns 0 when
+/// the mean is 0.
+double CoefficientOfVariation(const std::vector<double>& values);
+
+/// \brief Gini coefficient of a non-negative sample in [0, 1]; 0 = perfectly
+/// even, 1 = maximally concentrated. Secondary balance metric for the
+/// figure shape checks.
+double GiniCoefficient(std::vector<double> values);
+
+/// \brief max/mean ratio ("peak-to-average"); 1.0 = perfectly balanced.
+/// Returns 0 when the sample is empty or sums to 0.
+double PeakToAverage(const std::vector<double>& values);
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_STATS_H_

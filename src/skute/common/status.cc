@@ -1,0 +1,41 @@
+#include "skute/common/status.h"
+
+namespace skute {
+
+std::string_view Status::CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kUnavailable:
+      return "Unavailable";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace skute

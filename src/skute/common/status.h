@@ -1,0 +1,99 @@
+#ifndef SKUTE_COMMON_STATUS_H_
+#define SKUTE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace skute {
+
+/// \brief RocksDB-style operation outcome. The library never throws; every
+/// fallible call returns a Status (or a Result<T>, see result.h).
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message.
+class Status {
+ public:
+  /// Error category. kOk means success.
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kResourceExhausted,   ///< out of storage/bandwidth/capacity
+    kUnavailable,         ///< server offline / availability violated
+    kFailedPrecondition,  ///< state does not admit the operation
+    kOutOfRange,
+    kAborted,   ///< action abandoned after re-validation
+    kInternal,  ///< invariant violation: a bug in this library
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Short name of the code, e.g. "NotFound".
+  static std::string_view CodeName(Code code);
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_STATUS_H_

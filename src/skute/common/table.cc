@@ -1,0 +1,68 @@
+#include "skute/common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace skute {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() <= header_.size());
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  emit_row(header_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string AsciiTable::Num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+std::string AsciiTable::Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::string AsciiTable::Num(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace skute

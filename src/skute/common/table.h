@@ -1,0 +1,41 @@
+#ifndef SKUTE_COMMON_TABLE_H_
+#define SKUTE_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace skute {
+
+/// \brief Right-padded ASCII table for human-readable bench summaries.
+///
+/// \code
+///   AsciiTable t({"ring", "vnodes", "avail"});
+///   t.AddRow({"0", "1600", "63.0"});
+///   std::cout << t.ToString();
+/// \endcode
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are an
+  /// error caught in tests (row wider than header asserts in debug).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule; every column padded to its widest cell.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Convenience number formatting for cells.
+  static std::string Num(double v, int precision = 2);
+  static std::string Num(uint64_t v);
+  static std::string Num(int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_TABLE_H_

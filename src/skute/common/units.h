@@ -1,0 +1,48 @@
+#ifndef SKUTE_COMMON_UNITS_H_
+#define SKUTE_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace skute {
+
+/// Simulation time is slotted into epochs (Section II of the paper); an
+/// epoch index is just a counter starting at 0.
+using Epoch = int64_t;
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// "500KB"-style decimal units used by the paper's workload description.
+inline constexpr uint64_t kKB = 1000ull;
+inline constexpr uint64_t kMB = 1000ull * kKB;
+inline constexpr uint64_t kGB = 1000ull * kMB;
+
+/// Formats a byte count with a binary-unit suffix, e.g. "208.0 MiB".
+inline std::string FormatBytes(uint64_t bytes) {
+  const char* suffix = "B";
+  double v = static_cast<double>(bytes);
+  if (bytes >= kTiB) {
+    v /= static_cast<double>(kTiB);
+    suffix = "TiB";
+  } else if (bytes >= kGiB) {
+    v /= static_cast<double>(kGiB);
+    suffix = "GiB";
+  } else if (bytes >= kMiB) {
+    v /= static_cast<double>(kMiB);
+    suffix = "MiB";
+  } else if (bytes >= kKiB) {
+    v /= static_cast<double>(kKiB);
+    suffix = "KiB";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffix);
+  return std::string(buf);
+}
+
+}  // namespace skute
+
+#endif  // SKUTE_COMMON_UNITS_H_

@@ -1,0 +1,275 @@
+#include "skute/core/decision.h"
+
+#include <algorithm>
+
+#include "skute/economy/availability.h"
+#include "skute/topology/location.h"
+
+namespace skute {
+
+namespace {
+
+/// The live replica with the lowest server id — the deterministic "primary"
+/// that initiates repair. kInvalidVNode when the partition has no live
+/// replica (lost).
+VNodeId PrimaryVNode(const Partition& partition, const Cluster& cluster,
+                     ServerId* primary_server) {
+  VNodeId best = kInvalidVNode;
+  ServerId best_server = kInvalidServer;
+  for (const ReplicaInfo& r : partition.replicas()) {
+    const Server* s = cluster.server(r.server);
+    if (s == nullptr || !s->online()) continue;
+    if (best == kInvalidVNode || r.server < best_server) {
+      best = r.vnode;
+      best_server = r.server;
+    }
+  }
+  if (primary_server != nullptr) *primary_server = best_server;
+  return best;
+}
+
+}  // namespace
+
+double DecisionEngine::AvailabilityWith(const Cluster& cluster,
+                                        const std::vector<ServerId>& servers,
+                                        ServerId extra) const {
+  return AvailabilityModel::OfServerIdsWith(cluster, servers, extra);
+}
+
+std::vector<Action> DecisionEngine::RepairPass(
+    const Cluster& cluster, const RingCatalog& catalog,
+    const std::vector<RingPolicy>& policies,
+    RentSurcharge* surcharge) const {
+  std::vector<Action> actions;
+  catalog.ForEachPartition([&](const Partition* p) {
+    const RingPolicy& policy = policies[p->ring()];
+    if (policy.min_availability <= 0.0) return;
+
+    std::vector<ServerId> live = ReplicaServerSet(*p);
+    // Drop offline entries for the hypothetical availability computation.
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](ServerId id) {
+                                const Server* s = cluster.server(id);
+                                return s == nullptr || !s->online();
+                              }),
+               live.end());
+    if (live.empty()) return;  // lost partition: no source to repair from
+
+    double avail = AvailabilityModel::OfServerIds(cluster, live);
+    if (avail >= policy.min_availability) return;
+
+    ServerId primary_server = kInvalidServer;
+    const VNodeId primary = PrimaryVNode(*p, cluster, &primary_server);
+
+    for (int step = 0; step < params_.max_repair_steps_per_epoch &&
+                       avail < policy.min_availability;
+         ++step) {
+      if (params_.max_replicas_per_partition != 0 &&
+          live.size() >= params_.max_replicas_per_partition) {
+        break;
+      }
+      auto choice = SelectTargetForSet(
+          cluster, live, p->bytes(), policy.mix, params_.candidate,
+          /*exclude=*/{}, surcharge, /*tie_break_salt=*/p->id());
+      if (!choice.ok()) break;
+      Action a;
+      a.type = ActionType::kReplicate;
+      a.partition = p->id();
+      a.ring = p->ring();
+      a.vnode = primary;
+      a.source = primary_server;
+      a.target = choice->server;
+      a.score = choice->score;
+      a.reason = "repair: availability below threshold";
+      actions.push_back(a);
+      if (surcharge != nullptr) {
+        (*surcharge)[choice->server] += params_.pending_placement_penalty;
+      }
+      live.push_back(choice->server);
+      avail = AvailabilityModel::OfServerIds(cluster, live);
+    }
+  });
+  return actions;
+}
+
+Action DecisionEngine::DecideForVNode(const Cluster& cluster,
+                                      const Partition& partition,
+                                      const VirtualNode& vnode,
+                                      const RingPolicy& policy,
+                                      double avail_now,
+                                      const RentSurcharge* surcharge) const {
+  Action none;
+  if (!vnode.balance.NegativeStreak()) return none;
+
+  const Server* self = cluster.server(vnode.server);
+  if (self == nullptr || !self->online()) return none;
+
+  // Suicide when the partition stays available without this replica.
+  const double avail_without = AvailabilityModel::OfPartitionWithout(
+      partition, cluster, vnode.server);
+  if (partition.replica_count() > 1 &&
+      avail_without >= policy.min_availability) {
+    Action a;
+    a.type = ActionType::kSuicide;
+    a.partition = partition.id();
+    a.ring = partition.ring();
+    a.vnode = vnode.id;
+    a.source = vnode.server;
+    a.reason = "suicide: negative balance, availability holds without me";
+    return a;
+  }
+
+  // Otherwise look for a strictly cheaper server that preserves
+  // availability (the migration leg of Section II-C).
+  auto choice = SelectTargetForSet(
+      cluster, ReplicaServerSet(partition, vnode.server),
+      partition.bytes(), policy.mix, params_.candidate,
+      /*exclude=*/{vnode.server}, surcharge,
+      /*tie_break_salt=*/partition.id());
+  if (!choice.ok()) return none;
+
+  const double my_rent = cluster.board().RentOf(vnode.server);
+  const double target_rent = cluster.board().RentOf(choice->server);
+  if (target_rent >=
+      my_rent * (1.0 - params_.migration_savings_threshold)) {
+    return none;  // not enough savings to be worth the move
+  }
+
+  std::vector<ServerId> remaining = ReplicaServerSet(partition,
+                                                     vnode.server);
+  const double avail_after =
+      AvailabilityWith(cluster, remaining, choice->server);
+  const double required = std::min(policy.min_availability, avail_now);
+  if (avail_after < required) return none;
+
+  Action a;
+  a.type = ActionType::kMigrate;
+  a.partition = partition.id();
+  a.ring = partition.ring();
+  a.vnode = vnode.id;
+  a.source = vnode.server;
+  a.target = choice->server;
+  a.score = choice->score;
+  a.reason = "migrate: negative balance, cheaper server found";
+  return a;
+}
+
+Action DecisionEngine::MaybeReplicate(const Cluster& cluster,
+                                      const Partition& partition,
+                                      const RingPolicy& policy,
+                                      const PartitionEpochStats& stats,
+                                      const RentSurcharge* surcharge) const {
+  Action none;
+  const size_t replicas = partition.replica_count();
+  if (params_.max_replicas_per_partition != 0 &&
+      replicas >= params_.max_replicas_per_partition) {
+    return none;
+  }
+  if (replicas >= cluster.online_count()) return none;
+
+  auto choice = SelectTargetForSet(
+      cluster, ReplicaServerSet(partition), partition.bytes(), policy.mix,
+      params_.candidate, /*exclude=*/{}, surcharge,
+      /*tie_break_salt=*/partition.id());
+  if (!choice.ok()) return none;
+  const Server* target = cluster.server(choice->server);
+
+  // Popularity must cover the new replica's rent plus the consistency
+  // cost of one more copy (Section II-C replication verification). The
+  // projected utility is this partition's epoch queries split across
+  // R+1 replicas, valued at the target's proximity.
+  const double g = policy.mix == nullptr
+                       ? 1.0
+                       : NormalizedProximity(*policy.mix,
+                                             target->location());
+  const double projected_queries =
+      static_cast<double>(stats.queries) /
+      static_cast<double>(replicas + 1);
+  const double projected_utility =
+      params_.utility.value_per_query * projected_queries *
+      (params_.utility.divide_by_proximity ? (g > 0 ? 1.0 / g : 1.0) : g);
+  const double target_rent = cluster.board().RentOf(choice->server);
+  const double consistency =
+      params_.consistency.Cost(replicas + 1, stats.write_bytes);
+  if (projected_utility <= target_rent + consistency) return none;
+
+  Action a;
+  a.type = ActionType::kReplicate;
+  a.partition = partition.id();
+  a.ring = partition.ring();
+  a.source = kInvalidServer;  // executor picks a live, bandwidth-free source
+  a.target = choice->server;
+  a.score = choice->score;
+  a.reason = "replicate: popularity covers rent and consistency cost";
+  return a;
+}
+
+std::vector<Action> DecisionEngine::EconomicPass(
+    const Cluster& cluster, const RingCatalog& catalog,
+    const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+    const PartitionStatsMap& stats, RentSurcharge* surcharge) const {
+  std::vector<Action> actions;
+  static const PartitionEpochStats kNoTraffic;
+
+  auto charge = [&](const Action& a) {
+    if (surcharge != nullptr && a.target != kInvalidServer) {
+      (*surcharge)[a.target] += params_.pending_placement_penalty;
+    }
+  };
+
+  catalog.ForEachPartition([&](const Partition* p) {
+    const RingPolicy& policy = policies[p->ring()];
+    const double avail = AvailabilityModel::OfPartition(*p, cluster);
+    if (avail < policy.min_availability) {
+      return;  // under-replicated: repair owns this partition this epoch
+    }
+
+    // Cost-cutting first: the first vnode (replica order) with a negative
+    // streak acts; one action per partition per epoch.
+    for (const ReplicaInfo& r : p->replicas()) {
+      const VirtualNode* v = vnodes.Find(r.vnode);
+      if (v == nullptr) continue;
+      Action a = DecideForVNode(cluster, *p, *v, policy, avail, surcharge);
+      if (a.type != ActionType::kNone) {
+        charge(a);
+        actions.push_back(a);
+        return;
+      }
+    }
+
+    // Growth second: replicate when some replica sustained profit.
+    bool positive = false;
+    for (const ReplicaInfo& r : p->replicas()) {
+      const VirtualNode* v = vnodes.Find(r.vnode);
+      if (v != nullptr && v->balance.PositiveStreak()) {
+        positive = true;
+        break;
+      }
+    }
+    if (!positive) return;
+    const auto it = stats.find(p->id());
+    const PartitionEpochStats& traffic =
+        it == stats.end() ? kNoTraffic : it->second;
+    Action a = MaybeReplicate(cluster, *p, policy, traffic, surcharge);
+    if (a.type != ActionType::kNone) {
+      charge(a);
+      actions.push_back(a);
+    }
+  });
+  return actions;
+}
+
+std::vector<Action> DecisionEngine::ProposeAll(
+    const Cluster& cluster, const RingCatalog& catalog,
+    const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+    const PartitionStatsMap& stats) const {
+  RentSurcharge surcharge;
+  std::vector<Action> actions =
+      RepairPass(cluster, catalog, policies, &surcharge);
+  std::vector<Action> econ =
+      EconomicPass(cluster, catalog, vnodes, policies, stats, &surcharge);
+  actions.insert(actions.end(), econ.begin(), econ.end());
+  return actions;
+}
+
+}  // namespace skute

@@ -1,0 +1,151 @@
+#ifndef SKUTE_CORE_DECISION_H_
+#define SKUTE_CORE_DECISION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/core/vnode.h"
+#include "skute/economy/balance.h"
+#include "skute/economy/candidate.h"
+#include "skute/economy/pricing.h"
+#include "skute/ring/catalog.h"
+
+namespace skute {
+
+/// What a virtual-node agent decided to do at the end of an epoch
+/// (Section II-C: replicate, migrate, suicide, or nothing).
+enum class ActionType { kNone, kReplicate, kMigrate, kSuicide };
+
+/// One proposed action. Proposals are generated against the board snapshot
+/// and re-validated against live state when executed (see ActionExecutor).
+struct Action {
+  ActionType type = ActionType::kNone;
+  PartitionId partition = kInvalidPartition;
+  RingId ring = 0;
+  /// Acting vnode: the migrating/suiciding replica, or the replication
+  /// initiator (kInvalidVNode for repair replications initiated by the
+  /// partition's primary when that vnode is gone).
+  VNodeId vnode = kInvalidVNode;
+  /// Replication source / migration origin.
+  ServerId source = kInvalidServer;
+  /// Replication / migration destination.
+  ServerId target = kInvalidServer;
+  /// Eq. 3 score of the chosen target (diagnostics).
+  double score = 0.0;
+  /// Why the action was proposed (static string, diagnostics).
+  const char* reason = "";
+};
+
+/// Per-ring policy the decision passes evaluate against.
+struct RingPolicy {
+  /// Minimum Eq. 2 availability (the SLA's th).
+  double min_availability = 0.0;
+  /// Client geo-distribution of the ring's application; nullptr = uniform.
+  const ClientMix* mix = nullptr;
+};
+
+/// Per-partition traffic snapshot for the epoch being closed.
+struct PartitionEpochStats {
+  uint64_t queries = 0;      // across all replicas
+  uint64_t write_bytes = 0;  // inserted/updated bytes (consistency cost)
+};
+using PartitionStatsMap =
+    std::unordered_map<PartitionId, PartitionEpochStats>;
+
+/// Tunables of the Section II-C decision process.
+struct DecisionParams {
+  /// The paper's f: consecutive negative (positive) epochs before a vnode
+  /// migrates/suicides (replicates).
+  int balance_window = 4;
+  CandidateParams candidate;
+  UtilityParams utility;
+  ConsistencyCostModel consistency;
+  /// A migration target must be at least this much cheaper than the
+  /// current server (hysteresis against rent-chasing churn). Must stay
+  /// below the rent spread Eq. 1's alpha produces between a full and an
+  /// average server, or storage-pressure migration stalls (see
+  /// PricingParams::alpha).
+  double migration_savings_threshold = 0.02;
+  /// Repair may propose several replications per partition per epoch to
+  /// recover from multi-replica losses quickly; bandwidth still throttles.
+  int max_repair_steps_per_epoch = 4;
+  /// Hard cap on replicas per partition; 0 = no explicit cap (server count
+  /// and profitability cap it naturally).
+  size_t max_replicas_per_partition = 0;
+  /// The paper's stabilization rule: floor a vnode's utility at the
+  /// cluster-wide minimum rent so unpopular vnodes stop migrating once
+  /// they reach the cheapest server. Off only for the ablation bench.
+  bool utility_floor = true;
+  /// Rent surcharge added per placement already proposed onto a target
+  /// within the same epoch (see RentSurcharge in candidate.h). Models the
+  /// serialized admission a real target server would impose; without it,
+  /// stale identical board prices send every agent to the same server.
+  double pending_placement_penalty = 0.25;
+};
+
+/// \brief Generates the epoch's proposed actions. Stateless except for
+/// parameters: both passes read the cluster/catalog and write nothing.
+class DecisionEngine {
+ public:
+  explicit DecisionEngine(const DecisionParams& params) : params_(params) {}
+
+  const DecisionParams& params() const { return params_; }
+
+  /// \brief Availability repair (Section II-C first step): for every
+  /// partition whose Eq. 2 availability is below its ring's th, propose
+  /// replications (Eq. 3 targets) until the *hypothetical* availability
+  /// reaches th or max_repair_steps_per_epoch is hit.
+  ///
+  /// Initiated once per partition (by its primary replica — the live
+  /// replica with the lowest server id) rather than by every replica, to
+  /// model a deterministic leader and avoid a thundering herd.
+  std::vector<Action> RepairPass(
+      const Cluster& cluster, const RingCatalog& catalog,
+      const std::vector<RingPolicy>& policies,
+      RentSurcharge* surcharge = nullptr) const;
+
+  /// \brief Economic decisions (Section II-C second step), at most one
+  /// action per partition per epoch:
+  ///  - a vnode with `f` negative balances suicides if the partition stays
+  ///    at/above th without it, else migrates to a cheaper server;
+  ///  - otherwise, if some vnode has `f` positive balances and the
+  ///    partition's popularity covers the new rent plus consistency cost,
+  ///    the partition replicates (Eq. 3 target).
+  std::vector<Action> EconomicPass(
+      const Cluster& cluster, const RingCatalog& catalog,
+      const VNodeRegistry& vnodes,
+      const std::vector<RingPolicy>& policies,
+      const PartitionStatsMap& stats,
+      RentSurcharge* surcharge = nullptr) const;
+
+  /// Both passes with a shared per-epoch rent surcharge (what
+  /// EconomicPolicy runs every epoch).
+  std::vector<Action> ProposeAll(const Cluster& cluster,
+                                 const RingCatalog& catalog,
+                                 const VNodeRegistry& vnodes,
+                                 const std::vector<RingPolicy>& policies,
+                                 const PartitionStatsMap& stats) const;
+
+ private:
+  /// Eq. 2 over an explicit id set plus one extra server.
+  double AvailabilityWith(const Cluster& cluster,
+                          const std::vector<ServerId>& servers,
+                          ServerId extra) const;
+
+  Action DecideForVNode(const Cluster& cluster, const Partition& partition,
+                        const VirtualNode& vnode, const RingPolicy& policy,
+                        double avail_now,
+                        const RentSurcharge* surcharge) const;
+
+  Action MaybeReplicate(const Cluster& cluster, const Partition& partition,
+                        const RingPolicy& policy,
+                        const PartitionEpochStats& stats,
+                        const RentSurcharge* surcharge) const;
+
+  DecisionParams params_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_DECISION_H_

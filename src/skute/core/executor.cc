@@ -1,0 +1,200 @@
+#include "skute/core/executor.h"
+
+#include <algorithm>
+
+#include "skute/economy/availability.h"
+
+namespace skute {
+
+void ExecutorStats::Accumulate(const ExecutorStats& other) {
+  replications += other.replications;
+  migrations += other.migrations;
+  suicides += other.suicides;
+  blocked_bandwidth += other.blocked_bandwidth;
+  blocked_storage += other.blocked_storage;
+  aborted_stale += other.aborted_stale;
+  bytes_replicated += other.bytes_replicated;
+  bytes_migrated += other.bytes_migrated;
+}
+
+void ActionExecutor::CopyRealData(ServerId from, ServerId to,
+                                  PartitionId pid) {
+  if (replica_data_ == nullptr) return;
+  const auto src = replica_data_->find(from);
+  if (src == replica_data_->end() || src->second.Find(pid) == nullptr) {
+    return;  // synthetic partition: sizes only, nothing to copy
+  }
+  (void)(*replica_data_)[to].CopyFrom(src->second, pid);
+}
+
+void ActionExecutor::MoveRealData(ServerId from, ServerId to,
+                                  PartitionId pid) {
+  if (replica_data_ == nullptr) return;
+  const auto src = replica_data_->find(from);
+  if (src == replica_data_->end() || src->second.Find(pid) == nullptr) {
+    return;
+  }
+  (void)(*replica_data_)[to].MoveFrom(&src->second, pid);
+}
+
+void ActionExecutor::DropRealData(ServerId server, PartitionId pid) {
+  if (replica_data_ == nullptr) return;
+  const auto it = replica_data_->find(server);
+  if (it == replica_data_->end()) return;
+  (void)it->second.Drop(pid);
+}
+
+ActionExecutor::Outcome ActionExecutor::ApplyReplicate(const Action& a,
+                                                       Epoch epoch,
+                                                       ExecutorStats* st) {
+  Partition* p = catalog_->partition(a.partition);
+  if (p == nullptr) return Outcome::kStale;
+  Server* target = cluster_->server(a.target);
+  if (target == nullptr || !target->online()) return Outcome::kStale;
+  if (p->HasReplicaOn(a.target)) return Outcome::kStale;
+
+  // Pick the replication source: the proposed one when still usable,
+  // otherwise any live replica with replication budget.
+  Server* source = nullptr;
+  if (a.source != kInvalidServer && p->HasReplicaOn(a.source)) {
+    Server* s = cluster_->server(a.source);
+    if (s != nullptr && s->online() && s->CanStartReplication()) source = s;
+  }
+  if (source == nullptr) {
+    for (const ReplicaInfo& r : p->replicas()) {
+      Server* s = cluster_->server(r.server);
+      if (s != nullptr && s->online() && s->CanStartReplication()) {
+        source = s;
+        break;
+      }
+    }
+  }
+  if (source == nullptr) return Outcome::kBlockedBandwidth;
+  if (!target->CanStartReplication()) return Outcome::kBlockedBandwidth;
+
+  const uint64_t bytes = p->bytes();
+  if (!target->ReserveStorage(bytes).ok()) return Outcome::kBlockedStorage;
+
+  source->ChargeReplication(bytes);
+  target->ChargeReplication(bytes);
+
+  const VNodeId vid = catalog_->AllocateVNodeId();
+  // AddReplica cannot fail: HasReplicaOn was checked above.
+  (void)p->AddReplica(a.target, vid, epoch);
+  vnodes_->Create(vid, p->id(), p->ring(), a.target, epoch);
+  CopyRealData(source->id(), a.target, p->id());
+
+  ++st->replications;
+  st->bytes_replicated += bytes;
+  return Outcome::kApplied;
+}
+
+ActionExecutor::Outcome ActionExecutor::ApplyMigrate(
+    const Action& a, const std::vector<RingPolicy>& policies, Epoch epoch,
+    ExecutorStats* st) {
+  VirtualNode* v = vnodes_->Find(a.vnode);
+  if (v == nullptr || v->server != a.source) return Outcome::kStale;
+  Partition* p = catalog_->partition(a.partition);
+  if (p == nullptr || !p->HasReplicaOn(a.source)) return Outcome::kStale;
+  Server* source = cluster_->server(a.source);
+  Server* target = cluster_->server(a.target);
+  if (source == nullptr || !source->online()) return Outcome::kStale;
+  if (target == nullptr || !target->online()) return Outcome::kStale;
+  if (p->HasReplicaOn(a.target)) return Outcome::kStale;
+
+  // Re-validate availability against live state: the move must not take
+  // the partition below its threshold (or worsen an already-low state).
+  const RingPolicy& policy = policies[p->ring()];
+  const double avail_now = AvailabilityModel::OfPartition(*p, *cluster_);
+  const double avail_after = AvailabilityModel::OfServerIdsWith(
+      *cluster_, ReplicaServerSet(*p, /*moving_from=*/a.source), a.target);
+  const double required = std::min(policy.min_availability, avail_now);
+  if (avail_after < required) return Outcome::kStale;
+
+  if (!source->CanStartMigration() || !target->CanStartMigration()) {
+    return Outcome::kBlockedBandwidth;
+  }
+  const uint64_t bytes = p->bytes();
+  if (!target->ReserveStorage(bytes).ok()) return Outcome::kBlockedStorage;
+
+  (void)source->ReleaseStorage(bytes);
+  source->ChargeMigration(bytes);
+  target->ChargeMigration(bytes);
+
+  (void)p->RemoveReplica(a.source);
+  (void)p->AddReplica(a.target, v->id, epoch);
+  v->server = a.target;
+  v->balance.Reset();
+  MoveRealData(a.source, a.target, p->id());
+
+  ++st->migrations;
+  st->bytes_migrated += bytes;
+  return Outcome::kApplied;
+}
+
+ActionExecutor::Outcome ActionExecutor::ApplySuicide(
+    const Action& a, const std::vector<RingPolicy>& policies,
+    ExecutorStats* st) {
+  VirtualNode* v = vnodes_->Find(a.vnode);
+  if (v == nullptr || v->server != a.source) return Outcome::kStale;
+  Partition* p = catalog_->partition(a.partition);
+  if (p == nullptr || !p->HasReplicaOn(a.source)) return Outcome::kStale;
+  if (p->replica_count() <= 1) return Outcome::kStale;
+
+  // Re-validate: the partition must stay available without this replica
+  // (two concurrent suicides may have individually looked safe).
+  const RingPolicy& policy = policies[p->ring()];
+  const double avail_without = AvailabilityModel::OfPartitionWithout(
+      *p, *cluster_, a.source);
+  if (avail_without < policy.min_availability) return Outcome::kStale;
+
+  Server* server = cluster_->server(a.source);
+  if (server != nullptr && server->online()) {
+    (void)server->ReleaseStorage(p->bytes());
+  }
+  (void)p->RemoveReplica(a.source);
+  (void)vnodes_->Remove(a.vnode);
+  DropRealData(a.source, p->id());
+
+  ++st->suicides;
+  return Outcome::kApplied;
+}
+
+ExecutorStats ActionExecutor::Apply(std::vector<Action> actions,
+                                    const std::vector<RingPolicy>& policies,
+                                    Epoch epoch, Rng* rng) {
+  ExecutorStats st;
+  rng->Shuffle(&actions);
+  for (const Action& a : actions) {
+    Outcome outcome = Outcome::kStale;
+    switch (a.type) {
+      case ActionType::kNone:
+        continue;
+      case ActionType::kReplicate:
+        outcome = ApplyReplicate(a, epoch, &st);
+        break;
+      case ActionType::kMigrate:
+        outcome = ApplyMigrate(a, policies, epoch, &st);
+        break;
+      case ActionType::kSuicide:
+        outcome = ApplySuicide(a, policies, &st);
+        break;
+    }
+    switch (outcome) {
+      case Outcome::kApplied:
+        break;
+      case Outcome::kBlockedBandwidth:
+        ++st.blocked_bandwidth;
+        break;
+      case Outcome::kBlockedStorage:
+        ++st.blocked_storage;
+        break;
+      case Outcome::kStale:
+        ++st.aborted_stale;
+        break;
+    }
+  }
+  return st;
+}
+
+}  // namespace skute

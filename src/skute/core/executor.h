@@ -1,0 +1,92 @@
+#ifndef SKUTE_CORE_EXECUTOR_H_
+#define SKUTE_CORE_EXECUTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/common/random.h"
+#include "skute/core/decision.h"
+#include "skute/core/vnode.h"
+#include "skute/ring/catalog.h"
+#include "skute/storage/replica_store.h"
+
+namespace skute {
+
+/// Outcome counters of one epoch's action execution.
+struct ExecutorStats {
+  uint64_t replications = 0;
+  uint64_t migrations = 0;
+  uint64_t suicides = 0;
+  /// Actions deferred because a transfer budget was exhausted (the agent
+  /// will re-propose next epoch).
+  uint64_t blocked_bandwidth = 0;
+  /// Actions deferred because the target ran out of storage between
+  /// proposal and execution.
+  uint64_t blocked_storage = 0;
+  /// Actions dropped because re-validation against live state failed
+  /// (another agent's action landed first).
+  uint64_t aborted_stale = 0;
+  uint64_t bytes_replicated = 0;
+  uint64_t bytes_migrated = 0;
+
+  uint64_t applied() const { return replications + migrations + suicides; }
+
+  void Accumulate(const ExecutorStats& other);
+};
+
+/// \brief Applies proposed actions under live-state re-validation and the
+/// servers' transfer/storage constraints.
+///
+/// Actions are shuffled before application: the paper's agents act
+/// concurrently without coordination, so no agent may rely on proposal
+/// order. Re-validation makes concurrent proposals safe — e.g. two
+/// replicas of one partition both deciding to suicide will result in only
+/// the first being applied if the second would break the SLA.
+class ActionExecutor {
+ public:
+  /// `replica_data` may be nullptr (synthetic/simulation mode); when
+  /// given, replicate/migrate/suicide also copy/move/drop the real
+  /// key-value bytes.
+  ActionExecutor(Cluster* cluster, RingCatalog* catalog,
+                 VNodeRegistry* vnodes,
+                 std::unordered_map<ServerId, ReplicaStore>* replica_data)
+      : cluster_(cluster),
+        catalog_(catalog),
+        vnodes_(vnodes),
+        replica_data_(replica_data) {}
+
+  /// Applies `actions` in a random order; returns the outcome counters.
+  ExecutorStats Apply(std::vector<Action> actions,
+                      const std::vector<RingPolicy>& policies, Epoch epoch,
+                      Rng* rng);
+
+ private:
+  enum class Outcome {
+    kApplied,
+    kBlockedBandwidth,
+    kBlockedStorage,
+    kStale
+  };
+
+  Outcome ApplyReplicate(const Action& a, Epoch epoch, ExecutorStats* st);
+  Outcome ApplyMigrate(const Action& a,
+                       const std::vector<RingPolicy>& policies, Epoch epoch,
+                       ExecutorStats* st);
+  Outcome ApplySuicide(const Action& a,
+                       const std::vector<RingPolicy>& policies,
+                       ExecutorStats* st);
+
+  void CopyRealData(ServerId from, ServerId to, PartitionId pid);
+  void MoveRealData(ServerId from, ServerId to, PartitionId pid);
+  void DropRealData(ServerId server, PartitionId pid);
+
+  Cluster* cluster_;
+  RingCatalog* catalog_;
+  VNodeRegistry* vnodes_;
+  std::unordered_map<ServerId, ReplicaStore>* replica_data_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_EXECUTOR_H_

@@ -1,0 +1,59 @@
+#ifndef SKUTE_CORE_POLICY_H_
+#define SKUTE_CORE_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/core/decision.h"
+#include "skute/core/vnode.h"
+#include "skute/ring/catalog.h"
+
+namespace skute {
+
+/// \brief Strategy seam of the store: given the epoch's end state, propose
+/// the replica-management actions to execute.
+///
+/// The paper's contribution is EconomicPolicy (virtual economy +
+/// Section II-C); the baseline benches swap in a Dynamo-style
+/// SuccessorPolicy (skute/baseline) against the same substrate, executor
+/// and metrics.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Proposes this epoch's actions. Implementations must not mutate any
+  /// store state; the executor re-validates and applies.
+  virtual std::vector<Action> ProposeActions(
+      const Cluster& cluster, const RingCatalog& catalog,
+      const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+      const PartitionStatsMap& stats) = 0;
+
+  /// Human-readable policy name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// \brief The paper's policy: availability repair plus per-vnode
+/// net-benefit decisions (Section II-C) via DecisionEngine.
+class EconomicPolicy : public PlacementPolicy {
+ public:
+  explicit EconomicPolicy(const DecisionParams& params) : engine_(params) {}
+
+  std::vector<Action> ProposeActions(
+      const Cluster& cluster, const RingCatalog& catalog,
+      const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+      const PartitionStatsMap& stats) override {
+    return engine_.ProposeAll(cluster, catalog, vnodes, policies, stats);
+  }
+
+  const char* name() const override { return "economic"; }
+
+  const DecisionEngine& engine() const { return engine_; }
+
+ private:
+  DecisionEngine engine_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_POLICY_H_

@@ -1,0 +1,60 @@
+#include "skute/core/router.h"
+
+#include <algorithm>
+
+#include "skute/common/hash.h"
+
+namespace skute {
+
+void Router::RefreshSnapshot() {
+  tables_.clear();
+  const RingCatalog& catalog = store_->catalog();
+  tables_.resize(catalog.ring_count());
+  for (RingId r = 0; r < catalog.ring_count(); ++r) {
+    const VirtualRing* ring = catalog.ring(r);
+    RingTable& table = tables_[r];
+    table.begins.reserve(ring->partition_count());
+    table.routes.reserve(ring->partition_count());
+    for (const auto& p : ring->partitions()) {
+      table.begins.push_back(p->range().begin);
+      Route route;
+      route.partition = p->id();
+      for (const ReplicaInfo& rep : p->replicas()) {
+        route.replicas.push_back(rep.server);
+      }
+      table.routes.push_back(std::move(route));
+    }
+  }
+  seen_version_ = store_->placement_version();
+  ++refreshes_;
+}
+
+Result<Router::Route> Router::LookupHash(RingId ring, uint64_t key_hash) {
+  if (store_->placement_version() != seen_version_) {
+    RefreshSnapshot();
+  } else {
+    ++cache_hits_;
+  }
+  if (ring >= tables_.size()) {
+    return Status::NotFound("unknown ring");
+  }
+  const RingTable& table = tables_[ring];
+  if (table.begins.empty()) {
+    return Status::NotFound("ring has no partitions");
+  }
+  // Last partition whose begin <= hash; wraps to the final entry (the
+  // same arithmetic as VirtualRing::FindIndex, against the snapshot).
+  const auto it = std::upper_bound(table.begins.begin(),
+                                   table.begins.end(), key_hash);
+  const size_t idx = it == table.begins.begin()
+                         ? table.begins.size() - 1
+                         : static_cast<size_t>(it - table.begins.begin()) -
+                               1;
+  return table.routes[idx];
+}
+
+Result<Router::Route> Router::Lookup(RingId ring, std::string_view key) {
+  return LookupHash(ring, Hash64(key));
+}
+
+}  // namespace skute

@@ -1,0 +1,65 @@
+#ifndef SKUTE_CORE_ROUTER_H_
+#define SKUTE_CORE_ROUTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "skute/common/result.h"
+#include "skute/core/store.h"
+
+namespace skute {
+
+/// \brief Client-side routing table — the paper's "O(1) DHT": a client
+/// hashes the key and knows the owning partition and its replica set in
+/// one step, with no hop chasing.
+///
+/// The router snapshots every ring's token table and replica lists and
+/// revalidates the whole snapshot against SkuteStore::placement_version()
+/// on each lookup: one integer comparison on the hot path, a full refresh
+/// only after the placement actually changed (epoch-granular in
+/// practice). This mirrors how Dynamo-style clients cache membership and
+/// reconcile lazily.
+class Router {
+ public:
+  /// The store must outlive the router.
+  explicit Router(SkuteStore* store) : store_(store) {}
+
+  /// Where a key lives: the partition and its replica servers, as of the
+  /// snapshot's placement version.
+  struct Route {
+    PartitionId partition = kInvalidPartition;
+    std::vector<ServerId> replicas;
+  };
+
+  /// Routes a key (hashes it, then LookupHash).
+  Result<Route> Lookup(RingId ring, std::string_view key);
+
+  /// Routes a key hash directly.
+  Result<Route> LookupHash(RingId ring, uint64_t key_hash);
+
+  /// Lookups served from the cached snapshot without a refresh.
+  uint64_t cache_hits() const { return cache_hits_; }
+  /// Snapshot rebuilds triggered by placement-version changes.
+  uint64_t refreshes() const { return refreshes_; }
+  /// The placement version the current snapshot reflects.
+  uint64_t snapshot_version() const { return seen_version_; }
+
+ private:
+  struct RingTable {
+    std::vector<uint64_t> begins;  // sorted partition range starts
+    std::vector<Route> routes;     // parallel to begins
+  };
+
+  void RefreshSnapshot();
+
+  SkuteStore* store_;
+  std::vector<RingTable> tables_;
+  uint64_t seen_version_ = ~0ull;
+  uint64_t cache_hits_ = 0;
+  uint64_t refreshes_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_ROUTER_H_

@@ -1,0 +1,16 @@
+#include "skute/core/sla.h"
+
+#include "skute/economy/availability.h"
+
+namespace skute {
+
+SlaLevel SlaLevel::ForReplicas(int k, double confidence, double margin) {
+  SlaLevel level;
+  level.min_availability =
+      AvailabilityModel::ThresholdForReplicas(k, confidence, margin);
+  level.replicas_hint = k;
+  level.name = "replicas-" + std::to_string(k);
+  return level;
+}
+
+}  // namespace skute

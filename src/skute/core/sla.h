@@ -1,0 +1,32 @@
+#ifndef SKUTE_CORE_SLA_H_
+#define SKUTE_CORE_SLA_H_
+
+#include <string>
+
+namespace skute {
+
+/// \brief One availability service level: the minimum Eq. 2 availability
+/// (`th` in the paper) a partition of this level must maintain.
+///
+/// Applications attach one ring per SLA level (Fig. 1 of the paper), so
+/// different data items of the same tenant can have different guarantees.
+struct SlaLevel {
+  /// Minimum Eq. 2 availability (the paper's `th`).
+  double min_availability = 0.0;
+  /// The replica count this threshold was derived for (informational; the
+  /// live replica count is whatever the economy needs to satisfy th).
+  int replicas_hint = 0;
+  /// Human-readable label for reports ("gold", "silver", ...).
+  std::string name;
+
+  /// \brief The paper's Section III-A levels: "each application offers one
+  /// minimum availability level that is satisfied by 2, 3, 4 replicas
+  /// respectively". Produces th(k) = 63 * conf^2 * (C(k-1,2) + margin) —
+  /// see AvailabilityModel::ThresholdForReplicas.
+  static SlaLevel ForReplicas(int k, double confidence,
+                              double margin = 0.5);
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_SLA_H_

@@ -1,0 +1,265 @@
+#ifndef SKUTE_CORE_STORE_H_
+#define SKUTE_CORE_STORE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/common/random.h"
+#include "skute/common/result.h"
+#include "skute/core/decision.h"
+#include "skute/core/executor.h"
+#include "skute/core/policy.h"
+#include "skute/core/sla.h"
+#include "skute/core/vnode.h"
+#include "skute/economy/proximity.h"
+#include "skute/ring/catalog.h"
+#include "skute/storage/replica_store.h"
+
+namespace skute {
+
+/// Store-wide configuration.
+struct SkuteOptions {
+  DecisionParams decision;
+  /// The paper's 256 MB partition cap: a partition that grows past this
+  /// splits into two.
+  uint64_t max_partition_bytes = 256 * kMB;
+  /// Seed for initial placement and executor shuffling.
+  uint64_t seed = 42;
+  /// Maintain real key-value bytes in per-server ReplicaStores when values
+  /// are provided (examples/tests); synthetic puts never materialize data.
+  bool track_real_data = true;
+};
+
+/// A tenant: a named application owning one ring per SLA level.
+struct Application {
+  AppId id = 0;
+  std::string name;
+  std::vector<RingId> rings;
+};
+
+/// \brief Communication-overhead accounting (the paper's future-work
+/// analysis): every message class the protocol would put on the wire,
+/// counted at the real call sites. One "message" is one request/reply
+/// exchange.
+struct CommStats {
+  /// Price board publication: one message per online server per epoch.
+  uint64_t board_msgs = 0;
+  /// Client queries routed (Get + aggregate routing).
+  uint64_t query_msgs = 0;
+  /// Write fan-out for consistency: one message per live replica per
+  /// write, plus the bytes shipped.
+  uint64_t consistency_msgs = 0;
+  uint64_t consistency_bytes = 0;
+  /// Replica transfers (replication, migration, split re-placement).
+  uint64_t transfer_msgs = 0;
+  uint64_t transfer_bytes = 0;
+  /// Decision-plane traffic: proposals the agents made this epoch.
+  uint64_t control_msgs = 0;
+
+  uint64_t TotalMsgs() const {
+    return board_msgs + query_msgs + consistency_msgs + transfer_msgs +
+           control_msgs;
+  }
+  void Clear() { *this = CommStats(); }
+  void Accumulate(const CommStats& other);
+};
+
+/// Availability/utilization summary of one ring (see ReportRing).
+struct RingReport {
+  size_t partitions = 0;
+  size_t vnodes = 0;
+  size_t below_threshold = 0;  // partitions violating their SLA right now
+  size_t lost = 0;             // partitions with zero live replicas
+  double min_availability = 0.0;
+  double mean_availability = 0.0;
+  uint64_t logical_bytes = 0;        // one copy
+  uint64_t replicated_bytes = 0;     // all copies
+  uint64_t queries_this_epoch = 0;   // requested (routed) queries
+  double rent_paid_this_epoch = 0.0;
+  double rent_paid_total = 0.0;
+};
+
+/// \brief Skute: the scattered key-value store.
+///
+/// The facade wires together the cluster substrate, the virtual rings, the
+/// economy and the Section II-C decision process. Epoch lifecycle:
+///
+/// \code
+///   SkuteStore store(&cluster, opts);
+///   AppId app = store.CreateApplication("crm");
+///   RingId ring = *store.AttachRing(app, SlaLevel::ForReplicas(3, 1.0), 64);
+///   for (;;) {
+///     store.BeginEpoch();             // prices published (Eq. 1)
+///     ... Put/Get/RouteQueries ...    // the epoch's traffic
+///     store.EndEpoch();               // Eq. 5 balances, agents act
+///   }
+/// \endcode
+class SkuteStore {
+ public:
+  SkuteStore(Cluster* cluster, const SkuteOptions& options);
+
+  SkuteStore(const SkuteStore&) = delete;
+  SkuteStore& operator=(const SkuteStore&) = delete;
+
+  // --- Tenancy ------------------------------------------------------------
+
+  /// Registers an application; names need not be unique (ids are).
+  AppId CreateApplication(std::string name);
+
+  /// Attaches a ring with `initial_partitions` partitions at the given SLA
+  /// level. Every partition receives one replica on a random online server
+  /// (the paper's startup state); the repair pass grows each partition to
+  /// its SLA from the first EndEpoch on.
+  Result<RingId> AttachRing(AppId app, const SlaLevel& sla,
+                            uint32_t initial_partitions);
+
+  /// Sets the client geo-distribution of a ring (nullptr semantics: call
+  /// with an empty mix to reset to uniform).
+  Status SetClientMix(RingId ring, ClientMix mix);
+
+  const Application* application(AppId id) const;
+  size_t application_count() const { return apps_.size(); }
+  const SlaLevel* sla_of_ring(RingId ring) const;
+
+  // --- Data plane (real values) -------------------------------------------
+
+  /// Writes a key-value pair: updates the object catalog, reserves storage
+  /// on every replica server, stores the bytes in each replica's KvStore,
+  /// and splits the partition if it crossed the cap.
+  Status Put(RingId ring, std::string_view key, std::string_view value);
+
+  /// Reads a key from the best live replica (proximity-weighted, then
+  /// least-loaded) and accounts the query against that server's capacity.
+  Result<std::string> Get(RingId ring, std::string_view key);
+
+  /// Deletes a key from the catalog and all replicas.
+  Status Delete(RingId ring, std::string_view key);
+
+  // --- Data plane (synthetic, simulator) ----------------------------------
+
+  /// Catalog-only insert of `size_bytes` under the given key hash; same
+  /// placement/accounting path as Put without materializing bytes.
+  Status PutSynthetic(RingId ring, uint64_t key_hash, uint32_t size_bytes);
+
+  // --- Query plane (aggregate, simulator) ----------------------------------
+
+  /// Routes `count` queries for one partition across its live replicas
+  /// (proximity-weighted shares) and accounts served/dropped per server.
+  void RouteQueriesToPartition(Partition* partition, uint64_t count);
+
+  /// Convenience: route by key hash.
+  void RouteQueries(RingId ring, uint64_t key_hash, uint64_t count);
+
+  // --- Epoch lifecycle ------------------------------------------------------
+
+  /// Publishes prices (Eq. 1 via the board) and clears epoch counters.
+  void BeginEpoch();
+
+  /// Closes the epoch: records Eq. 5 balances for every vnode, runs the
+  /// repair and economic passes, executes the proposed actions, and
+  /// returns the execution counters.
+  ExecutorStats EndEpoch();
+
+  Epoch epoch() const { return epoch_; }
+
+  // --- Failure integration --------------------------------------------------
+
+  /// Must be called after Cluster::FailServer: unregisters every replica
+  /// the dead server held and deletes their agents. Partitions left with
+  /// zero replicas are counted as lost.
+  void HandleServerFailure(ServerId id);
+
+  // --- Introspection ---------------------------------------------------------
+
+  Cluster& cluster() { return *cluster_; }
+  RingCatalog& catalog() { return catalog_; }
+  const RingCatalog& catalog() const { return catalog_; }
+  VNodeRegistry& vnodes() { return vnodes_; }
+  const SkuteOptions& options() const { return options_; }
+
+  /// Live replica count per server id (the Fig. 2 series).
+  std::vector<uint32_t> VNodesPerServer() const;
+
+  /// Per-(ring, server) queries served this epoch, indexed
+  /// [ring][server] (the Fig. 4 series).
+  std::vector<std::vector<uint64_t>> QueriesServedPerRingPerServer() const;
+
+  RingReport ReportRing(RingId ring) const;
+
+  uint64_t lost_partitions() const { return lost_partitions_; }
+  uint64_t insert_failures() const { return insert_failures_; }
+  const ExecutorStats& last_epoch_stats() const { return last_stats_; }
+
+  /// Communication overhead of the current/just-closed epoch and the
+  /// lifetime totals (the paper's future-work metric).
+  const CommStats& comm_this_epoch() const { return comm_epoch_; }
+  const CommStats& comm_total() const { return comm_total_; }
+
+  /// The client geo-distribution of a ring (nullptr = uniform).
+  const ClientMix* client_mix(RingId ring) const { return MixOf(ring); }
+
+  /// Monotonic counter bumped whenever any replica placement or ring
+  /// structure changes (splits, repairs, migrations, suicides, failures).
+  /// Client-side routing caches (skute/core/router.h) revalidate against
+  /// it — the paper's "O(1) DHT": one staleness check, no hop chasing.
+  uint64_t placement_version() const { return placement_version_; }
+
+  /// The policies vector the decision passes run against (rebuilt lazily).
+  const std::vector<RingPolicy>& policies();
+
+  /// Replaces the placement policy (default: EconomicPolicy with the
+  /// store's decision parameters). Used by the baseline benches.
+  void SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
+  const PlacementPolicy& placement_policy() const { return *policy_; }
+
+ private:
+  struct RingInfo {
+    AppId app = 0;
+    SlaLevel sla;
+    ClientMix mix;  // empty = uniform
+  };
+
+  Status ApplyUpsert(RingId ring, uint64_t key_hash, uint32_t size_bytes,
+                     std::string_view key, const std::string* value);
+  Status ReserveOnReplicas(Partition* p, int64_t delta);
+  void MaybeSplit(Partition* p);
+  void PlaceSiblingReplicas(Partition* parent, Partition* sibling);
+  void SplitRealData(const Partition& lower, const Partition& upper);
+  void MoveSiblingData(PartitionId sibling, ServerId from, ServerId to);
+  const ClientMix* MixOf(RingId ring) const;
+  void RecordBalances();
+
+  Cluster* cluster_;
+  SkuteOptions options_;
+  RingCatalog catalog_;
+  VNodeRegistry vnodes_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::unordered_map<ServerId, ReplicaStore> replica_data_;
+  ActionExecutor executor_;
+  Rng rng_;
+
+  std::vector<Application> apps_;
+  std::deque<RingInfo> ring_info_;  // stable addresses; indexed by RingId
+  std::vector<RingPolicy> policies_;
+
+  Epoch epoch_ = 0;
+  PartitionStatsMap stats_;
+  std::vector<uint64_t> ring_queries_epoch_;
+  std::vector<double> ring_spend_epoch_;
+  std::vector<double> ring_spend_total_;
+  uint64_t lost_partitions_ = 0;
+  uint64_t insert_failures_ = 0;
+  ExecutorStats last_stats_;
+  CommStats comm_epoch_;
+  CommStats comm_total_;
+  uint64_t placement_version_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_STORE_H_

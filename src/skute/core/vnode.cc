@@ -1,0 +1,31 @@
+#include "skute/core/vnode.h"
+
+namespace skute {
+
+VirtualNode* VNodeRegistry::Create(VNodeId id, PartitionId partition,
+                                   RingId ring, ServerId server,
+                                   Epoch epoch) {
+  const auto [it, inserted] = nodes_.emplace(
+      id, VirtualNode(id, partition, ring, server, epoch, balance_window_));
+  (void)inserted;
+  return &it->second;
+}
+
+VirtualNode* VNodeRegistry::Find(VNodeId id) {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const VirtualNode* VNodeRegistry::Find(VNodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Status VNodeRegistry::Remove(VNodeId id) {
+  if (nodes_.erase(id) == 0) {
+    return Status::NotFound("unknown vnode");
+  }
+  return Status::OK();
+}
+
+}  // namespace skute

@@ -1,0 +1,88 @@
+#ifndef SKUTE_CORE_VNODE_H_
+#define SKUTE_CORE_VNODE_H_
+
+#include <unordered_map>
+
+#include "skute/common/result.h"
+#include "skute/common/units.h"
+#include "skute/economy/balance.h"
+#include "skute/ring/partition.h"
+#include "skute/ring/ring.h"
+
+namespace skute {
+
+/// \brief One virtual node: the autonomous agent managing one replica of
+/// one partition on one server (Section II of the paper).
+///
+/// A vnode's mutable state is its per-epoch query counters and its balance
+/// history; everything else (placement) lives in the partition's replica
+/// set, which the vnode mirrors via `server`.
+struct VirtualNode {
+  VNodeId id = kInvalidVNode;
+  PartitionId partition = kInvalidPartition;
+  RingId ring = 0;
+  ServerId server = kInvalidServer;
+  Epoch created = 0;
+
+  /// Queries routed to this replica this epoch, and the subset actually
+  /// served within the hosting server's capacity (utility accrues only on
+  /// served queries).
+  uint64_t queries_routed = 0;
+  uint64_t queries_served = 0;
+
+  /// Eq. 5 history (window = the decision hysteresis f).
+  BalanceTracker balance;
+
+  /// Last epoch's utility and rent (for metrics/debugging).
+  double last_utility = 0.0;
+  double last_rent = 0.0;
+
+  VirtualNode(VNodeId id_in, PartitionId partition_in, RingId ring_in,
+              ServerId server_in, Epoch created_in, int balance_window)
+      : id(id_in),
+        partition(partition_in),
+        ring(ring_in),
+        server(server_in),
+        created(created_in),
+        balance(balance_window) {}
+
+  void ResetEpochCounters() {
+    queries_routed = 0;
+    queries_served = 0;
+  }
+};
+
+/// \brief Owner of all live vnode agents, keyed by id.
+class VNodeRegistry {
+ public:
+  explicit VNodeRegistry(int balance_window)
+      : balance_window_(balance_window) {}
+
+  /// Creates an agent for a fresh replica and returns it.
+  VirtualNode* Create(VNodeId id, PartitionId partition, RingId ring,
+                      ServerId server, Epoch epoch);
+
+  VirtualNode* Find(VNodeId id);
+  const VirtualNode* Find(VNodeId id) const;
+
+  /// Removes an agent (suicide, failure); NotFound when unknown.
+  Status Remove(VNodeId id);
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Iteration over all agents (unordered).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [id, node] : nodes_) fn(&node);
+  }
+
+  int balance_window() const { return balance_window_; }
+
+ private:
+  int balance_window_;
+  std::unordered_map<VNodeId, VirtualNode> nodes_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_VNODE_H_

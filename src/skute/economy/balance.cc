@@ -1,0 +1,41 @@
+#include "skute/economy/balance.h"
+
+namespace skute {
+
+double QueryUtility(uint64_t queries, double proximity,
+                    const UtilityParams& params) {
+  const double base =
+      params.value_per_query * static_cast<double>(queries);
+  if (params.divide_by_proximity) {
+    return proximity > 0.0 ? base / proximity : base;
+  }
+  return base * proximity;
+}
+
+void BalanceTracker::Record(double balance) {
+  history_.push_back(balance);
+  lifetime_ += balance;
+  while (history_.size() > static_cast<size_t>(window_)) {
+    history_.pop_front();
+  }
+}
+
+bool BalanceTracker::NegativeStreak() const {
+  if (history_.size() < static_cast<size_t>(window_)) return false;
+  for (double b : history_) {
+    if (b >= 0.0) return false;
+  }
+  return true;
+}
+
+bool BalanceTracker::PositiveStreak() const {
+  if (history_.size() < static_cast<size_t>(window_)) return false;
+  for (double b : history_) {
+    if (b <= 0.0) return false;
+  }
+  return true;
+}
+
+void BalanceTracker::Reset() { history_.clear(); }
+
+}  // namespace skute

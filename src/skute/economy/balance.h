@@ -1,0 +1,66 @@
+#ifndef SKUTE_ECONOMY_BALANCE_H_
+#define SKUTE_ECONOMY_BALANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace skute {
+
+/// Parameters of the per-query utility u(pop, g) (Eq. 5). See DESIGN.md for
+/// the proximity direction note: the default multiplies by proximity (the
+/// prose semantics); the flag switches to the literal "divided by g" text.
+struct UtilityParams {
+  /// Monetary value per served query at proximity 1 (kappa).
+  double value_per_query = 0.01;
+  /// Ablation switch: divide by g instead of multiplying (literal Eq. 5
+  /// text). Off by default.
+  bool divide_by_proximity = false;
+};
+
+/// Utility earned by a vnode that served `queries` at proximity `g`.
+double QueryUtility(uint64_t queries, double proximity,
+                    const UtilityParams& params);
+
+/// \brief Sliding window over a vnode's last `f` balances (Eq. 5 history).
+///
+/// Section II-C triggers migrate-or-suicide after `f` consecutive negative
+/// balances and considers replication after `f` consecutive positive ones.
+/// The window resets whenever the vnode executes an action, so a fresh
+/// placement gets a full observation period before the next move.
+class BalanceTracker {
+ public:
+  explicit BalanceTracker(int window) : window_(window < 1 ? 1 : window) {}
+
+  /// Records the balance of a completed epoch.
+  void Record(double balance);
+
+  /// True when the last `window` records exist and are all strictly
+  /// negative.
+  bool NegativeStreak() const;
+
+  /// True when the last `window` records exist and are all strictly
+  /// positive.
+  bool PositiveStreak() const;
+
+  /// Clears the history (called after replicate/migrate decisions).
+  void Reset();
+
+  /// Most recent balance (0 when empty).
+  double last() const { return history_.empty() ? 0.0 : history_.back(); }
+
+  /// Lifetime net earnings of the vnode (not windowed).
+  double lifetime_net() const { return lifetime_; }
+
+  size_t count() const { return history_.size(); }
+  int window() const { return window_; }
+
+ private:
+  int window_;
+  std::deque<double> history_;
+  double lifetime_ = 0.0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ECONOMY_BALANCE_H_

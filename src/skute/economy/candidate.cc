@@ -1,0 +1,123 @@
+#include "skute/economy/candidate.h"
+
+#include <algorithm>
+
+#include "skute/common/hash.h"
+#include "skute/topology/location.h"
+
+namespace skute {
+
+namespace {
+
+double SurchargeOf(const RentSurcharge* surcharge, ServerId id) {
+  if (surcharge == nullptr) return 0.0;
+  const auto it = surcharge->find(id);
+  return it == surcharge->end() ? 0.0 : it->second;
+}
+
+/// Admission check: online, enough free storage, and the post-placement
+/// utilization stays under the pressure cap.
+bool Admissible(const Server& server, uint64_t bytes_needed,
+                const CandidateParams& params) {
+  if (!server.online()) return false;
+  if (server.available_storage() < bytes_needed) return false;
+  const uint64_t capacity = server.resources().storage_capacity;
+  if (capacity == 0) return false;
+  const double after =
+      static_cast<double>(server.used_storage() + bytes_needed) /
+      static_cast<double>(capacity);
+  return after <= params.max_target_storage_utilization;
+}
+
+}  // namespace
+
+std::vector<ServerId> ReplicaServerSet(const Partition& partition,
+                                       ServerId moving_from) {
+  std::vector<ServerId> out;
+  out.reserve(partition.replica_count());
+  for (const ReplicaInfo& r : partition.replicas()) {
+    if (r.server == moving_from) continue;
+    out.push_back(r.server);
+  }
+  return out;
+}
+
+double ScoreCandidateForSet(const Cluster& cluster,
+                            const std::vector<ServerId>& replica_servers,
+                            const Server& candidate, const ClientMix* mix,
+                            const CandidateParams& params,
+                            const RentSurcharge* surcharge) {
+  double diversity_sum = 0.0;
+  for (ServerId id : replica_servers) {
+    const Server* s = cluster.server(id);
+    if (s == nullptr || !s->online()) continue;
+    diversity_sum += static_cast<double>(
+        DiversityValue(s->location(), candidate.location()));
+  }
+  const double g = mix == nullptr
+                       ? 1.0
+                       : NormalizedProximity(*mix, candidate.location());
+  const double conf = candidate.economics().confidence;
+  const double rent = cluster.board().RentOf(candidate.id()) +
+                      SurchargeOf(surcharge, candidate.id());
+  return params.diversity_weight * g * conf * diversity_sum - rent;
+}
+
+Result<CandidateChoice> SelectTargetForSet(
+    const Cluster& cluster, const std::vector<ServerId>& replica_servers,
+    uint64_t bytes_needed, const ClientMix* mix,
+    const CandidateParams& params, const std::vector<ServerId>& exclude,
+    const RentSurcharge* surcharge, uint64_t tie_break_salt) {
+  CandidateChoice best;
+  bool found = false;
+  double best_rent = 0.0;
+  uint64_t best_salted = 0;
+
+  for (ServerId id = 0; id < cluster.size(); ++id) {
+    const Server* s = cluster.server(id);
+    if (s == nullptr) continue;
+    if (!Admissible(*s, bytes_needed, params)) continue;
+    if (std::find(replica_servers.begin(), replica_servers.end(), id) !=
+        replica_servers.end()) {
+      continue;
+    }
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+
+    const double score = ScoreCandidateForSet(cluster, replica_servers, *s,
+                                              mix, params, surcharge);
+    const double rent =
+        cluster.board().RentOf(id) + SurchargeOf(surcharge, id);
+    // Salted order decorrelates exact ties across partitions (see the
+    // header comment); deterministic for a given salt.
+    const uint64_t salted = Mix64(id ^ tie_break_salt);
+    if (!found || score > best.score ||
+        (score == best.score &&
+         (rent < best_rent ||
+          (rent == best_rent && salted < best_salted)))) {
+      best.server = id;
+      best.score = score;
+      best_rent = rent;
+      best_salted = salted;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no feasible replica target");
+  }
+  return best;
+}
+
+Result<CandidateChoice> SelectReplicaTarget(
+    const Cluster& cluster, const Partition& partition,
+    const ClientMix* mix, const CandidateParams& params,
+    const std::vector<ServerId>& exclude, ServerId moving_from) {
+  return SelectTargetForSet(cluster,
+                            ReplicaServerSet(partition, moving_from),
+                            partition.bytes(), mix, params, exclude,
+                            /*surcharge=*/nullptr,
+                            /*tie_break_salt=*/partition.id());
+}
+
+}  // namespace skute

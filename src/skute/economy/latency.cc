@@ -1,0 +1,50 @@
+#include "skute/economy/latency.h"
+
+#include "skute/topology/location.h"
+
+namespace skute {
+
+double EstimateRttMs(uint8_t diversity) {
+  // The ladder is keyed to the exact diversity values the 6-bit mask can
+  // produce; values in between (query-weighted means) interpolate
+  // linearly between the neighbouring rungs.
+  struct Rung {
+    double diversity;
+    double rtt_ms;
+  };
+  static constexpr Rung kLadder[] = {
+      {0.0, 0.1},  {1.0, 0.3},  {3.0, 0.5},  {7.0, 1.0},
+      {15.0, 12.0}, {31.0, 40.0}, {63.0, 150.0},
+  };
+  const double d = static_cast<double>(diversity > 63 ? 63 : diversity);
+  for (size_t i = 1; i < sizeof(kLadder) / sizeof(kLadder[0]); ++i) {
+    if (d <= kLadder[i].diversity) {
+      const Rung& lo = kLadder[i - 1];
+      const Rung& hi = kLadder[i];
+      const double t = (d - lo.diversity) / (hi.diversity - lo.diversity);
+      return lo.rtt_ms + t * (hi.rtt_ms - lo.rtt_ms);
+    }
+  }
+  return 150.0;
+}
+
+double ExpectedQueryRttMs(const ClientMix* mix, const Location& server) {
+  if (mix == nullptr || mix->empty()) {
+    return EstimateRttMs(
+        static_cast<uint8_t>(kUniformReferenceDiversity));
+  }
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const ClientLoad& l : mix->loads) {
+    total += l.queries;
+    weighted +=
+        l.queries * EstimateRttMs(DiversityValue(l.location, server));
+  }
+  if (total <= 0.0) {
+    return EstimateRttMs(
+        static_cast<uint8_t>(kUniformReferenceDiversity));
+  }
+  return weighted / total;
+}
+
+}  // namespace skute

@@ -1,0 +1,27 @@
+#ifndef SKUTE_ECONOMY_LATENCY_H_
+#define SKUTE_ECONOMY_LATENCY_H_
+
+#include "skute/economy/proximity.h"
+
+namespace skute {
+
+/// \brief Network-latency model over the paper's diversity ladder — the
+/// paper's conclusion defers "latency and communication overhead"
+/// analysis to future work; this is that model.
+///
+/// Maps the geographic-diversity value between a client and the serving
+/// replica to a round-trip estimate: same server ~0.1 ms (loopback),
+/// same rack ~0.3 ms, same room ~0.5 ms, same datacenter ~1 ms, same
+/// country ~12 ms, same continent ~40 ms, inter-continental ~150 ms —
+/// the usual order-of-magnitude ladder of WAN measurements (cf. the
+/// paper's [2]).
+double EstimateRttMs(uint8_t diversity);
+
+/// Expected query RTT from a client mix to one serving replica: the
+/// query-weighted mean of EstimateRttMs over the client locations.
+/// A null/empty mix uses the uniform-clients reference diversity.
+double ExpectedQueryRttMs(const ClientMix* mix, const Location& server);
+
+}  // namespace skute
+
+#endif  // SKUTE_ECONOMY_LATENCY_H_

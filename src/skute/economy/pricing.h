@@ -1,0 +1,36 @@
+#ifndef SKUTE_ECONOMY_PRICING_H_
+#define SKUTE_ECONOMY_PRICING_H_
+
+#include <cstdint>
+
+namespace skute {
+
+/// \brief Cost of keeping one more replica consistent (Section II-C: a
+/// replicating vnode must "compensate for the increased network cost for
+/// data consistency"). Modeled as a per-epoch charge that grows with the
+/// replica count (update fan-out) and with the write traffic:
+///
+///   cost(R, w) = fixed + per_replica * R + per_write_byte * w
+struct ConsistencyCostModel {
+  double fixed_per_epoch = 0.05;
+  double per_replica_per_epoch = 0.05;
+  double per_write_byte = 1e-8;  // ~0.01 per MB of epoch writes
+
+  double Cost(size_t replica_count, uint64_t write_bytes_per_epoch) const {
+    return fixed_per_epoch +
+           per_replica_per_epoch * static_cast<double>(replica_count) +
+           per_write_byte * static_cast<double>(write_bytes_per_epoch);
+  }
+};
+
+/// \brief Pure Eq. 1, exposed for tests and benches (the Board applies the
+/// same formula with `up` derived from server state):
+///   c = up * (1 + alpha * storage_usage + beta * query_load)
+inline double VirtualRent(double up, double storage_usage, double query_load,
+                          double alpha, double beta) {
+  return up * (1.0 + alpha * storage_usage + beta * query_load);
+}
+
+}  // namespace skute
+
+#endif  // SKUTE_ECONOMY_PRICING_H_

@@ -1,0 +1,40 @@
+#include "skute/economy/proximity.h"
+
+namespace skute {
+
+double ClientMix::TotalQueries() const {
+  double total = 0.0;
+  for (const ClientLoad& l : loads) total += l.queries;
+  return total;
+}
+
+double RawEq4Proximity(const ClientMix& mix, const Location& server) {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const ClientLoad& l : mix.loads) {
+    total += l.queries;
+    weighted += l.queries *
+                static_cast<double>(DiversityValue(l.location, server));
+  }
+  return total / (1.0 + weighted);
+}
+
+double MeanClientDiversity(const ClientMix& mix, const Location& server) {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const ClientLoad& l : mix.loads) {
+    total += l.queries;
+    weighted += l.queries *
+                static_cast<double>(DiversityValue(l.location, server));
+  }
+  if (total <= 0.0) return kUniformReferenceDiversity;
+  return weighted / total;
+}
+
+double NormalizedProximity(const ClientMix& mix, const Location& server) {
+  if (mix.empty()) return 1.0;
+  const double mean = MeanClientDiversity(mix, server);
+  return (1.0 + kUniformReferenceDiversity) / (1.0 + mean);
+}
+
+}  // namespace skute

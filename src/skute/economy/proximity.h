@@ -1,0 +1,55 @@
+#ifndef SKUTE_ECONOMY_PROXIMITY_H_
+#define SKUTE_ECONOMY_PROXIMITY_H_
+
+#include <vector>
+
+#include "skute/topology/location.h"
+
+namespace skute {
+
+/// One client population: where queries come from and how many.
+struct ClientLoad {
+  Location location;
+  double queries = 0.0;
+};
+
+/// \brief The geographic distribution G of query clients for a partition
+/// (Section II-B). An empty mix means "no geographic information" and is
+/// treated as perfectly uniform (proximity 1 everywhere), which is the
+/// paper's simulation default.
+struct ClientMix {
+  std::vector<ClientLoad> loads;
+
+  bool empty() const { return loads.empty(); }
+  double TotalQueries() const;
+};
+
+/// \brief Literal Equation 4:
+///   g_j = (sum_l q_l) / (1 + sum_l q_l * diversity(l, s_j)).
+/// Scale-dependent in the raw query counts; exposed for tests and for the
+/// fidelity ablation.
+double RawEq4Proximity(const ClientMix& mix, const Location& server);
+
+/// Query-weighted mean client->server diversity, in [0, 63].
+double MeanClientDiversity(const ClientMix& mix, const Location& server);
+
+/// \brief Normalized proximity g, used as the preference weight g_j of
+/// Eq. 3 and in the utility u(pop, g):
+///
+///   g(j) = (1 + D_ref) / (1 + meanDiversity(mix, s_j))
+///
+/// where D_ref is the expected client->server diversity of a uniform
+/// global mix (=kUniformReferenceDiversity). Under a uniform mix g is ~1
+/// for every server — exactly the paper's simulation assumption ("g_j is 1
+/// for any server j") — and rises toward (1 + D_ref) as the server moves
+/// next to the clients. An empty mix returns exactly 1.
+double NormalizedProximity(const ClientMix& mix, const Location& server);
+
+/// Reference diversity of the uniform-global-clients case. With the
+/// paper's grid most random location pairs land on different continents,
+/// so the reference sits near (but below) 63.
+inline constexpr double kUniformReferenceDiversity = 55.0;
+
+}  // namespace skute
+
+#endif  // SKUTE_ECONOMY_PROXIMITY_H_

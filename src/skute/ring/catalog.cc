@@ -1,0 +1,93 @@
+#include "skute/ring/catalog.h"
+
+namespace skute {
+
+Result<RingId> RingCatalog::CreateRing(AppId app,
+                                       uint32_t initial_partitions) {
+  const RingId id = static_cast<RingId>(rings_.size());
+  auto ring = std::make_unique<VirtualRing>(id, app);
+  const PartitionId first = next_partition_;
+  SKUTE_RETURN_IF_ERROR(ring->InitializePartitions(initial_partitions,
+                                                   first));
+  next_partition_ += initial_partitions;
+  for (const auto& p : ring->partitions()) {
+    partition_ring_[p->id()] = id;
+    partition_index_[p->id()] = p.get();
+  }
+  rings_.push_back(std::move(ring));
+  return id;
+}
+
+VirtualRing* RingCatalog::ring(RingId id) {
+  if (id >= rings_.size()) return nullptr;
+  return rings_[id].get();
+}
+
+const VirtualRing* RingCatalog::ring(RingId id) const {
+  if (id >= rings_.size()) return nullptr;
+  return rings_[id].get();
+}
+
+Partition* RingCatalog::partition(PartitionId id) {
+  const auto it = partition_index_.find(id);
+  return it == partition_index_.end() ? nullptr : it->second;
+}
+
+const Partition* RingCatalog::partition(PartitionId id) const {
+  const auto it = partition_index_.find(id);
+  return it == partition_index_.end() ? nullptr : it->second;
+}
+
+Partition* RingCatalog::FindPartition(RingId ring_id, uint64_t key_hash) {
+  VirtualRing* r = ring(ring_id);
+  if (r == nullptr) return nullptr;
+  return r->FindPartition(key_hash);
+}
+
+Result<Partition*> RingCatalog::SplitPartition(PartitionId id) {
+  Partition* p = partition(id);
+  if (p == nullptr) return Status::NotFound("unknown partition");
+  VirtualRing* r = ring(partition_ring_[id]);
+  const PartitionId new_id = next_partition_++;
+  SKUTE_ASSIGN_OR_RETURN(Partition * sibling, r->Split(p, new_id));
+  partition_ring_[new_id] = r->id();
+  partition_index_[new_id] = sibling;
+  return sibling;
+}
+
+void RingCatalog::ForEachPartition(
+    const std::function<void(Partition*)>& fn) {
+  for (const auto& r : rings_) {
+    for (const auto& p : r->partitions()) fn(p.get());
+  }
+}
+
+void RingCatalog::ForEachPartition(
+    const std::function<void(const Partition*)>& fn) const {
+  for (const auto& r : rings_) {
+    for (const auto& p : r->partitions()) fn(p.get());
+  }
+}
+
+std::vector<Partition*> RingCatalog::PartitionsWithReplicaOn(
+    ServerId server) {
+  std::vector<Partition*> out;
+  ForEachPartition([&](Partition* p) {
+    if (p->HasReplicaOn(server)) out.push_back(p);
+  });
+  return out;
+}
+
+size_t RingCatalog::total_partitions() const {
+  size_t total = 0;
+  for (const auto& r : rings_) total += r->partition_count();
+  return total;
+}
+
+size_t RingCatalog::total_vnodes() const {
+  size_t total = 0;
+  for (const auto& r : rings_) total += r->TotalVNodes();
+  return total;
+}
+
+}  // namespace skute

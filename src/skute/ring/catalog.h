@@ -1,0 +1,70 @@
+#ifndef SKUTE_RING_CATALOG_H_
+#define SKUTE_RING_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "skute/common/result.h"
+#include "skute/ring/ring.h"
+
+namespace skute {
+
+/// \brief The global metadata view: all virtual rings, all partitions,
+/// global id allocation.
+///
+/// In a deployment this state is what the board/gossip layer disseminates;
+/// in this library it is the single source of truth that the store, the
+/// decision engine and the metrics all read.
+class RingCatalog {
+ public:
+  RingCatalog() = default;
+  RingCatalog(const RingCatalog&) = delete;
+  RingCatalog& operator=(const RingCatalog&) = delete;
+
+  /// Creates a ring for `app` with `initial_partitions` equal ranges.
+  Result<RingId> CreateRing(AppId app, uint32_t initial_partitions);
+
+  VirtualRing* ring(RingId id);
+  const VirtualRing* ring(RingId id) const;
+  size_t ring_count() const { return rings_.size(); }
+
+  /// Partition lookup by global id; nullptr when unknown.
+  Partition* partition(PartitionId id);
+  const Partition* partition(PartitionId id) const;
+
+  /// Routes a key hash within a ring.
+  Partition* FindPartition(RingId ring, uint64_t key_hash);
+
+  /// Splits a partition, allocating the sibling's id; returns the sibling.
+  /// The sibling starts with no replicas (see Partition::SplitUpperHalf).
+  Result<Partition*> SplitPartition(PartitionId id);
+
+  /// Allocates a fresh vnode id (replica agents are identified globally).
+  VNodeId AllocateVNodeId() { return next_vnode_++; }
+
+  /// Iterates every partition of every ring.
+  void ForEachPartition(const std::function<void(Partition*)>& fn);
+  void ForEachPartition(
+      const std::function<void(const Partition*)>& fn) const;
+
+  /// All partitions having a replica on `server` (linear scan; the
+  /// simulator calls this only on failures and metrics snapshots).
+  std::vector<Partition*> PartitionsWithReplicaOn(ServerId server);
+
+  size_t total_partitions() const;
+  size_t total_vnodes() const;
+
+ private:
+  std::vector<std::unique_ptr<VirtualRing>> rings_;
+  // Partition id -> owning ring (partitions are owned by their ring).
+  std::unordered_map<PartitionId, RingId> partition_ring_;
+  std::unordered_map<PartitionId, Partition*> partition_index_;
+  PartitionId next_partition_ = 0;
+  VNodeId next_vnode_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_RING_CATALOG_H_

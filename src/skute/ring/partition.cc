@@ -1,0 +1,137 @@
+#include "skute/ring/partition.h"
+
+#include <algorithm>
+
+namespace skute {
+
+Partition::Partition(PartitionId id, RingId ring, const KeyRange& range,
+                     double popularity_weight)
+    : id_(id), ring_(ring), range_(range),
+      popularity_weight_(popularity_weight) {}
+
+void Partition::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(objects_.begin(), objects_.end(),
+            [](const ObjectRecord& a, const ObjectRecord& b) {
+              return a.key_hash < b.key_hash;
+            });
+  sorted_ = true;
+}
+
+int64_t Partition::UpsertObject(uint64_t key_hash, uint32_t size_bytes) {
+  EnsureSorted();
+  const auto it = std::lower_bound(
+      objects_.begin(), objects_.end(), key_hash,
+      [](const ObjectRecord& r, uint64_t h) { return r.key_hash < h; });
+  if (it != objects_.end() && it->key_hash == key_hash) {
+    const int64_t delta =
+        static_cast<int64_t>(size_bytes) - static_cast<int64_t>(it->size_bytes);
+    it->size_bytes = size_bytes;
+    bytes_ = static_cast<uint64_t>(static_cast<int64_t>(bytes_) + delta);
+    return delta;
+  }
+  objects_.insert(it, ObjectRecord{key_hash, size_bytes});
+  bytes_ += size_bytes;
+  return static_cast<int64_t>(size_bytes);
+}
+
+Result<uint32_t> Partition::RemoveObject(uint64_t key_hash) {
+  EnsureSorted();
+  const auto it = std::lower_bound(
+      objects_.begin(), objects_.end(), key_hash,
+      [](const ObjectRecord& r, uint64_t h) { return r.key_hash < h; });
+  if (it == objects_.end() || it->key_hash != key_hash) {
+    return Status::NotFound("object not in partition");
+  }
+  const uint32_t size = it->size_bytes;
+  objects_.erase(it);
+  bytes_ -= size;
+  return size;
+}
+
+Result<uint32_t> Partition::FindObject(uint64_t key_hash) const {
+  EnsureSorted();
+  const auto it = std::lower_bound(
+      objects_.begin(), objects_.end(), key_hash,
+      [](const ObjectRecord& r, uint64_t h) { return r.key_hash < h; });
+  if (it == objects_.end() || it->key_hash != key_hash) {
+    return Status::NotFound("object not in partition");
+  }
+  return it->size_bytes;
+}
+
+bool Partition::HasReplicaOn(ServerId server) const {
+  for (const ReplicaInfo& r : replicas_) {
+    if (r.server == server) return true;
+  }
+  return false;
+}
+
+Result<ReplicaInfo> Partition::ReplicaOn(ServerId server) const {
+  for (const ReplicaInfo& r : replicas_) {
+    if (r.server == server) return r;
+  }
+  return Status::NotFound("no replica on server");
+}
+
+Status Partition::AddReplica(ServerId server, VNodeId vnode, Epoch epoch) {
+  if (HasReplicaOn(server)) {
+    return Status::AlreadyExists("server already hosts a replica");
+  }
+  replicas_.push_back(ReplicaInfo{server, vnode, epoch});
+  return Status::OK();
+}
+
+Status Partition::RemoveReplica(ServerId server) {
+  for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+    if (it->server == server) {
+      replicas_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no replica on server");
+}
+
+Result<Partition> Partition::SplitUpperHalf(PartitionId new_id) {
+  if (range_.Size() == 1) {
+    return Status::FailedPrecondition("range too small to split");
+  }
+  const uint64_t mid = range_.Midpoint();
+  KeyRange upper{mid, range_.end};
+  KeyRange lower{range_.begin, mid};
+
+  Partition sibling(new_id, ring_, upper, 0.0);
+
+  EnsureSorted();
+  std::vector<ObjectRecord> keep;
+  keep.reserve(objects_.size());
+  uint64_t moved_bytes = 0;
+  for (const ObjectRecord& rec : objects_) {
+    if (upper.Contains(rec.key_hash)) {
+      sibling.objects_.push_back(rec);
+      moved_bytes += rec.size_bytes;
+    } else {
+      keep.push_back(rec);
+    }
+  }
+  const size_t total_objects = objects_.size();
+  objects_ = std::move(keep);
+  sibling.sorted_ = true;  // we iterated in sorted order
+  sibling.bytes_ = moved_bytes;
+  bytes_ -= moved_bytes;
+
+  // Divide popularity proportionally to the objects each side keeps
+  // (half/half when the partition was empty).
+  double frac_moved = 0.5;
+  if (total_objects > 0) {
+    frac_moved = static_cast<double>(sibling.objects_.size()) /
+                 static_cast<double>(total_objects);
+  }
+  sibling.popularity_weight_ = popularity_weight_ * frac_moved;
+  popularity_weight_ *= (1.0 - frac_moved);
+
+  range_ = lower;
+  return sibling;
+}
+
+}  // namespace skute

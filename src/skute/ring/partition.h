@@ -1,0 +1,149 @@
+#ifndef SKUTE_RING_PARTITION_H_
+#define SKUTE_RING_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "skute/cluster/server.h"
+#include "skute/common/result.h"
+#include "skute/common/units.h"
+
+namespace skute {
+
+/// Dense id of a virtual ring (one per application x availability level).
+using RingId = uint32_t;
+/// Globally unique partition id, never reused.
+using PartitionId = uint64_t;
+/// Globally unique virtual-node (replica agent) id, never reused.
+using VNodeId = uint64_t;
+
+inline constexpr PartitionId kInvalidPartition = ~0ull;
+inline constexpr VNodeId kInvalidVNode = ~0ull;
+
+/// \brief Half-open arc [begin, end) of the 64-bit hash ring.
+///
+/// begin == end denotes the full ring (the initial single-partition case);
+/// begin > end denotes a wrapping arc.
+struct KeyRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  bool Contains(uint64_t h) const {
+    if (begin == end) return true;  // full ring
+    if (begin < end) return h >= begin && h < end;
+    return h >= begin || h < end;  // wrapping arc
+  }
+
+  /// Arc length; 0 encodes the full 2^64 ring.
+  uint64_t Size() const { return end - begin; }
+
+  /// Point that splits the arc into two equal halves (modular midpoint).
+  uint64_t Midpoint() const {
+    const uint64_t half =
+        Size() == 0 ? (1ull << 63) : Size() / 2;
+    return begin + half;
+  }
+};
+
+/// One record of a partition's object catalog. The actual value bytes, when
+/// present, live in the storage engine (skute/storage); the catalog tracks
+/// sizes for placement and accounting, which is all the simulator needs.
+struct ObjectRecord {
+  uint64_t key_hash;
+  uint32_t size_bytes;
+};
+
+/// One replica of a partition: where it lives and which agent manages it.
+struct ReplicaInfo {
+  ServerId server = kInvalidServer;
+  VNodeId vnode = kInvalidVNode;
+  Epoch created_epoch = 0;
+};
+
+/// \brief A data partition: a key-range of one virtual ring, its object
+/// catalog, and its current replica set.
+///
+/// The Partition is pure metadata/bookkeeping. Placement decisions are made
+/// by the virtual-node agents in skute/core; byte reservations against
+/// servers are made by the store that owns both.
+class Partition {
+ public:
+  Partition(PartitionId id, RingId ring, const KeyRange& range,
+            double popularity_weight);
+
+  PartitionId id() const { return id_; }
+  RingId ring() const { return ring_; }
+  const KeyRange& range() const { return range_; }
+
+  /// Total logical bytes of the partition's objects (each replica holds a
+  /// full copy, so per-server footprint equals this).
+  uint64_t bytes() const { return bytes_; }
+  size_t object_count() const { return objects_.size(); }
+
+  /// Workload popularity weight (set at creation, divided on split).
+  double popularity_weight() const { return popularity_weight_; }
+  void set_popularity_weight(double w) { popularity_weight_ = w; }
+
+  // --- Object catalog -----------------------------------------------------
+
+  /// Inserts or overwrites an object; returns the change in partition bytes
+  /// (negative when an overwrite shrinks the object).
+  int64_t UpsertObject(uint64_t key_hash, uint32_t size_bytes);
+
+  /// Removes an object; returns its size, or NotFound.
+  Result<uint32_t> RemoveObject(uint64_t key_hash);
+
+  /// Size of an object, or NotFound.
+  Result<uint32_t> FindObject(uint64_t key_hash) const;
+
+  // --- Replica set --------------------------------------------------------
+
+  const std::vector<ReplicaInfo>& replicas() const { return replicas_; }
+  size_t replica_count() const { return replicas_.size(); }
+
+  bool HasReplicaOn(ServerId server) const;
+  /// The replica hosted by `server`, or NotFound.
+  Result<ReplicaInfo> ReplicaOn(ServerId server) const;
+
+  /// Registers a replica; fails with AlreadyExists if the server already
+  /// hosts one (a partition never has two replicas on one server).
+  Status AddReplica(ServerId server, VNodeId vnode, Epoch epoch);
+
+  /// Unregisters the replica on `server`; NotFound if absent.
+  Status RemoveReplica(ServerId server);
+
+  // --- Split --------------------------------------------------------------
+
+  /// True once bytes() exceeds the cap (the paper's 256 MB rule).
+  bool NeedsSplit(uint64_t max_partition_bytes) const {
+    return bytes_ > max_partition_bytes;
+  }
+
+  /// Splits off the upper half of the key range into a new partition with
+  /// the given id. Objects move by hash; the popularity weight divides
+  /// proportionally to the object count that each side receives. The new
+  /// partition starts with an empty replica set — the caller mirrors this
+  /// partition's replica placement and creates fresh vnode agents.
+  /// Fails if the range can no longer be halved (size < 2).
+  Result<Partition> SplitUpperHalf(PartitionId new_id);
+
+ private:
+  void EnsureSorted() const;
+
+  PartitionId id_;
+  RingId ring_;
+  KeyRange range_;
+  double popularity_weight_;
+  uint64_t bytes_ = 0;
+
+  // Object catalog, sorted by key_hash on demand (lazy after bulk appends).
+  mutable std::vector<ObjectRecord> objects_;
+  mutable bool sorted_ = true;
+
+  std::vector<ReplicaInfo> replicas_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_RING_PARTITION_H_

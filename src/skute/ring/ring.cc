@@ -1,0 +1,96 @@
+#include "skute/ring/ring.h"
+
+#include <algorithm>
+
+namespace skute {
+
+Status VirtualRing::InitializePartitions(uint32_t count,
+                                         PartitionId first_id) {
+  if (count == 0) {
+    return Status::InvalidArgument("a ring needs at least one partition");
+  }
+  if (!partitions_.empty()) {
+    return Status::FailedPrecondition("ring already initialized");
+  }
+  partitions_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    // Equal-width tokens: token_i = floor(2^64 * i / count).
+    const uint64_t begin = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(i) << 64) / count);
+    const uint64_t end = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(i + 1) << 64) / count);
+    // For i+1 == count the shift yields 2^64 whose low word is 0 — exactly
+    // the wrap-around encoding KeyRange uses.
+    partitions_.push_back(std::make_unique<Partition>(
+        first_id + i, id_, KeyRange{begin, end}, /*popularity_weight=*/0.0));
+  }
+  return Status::OK();
+}
+
+size_t VirtualRing::FindIndex(uint64_t key_hash) const {
+  // Last partition whose begin <= key_hash; wraps to the final partition
+  // when key_hash precedes the first token (only possible if the cover
+  // starts above 0, which InitializePartitions never produces, but Split
+  // keeps this correct for any well-formed cover).
+  const auto it = std::upper_bound(
+      partitions_.begin(), partitions_.end(), key_hash,
+      [](uint64_t h, const std::unique_ptr<Partition>& p) {
+        return h < p->range().begin;
+      });
+  if (it == partitions_.begin()) {
+    return partitions_.size() - 1;
+  }
+  return static_cast<size_t>(it - partitions_.begin()) - 1;
+}
+
+Partition* VirtualRing::FindPartition(uint64_t key_hash) {
+  if (partitions_.empty()) return nullptr;
+  Partition* p = partitions_[FindIndex(key_hash)].get();
+  if (p->range().Contains(key_hash)) return p;
+  // Defensive fallback; unreachable on a well-formed cover.
+  for (const auto& q : partitions_) {
+    if (q->range().Contains(key_hash)) return q.get();
+  }
+  return nullptr;
+}
+
+const Partition* VirtualRing::FindPartition(uint64_t key_hash) const {
+  return const_cast<VirtualRing*>(this)->FindPartition(key_hash);
+}
+
+Result<Partition*> VirtualRing::Split(Partition* partition,
+                                      PartitionId new_id) {
+  if (partition == nullptr || partition->ring() != id_) {
+    return Status::InvalidArgument("partition does not belong to this ring");
+  }
+  SKUTE_ASSIGN_OR_RETURN(Partition sibling,
+                         partition->SplitUpperHalf(new_id));
+  auto owned = std::make_unique<Partition>(std::move(sibling));
+  Partition* result = owned.get();
+  // Insert right after `partition` to keep ring order: the sibling's begin
+  // is the old partition's midpoint.
+  const auto pos = std::find_if(
+      partitions_.begin(), partitions_.end(),
+      [partition](const std::unique_ptr<Partition>& p) {
+        return p.get() == partition;
+      });
+  if (pos == partitions_.end()) {
+    return Status::Internal("partition missing from its own ring");
+  }
+  partitions_.insert(pos + 1, std::move(owned));
+  return result;
+}
+
+size_t VirtualRing::TotalVNodes() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p->replica_count();
+  return total;
+}
+
+uint64_t VirtualRing::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->bytes();
+  return total;
+}
+
+}  // namespace skute

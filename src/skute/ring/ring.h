@@ -1,0 +1,70 @@
+#ifndef SKUTE_RING_RING_H_
+#define SKUTE_RING_RING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "skute/common/result.h"
+#include "skute/ring/partition.h"
+
+namespace skute {
+
+/// Application (tenant) identifier.
+using AppId = uint32_t;
+
+/// \brief One virtual ring: the partitioned 64-bit hash space of a single
+/// (application, availability level) pair — the paper's core structural
+/// idea ("multiple virtual rings on a single cloud").
+///
+/// The ring owns its partitions and routes key hashes to them in
+/// O(log P). Ranges are contiguous, non-overlapping, and cover the whole
+/// ring at all times; splits preserve this invariant.
+class VirtualRing {
+ public:
+  VirtualRing(RingId id, AppId app) : id_(id), app_(app) {}
+
+  VirtualRing(const VirtualRing&) = delete;
+  VirtualRing& operator=(const VirtualRing&) = delete;
+
+  RingId id() const { return id_; }
+  AppId app() const { return app_; }
+
+  /// Creates `count` equal-width partitions with ids from `first_id`
+  /// (consecutive). Must be called once, on an empty ring.
+  Status InitializePartitions(uint32_t count, PartitionId first_id);
+
+  /// Routes a key hash to its partition. Never nullptr on an initialized
+  /// ring.
+  Partition* FindPartition(uint64_t key_hash);
+  const Partition* FindPartition(uint64_t key_hash) const;
+
+  /// Splits `partition` (which must belong to this ring), giving the new
+  /// upper-half sibling the id `new_id`. Returns the sibling.
+  Result<Partition*> Split(Partition* partition, PartitionId new_id);
+
+  /// Partitions in ring order.
+  const std::vector<std::unique_ptr<Partition>>& partitions() const {
+    return partitions_;
+  }
+  size_t partition_count() const { return partitions_.size(); }
+
+  /// Sum of replica counts over all partitions — the "number of virtual
+  /// nodes" series of Fig. 3.
+  size_t TotalVNodes() const;
+
+  /// Sum of logical bytes over all partitions (one copy).
+  uint64_t TotalBytes() const;
+
+ private:
+  size_t FindIndex(uint64_t key_hash) const;
+
+  RingId id_;
+  AppId app_;
+  // Sorted by range().begin; contiguous cover of the hash space.
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_RING_RING_H_

@@ -1,0 +1,59 @@
+#include "skute/sim/config.h"
+
+namespace skute {
+
+SimConfig SimConfig::Paper() {
+  SimConfig config;
+  config.grid = GridSpec::Paper();  // 200 servers over 10 countries
+
+  config.resources.storage_capacity = 16 * kGiB;
+  config.resources.replication_bw_per_epoch = 300 * kMB;
+  config.resources.migration_bw_per_epoch = 100 * kMB;
+  config.resources.query_capacity_per_epoch = 2500;
+
+  config.expensive_fraction = 0.30;
+  config.cheap_monthly_cost = 100.0;
+  config.expensive_monthly_cost = 125.0;
+  config.confidence = 1.0;
+
+  // 500 GB raw across three applications; query fractions 4/7, 2/7, 1/7
+  // (Section III-D).
+  const uint64_t per_app_bytes = 500 * kGB / 3;
+  config.apps = {
+      AppSpec{"app1", 2, 200, per_app_bytes, 4.0 / 7.0},
+      AppSpec{"app2", 3, 200, per_app_bytes, 2.0 / 7.0},
+      AppSpec{"app3", 4, 200, per_app_bytes, 1.0 / 7.0},
+  };
+  config.base_query_rate = 3000.0;
+  config.object_bytes = 500 * kKB;
+  return config;
+}
+
+SimConfig SimConfig::Tiny() {
+  SimConfig config;
+  config.grid.continents = 2;
+  config.grid.countries_per_continent = 2;
+  config.grid.datacenters_per_country = 1;
+  config.grid.rooms_per_datacenter = 1;
+  config.grid.racks_per_room = 2;
+  config.grid.servers_per_rack = 2;  // 16 servers
+
+  config.resources.storage_capacity = 1 * kGiB;
+  config.resources.replication_bw_per_epoch = 300 * kMB;
+  config.resources.migration_bw_per_epoch = 100 * kMB;
+  config.resources.query_capacity_per_epoch = 500;
+
+  config.store.max_partition_bytes = 16 * kMB;
+
+  const uint64_t per_app_bytes = 256 * kMB;
+  config.apps = {
+      AppSpec{"gold", 3, 8, per_app_bytes, 0.6},
+      AppSpec{"bronze", 2, 8, per_app_bytes, 0.4},
+  };
+  config.base_query_rate = 400.0;
+  config.object_bytes = 512 * 1024;
+  config.load_chunk_objects = 256;
+  return config;
+}
+
+}  // namespace skute

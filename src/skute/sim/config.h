@@ -1,0 +1,81 @@
+#ifndef SKUTE_SIM_CONFIG_H_
+#define SKUTE_SIM_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "skute/cluster/server.h"
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+#include "skute/workload/popularity.h"
+
+namespace skute {
+
+/// One application of the simulated cloud.
+struct AppSpec {
+  std::string name = "app";
+  /// SLA expressed as the replica count that satisfies it (Section III-A:
+  /// "one minimum availability level that is satisfied by 2, 3, 4
+  /// replicas respectively").
+  int replicas = 2;
+  uint32_t initial_partitions = 200;
+  /// Raw (un-replicated) bytes preloaded at startup.
+  uint64_t initial_bytes = 0;
+  /// Share of the total query rate (normalized across apps).
+  double query_fraction = 1.0;
+};
+
+/// Which replica-management policy drives the run.
+enum class PlacementKind {
+  kEconomic,         ///< the paper's virtual economy (default)
+  kStaticSuccessor,  ///< Dynamo-style fixed-count baseline
+};
+
+/// \brief Full configuration of a simulation run. `Paper()` reproduces
+/// Section III-A; `Tiny()` is a fast miniature for tests.
+struct SimConfig {
+  GridSpec grid = GridSpec::Paper();
+  ServerResources resources;
+  /// Cost split (Section III-A: $100 for 70% of servers, $125 for the
+  /// rest). Assignment is an exact count, deterministically shuffled.
+  double expensive_fraction = 0.30;
+  double cheap_monthly_cost = 100.0;
+  double expensive_monthly_cost = 125.0;
+  /// All servers share one confidence (Section III-A).
+  double confidence = 1.0;
+  PricingParams pricing;
+  SkuteOptions store;
+  std::vector<AppSpec> apps;
+  ParetoSpec popularity = ParetoSpec::PaperPopularity();
+  double base_query_rate = 3000.0;
+  uint32_t object_bytes = 500 * kKB;
+  /// Interleave an epoch of decisions every this many bulk-loaded objects
+  /// at startup (lets the economy spread data while it arrives); 0 loads
+  /// everything before the first epoch. 4000 x 500 KB = 2 GB per quiet
+  /// epoch keeps the arrival rate within what migration budgets can
+  /// rebalance.
+  uint64_t load_chunk_objects = 4000;
+  uint64_t seed = 42;
+  /// Replica-management policy. With kStaticSuccessor, rings are attached
+  /// with a zero availability threshold (the baseline manages counts, not
+  /// thresholds) and the apps' replica counts become the fixed Dynamo N
+  /// per ring.
+  PlacementKind placement = PlacementKind::kEconomic;
+  /// Rack-aware preference lists for the static baseline.
+  bool baseline_rack_aware = true;
+
+  /// Section III-A: 200 servers over 10 countries, 3 apps at 2/3/4
+  /// replicas, 200 partitions each, 500 GB of data, lambda = 3000,
+  /// query fractions 4/7, 2/7, 1/7.
+  static SimConfig Paper();
+
+  /// 16 servers, 2 apps, a few MB — for unit and integration tests.
+  static SimConfig Tiny();
+
+  /// Total server count of the grid.
+  uint64_t server_count() const { return grid.server_count(); }
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_SIM_CONFIG_H_

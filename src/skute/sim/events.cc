@@ -1,0 +1,59 @@
+#include "skute/sim/events.h"
+
+#include <algorithm>
+
+namespace skute {
+
+SimEvent SimEvent::AddServers(Epoch at, uint32_t count) {
+  SimEvent e;
+  e.at = at;
+  e.kind = Kind::kAddServers;
+  e.count = count;
+  return e;
+}
+
+SimEvent SimEvent::FailRandom(Epoch at, uint32_t count) {
+  SimEvent e;
+  e.at = at;
+  e.kind = Kind::kFailRandomServers;
+  e.count = count;
+  return e;
+}
+
+SimEvent SimEvent::FailScope(Epoch at, const Location& prefix,
+                             GeoLevel level) {
+  SimEvent e;
+  e.at = at;
+  e.kind = Kind::kFailScope;
+  e.prefix = prefix;
+  e.level = level;
+  return e;
+}
+
+SimEvent SimEvent::Recover(Epoch at, std::vector<ServerId> servers) {
+  SimEvent e;
+  e.at = at;
+  e.kind = Kind::kRecoverServers;
+  e.servers = std::move(servers);
+  return e;
+}
+
+void EventSchedule::Add(const SimEvent& event) {
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const SimEvent& a, const SimEvent& b) { return a.at < b.at; });
+  events_.insert(pos, event);
+}
+
+std::vector<SimEvent> EventSchedule::TakeDue(Epoch epoch) {
+  std::vector<SimEvent> due;
+  auto it = events_.begin();
+  while (it != events_.end() && it->at <= epoch) {
+    due.push_back(*it);
+    ++it;
+  }
+  events_.erase(events_.begin(), it);
+  return due;
+}
+
+}  // namespace skute

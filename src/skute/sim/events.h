@@ -1,0 +1,53 @@
+#ifndef SKUTE_SIM_EVENTS_H_
+#define SKUTE_SIM_EVENTS_H_
+
+#include <vector>
+
+#include "skute/cluster/server.h"
+#include "skute/topology/location.h"
+
+namespace skute {
+
+/// \brief A scheduled membership change: the Fig. 3 scenario is one
+/// kAddServers event (epoch 100, 20 servers) and one kFailRandomServers
+/// event (epoch 200, 20 servers).
+struct SimEvent {
+  enum class Kind {
+    kAddServers,         ///< `count` new servers join (new racks)
+    kFailRandomServers,  ///< `count` random online servers fail hard
+    kFailScope,          ///< every server under `prefix`/`level` fails
+    kRecoverServers,     ///< `servers` come back online, empty
+  };
+
+  Epoch at = 0;
+  Kind kind = Kind::kAddServers;
+  uint32_t count = 0;
+  Location prefix{};
+  GeoLevel level = GeoLevel::kServer;
+  std::vector<ServerId> servers;
+
+  static SimEvent AddServers(Epoch at, uint32_t count);
+  static SimEvent FailRandom(Epoch at, uint32_t count);
+  static SimEvent FailScope(Epoch at, const Location& prefix,
+                            GeoLevel level);
+  static SimEvent Recover(Epoch at, std::vector<ServerId> servers);
+};
+
+/// \brief Ordered event queue consumed by the simulation loop.
+class EventSchedule {
+ public:
+  void Add(const SimEvent& event);
+
+  /// Removes and returns every event with `at` <= epoch, in schedule
+  /// order.
+  std::vector<SimEvent> TakeDue(Epoch epoch);
+
+  size_t pending() const { return events_.size(); }
+
+ private:
+  std::vector<SimEvent> events_;  // sorted by `at`
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_SIM_EVENTS_H_

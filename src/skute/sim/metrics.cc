@@ -1,0 +1,153 @@
+#include "skute/sim/metrics.h"
+
+#include <string>
+
+#include "skute/common/csv.h"
+#include "skute/common/stats.h"
+#include "skute/economy/latency.h"
+
+namespace skute {
+
+void MetricsCollector::Snapshot(SkuteStore* store, const Cluster& cluster,
+                                Epoch epoch, uint64_t queries_routed,
+                                uint64_t insert_attempted,
+                                uint64_t insert_failed) {
+  EpochSnapshot snap;
+  snap.epoch = epoch;
+  snap.online_servers = cluster.online_count();
+  snap.storage_utilization = cluster.StorageUtilization();
+  snap.used_storage = cluster.TotalUsedStorage();
+  snap.storage_capacity = cluster.TotalStorageCapacity();
+  snap.insert_attempted = insert_attempted;
+  snap.insert_failed = insert_failed;
+  snap.insert_failures_total = store->insert_failures();
+  snap.queries_routed = queries_routed;
+  snap.queries_dropped = cluster.TotalQueriesDroppedThisEpoch();
+  snap.exec = store->last_epoch_stats();
+  snap.comm = store->comm_this_epoch();
+
+  // Fig. 2: vnodes per server by cost class, online servers only.
+  const std::vector<uint32_t> per_server = store->VNodesPerServer();
+  RunningStat cheap, expensive;
+  std::vector<double> all;
+  for (ServerId id = 0; id < per_server.size(); ++id) {
+    const Server* s = cluster.server(id);
+    if (s == nullptr || !s->online()) continue;
+    const double count = per_server[id];
+    all.push_back(count);
+    if (s->economics().monthly_cost <= cheap_threshold_) {
+      cheap.Add(count);
+    } else {
+      expensive.Add(count);
+    }
+    snap.total_vnodes += per_server[id];
+  }
+  snap.vnodes_mean_cheap = cheap.mean();
+  snap.vnodes_mean_expensive = expensive.mean();
+  snap.vnodes_cv = CoefficientOfVariation(all);
+  RunningStat all_stat;
+  for (double v : all) all_stat.Add(v);
+  snap.vnodes_min = all_stat.min();
+  snap.vnodes_max = all_stat.max();
+
+  // Fig. 3 / Fig. 4: per-ring series.
+  const size_t rings = store->catalog().ring_count();
+  const auto loads = store->QueriesServedPerRingPerServer();
+  for (RingId r = 0; r < rings; ++r) {
+    const RingReport report = store->ReportRing(r);
+    snap.ring_vnodes.push_back(report.vnodes);
+    snap.ring_below_threshold.push_back(report.below_threshold);
+    snap.ring_lost.push_back(report.lost);
+    snap.ring_spend.push_back(report.rent_paid_this_epoch);
+
+    std::vector<double> ring_loads;
+    double latency_weighted = 0.0;
+    double latency_weight = 0.0;
+    const ClientMix* mix = store->client_mix(r);
+    for (ServerId id = 0; id < loads[r].size(); ++id) {
+      const Server* s = cluster.server(id);
+      if (s == nullptr || !s->online()) continue;
+      ring_loads.push_back(static_cast<double>(loads[r][id]));
+      if (loads[r][id] > 0) {
+        const double served = static_cast<double>(loads[r][id]);
+        latency_weighted +=
+            served * ExpectedQueryRttMs(mix, s->location());
+        latency_weight += served;
+      }
+    }
+    RunningStat stat;
+    for (double v : ring_loads) stat.Add(v);
+    snap.ring_load_mean.push_back(stat.mean());
+    snap.ring_load_cv.push_back(CoefficientOfVariation(ring_loads));
+    snap.ring_latency_ms.push_back(
+        latency_weight > 0 ? latency_weighted / latency_weight : 0.0);
+  }
+
+  series_.push_back(std::move(snap));
+}
+
+void MetricsCollector::WriteCsv(std::ostream* out) const {
+  if (series_.empty()) return;
+  CsvWriter csv(out);
+  const size_t rings = series_.front().ring_vnodes.size();
+
+  std::vector<std::string> header = {
+      "epoch",          "online_servers",  "storage_util",
+      "queries",        "dropped",         "insert_attempted",
+      "insert_failed",  "insert_failures_total",
+      "vnodes_total",   "vnodes_cheap_mean",
+      "vnodes_expensive_mean",             "vnodes_cv",
+      "vnodes_min",     "vnodes_max",      "replications",
+      "migrations",     "suicides",        "msgs_total",
+      "transfer_bytes"};
+  for (size_t r = 0; r < rings; ++r) {
+    const std::string p = "ring" + std::to_string(r) + "_";
+    header.push_back(p + "vnodes");
+    header.push_back(p + "load_mean");
+    header.push_back(p + "load_cv");
+    header.push_back(p + "below_sla");
+    header.push_back(p + "lost");
+    header.push_back(p + "spend");
+    header.push_back(p + "latency_ms");
+  }
+  csv.Header(header);
+
+  for (const EpochSnapshot& s : series_) {
+    csv.Field(static_cast<int64_t>(s.epoch))
+        .Field(static_cast<uint64_t>(s.online_servers))
+        .Field(s.storage_utilization)
+        .Field(s.queries_routed)
+        .Field(s.queries_dropped)
+        .Field(s.insert_attempted)
+        .Field(s.insert_failed)
+        .Field(s.insert_failures_total)
+        .Field(static_cast<uint64_t>(s.total_vnodes))
+        .Field(s.vnodes_mean_cheap)
+        .Field(s.vnodes_mean_expensive)
+        .Field(s.vnodes_cv)
+        .Field(s.vnodes_min)
+        .Field(s.vnodes_max)
+        .Field(s.exec.replications)
+        .Field(s.exec.migrations)
+        .Field(s.exec.suicides)
+        .Field(s.comm.TotalMsgs())
+        .Field(s.comm.transfer_bytes);
+    for (size_t r = 0; r < rings; ++r) {
+      if (r < s.ring_vnodes.size()) {
+        csv.Field(static_cast<uint64_t>(s.ring_vnodes[r]))
+            .Field(s.ring_load_mean[r])
+            .Field(s.ring_load_cv[r])
+            .Field(static_cast<uint64_t>(s.ring_below_threshold[r]))
+            .Field(static_cast<uint64_t>(s.ring_lost[r]))
+            .Field(s.ring_spend[r])
+            .Field(s.ring_latency_ms[r]);
+      } else {
+        csv.Field(uint64_t{0}).Field(0.0).Field(0.0).Field(uint64_t{0})
+            .Field(uint64_t{0}).Field(0.0).Field(0.0);
+      }
+    }
+    csv.EndRow();
+  }
+}
+
+}  // namespace skute

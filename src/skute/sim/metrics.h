@@ -1,0 +1,85 @@
+#ifndef SKUTE_SIM_METRICS_H_
+#define SKUTE_SIM_METRICS_H_
+
+#include <ostream>
+#include <vector>
+
+#include "skute/core/store.h"
+
+namespace skute {
+
+/// \brief Everything the paper's figures read from one completed epoch.
+struct EpochSnapshot {
+  Epoch epoch = 0;
+  size_t online_servers = 0;
+
+  // Fig. 5 series.
+  double storage_utilization = 0.0;
+  uint64_t used_storage = 0;
+  uint64_t storage_capacity = 0;
+  uint64_t insert_attempted = 0;
+  uint64_t insert_failed = 0;
+  uint64_t insert_failures_total = 0;
+
+  // Traffic.
+  uint64_t queries_routed = 0;
+  uint64_t queries_dropped = 0;
+
+  // Fig. 2 series: virtual nodes per server, split by server cost class.
+  size_t total_vnodes = 0;
+  double vnodes_mean_cheap = 0.0;
+  double vnodes_mean_expensive = 0.0;
+  double vnodes_cv = 0.0;  // across online servers
+  double vnodes_min = 0.0;
+  double vnodes_max = 0.0;
+
+  // Fig. 3 / Fig. 4 series, indexed by ring.
+  std::vector<size_t> ring_vnodes;
+  std::vector<double> ring_load_mean;  // served queries per online server
+  std::vector<double> ring_load_cv;
+  std::vector<size_t> ring_below_threshold;
+  std::vector<size_t> ring_lost;
+  std::vector<double> ring_spend;
+  /// Load-weighted expected query RTT per ring (the future-work latency
+  /// analysis; see skute/economy/latency.h).
+  std::vector<double> ring_latency_ms;
+
+  // Action/execution counters of the epoch.
+  ExecutorStats exec;
+
+  // Communication overhead of the epoch (future-work analysis).
+  CommStats comm;
+};
+
+/// \brief Collects one EpochSnapshot per epoch and renders the series as
+/// CSV. The bench binaries print this CSV; EXPERIMENTS.md quotes it.
+class MetricsCollector {
+ public:
+  /// `cheap_cost_threshold`: servers with monthly cost <= threshold count
+  /// as "cheap" in the Fig. 2 split.
+  explicit MetricsCollector(double cheap_cost_threshold)
+      : cheap_threshold_(cheap_cost_threshold) {}
+
+  /// Captures the epoch that just ended (call after SkuteStore::EndEpoch).
+  void Snapshot(SkuteStore* store, const Cluster& cluster, Epoch epoch,
+                uint64_t queries_routed, uint64_t insert_attempted,
+                uint64_t insert_failed);
+
+  const std::vector<EpochSnapshot>& series() const { return series_; }
+  const EpochSnapshot& last() const { return series_.back(); }
+  bool empty() const { return series_.empty(); }
+
+  /// Streams the full series as CSV (one row per epoch; per-ring columns
+  /// flattened as ring<i>_*).
+  void WriteCsv(std::ostream* out) const;
+
+  void Clear() { series_.clear(); }
+
+ private:
+  double cheap_threshold_;
+  std::vector<EpochSnapshot> series_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_SIM_METRICS_H_

@@ -1,0 +1,211 @@
+#include "skute/sim/simulation.h"
+
+#include <algorithm>
+
+#include "skute/baseline/static_placement.h"
+#include "skute/common/logging.h"
+
+namespace skute {
+
+Simulation::Simulation(SimConfig config)
+    : config_(std::move(config)),
+      cluster_(config_.pricing),
+      injector_(&cluster_),
+      metrics_((config_.cheap_monthly_cost + config_.expensive_monthly_cost) /
+               2.0),
+      querygen_(config_.seed ^ 0x9e3779b97f4a7c15ull),
+      rng_(config_.seed),
+      schedule_(std::make_unique<ConstantSchedule>(config_.base_query_rate)),
+      next_rack_id_(config_.grid.racks_per_room) {}
+
+ServerEconomics Simulation::SampleEconomics() {
+  ServerEconomics economics;
+  economics.confidence = config_.confidence;
+  economics.monthly_cost = rng_.Bernoulli(config_.expensive_fraction)
+                               ? config_.expensive_monthly_cost
+                               : config_.cheap_monthly_cost;
+  return economics;
+}
+
+Status Simulation::Initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("already initialized");
+  }
+  initialized_ = true;
+
+  SKUTE_ASSIGN_OR_RETURN(std::vector<Location> locations,
+                         BuildGrid(config_.grid));
+
+  // Exact 70/30 cost split (Section III-A), deterministically shuffled.
+  const size_t n = locations.size();
+  const size_t expensive =
+      static_cast<size_t>(config_.expensive_fraction *
+                              static_cast<double>(n) +
+                          0.5);
+  std::vector<uint8_t> is_expensive(n, 0);
+  for (size_t i = 0; i < expensive; ++i) is_expensive[i] = 1;
+  rng_.Shuffle(&is_expensive);
+
+  for (size_t i = 0; i < n; ++i) {
+    ServerEconomics economics;
+    economics.confidence = config_.confidence;
+    economics.monthly_cost = is_expensive[i]
+                                 ? config_.expensive_monthly_cost
+                                 : config_.cheap_monthly_cost;
+    cluster_.AddServer(locations[i], config_.resources, economics);
+  }
+
+  // One store options copy with the simulation's seed (synthetic data
+  // only: real-value tracking off keeps the big runs lean).
+  SkuteOptions store_options = config_.store;
+  store_options.seed = config_.seed ^ 0xc2b2ae3d27d4eb4full;
+  store_options.track_real_data = false;
+  store_ = std::make_unique<SkuteStore>(&cluster_, store_options);
+
+  // Applications, rings, popularity, data.
+  double fraction_total = 0.0;
+  for (const AppSpec& spec : config_.apps) fraction_total +=
+      spec.query_fraction;
+  if (fraction_total <= 0.0) fraction_total = 1.0;
+
+  const bool static_baseline =
+      config_.placement == PlacementKind::kStaticSuccessor;
+  PopularityModel popularity(config_.popularity,
+                             config_.seed ^ 0x165667b19e3779f9ull);
+  Rng load_rng(config_.seed ^ 0x85ebca77c2b2ae63ull);
+  for (const AppSpec& spec : config_.apps) {
+    const AppId app = store_->CreateApplication(spec.name);
+    SlaLevel sla =
+        SlaLevel::ForReplicas(spec.replicas, config_.confidence);
+    if (static_baseline) {
+      // The baseline manages fixed counts; a nonzero threshold would let
+      // the executor veto its retirements.
+      sla.min_availability = 0.0;
+    }
+    SKUTE_ASSIGN_OR_RETURN(
+        RingId ring,
+        store_->AttachRing(app, sla, spec.initial_partitions));
+    rings_.push_back(ring);
+    fractions_.push_back(spec.query_fraction / fraction_total);
+    popularity.AssignWeights(store_->catalog().ring(ring));
+  }
+  if (static_baseline) {
+    SuccessorPolicyOptions options;
+    options.rack_aware = config_.baseline_rack_aware;
+    for (const AppSpec& spec : config_.apps) {
+      options.replicas_per_ring.push_back(spec.replicas);
+    }
+    store_->SetPlacementPolicy(
+        std::make_unique<SuccessorPolicy>(options));
+  }
+
+  // Bulk load, interleaving quiet decision epochs so the economy spreads
+  // the data while it arrives (the paper's startup replication process).
+  for (size_t i = 0; i < config_.apps.size(); ++i) {
+    const AppSpec& spec = config_.apps[i];
+    if (spec.initial_bytes == 0 || config_.object_bytes == 0) continue;
+    uint64_t remaining = spec.initial_bytes / config_.object_bytes;
+    while (remaining > 0) {
+      const uint64_t chunk =
+          config_.load_chunk_objects == 0
+              ? remaining
+              : std::min<uint64_t>(remaining, config_.load_chunk_objects);
+      const BulkLoadResult result = BulkLoadSynthetic(
+          store_.get(), rings_[i], chunk * config_.object_bytes,
+          config_.object_bytes, &load_rng);
+      if (result.failures > 0) {
+        SKUTE_LOG(kWarning) << "bulk load: " << result.failures
+                            << " rejected inserts on ring " << rings_[i];
+      }
+      remaining -= chunk;
+      if (config_.load_chunk_objects != 0) QuietEpoch();
+    }
+  }
+  return Status::OK();
+}
+
+void Simulation::QuietEpoch() {
+  store_->BeginEpoch();
+  store_->EndEpoch();
+}
+
+void Simulation::SetRateSchedule(std::unique_ptr<RateSchedule> schedule) {
+  schedule_ = std::move(schedule);
+}
+
+void Simulation::EnableInserts(const InsertWorkloadOptions& options) {
+  inserts_.emplace(options, config_.seed ^ 0x27d4eb2f165667c5ull);
+}
+
+void Simulation::ScheduleEvent(const SimEvent& event) {
+  events_.Add(event);
+}
+
+void Simulation::ApplyEvent(const SimEvent& event) {
+  switch (event.kind) {
+    case SimEvent::Kind::kAddServers: {
+      const std::vector<Location> locations =
+          ExpansionLocations(config_.grid, event.count, next_rack_id_);
+      for (const Location& loc : locations) {
+        cluster_.AddServer(loc, config_.resources, SampleEconomics());
+      }
+      // Advance past the rack rounds ExpansionLocations consumed.
+      const uint64_t per_round =
+          config_.grid.datacenter_count() * config_.grid.servers_per_rack;
+      next_rack_id_ += static_cast<uint32_t>(
+          (event.count + per_round - 1) / per_round);
+      break;
+    }
+    case SimEvent::Kind::kFailRandomServers: {
+      const std::vector<ServerId> failed =
+          injector_.FailRandomServers(event.count, &rng_);
+      for (ServerId id : failed) {
+        store_->HandleServerFailure(id);
+        failed_servers_.push_back(id);
+      }
+      break;
+    }
+    case SimEvent::Kind::kFailScope: {
+      const std::vector<ServerId> failed =
+          injector_.FailScope(event.prefix, event.level);
+      for (ServerId id : failed) {
+        store_->HandleServerFailure(id);
+        failed_servers_.push_back(id);
+      }
+      break;
+    }
+    case SimEvent::Kind::kRecoverServers: {
+      (void)injector_.RecoverServers(event.servers);
+      break;
+    }
+  }
+}
+
+void Simulation::Step() {
+  for (const SimEvent& event : events_.TakeDue(steps_)) {
+    ApplyEvent(event);
+  }
+
+  store_->BeginEpoch();
+
+  const double rate = schedule_->RateAt(steps_);
+  const uint64_t routed =
+      querygen_.GenerateEpoch(store_.get(), rings_, fractions_, rate);
+
+  InsertGenerator::EpochResult insert_result;
+  if (inserts_.has_value()) {
+    insert_result = inserts_->GenerateEpoch(store_.get(), rings_);
+  }
+
+  store_->EndEpoch();
+
+  metrics_.Snapshot(store_.get(), cluster_, steps_, routed,
+                    insert_result.attempted, insert_result.failed);
+  ++steps_;
+}
+
+void Simulation::Run(int epochs) {
+  for (int i = 0; i < epochs; ++i) Step();
+}
+
+}  // namespace skute

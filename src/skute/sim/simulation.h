@@ -1,0 +1,109 @@
+#ifndef SKUTE_SIM_SIMULATION_H_
+#define SKUTE_SIM_SIMULATION_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/cluster/failure.h"
+#include "skute/common/result.h"
+#include "skute/core/store.h"
+#include "skute/sim/config.h"
+#include "skute/sim/events.h"
+#include "skute/sim/metrics.h"
+#include "skute/workload/insertgen.h"
+#include "skute/workload/querygen.h"
+#include "skute/workload/schedule.h"
+
+namespace skute {
+
+/// \brief The epoch-driven simulation harness reproducing Section III:
+/// wires the cluster, the store, the workload generators, the event
+/// schedule and the metrics collector.
+///
+/// \code
+///   Simulation sim(SimConfig::Paper());
+///   SKUTE_RETURN_IF_ERROR(sim.Initialize());
+///   sim.ScheduleEvent(SimEvent::AddServers(100, 20));   // Fig. 3
+///   sim.ScheduleEvent(SimEvent::FailRandom(200, 20));
+///   sim.Run(300);
+///   sim.metrics().WriteCsv(&std::cout);
+/// \endcode
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config);
+
+  /// Builds the cluster (cost classes assigned as an exact deterministic
+  /// split), attaches one ring per app, assigns Pareto popularity and
+  /// bulk-loads the initial data (interleaving economy epochs every
+  /// `load_chunk_objects`). Call exactly once.
+  Status Initialize();
+
+  /// Replaces the query-rate schedule (default: constant base rate).
+  void SetRateSchedule(std::unique_ptr<RateSchedule> schedule);
+
+  /// Enables the Fig. 5 insert workload from the next Step on.
+  void EnableInserts(const InsertWorkloadOptions& options);
+
+  /// Schedules a membership event. SimEvent::at is a *run epoch*: the
+  /// index of the Step that applies it, counted from the first Step after
+  /// Initialize (the startup's interleaved decision epochs do not count).
+  /// Rate schedules and metrics use the same clock, so "epoch 100" in a
+  /// bench means the same instant in the events, the workload and the
+  /// CSV.
+  void ScheduleEvent(const SimEvent& event);
+
+  /// Runs one epoch: due events, price publication, queries, inserts,
+  /// decisions, metrics.
+  void Step();
+
+  /// Runs `epochs` Steps.
+  void Run(int epochs);
+
+  // Accessors.
+  SkuteStore& store() { return *store_; }
+  Cluster& cluster() { return cluster_; }
+  MetricsCollector& metrics() { return metrics_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+  const std::vector<RingId>& rings() const { return rings_; }
+  const std::vector<double>& fractions() const { return fractions_; }
+  const SimConfig& config() const { return config_; }
+  /// Store epoch (includes the startup's interleaved decision epochs).
+  Epoch epoch() const { return store_->epoch(); }
+  /// Steps executed since Initialize — the clock of events, schedules
+  /// and metric rows.
+  Epoch run_epoch() const { return steps_; }
+
+  /// Servers failed so far via events (for recovery scenarios).
+  const std::vector<ServerId>& failed_servers() const {
+    return failed_servers_;
+  }
+
+ private:
+  void ApplyEvent(const SimEvent& event);
+  ServerEconomics SampleEconomics();
+  /// One decision epoch with no external traffic (startup interleave).
+  void QuietEpoch();
+
+  SimConfig config_;
+  Cluster cluster_;
+  std::unique_ptr<SkuteStore> store_;
+  FailureInjector injector_;
+  EventSchedule events_;
+  MetricsCollector metrics_;
+  QueryGenerator querygen_;
+  Rng rng_;
+  std::unique_ptr<RateSchedule> schedule_;
+  std::optional<InsertGenerator> inserts_;
+  std::vector<RingId> rings_;
+  std::vector<double> fractions_;
+  std::vector<ServerId> failed_servers_;
+  uint32_t next_rack_id_ = 0;
+  Epoch steps_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_SIM_SIMULATION_H_

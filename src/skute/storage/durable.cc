@@ -1,0 +1,43 @@
+#include "skute/storage/durable.h"
+
+namespace skute {
+
+Status DurableKvStore::Put(std::string_view key, std::string_view value) {
+  wal_.Append(WalOp::kPut, key, value);
+  return table_.Put(key, value);
+}
+
+Status DurableKvStore::Delete(std::string_view key) {
+  wal_.Append(WalOp::kDelete, key, {});
+  // Deleting a missing key is still logged (the log must replay to the
+  // same state regardless of intermediate reads), but the memtable error
+  // is not surfaced as a failure.
+  const Status st = table_.Delete(key);
+  if (st.IsNotFound()) return Status::OK();
+  return st;
+}
+
+Result<size_t> DurableKvStore::Recover(std::string_view log_bytes) {
+  WalReader reader(log_bytes);
+  size_t applied = 0;
+  for (;;) {
+    auto record = reader.Next();
+    if (!record.ok()) {
+      if (record.status().IsNotFound()) break;  // clean end
+      // Corrupt tail: everything before it is recovered.
+      break;
+    }
+    switch (record->op) {
+      case WalOp::kPut:
+        SKUTE_RETURN_IF_ERROR(table_.Put(record->key, record->value));
+        break;
+      case WalOp::kDelete:
+        (void)table_.Delete(record->key);
+        break;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace skute

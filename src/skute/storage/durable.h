@@ -1,0 +1,53 @@
+#ifndef SKUTE_STORAGE_DURABLE_H_
+#define SKUTE_STORAGE_DURABLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "skute/storage/kvstore.h"
+#include "skute/storage/wal.h"
+
+namespace skute {
+
+/// \brief KvStore with a write-ahead log: every mutation is appended to
+/// the WAL before it touches the memtable, and a crashed replica can be
+/// rebuilt by replaying the log (the standard log-then-apply contract;
+/// this is what a deployment would persist, and what replication ships
+/// when the paper's consistency traffic is made concrete).
+class DurableKvStore {
+ public:
+  explicit DurableKvStore(uint64_t seed = 0) : table_(seed) {}
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  Result<std::string> Get(std::string_view key) const {
+    return table_.Get(key);
+  }
+  bool Contains(std::string_view key) const { return table_.Contains(key); }
+  size_t Count() const { return table_.Count(); }
+  uint64_t ApproximateBytes() const { return table_.ApproximateBytes(); }
+
+  /// The serialized log since the last Checkpoint (ship it, fsync it...).
+  const std::string& log() const { return wal_.data(); }
+  uint64_t last_sequence() const { return wal_.last_sequence(); }
+
+  /// Replays a serialized log over the current state, in log order.
+  /// Returns the number of records applied; stops at (and tolerates) a
+  /// corrupt tail — the crash-recovery contract.
+  Result<size_t> Recover(std::string_view log_bytes);
+
+  /// Drops the log (after the memtable has been persisted elsewhere).
+  void Checkpoint() { wal_.Clear(); }
+
+  /// Read access to the underlying table (scans etc.).
+  const KvStore& table() const { return table_; }
+
+ private:
+  KvStore table_;
+  WalWriter wal_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_STORAGE_DURABLE_H_

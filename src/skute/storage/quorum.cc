@@ -1,0 +1,129 @@
+#include "skute/storage/quorum.h"
+
+#include <algorithm>
+
+namespace skute {
+
+QuorumGroup::QuorumGroup(size_t replicas, size_t write_quorum,
+                         size_t read_quorum, uint32_t writer_id)
+    : write_quorum_(std::clamp<size_t>(write_quorum, 1, replicas)),
+      read_quorum_(std::clamp<size_t>(read_quorum, 1, replicas)),
+      writer_id_(writer_id) {
+  replicas_.reserve(replicas);
+  for (size_t i = 0; i < replicas; ++i) {
+    replicas_.emplace_back(/*seed=*/i + 1);
+  }
+}
+
+void QuorumGroup::SetReplicaUp(size_t index, bool up) {
+  if (index < replicas_.size()) replicas_[index].up = up;
+}
+
+size_t QuorumGroup::live_count() const {
+  size_t n = 0;
+  for (const Replica& r : replicas_) {
+    if (r.up) ++n;
+  }
+  return n;
+}
+
+std::vector<size_t> QuorumGroup::LiveReplicas(size_t limit) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < replicas_.size() && out.size() < limit; ++i) {
+    if (replicas_[i].up) out.push_back(i);
+  }
+  return out;
+}
+
+Status QuorumGroup::WriteVersioned(std::string_view key,
+                                   std::string_view value,
+                                   bool tombstone) {
+  const std::vector<size_t> targets = LiveReplicas(write_quorum_);
+  if (targets.size() < write_quorum_) {
+    return Status::Unavailable("write quorum not reachable");
+  }
+  VersionedValue cell;
+  cell.value = std::string(value);
+  cell.version = Version{++clock_, writer_id_};
+  cell.tombstone = tombstone;
+  for (size_t index : targets) {
+    replicas_[index].data.Insert(std::string(key), cell);
+  }
+  return Status::OK();
+}
+
+Status QuorumGroup::Put(std::string_view key, std::string_view value) {
+  return WriteVersioned(key, value, /*tombstone=*/false);
+}
+
+Status QuorumGroup::Delete(std::string_view key) {
+  return WriteVersioned(key, {}, /*tombstone=*/true);
+}
+
+Result<std::string> QuorumGroup::Get(std::string_view key) {
+  const std::vector<size_t> consulted = LiveReplicas(read_quorum_);
+  if (consulted.size() < read_quorum_) {
+    return Status::Unavailable("read quorum not reachable");
+  }
+  const std::string k(key);
+  const VersionedValue* newest = nullptr;
+  for (size_t index : consulted) {
+    const VersionedValue* cell = replicas_[index].data.Find(k);
+    if (cell == nullptr) continue;
+    if (newest == nullptr || cell->version.NewerThan(newest->version)) {
+      newest = cell;
+    }
+  }
+  if (newest == nullptr) return Status::NotFound("key not found");
+
+  // Lamport clock absorbs the observed version so later writes through
+  // this group order after everything this read saw.
+  clock_ = std::max(clock_, newest->version.timestamp);
+
+  // Read repair: consulted replicas that miss the winning version get
+  // it now. Copy the winner first — repairs mutate the skiplists that
+  // `newest` points into.
+  const VersionedValue winner = *newest;
+  for (size_t index : consulted) {
+    const VersionedValue* cell = replicas_[index].data.Find(k);
+    if (cell == nullptr || winner.version.NewerThan(cell->version)) {
+      replicas_[index].data.Insert(k, winner);
+      ++read_repairs_;
+    }
+  }
+  if (winner.tombstone) return Status::NotFound("key deleted");
+  return winner.value;
+}
+
+bool QuorumGroup::IsConsistent(std::string_view key) const {
+  const std::string k(key);
+  const VersionedValue* reference = nullptr;
+  bool first = true;
+  for (const Replica& r : replicas_) {
+    if (!r.up) continue;
+    const VersionedValue* cell = r.data.Find(k);
+    if (first) {
+      reference = cell;
+      first = false;
+      continue;
+    }
+    if ((cell == nullptr) != (reference == nullptr)) return false;
+    if (cell != nullptr && !(cell->version == reference->version)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<VersionedValue> QuorumGroup::InspectReplica(
+    size_t index, std::string_view key) const {
+  if (index >= replicas_.size()) {
+    return Status::OutOfRange("no such replica");
+  }
+  const VersionedValue* cell =
+      replicas_[index].data.Find(std::string(key));
+  if (cell == nullptr) return Status::NotFound("replica misses the key");
+  return *cell;
+}
+
+}  // namespace skute

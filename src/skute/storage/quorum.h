@@ -1,0 +1,110 @@
+#ifndef SKUTE_STORAGE_QUORUM_H_
+#define SKUTE_STORAGE_QUORUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skute/common/result.h"
+#include "skute/storage/skiplist.h"
+
+namespace skute {
+
+/// Logical version of a write: Lamport timestamp with the writer id as a
+/// deterministic tie-break (last-writer-wins register semantics).
+struct Version {
+  uint64_t timestamp = 0;
+  uint32_t writer = 0;
+
+  bool NewerThan(const Version& other) const {
+    if (timestamp != other.timestamp) return timestamp > other.timestamp;
+    return writer > other.writer;
+  }
+  friend bool operator==(const Version&, const Version&) = default;
+};
+
+/// A versioned register cell; deletes are tombstones so that replicas
+/// can converge on "deleted" the same way they converge on any value.
+struct VersionedValue {
+  std::string value;
+  Version version;
+  bool tombstone = false;
+};
+
+/// \brief Quorum-replicated register group over N replica stores — the
+/// consistency substrate the paper's "network cost for data
+/// consistency" pays for, made concrete (Dynamo-style R/W quorums with
+/// read repair, simplified to last-writer-wins).
+///
+/// Semantics:
+///  - Put/Delete stamp a Lamport version and must reach `write_quorum`
+///    live replicas (kUnavailable otherwise);
+///  - Get consults `read_quorum` live replicas, returns the newest
+///    version, and repairs staler consulted replicas in the background
+///    of the call;
+///  - with R + W > N, a Get that follows a successful Put observes it
+///    (covered by property tests).
+///
+/// Single-threaded by design, like every engine in this library.
+class QuorumGroup {
+ public:
+  /// N replicas with the given quorums; requires 1 <= W,R <= N.
+  QuorumGroup(size_t replicas, size_t write_quorum, size_t read_quorum,
+              uint32_t writer_id = 0);
+
+  size_t replica_count() const { return replicas_.size(); }
+  size_t write_quorum() const { return write_quorum_; }
+  size_t read_quorum() const { return read_quorum_; }
+
+  /// Simulated failure control: a down replica accepts no reads/writes
+  /// and silently misses updates until it comes back (stale).
+  void SetReplicaUp(size_t index, bool up);
+  bool replica_up(size_t index) const { return replicas_[index].up; }
+  size_t live_count() const;
+
+  /// Writes through a write quorum; kUnavailable when fewer than W
+  /// replicas are live.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Tombstone-write through a write quorum.
+  Status Delete(std::string_view key);
+
+  /// Reads through a read quorum (newest version wins; consulted stale
+  /// replicas are repaired). NotFound for unknown or deleted keys.
+  Result<std::string> Get(std::string_view key);
+
+  /// True when every *live* replica holds the same version of `key`
+  /// (or none holds it).
+  bool IsConsistent(std::string_view key) const;
+
+  /// Direct replica inspection for tests: version held by replica
+  /// `index`, or NotFound.
+  Result<VersionedValue> InspectReplica(size_t index,
+                                        std::string_view key) const;
+
+  /// Writes applied to replicas by read repair (diagnostics).
+  uint64_t read_repairs() const { return read_repairs_; }
+
+ private:
+  struct Replica {
+    bool up = true;
+    SkipList<std::string, VersionedValue> data;
+    explicit Replica(uint64_t seed) : data(seed) {}
+  };
+
+  Status WriteVersioned(std::string_view key, std::string_view value,
+                        bool tombstone);
+  std::vector<size_t> LiveReplicas(size_t limit) const;
+
+  std::vector<Replica> replicas_;
+  size_t write_quorum_;
+  size_t read_quorum_;
+  uint32_t writer_id_;
+  uint64_t clock_ = 0;
+  uint64_t read_repairs_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_STORAGE_QUORUM_H_

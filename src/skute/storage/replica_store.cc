@@ -1,0 +1,56 @@
+#include "skute/storage/replica_store.h"
+
+namespace skute {
+
+KvStore* ReplicaStore::OpenOrCreate(uint64_t partition_id) {
+  auto it = stores_.find(partition_id);
+  if (it == stores_.end()) {
+    it = stores_.emplace(partition_id, KvStore(partition_id)).first;
+  }
+  return &it->second;
+}
+
+KvStore* ReplicaStore::Find(uint64_t partition_id) {
+  auto it = stores_.find(partition_id);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+const KvStore* ReplicaStore::Find(uint64_t partition_id) const {
+  auto it = stores_.find(partition_id);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+Status ReplicaStore::Drop(uint64_t partition_id) {
+  if (stores_.erase(partition_id) == 0) {
+    return Status::NotFound("partition not hosted here");
+  }
+  return Status::OK();
+}
+
+Status ReplicaStore::CopyFrom(const ReplicaStore& src,
+                              uint64_t partition_id) {
+  const KvStore* from = src.Find(partition_id);
+  if (from == nullptr) {
+    return Status::NotFound("source does not host the partition");
+  }
+  OpenOrCreate(partition_id)->CopyFrom(*from);
+  return Status::OK();
+}
+
+uint64_t ReplicaStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, store] : stores_) total += store.ApproximateBytes();
+  return total;
+}
+
+Status ReplicaStore::MoveFrom(ReplicaStore* src, uint64_t partition_id) {
+  auto it = src->stores_.find(partition_id);
+  if (it == src->stores_.end()) {
+    return Status::NotFound("source does not host the partition");
+  }
+  stores_[partition_id] = std::move(it->second);
+  src->stores_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace skute

@@ -1,0 +1,54 @@
+#ifndef SKUTE_STORAGE_REPLICA_STORE_H_
+#define SKUTE_STORAGE_REPLICA_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "skute/common/result.h"
+#include "skute/storage/kvstore.h"
+
+namespace skute {
+
+/// \brief All real-data partition replicas hosted by one server: a map of
+/// partition id -> KvStore.
+///
+/// Partition ids are globally unique (allocated by the RingCatalog), so no
+/// ring qualifier is needed. Transfer operations mirror what the network
+/// layer of a deployment would do: Copy for replication, Move for
+/// migration, Drop for suicide/failure.
+class ReplicaStore {
+ public:
+  ReplicaStore() = default;
+  ReplicaStore(const ReplicaStore&) = delete;
+  ReplicaStore& operator=(const ReplicaStore&) = delete;
+  ReplicaStore(ReplicaStore&&) noexcept = default;
+  ReplicaStore& operator=(ReplicaStore&&) noexcept = default;
+
+  /// The store for a partition, created on first use.
+  KvStore* OpenOrCreate(uint64_t partition_id);
+
+  /// The store for a partition, or nullptr when this server hosts none.
+  KvStore* Find(uint64_t partition_id);
+  const KvStore* Find(uint64_t partition_id) const;
+
+  /// Drops a partition's data; NotFound when not hosted.
+  Status Drop(uint64_t partition_id);
+
+  /// Replication: copies `partition_id` from `src` into this store.
+  Status CopyFrom(const ReplicaStore& src, uint64_t partition_id);
+
+  /// Migration: moves `partition_id` from `src` into this store.
+  Status MoveFrom(ReplicaStore* src, uint64_t partition_id);
+
+  size_t partition_count() const { return stores_.size(); }
+  uint64_t TotalBytes() const;
+
+  void Clear() { stores_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, KvStore> stores_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_STORAGE_REPLICA_STORE_H_

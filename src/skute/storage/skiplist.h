@@ -1,0 +1,218 @@
+#ifndef SKUTE_STORAGE_SKIPLIST_H_
+#define SKUTE_STORAGE_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "skute/common/random.h"
+
+namespace skute {
+
+/// \brief Ordered map on a skiplist (memtable-style, as in LevelDB/RocksDB,
+/// implemented from scratch).
+///
+/// Single-writer structure: the per-replica KvStore in this library is
+/// always accessed from one simulation/driver thread. Deterministic: tower
+/// heights come from an internally seeded xoshiro stream, so iteration
+/// behaviour is reproducible run to run.
+///
+/// Upsert semantics: Insert overwrites the value of an existing key.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class SkipList {
+ private:
+  struct Node;  // defined below; Iterator needs the name early
+
+ public:
+  explicit SkipList(uint64_t seed = 0x5eedull, Compare cmp = Compare())
+      : cmp_(std::move(cmp)), rng_(seed) {
+    head_ = NewNode(Key(), Value(), kMaxHeight);
+    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+  }
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  SkipList(SkipList&& other) noexcept { MoveFrom(std::move(other)); }
+  SkipList& operator=(SkipList&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      delete head_;
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  /// Inserts or overwrites; returns true when a new key was created.
+  bool Insert(const Key& key, Value value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && Equal(node->key, key)) {
+      node->value = std::move(value);
+      return false;
+    }
+    const int height = RandomHeight();
+    if (height > height_) {
+      for (int i = height_; i < height; ++i) prev[i] = head_;
+      height_ = height;
+    }
+    Node* fresh = NewNode(key, std::move(value), height);
+    for (int i = 0; i < height; ++i) {
+      fresh->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = fresh;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  const Value* Find(const Key& key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && Equal(node->key, key)) return &node->value;
+    return nullptr;
+  }
+  Value* Find(const Key& key) {
+    return const_cast<Value*>(
+        static_cast<const SkipList*>(this)->Find(key));
+  }
+
+  /// Removes `key`; returns true when it existed.
+  bool Erase(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node == nullptr || !Equal(node->key, key)) return false;
+    for (int i = 0; i < height_; ++i) {
+      if (prev[i]->next[i] == node) prev[i]->next[i] = node->next[i];
+    }
+    delete node;
+    --size_;
+    while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+    height_ = 1;
+    size_ = 0;
+  }
+
+  /// \brief Forward iterator over (key, value) in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const Node* node) : node_(node) {}
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    const Value& value() const {
+      assert(Valid());
+      return node_->value;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+
+   private:
+    const Node* node_;
+  };
+
+  /// Iterator at the first element (or invalid when empty).
+  Iterator Begin() const { return Iterator(head_->next[0]); }
+
+  /// Iterator at the first element with key >= `key`.
+  Iterator Seek(const Key& key) const {
+    return Iterator(FindGreaterOrEqual(key, nullptr));
+  }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr uint32_t kBranchingInverse = 4;  // P(level up) = 1/4
+
+  struct Node {
+    Key key;
+    Value value;
+    // Over-allocated flexible tower; next[i] for i < height.
+    std::vector<Node*> next;
+    Node(Key k, Value v, int height)
+        : key(std::move(k)), value(std::move(v)), next(height, nullptr) {}
+  };
+
+  Node* NewNode(Key key, Value value, int height) {
+    return new Node(std::move(key), std::move(value), height);
+  }
+
+  bool Equal(const Key& a, const Key& b) const {
+    return !cmp_(a, b) && !cmp_(b, a);
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight &&
+           rng_.UniformInt(0, kBranchingInverse - 1) == 0) {
+      ++h;
+    }
+    return h;
+  }
+
+  /// First node with key >= `key` (nullptr if none); fills `prev[0..h)` with
+  /// the rightmost node before the result at each level when non-null.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = height_ - 1;
+    for (;;) {
+      Node* next = x->next[level];
+      if (next != nullptr && cmp_(next->key, key)) {
+        x = next;
+        continue;
+      }
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+
+  void MoveFrom(SkipList&& other) {
+    cmp_ = other.cmp_;
+    rng_ = other.rng_;
+    head_ = other.head_;
+    height_ = other.height_;
+    size_ = other.size_;
+    other.head_ = other.NewNode(Key(), Value(), kMaxHeight);
+    for (int i = 0; i < kMaxHeight; ++i) other.head_->next[i] = nullptr;
+    other.height_ = 1;
+    other.size_ = 0;
+  }
+
+  Compare cmp_{};
+  Rng rng_{0x5eedull};
+  Node* head_ = nullptr;
+  int height_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_STORAGE_SKIPLIST_H_

@@ -1,0 +1,128 @@
+#include "skute/storage/wal.h"
+
+#include <cstring>
+
+#include "skute/common/crc32.h"
+
+namespace skute {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+bool GetU32(std::string_view data, size_t* offset, uint32_t* v) {
+  if (data.size() - *offset < sizeof(*v)) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+bool GetU64(std::string_view data, size_t* offset, uint64_t* v) {
+  if (data.size() - *offset < sizeof(*v)) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+uint64_t WalWriter::Append(WalOp op, std::string_view key,
+                           std::string_view value) {
+  ++sequence_;
+  std::string payload;
+  payload.reserve(1 + 8 + 4 + key.size() + 4 + value.size());
+  payload.push_back(static_cast<char>(op));
+  PutU64(&payload, sequence_);
+  PutU32(&payload, static_cast<uint32_t>(key.size()));
+  payload.append(key);
+  PutU32(&payload, static_cast<uint32_t>(value.size()));
+  payload.append(value);
+
+  PutU32(&buffer_, MaskCrc(Crc32c(payload)));
+  PutU32(&buffer_, static_cast<uint32_t>(payload.size()));
+  buffer_.append(payload);
+  ++records_;
+  return sequence_;
+}
+
+void WalWriter::Clear() {
+  buffer_.clear();
+  sequence_ = 0;
+  records_ = 0;
+}
+
+Result<WalRecord> WalReader::Next() {
+  if (offset_ == data_.size()) {
+    return Status::NotFound("end of log");
+  }
+  size_t cursor = offset_;
+  uint32_t masked_crc = 0;
+  uint32_t payload_len = 0;
+  if (!GetU32(data_, &cursor, &masked_crc) ||
+      !GetU32(data_, &cursor, &payload_len)) {
+    return Status::Internal("corrupt record: truncated header");
+  }
+  if (data_.size() - cursor < payload_len) {
+    return Status::Internal("corrupt record: truncated payload");
+  }
+  const std::string_view payload = data_.substr(cursor, payload_len);
+  if (Crc32c(payload) != UnmaskCrc(masked_crc)) {
+    return Status::Internal("corrupt record: checksum mismatch");
+  }
+  cursor += payload_len;
+
+  // Decode the verified payload.
+  size_t p = 0;
+  WalRecord record;
+  if (payload.empty()) {
+    return Status::Internal("corrupt record: empty payload");
+  }
+  const uint8_t op = static_cast<uint8_t>(payload[p++]);
+  if (op != static_cast<uint8_t>(WalOp::kPut) &&
+      op != static_cast<uint8_t>(WalOp::kDelete)) {
+    return Status::Internal("corrupt record: unknown op");
+  }
+  record.op = static_cast<WalOp>(op);
+  uint32_t len = 0;
+  if (!GetU64(payload, &p, &record.sequence) ||
+      !GetU32(payload, &p, &len) || payload.size() - p < len) {
+    return Status::Internal("corrupt record: bad key frame");
+  }
+  record.key.assign(payload.substr(p, len));
+  p += len;
+  if (!GetU32(payload, &p, &len) || payload.size() - p != len) {
+    return Status::Internal("corrupt record: bad value frame");
+  }
+  record.value.assign(payload.substr(p, len));
+
+  offset_ = cursor;
+  return record;
+}
+
+std::vector<WalRecord> WalReader::ReadAll(bool* corrupt_tail) {
+  std::vector<WalRecord> records;
+  if (corrupt_tail != nullptr) *corrupt_tail = false;
+  for (;;) {
+    auto record = Next();
+    if (!record.ok()) {
+      if (corrupt_tail != nullptr) {
+        *corrupt_tail = record.status().IsInternal();
+      }
+      break;
+    }
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+}  // namespace skute

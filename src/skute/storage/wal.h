@@ -1,0 +1,79 @@
+#ifndef SKUTE_STORAGE_WAL_H_
+#define SKUTE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skute/common/result.h"
+
+namespace skute {
+
+/// Operations a WAL record can carry.
+enum class WalOp : uint8_t { kPut = 1, kDelete = 2 };
+
+/// One decoded log record.
+struct WalRecord {
+  WalOp op = WalOp::kPut;
+  uint64_t sequence = 0;
+  std::string key;
+  std::string value;  // empty for kDelete
+};
+
+/// \brief Write-ahead log encoder: length-prefixed, CRC-32C-guarded
+/// records appended to a byte buffer.
+///
+/// Record layout (little-endian):
+///   u32 masked_crc  — CRC-32C of everything after this field
+///   u32 payload_len — bytes after this field
+///   u8  op
+///   u64 sequence
+///   u32 key_len, key bytes
+///   u32 value_len, value bytes
+///
+/// The writer owns an in-memory buffer; persistence is the caller's
+/// choice (write `data()` wherever bytes survive — the library itself
+/// stays filesystem-agnostic and the tests exercise a file round-trip).
+class WalWriter {
+ public:
+  /// Appends a record; returns its sequence number (monotonic from 1).
+  uint64_t Append(WalOp op, std::string_view key, std::string_view value);
+
+  const std::string& data() const { return buffer_; }
+  uint64_t last_sequence() const { return sequence_; }
+  size_t record_count() const { return records_; }
+
+  void Clear();
+
+ private:
+  std::string buffer_;
+  uint64_t sequence_ = 0;
+  size_t records_ = 0;
+};
+
+/// \brief WAL decoder/replayer. Stops cleanly at the first corrupt or
+/// truncated record (everything before it is recovered — the standard
+/// crash-recovery contract).
+class WalReader {
+ public:
+  explicit WalReader(std::string_view data) : data_(data) {}
+
+  /// Decodes the next record. Returns NotFound at clean end-of-log and
+  /// kInternal ("corrupt record ...") on checksum/framing damage.
+  Result<WalRecord> Next();
+
+  /// Decodes everything decodable; `corrupt_tail` (optional) reports
+  /// whether decoding stopped early because of damage.
+  std::vector<WalRecord> ReadAll(bool* corrupt_tail = nullptr);
+
+  size_t offset() const { return offset_; }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_STORAGE_WAL_H_

@@ -1,0 +1,106 @@
+#include "skute/topology/location.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skute {
+
+std::string_view GeoLevelName(GeoLevel level) {
+  switch (level) {
+    case GeoLevel::kContinent:
+      return "continent";
+    case GeoLevel::kCountry:
+      return "country";
+    case GeoLevel::kDatacenter:
+      return "datacenter";
+    case GeoLevel::kRoom:
+      return "room";
+    case GeoLevel::kRack:
+      return "rack";
+    case GeoLevel::kServer:
+      return "server";
+  }
+  return "?";
+}
+
+Location Location::Of(uint32_t continent, uint32_t country,
+                      uint32_t datacenter, uint32_t room, uint32_t rack,
+                      uint32_t server) {
+  Location loc;
+  loc.ids = {continent, country, datacenter, room, rack, server};
+  return loc;
+}
+
+Location Location::TruncatedTo(GeoLevel level) const {
+  Location out = *this;
+  for (int i = static_cast<int>(level) + 1; i < kLevels; ++i) {
+    out.ids[i] = 0;
+  }
+  return out;
+}
+
+std::string Location::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "c%u/n%u/d%u/r%u/k%u/s%u", ids[0], ids[1],
+                ids[2], ids[3], ids[4], ids[5]);
+  return std::string(buf);
+}
+
+Result<Location> Location::Parse(std::string_view text) {
+  static constexpr char kTags[Location::kLevels] = {'c', 'n', 'd',
+                                                    'r', 'k', 's'};
+  Location loc;
+  size_t pos = 0;
+  for (int level = 0; level < kLevels; ++level) {
+    if (pos >= text.size() || text[pos] != kTags[level]) {
+      return Status::InvalidArgument("bad location: expected tag '" +
+                                     std::string(1, kTags[level]) + "' in '" +
+                                     std::string(text) + "'");
+    }
+    ++pos;
+    size_t digits = 0;
+    uint64_t value = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(text[pos] - '0');
+      if (value > UINT32_MAX) {
+        return Status::InvalidArgument("location id overflow");
+      }
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) {
+      return Status::InvalidArgument("bad location: missing id after tag");
+    }
+    loc.ids[level] = static_cast<uint32_t>(value);
+    if (level + 1 < kLevels) {
+      if (pos >= text.size() || text[pos] != '/') {
+        return Status::InvalidArgument("bad location: expected '/'");
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) {
+    return Status::InvalidArgument("bad location: trailing characters");
+  }
+  return loc;
+}
+
+int CommonPrefixLevels(const Location& a, const Location& b) {
+  for (int i = 0; i < Location::kLevels; ++i) {
+    if (a.ids[i] != b.ids[i]) return i;
+  }
+  return Location::kLevels;
+}
+
+uint8_t SimilarityMask(const Location& a, const Location& b) {
+  const int prefix = CommonPrefixLevels(a, b);
+  // prefix leading 1-bits in a 6-bit field, MSB = continent.
+  const uint8_t low_zeros = static_cast<uint8_t>(Location::kLevels - prefix);
+  return static_cast<uint8_t>(0x3F & ~((1u << low_zeros) - 1u));
+}
+
+uint8_t DiversityValue(const Location& a, const Location& b) {
+  return static_cast<uint8_t>(~SimilarityMask(a, b) & 0x3F);
+}
+
+}  // namespace skute

@@ -1,0 +1,84 @@
+#ifndef SKUTE_TOPOLOGY_LOCATION_H_
+#define SKUTE_TOPOLOGY_LOCATION_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "skute/common/result.h"
+
+namespace skute {
+
+/// The six geographic levels of the paper, leftmost (most significant)
+/// first: continent, country, data center, room, rack, server.
+enum class GeoLevel : int {
+  kContinent = 0,
+  kCountry = 1,
+  kDatacenter = 2,
+  kRoom = 3,
+  kRack = 4,
+  kServer = 5,
+};
+
+/// Human-readable name of a level ("continent", ..., "server").
+std::string_view GeoLevelName(GeoLevel level);
+
+/// \brief A point in the six-level geographic hierarchy.
+///
+/// Locations are identified by numeric ids per level; an id is only
+/// meaningful within its parent (country 0 in continent 0 is a different
+/// country from country 0 in continent 1) — all comparisons are therefore
+/// hierarchical prefix comparisons, which is also how the paper's 6-bit
+/// similarity mask behaves (see DESIGN.md, "Paper ambiguities").
+struct Location {
+  static constexpr int kLevels = 6;
+
+  std::array<uint32_t, kLevels> ids{};
+
+  uint32_t continent() const { return ids[0]; }
+  uint32_t country() const { return ids[1]; }
+  uint32_t datacenter() const { return ids[2]; }
+  uint32_t room() const { return ids[3]; }
+  uint32_t rack() const { return ids[4]; }
+  uint32_t server() const { return ids[5]; }
+
+  /// Builds a location from the six level ids, most significant first.
+  static Location Of(uint32_t continent, uint32_t country,
+                     uint32_t datacenter, uint32_t room, uint32_t rack,
+                     uint32_t server);
+
+  /// Copy of this location truncated to `level` (ids below reset to 0) —
+  /// used for client geo-distributions expressed at e.g. country level.
+  Location TruncatedTo(GeoLevel level) const;
+
+  /// "c0/n1/d0/r0/k1/s3" (continent/country/dc/room/rack/server).
+  std::string ToString() const;
+
+  /// Parses the ToString format; rejects malformed input.
+  static Result<Location> Parse(std::string_view text);
+
+  friend auto operator<=>(const Location&, const Location&) = default;
+};
+
+/// Number of leading levels on which `a` and `b` agree, in [0, 6].
+int CommonPrefixLevels(const Location& a, const Location& b);
+
+/// \brief The paper's 6-bit similarity mask: bit 5 (MSB) = same continent,
+/// ..., bit 0 = same server. Hierarchical: a level matches only if all
+/// levels above it match too, so the mask is always of the form 111..000.
+uint8_t SimilarityMask(const Location& a, const Location& b);
+
+/// \brief The paper's diversity value: bitwise NOT of the similarity mask
+/// within 6 bits. Ranges over {0, 1, 3, 7, 15, 31, 63}:
+///   0 = same server, 1 = same rack, 3 = same room, 7 = same datacenter,
+///   15 = same country, 31 = same continent, 63 = different continents.
+uint8_t DiversityValue(const Location& a, const Location& b);
+
+/// Maximum possible diversity between two locations (different continents).
+inline constexpr uint8_t kMaxDiversity = 63;
+
+}  // namespace skute
+
+#endif  // SKUTE_TOPOLOGY_LOCATION_H_

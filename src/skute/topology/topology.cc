@@ -1,0 +1,90 @@
+#include "skute/topology/topology.h"
+
+namespace skute {
+
+GridSpec GridSpec::Paper() {
+  GridSpec spec;
+  spec.continents = 5;
+  spec.countries_per_continent = 2;  // 10 countries total
+  spec.datacenters_per_country = 2;
+  spec.rooms_per_datacenter = 1;
+  spec.racks_per_room = 2;
+  spec.servers_per_rack = 5;
+  return spec;
+}
+
+uint64_t GridSpec::server_count() const {
+  return rack_count() * servers_per_rack;
+}
+
+uint64_t GridSpec::rack_count() const {
+  return datacenter_count() * rooms_per_datacenter * racks_per_room;
+}
+
+uint64_t GridSpec::datacenter_count() const {
+  return static_cast<uint64_t>(continents) * countries_per_continent *
+         datacenters_per_country;
+}
+
+Result<std::vector<Location>> BuildGrid(const GridSpec& spec) {
+  if (spec.continents == 0 || spec.countries_per_continent == 0 ||
+      spec.datacenters_per_country == 0 || spec.rooms_per_datacenter == 0 ||
+      spec.racks_per_room == 0 || spec.servers_per_rack == 0) {
+    return Status::InvalidArgument("grid spec has a zero dimension");
+  }
+  std::vector<Location> out;
+  out.reserve(spec.server_count());
+  for (uint32_t c = 0; c < spec.continents; ++c) {
+    for (uint32_t n = 0; n < spec.countries_per_continent; ++n) {
+      for (uint32_t d = 0; d < spec.datacenters_per_country; ++d) {
+        for (uint32_t r = 0; r < spec.rooms_per_datacenter; ++r) {
+          for (uint32_t k = 0; k < spec.racks_per_room; ++k) {
+            for (uint32_t s = 0; s < spec.servers_per_rack; ++s) {
+              out.push_back(Location::Of(c, n, d, r, k, s));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Location> ExpansionLocations(const GridSpec& spec,
+                                         uint32_t count,
+                                         uint32_t next_rack_id) {
+  std::vector<Location> out;
+  out.reserve(count);
+  const uint64_t dcs = spec.datacenter_count();
+  uint32_t produced = 0;
+  uint32_t rack_round = 0;
+  while (produced < count) {
+    for (uint64_t dc = 0; dc < dcs && produced < count; ++dc) {
+      // Decode the datacenter index back into (continent, country, dc).
+      const uint32_t c = static_cast<uint32_t>(
+          dc / (spec.countries_per_continent * spec.datacenters_per_country));
+      const uint32_t rem = static_cast<uint32_t>(
+          dc % (spec.countries_per_continent * spec.datacenters_per_country));
+      const uint32_t n = rem / spec.datacenters_per_country;
+      const uint32_t d = rem % spec.datacenters_per_country;
+      for (uint32_t s = 0; s < spec.servers_per_rack && produced < count;
+           ++s) {
+        out.push_back(
+            Location::Of(c, n, d, /*room=*/0, next_rack_id + rack_round, s));
+        ++produced;
+      }
+    }
+    ++rack_round;
+  }
+  return out;
+}
+
+bool LocationUnder(const Location& loc, const Location& prefix,
+                   GeoLevel level) {
+  for (int i = 0; i <= static_cast<int>(level); ++i) {
+    if (loc.ids[i] != prefix.ids[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace skute

@@ -1,0 +1,51 @@
+#ifndef SKUTE_TOPOLOGY_TOPOLOGY_H_
+#define SKUTE_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "skute/common/result.h"
+#include "skute/topology/location.h"
+
+namespace skute {
+
+/// \brief Regular datacenter-grid specification, e.g. the paper's
+/// Section III-A topology: 10 countries, 2 datacenters/country,
+/// 1 room/datacenter, 2 racks/room, 5 servers/rack = 200 servers.
+struct GridSpec {
+  uint32_t continents = 5;
+  uint32_t countries_per_continent = 2;
+  uint32_t datacenters_per_country = 2;
+  uint32_t rooms_per_datacenter = 1;
+  uint32_t racks_per_room = 2;
+  uint32_t servers_per_rack = 5;
+
+  /// The paper's evaluation topology (200 servers over 10 countries).
+  static GridSpec Paper();
+
+  /// Total number of server slots in the grid.
+  uint64_t server_count() const;
+  uint64_t rack_count() const;
+  uint64_t datacenter_count() const;
+};
+
+/// \brief Enumerates all server locations of a grid in deterministic
+/// (lexicographic) order. Rejects degenerate specs (any dimension 0).
+Result<std::vector<Location>> BuildGrid(const GridSpec& spec);
+
+/// \brief Locations for `count` extra servers appended to an existing grid:
+/// they fill new racks round-robin across the existing datacenters (this is
+/// how the Fig. 3 "20 new servers" arrival is modeled). `next_rack_id`
+/// must be beyond any rack id already in use within each room.
+std::vector<Location> ExpansionLocations(const GridSpec& spec,
+                                         uint32_t count,
+                                         uint32_t next_rack_id);
+
+/// True if `loc` falls under `prefix` truncated at `level` (used to select
+/// failure scopes: all servers of a rack/room/datacenter/...).
+bool LocationUnder(const Location& loc, const Location& prefix,
+                   GeoLevel level);
+
+}  // namespace skute
+
+#endif  // SKUTE_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,43 @@
+#include "skute/workload/geo.h"
+
+namespace skute {
+
+ClientMix UniformCountryMix(const GridSpec& spec) {
+  ClientMix mix;
+  for (uint32_t c = 0; c < spec.continents; ++c) {
+    for (uint32_t n = 0; n < spec.countries_per_continent; ++n) {
+      mix.loads.push_back(
+          ClientLoad{Location::Of(c, n, 0, 0, 0, 0), 1.0});
+    }
+  }
+  return mix;
+}
+
+ClientMix HotspotMix(const GridSpec& spec, const Location& hot,
+                     double hot_fraction) {
+  ClientMix mix;
+  const Location hot_country = hot.TruncatedTo(GeoLevel::kCountry);
+  const uint32_t countries =
+      spec.continents * spec.countries_per_continent;
+  const double cold_share =
+      countries > 1 ? (1.0 - hot_fraction) / (countries - 1) : 0.0;
+  for (uint32_t c = 0; c < spec.continents; ++c) {
+    for (uint32_t n = 0; n < spec.countries_per_continent; ++n) {
+      const Location country = Location::Of(c, n, 0, 0, 0, 0);
+      const double share =
+          country == hot_country ? hot_fraction : cold_share;
+      if (share > 0.0) {
+        mix.loads.push_back(ClientLoad{country, share});
+      }
+    }
+  }
+  return mix;
+}
+
+ClientMix SingleOriginMix(const Location& origin) {
+  ClientMix mix;
+  mix.loads.push_back(ClientLoad{origin, 1.0});
+  return mix;
+}
+
+}  // namespace skute

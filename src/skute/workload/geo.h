@@ -1,0 +1,28 @@
+#ifndef SKUTE_WORKLOAD_GEO_H_
+#define SKUTE_WORKLOAD_GEO_H_
+
+#include "skute/economy/proximity.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+
+/// \brief Builders for client geo-distributions (the G of Section II-B).
+///
+/// The paper's simulation assumes uniform clients (g = 1 everywhere); the
+/// geo_placement example and the geo tests use skewed mixes to exercise
+/// Eq. 3/Eq. 4 placement.
+
+/// Equal query weight from every country of the grid.
+ClientMix UniformCountryMix(const GridSpec& spec);
+
+/// `hot_fraction` of the queries from the country of `hot` (truncated to
+/// country level), the rest spread equally over all other countries.
+ClientMix HotspotMix(const GridSpec& spec, const Location& hot,
+                     double hot_fraction);
+
+/// A single-origin mix: all queries from one location.
+ClientMix SingleOriginMix(const Location& origin);
+
+}  // namespace skute
+
+#endif  // SKUTE_WORKLOAD_GEO_H_

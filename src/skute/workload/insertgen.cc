@@ -1,0 +1,76 @@
+#include "skute/workload/insertgen.h"
+
+namespace skute {
+
+uint64_t SampleHashInRange(const KeyRange& range, Rng* rng) {
+  const uint64_t size = range.Size();
+  if (size == 0) return rng->NextUint64();  // full ring
+  return range.begin + rng->UniformInt(0, size - 1);
+}
+
+InsertGenerator::EpochResult InsertGenerator::GenerateEpoch(
+    SkuteStore* store, const std::vector<RingId>& rings) {
+  EpochResult result;
+  if (rings.empty()) return result;
+
+  // Snapshot each ring's (range, weight) pairs once per epoch; splits that
+  // happen mid-epoch re-route through the catalog anyway.
+  struct RingSnapshot {
+    RingId id;
+    std::vector<KeyRange> ranges;
+    CdfSampler sampler;
+  };
+  std::vector<RingSnapshot> snapshots;
+  snapshots.reserve(rings.size());
+  for (RingId id : rings) {
+    VirtualRing* ring = store->catalog().ring(id);
+    if (ring == nullptr) continue;
+    std::vector<KeyRange> ranges;
+    std::vector<double> weights;
+    ranges.reserve(ring->partition_count());
+    weights.reserve(ring->partition_count());
+    for (const auto& p : ring->partitions()) {
+      ranges.push_back(p->range());
+      weights.push_back(p->popularity_weight());
+    }
+    snapshots.push_back(
+        RingSnapshot{id, std::move(ranges), CdfSampler(weights)});
+  }
+  if (snapshots.empty()) return result;
+
+  for (uint64_t i = 0; i < options_.inserts_per_epoch; ++i) {
+    RingSnapshot& snap = snapshots[i % snapshots.size()];
+    const size_t idx = snap.sampler.Sample(&rng_);
+    const uint64_t hash = SampleHashInRange(snap.ranges[idx], &rng_);
+    ++result.attempted;
+    const Status st =
+        store->PutSynthetic(snap.id, hash, options_.object_bytes);
+    if (st.ok()) {
+      result.bytes_accepted += options_.object_bytes;
+    } else {
+      ++result.failed;
+    }
+  }
+  return result;
+}
+
+BulkLoadResult BulkLoadSynthetic(SkuteStore* store, RingId ring,
+                                 uint64_t total_bytes, uint32_t object_bytes,
+                                 Rng* rng) {
+  BulkLoadResult result;
+  if (object_bytes == 0) return result;
+  const uint64_t objects = total_bytes / object_bytes;
+  for (uint64_t i = 0; i < objects; ++i) {
+    const Status st =
+        store->PutSynthetic(ring, rng->NextUint64(), object_bytes);
+    if (st.ok()) {
+      ++result.objects;
+      result.bytes += object_bytes;
+    } else {
+      ++result.failures;
+    }
+  }
+  return result;
+}
+
+}  // namespace skute

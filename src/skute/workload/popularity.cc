@@ -1,0 +1,11 @@
+#include "skute/workload/popularity.h"
+
+namespace skute {
+
+void PopularityModel::AssignWeights(VirtualRing* ring) {
+  for (const auto& p : ring->partitions()) {
+    p->set_popularity_weight(spec_.Sample(&rng_));
+  }
+}
+
+}  // namespace skute

@@ -1,0 +1,57 @@
+#ifndef SKUTE_WORKLOAD_POPULARITY_H_
+#define SKUTE_WORKLOAD_POPULARITY_H_
+
+#include "skute/common/random.h"
+#include "skute/ring/ring.h"
+
+namespace skute {
+
+/// \brief Pareto parameterization. The paper specifies "Pareto(1, 50)" for
+/// both query popularity and insert skew; we read that as minimum (x_m) 1
+/// and *mean* 50, i.e. shape alpha = mean/(mean - x_m) ~ 1.0204 — a heavy
+/// tail, which is what the popular/unpopular vnode economics of
+/// Section II-C are about (see DESIGN.md, "Paper ambiguities").
+struct ParetoSpec {
+  double scale = 1.0;         // x_m
+  double shape = 50.0 / 49.0; // alpha
+
+  /// The paper's Pareto(1, 50) under the mean-50 reading.
+  static ParetoSpec PaperPopularity() { return ParetoSpec{}; }
+
+  /// Mean of the distribution (infinite when shape <= 1).
+  double Mean() const {
+    if (shape <= 1.0) return -1.0;
+    return shape * scale / (shape - 1.0);
+  }
+
+  double Sample(Rng* rng) const { return rng->Pareto(scale, shape); }
+};
+
+/// \brief Assigns i.i.d. Pareto popularity weights to a ring's partitions.
+///
+/// Weights live on the partitions themselves (splits divide the parent's
+/// weight between the children), so this runs once per ring after
+/// creation; the query generator then reads the current weights each
+/// epoch.
+class PopularityModel {
+ public:
+  PopularityModel(const ParetoSpec& spec, uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  /// Draws a weight for every partition of the ring (overwrites existing
+  /// weights; intended for freshly created rings).
+  void AssignWeights(VirtualRing* ring);
+
+  /// One popularity draw (exposed for tests of the spec's statistics).
+  double Sample() { return spec_.Sample(&rng_); }
+
+  const ParetoSpec& spec() const { return spec_; }
+
+ private:
+  ParetoSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_WORKLOAD_POPULARITY_H_

@@ -1,0 +1,35 @@
+#include "skute/workload/querygen.h"
+
+namespace skute {
+
+uint64_t QueryGenerator::GenerateEpoch(SkuteStore* store,
+                                       const std::vector<RingId>& rings,
+                                       const std::vector<double>& fractions,
+                                       double total_rate) {
+  uint64_t routed = 0;
+  for (size_t i = 0; i < rings.size(); ++i) {
+    VirtualRing* ring = store->catalog().ring(rings[i]);
+    if (ring == nullptr) continue;
+    const double ring_rate =
+        total_rate * (i < fractions.size() ? fractions[i] : 0.0);
+    if (ring_rate <= 0.0) continue;
+
+    double total_weight = 0.0;
+    for (const auto& p : ring->partitions()) {
+      total_weight += p->popularity_weight();
+    }
+    if (total_weight <= 0.0) continue;
+
+    for (const auto& p : ring->partitions()) {
+      const double lambda =
+          ring_rate * p->popularity_weight() / total_weight;
+      const uint64_t count = rng_.Poisson(lambda);
+      if (count == 0) continue;
+      store->RouteQueriesToPartition(p.get(), count);
+      routed += count;
+    }
+  }
+  return routed;
+}
+
+}  // namespace skute

@@ -1,0 +1,37 @@
+#ifndef SKUTE_WORKLOAD_QUERYGEN_H_
+#define SKUTE_WORKLOAD_QUERYGEN_H_
+
+#include <vector>
+
+#include "skute/common/random.h"
+#include "skute/core/store.h"
+
+namespace skute {
+
+/// \brief Per-epoch query generator (Section III-A): the epoch's total
+/// query count is Poisson with the schedule's rate, split across
+/// applications by fixed fractions and across partitions by popularity.
+///
+/// Implemented as independent per-partition Poisson draws with
+/// lambda_p = rate * fraction_ring * weight_p / total_weight_ring, which
+/// is distributionally identical to a Poisson total multinomially split
+/// (superposition property) and costs O(partitions) per epoch.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Draws and routes one epoch of queries. `fractions[i]` is ring i's
+  /// share of `total_rate` (paper: 4/7, 2/7, 1/7); rings and fractions
+  /// must be the same length. Returns the number of queries routed.
+  uint64_t GenerateEpoch(SkuteStore* store,
+                         const std::vector<RingId>& rings,
+                         const std::vector<double>& fractions,
+                         double total_rate);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_WORKLOAD_QUERYGEN_H_

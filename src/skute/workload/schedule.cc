@@ -1,0 +1,33 @@
+#include "skute/workload/schedule.h"
+
+namespace skute {
+
+double SlashdotSchedule::RateAt(Epoch epoch) const {
+  if (epoch < start_) return base_;
+  if (epoch < start_ + ramp_) {
+    const double progress =
+        static_cast<double>(epoch - start_) / static_cast<double>(ramp_);
+    return base_ + (peak_ - base_) * progress;
+  }
+  const Epoch decay_start = start_ + ramp_;
+  if (epoch < decay_start + decay_) {
+    const double progress = static_cast<double>(epoch - decay_start) /
+                            static_cast<double>(decay_);
+    return peak_ - (peak_ - base_) * progress;
+  }
+  return base_;
+}
+
+double StepSchedule::RateAt(Epoch epoch) const {
+  double rate = initial_;
+  for (const Step& s : steps_) {
+    if (s.at <= epoch) {
+      rate = s.rate;
+    } else {
+      break;
+    }
+  }
+  return rate;
+}
+
+}  // namespace skute

@@ -1,0 +1,79 @@
+#ifndef SKUTE_WORKLOAD_SCHEDULE_H_
+#define SKUTE_WORKLOAD_SCHEDULE_H_
+
+#include <memory>
+#include <vector>
+
+#include "skute/common/units.h"
+
+namespace skute {
+
+/// \brief Total query rate (queries/epoch) as a function of the epoch.
+class RateSchedule {
+ public:
+  virtual ~RateSchedule() = default;
+  virtual double RateAt(Epoch epoch) const = 0;
+};
+
+/// Constant rate (the paper's steady state: lambda = 3000).
+class ConstantSchedule : public RateSchedule {
+ public:
+  explicit ConstantSchedule(double rate) : rate_(rate) {}
+  double RateAt(Epoch) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// \brief The paper's Slashdot-effect trace (Section III-D): from
+/// `spike_start`, the rate climbs linearly from `base` to `peak` over
+/// `ramp_epochs`, then decays linearly back to `base` over `decay_epochs`.
+///
+/// Paper parameters: base 3000, peak 183000, start 100, ramp 25, decay 250.
+class SlashdotSchedule : public RateSchedule {
+ public:
+  SlashdotSchedule(double base, double peak, Epoch spike_start,
+                   Epoch ramp_epochs, Epoch decay_epochs)
+      : base_(base),
+        peak_(peak),
+        start_(spike_start),
+        ramp_(ramp_epochs),
+        decay_(decay_epochs) {}
+
+  /// The paper's exact Fig. 4 trace.
+  static SlashdotSchedule Paper() {
+    return SlashdotSchedule(3000.0, 183000.0, 100, 25, 250);
+  }
+
+  double RateAt(Epoch epoch) const override;
+
+  Epoch peak_epoch() const { return start_ + ramp_; }
+
+ private:
+  double base_;
+  double peak_;
+  Epoch start_;
+  Epoch ramp_;
+  Epoch decay_;
+};
+
+/// Piecewise-constant schedule: rate of the last step at or before the
+/// epoch (steps must be added in increasing epoch order).
+class StepSchedule : public RateSchedule {
+ public:
+  explicit StepSchedule(double initial_rate) : initial_(initial_rate) {}
+  void AddStep(Epoch at, double rate) { steps_.push_back({at, rate}); }
+  double RateAt(Epoch epoch) const override;
+
+ private:
+  struct Step {
+    Epoch at;
+    double rate;
+  };
+  double initial_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_WORKLOAD_SCHEDULE_H_

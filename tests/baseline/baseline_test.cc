@@ -1,0 +1,169 @@
+#include "skute/baseline/static_placement.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 2;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, ServerResources{}, ServerEconomics{});
+    }
+    SkuteOptions options;
+    options.track_real_data = false;
+    store_ = std::make_unique<SkuteStore>(&cluster_, options);
+    const AppId app = store_->CreateApplication("baseline-app");
+    // SLA 0: the successor policy manages counts, not thresholds.
+    SlaLevel sla;
+    sla.min_availability = 0.0;
+    sla.replicas_hint = 3;
+    ring_ = store_->AttachRing(app, sla, 8).value();
+    SuccessorPolicyOptions pol;
+    pol.replicas = 3;
+    store_->SetPlacementPolicy(std::make_unique<SuccessorPolicy>(pol));
+  }
+
+  void RunEpochs(int n) {
+    for (int i = 0; i < n; ++i) {
+      store_->BeginEpoch();
+      store_->EndEpoch();
+    }
+  }
+
+  Cluster cluster_{PricingParams{}};
+  std::unique_ptr<SkuteStore> store_;
+  RingId ring_ = 0;
+};
+
+TEST_F(BaselineTest, PreferenceListHasExactlyNDistinctServers) {
+  SuccessorPolicyOptions options;
+  options.replicas = 3;
+  SuccessorPolicy policy(options);
+  const auto list = policy.PreferenceList(cluster_, 12345);
+  ASSERT_EQ(list.size(), 3u);
+  std::set<ServerId> unique(list.begin(), list.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST_F(BaselineTest, PreferenceListIsDeterministic) {
+  SuccessorPolicyOptions options;
+  options.replicas = 3;
+  SuccessorPolicy policy(options);
+  EXPECT_EQ(policy.PreferenceList(cluster_, 999),
+            policy.PreferenceList(cluster_, 999));
+}
+
+TEST_F(BaselineTest, RackAwareListAvoidsSharedRacks) {
+  SuccessorPolicyOptions options;
+  options.replicas = 3;
+  options.rack_aware = true;
+  SuccessorPolicy policy(options);
+  for (uint64_t token : {0ull, 1ull << 32, 1ull << 63}) {
+    const auto list = policy.PreferenceList(cluster_, token);
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        const Location& a = cluster_.server(list[i])->location();
+        const Location& b = cluster_.server(list[j])->location();
+        EXPECT_LT(CommonPrefixLevels(a, b),
+                  static_cast<int>(GeoLevel::kRack) + 1)
+            << a.ToString() << " and " << b.ToString()
+            << " share a rack";
+      }
+    }
+  }
+}
+
+TEST_F(BaselineTest, FallsBackWhenRackDiversityImpossible) {
+  // 16 servers over 8 racks: asking for 10 replicas cannot stay
+  // rack-diverse; the second pass must still fill the list.
+  SuccessorPolicyOptions options;
+  options.replicas = 10;
+  options.rack_aware = true;
+  SuccessorPolicy policy(options);
+  EXPECT_EQ(policy.PreferenceList(cluster_, 7).size(), 10u);
+}
+
+TEST_F(BaselineTest, PreferenceListSkipsOfflineServers) {
+  SuccessorPolicyOptions options;
+  options.replicas = 3;
+  SuccessorPolicy policy(options);
+  const auto before = policy.PreferenceList(cluster_, 42);
+  ASSERT_TRUE(cluster_.FailServer(before[0]).ok());
+  const auto after = policy.PreferenceList(cluster_, 42);
+  for (ServerId id : after) {
+    EXPECT_NE(id, before[0]);
+  }
+}
+
+TEST_F(BaselineTest, ConvergesToExactReplicaCount) {
+  RunEpochs(10);
+  for (const auto& p : store_->catalog().ring(ring_)->partitions()) {
+    EXPECT_EQ(p->replica_count(), 3u) << "partition " << p->id();
+  }
+}
+
+TEST_F(BaselineTest, RepairsAfterFailure) {
+  RunEpochs(10);
+  // Fail a server hosting replicas; the policy must re-converge to 3.
+  Partition* p = store_->catalog().ring(ring_)->partitions()[0].get();
+  const ServerId victim = p->replicas()[0].server;
+  ASSERT_TRUE(cluster_.FailServer(victim).ok());
+  store_->HandleServerFailure(victim);
+  RunEpochs(10);
+  for (const auto& part : store_->catalog().ring(ring_)->partitions()) {
+    EXPECT_EQ(part->replica_count(), 3u);
+    EXPECT_FALSE(part->HasReplicaOn(victim));
+  }
+}
+
+TEST_F(BaselineTest, RebalancesAfterArrival) {
+  RunEpochs(10);
+  // Add servers: preference lists shift, replicas follow, count stays 3.
+  for (int i = 0; i < 4; ++i) {
+    cluster_.AddServer(Location::Of(0, 0, 0, 0, 2, i), ServerResources{},
+                       ServerEconomics{});
+  }
+  RunEpochs(10);
+  size_t on_new_servers = 0;
+  for (const auto& p : store_->catalog().ring(ring_)->partitions()) {
+    EXPECT_EQ(p->replica_count(), 3u);
+    for (const ReplicaInfo& r : p->replicas()) {
+      if (r.server >= 16) ++on_new_servers;
+    }
+  }
+  EXPECT_GT(on_new_servers, 0u);  // the new servers took ownership shares
+}
+
+TEST_F(BaselineTest, PolicyNameExposed) {
+  SuccessorPolicy policy(SuccessorPolicyOptions{});
+  EXPECT_STREQ(policy.name(), "static-successor");
+  EXPECT_STREQ(store_->placement_policy().name(), "static-successor");
+}
+
+TEST_F(BaselineTest, NoActionsAtFixedPoint) {
+  RunEpochs(10);
+  store_->BeginEpoch();
+  const ExecutorStats st = store_->EndEpoch();
+  EXPECT_EQ(st.applied(), 0u);
+  EXPECT_EQ(st.aborted_stale, 0u);
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,166 @@
+#include "skute/cluster/board.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "skute/economy/pricing.h"
+
+namespace skute {
+namespace {
+
+Server MakeServer(ServerId id, double monthly_cost,
+                  uint64_t storage_cap = 1000, uint64_t qcap = 100) {
+  ServerResources res;
+  res.storage_capacity = storage_cap;
+  res.query_capacity_per_epoch = qcap;
+  ServerEconomics eco;
+  eco.monthly_cost = monthly_cost;
+  return Server(id, Location::Of(0, 0, 0, 0, 0, id), res, eco);
+}
+
+TEST(BoardTest, RentBeforeAnyUpdateIsInfinite) {
+  Board board{PricingParams{}};
+  EXPECT_TRUE(std::isinf(board.RentOf(0)));
+  EXPECT_EQ(board.min_rent(), 0.0);
+}
+
+TEST(BoardTest, MarginalUsagePriceUsesPreviousMonthPrior) {
+  PricingParams params;
+  params.epochs_per_month = 720.0;
+  Board board(params);
+  Server fresh = MakeServer(0, 100.0);
+  // mean_utilization starts at the 0.5 previous-month prior.
+  EXPECT_NEAR(board.MarginalUsagePrice(fresh), 100.0 / 720.0 / 0.5, 1e-12);
+}
+
+TEST(BoardTest, LiveMeanModeFloorsAfterLongIdleHistory) {
+  PricingParams params;
+  params.epochs_per_month = 720.0;
+  params.min_mean_utilization = 0.10;
+  params.use_live_mean_utilization = true;
+  Board board(params);
+  Server idle = MakeServer(0, 100.0);
+  // Months of complete idleness decay the EWMA well below the floor.
+  for (int i = 0; i < 3000; ++i) idle.BeginEpoch();
+  EXPECT_LT(idle.mean_utilization(), 0.10);
+  EXPECT_NEAR(board.MarginalUsagePrice(idle), 100.0 / 720.0 / 0.10, 1e-12);
+}
+
+TEST(BoardTest, FrozenDivisorIgnoresUsageHistory) {
+  // Default mode: the previous-month divisor is a constant, so an idle
+  // server's price does not spiral upward (see PricingParams).
+  Board board{PricingParams{}};
+  Server idle = MakeServer(0, 100.0);
+  const double before = board.MarginalUsagePrice(idle);
+  for (int i = 0; i < 3000; ++i) idle.BeginEpoch();
+  EXPECT_DOUBLE_EQ(board.MarginalUsagePrice(idle), before);
+}
+
+TEST(BoardTest, Eq1Arithmetic) {
+  PricingParams params;
+  params.alpha = 2.0;
+  params.beta = 3.0;
+  Board board(params);
+  Server s = MakeServer(0, 100.0, /*storage=*/1000, /*qcap=*/100);
+  ASSERT_TRUE(s.ReserveStorage(500).ok());  // storage usage 0.5
+  s.ServeQueries(25);
+  s.BeginEpoch();  // query utilization 0.25, utilization EWMA updates
+  std::vector<Server*> servers{&s};
+  board.UpdatePrices(servers);
+  const double up = board.MarginalUsagePrice(s);
+  const double expected =
+      VirtualRent(up, 0.5, 0.25, params.alpha, params.beta);
+  EXPECT_NEAR(board.RentOf(0), expected, 1e-12);
+  EXPECT_NEAR(board.RentOf(0), up * (1.0 + 2.0 * 0.5 + 3.0 * 0.25), 1e-12);
+}
+
+TEST(BoardTest, ExpensiveServerQuotesHigherRent) {
+  Board board{PricingParams{}};
+  Server cheap = MakeServer(0, 100.0);
+  Server pricey = MakeServer(1, 125.0);
+  std::vector<Server*> servers{&cheap, &pricey};
+  board.UpdatePrices(servers);
+  EXPECT_GT(board.RentOf(1), board.RentOf(0));
+}
+
+TEST(BoardTest, BusierServerQuotesHigherRent) {
+  Board board{PricingParams{}};
+  Server idle = MakeServer(0, 100.0);
+  Server busy = MakeServer(1, 100.0);
+  ASSERT_TRUE(busy.ReserveStorage(800).ok());
+  busy.ServeQueries(90);
+  idle.BeginEpoch();
+  busy.BeginEpoch();
+  std::vector<Server*> servers{&idle, &busy};
+  board.UpdatePrices(servers);
+  // The load terms dominate the (slightly) higher mean-usage divisor.
+  EXPECT_GT(board.RentOf(1), board.RentOf(0));
+}
+
+TEST(BoardTest, OfflineServerPricedInfinite) {
+  Board board{PricingParams{}};
+  Server a = MakeServer(0, 100.0);
+  Server b = MakeServer(1, 100.0);
+  b.set_online(false);
+  std::vector<Server*> servers{&a, &b};
+  board.UpdatePrices(servers);
+  EXPECT_TRUE(std::isfinite(board.RentOf(0)));
+  EXPECT_TRUE(std::isinf(board.RentOf(1)));
+}
+
+TEST(BoardTest, MinRentTracksCheapestOnline) {
+  Board board{PricingParams{}};
+  Server a = MakeServer(0, 100.0);
+  Server b = MakeServer(1, 125.0);
+  std::vector<Server*> servers{&a, &b};
+  board.UpdatePrices(servers);
+  EXPECT_DOUBLE_EQ(board.min_rent(), board.RentOf(0));
+}
+
+TEST(BoardTest, MinRentZeroWhenAllOffline) {
+  Board board{PricingParams{}};
+  Server a = MakeServer(0, 100.0);
+  a.set_online(false);
+  std::vector<Server*> servers{&a};
+  board.UpdatePrices(servers);
+  EXPECT_EQ(board.min_rent(), 0.0);
+}
+
+TEST(BoardTest, UnknownServerIsInfinite) {
+  Board board{PricingParams{}};
+  Server a = MakeServer(0, 100.0);
+  std::vector<Server*> servers{&a};
+  board.UpdatePrices(servers);
+  EXPECT_TRUE(std::isinf(board.RentOf(99)));
+}
+
+TEST(BoardTest, UpdateCounterIncrements) {
+  Board board{PricingParams{}};
+  Server a = MakeServer(0, 100.0);
+  std::vector<Server*> servers{&a};
+  EXPECT_EQ(board.updates_published(), 0u);
+  board.UpdatePrices(servers);
+  board.UpdatePrices(servers);
+  EXPECT_EQ(board.updates_published(), 2u);
+}
+
+TEST(ConsistencyCostTest, GrowsWithReplicasAndWrites) {
+  ConsistencyCostModel model;
+  model.fixed_per_epoch = 0.1;
+  model.per_replica_per_epoch = 0.05;
+  model.per_write_byte = 1e-6;
+  EXPECT_NEAR(model.Cost(2, 0), 0.2, 1e-12);
+  EXPECT_NEAR(model.Cost(4, 0), 0.3, 1e-12);
+  EXPECT_NEAR(model.Cost(2, 1000000), 1.2, 1e-12);
+}
+
+TEST(VirtualRentTest, PureFormula) {
+  EXPECT_DOUBLE_EQ(VirtualRent(1.0, 0.0, 0.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(VirtualRent(2.0, 0.5, 1.0, 1.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(VirtualRent(1.0, 1.0, 1.0, 0.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace skute

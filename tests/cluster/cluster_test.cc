@@ -1,0 +1,159 @@
+#include "skute/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "skute/cluster/failure.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+void BuildTinyCloud(Cluster* cluster) {
+  GridSpec spec;
+  spec.continents = 2;
+  spec.countries_per_continent = 1;
+  spec.datacenters_per_country = 1;
+  spec.rooms_per_datacenter = 1;
+  spec.racks_per_room = 2;
+  spec.servers_per_rack = 2;  // 8 servers
+  auto grid = BuildGrid(spec);
+  ASSERT_TRUE(grid.ok());
+  for (const Location& loc : *grid) {
+    cluster->AddServer(loc, ServerResources{}, ServerEconomics{});
+  }
+}
+
+TEST(ClusterTest, AddServerAssignsDenseIds) {
+  Cluster cluster{PricingParams{}};
+  const ServerId a = cluster.AddServer(Location::Of(0, 0, 0, 0, 0, 0),
+                                       ServerResources{}, ServerEconomics{});
+  const ServerId b = cluster.AddServer(Location::Of(0, 0, 0, 0, 0, 1),
+                                       ServerResources{}, ServerEconomics{});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.online_count(), 2u);
+}
+
+TEST(ClusterTest, ServerLookup) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  EXPECT_NE(cluster.server(0), nullptr);
+  EXPECT_EQ(cluster.server(999), nullptr);
+  const Cluster& const_ref = cluster;
+  EXPECT_NE(const_ref.server(0), nullptr);
+}
+
+TEST(ClusterTest, FailServerWipesAndGoesOffline) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  ASSERT_TRUE(cluster.server(3)->ReserveStorage(100).ok());
+  ASSERT_TRUE(cluster.FailServer(3).ok());
+  EXPECT_FALSE(cluster.server(3)->online());
+  EXPECT_EQ(cluster.server(3)->used_storage(), 0u);
+  EXPECT_EQ(cluster.online_count(), 7u);
+  // Double failure is a precondition error.
+  EXPECT_TRUE(cluster.FailServer(3).IsFailedPrecondition());
+  EXPECT_TRUE(cluster.FailServer(99).IsNotFound());
+}
+
+TEST(ClusterTest, RecoverServerComesBackEmpty) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  ASSERT_TRUE(cluster.FailServer(2).ok());
+  ASSERT_TRUE(cluster.RecoverServer(2).ok());
+  EXPECT_TRUE(cluster.server(2)->online());
+  EXPECT_EQ(cluster.server(2)->used_storage(), 0u);
+  EXPECT_TRUE(cluster.RecoverServer(2).IsFailedPrecondition());
+}
+
+TEST(ClusterTest, OnlineServersSkipsFailed) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  ASSERT_TRUE(cluster.FailServer(0).ok());
+  const std::vector<ServerId> online = cluster.OnlineServers();
+  EXPECT_EQ(online.size(), 7u);
+  for (ServerId id : online) EXPECT_NE(id, 0u);
+}
+
+TEST(ClusterTest, BeginEpochPublishesPrices) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  cluster.BeginEpoch();
+  EXPECT_EQ(cluster.board().updates_published(), 1u);
+  EXPECT_GT(cluster.board().min_rent(), 0.0);
+}
+
+TEST(ClusterTest, AggregatesCountOnlineOnly) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  const uint64_t capacity_all = cluster.TotalStorageCapacity();
+  ASSERT_TRUE(cluster.server(1)->ReserveStorage(100).ok());
+  EXPECT_EQ(cluster.TotalUsedStorage(), 100u);
+  ASSERT_TRUE(cluster.FailServer(1).ok());
+  EXPECT_EQ(cluster.TotalUsedStorage(), 0u);
+  EXPECT_LT(cluster.TotalStorageCapacity(), capacity_all);
+  EXPECT_GT(cluster.StorageUtilization(), -1e-12);
+}
+
+TEST(ClusterTest, StorageUtilizationDegenerate) {
+  Cluster cluster{PricingParams{}};
+  EXPECT_DOUBLE_EQ(cluster.StorageUtilization(), 1.0);  // no capacity
+}
+
+TEST(FailureInjectorTest, FailRandomFailsExactlyCount) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  FailureInjector injector(&cluster);
+  Rng rng(5);
+  const std::vector<ServerId> failed = injector.FailRandomServers(3, &rng);
+  EXPECT_EQ(failed.size(), 3u);
+  EXPECT_EQ(cluster.online_count(), 5u);
+  EXPECT_EQ(injector.total_failed(), 3u);
+  for (ServerId id : failed) {
+    EXPECT_FALSE(cluster.server(id)->online());
+  }
+}
+
+TEST(FailureInjectorTest, FailRandomCapsAtClusterSize) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  FailureInjector injector(&cluster);
+  Rng rng(6);
+  const std::vector<ServerId> failed = injector.FailRandomServers(50, &rng);
+  EXPECT_EQ(failed.size(), 8u);
+  EXPECT_EQ(cluster.online_count(), 0u);
+}
+
+TEST(FailureInjectorTest, RackScopeFailure) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  FailureInjector injector(&cluster);
+  // Rack (c0,n0,d0,r0,k1) holds exactly 2 servers in the tiny grid.
+  const std::vector<ServerId> failed =
+      injector.FailScope(Location::Of(0, 0, 0, 0, 1, 0), GeoLevel::kRack);
+  EXPECT_EQ(failed.size(), 2u);
+  EXPECT_EQ(cluster.online_count(), 6u);
+}
+
+TEST(FailureInjectorTest, DatacenterScopeTakesOutWholeSite) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  FailureInjector injector(&cluster);
+  const std::vector<ServerId> failed = injector.FailScope(
+      Location::Of(0, 0, 0, 0, 0, 0), GeoLevel::kDatacenter);
+  EXPECT_EQ(failed.size(), 4u);  // half the tiny cloud
+}
+
+TEST(FailureInjectorTest, RecoverServersRestores) {
+  Cluster cluster{PricingParams{}};
+  BuildTinyCloud(&cluster);
+  FailureInjector injector(&cluster);
+  Rng rng(7);
+  const std::vector<ServerId> failed = injector.FailRandomServers(2, &rng);
+  ASSERT_TRUE(injector.RecoverServers(failed).ok());
+  EXPECT_EQ(cluster.online_count(), 8u);
+}
+
+}  // namespace
+}  // namespace skute

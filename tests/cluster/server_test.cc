@@ -1,0 +1,180 @@
+#include "skute/cluster/server.h"
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+Server MakeServer(uint64_t storage = 1000, uint64_t repl_bw = 300,
+                  uint64_t migr_bw = 100, uint64_t qcap = 10) {
+  ServerResources res;
+  res.storage_capacity = storage;
+  res.replication_bw_per_epoch = repl_bw;
+  res.migration_bw_per_epoch = migr_bw;
+  res.query_capacity_per_epoch = qcap;
+  ServerEconomics eco;
+  eco.monthly_cost = 100.0;
+  eco.confidence = 0.9;
+  return Server(7, Location::Of(1, 0, 1, 0, 1, 2), res, eco);
+}
+
+TEST(ServerTest, ConstructionExposesIdentity) {
+  Server s = MakeServer();
+  EXPECT_EQ(s.id(), 7u);
+  EXPECT_EQ(s.location(), Location::Of(1, 0, 1, 0, 1, 2));
+  EXPECT_EQ(s.economics().confidence, 0.9);
+  EXPECT_TRUE(s.online());
+}
+
+TEST(ServerTest, StorageReservation) {
+  Server s = MakeServer(1000);
+  EXPECT_TRUE(s.ReserveStorage(400).ok());
+  EXPECT_EQ(s.used_storage(), 400u);
+  EXPECT_EQ(s.available_storage(), 600u);
+  EXPECT_DOUBLE_EQ(s.storage_utilization(), 0.4);
+}
+
+TEST(ServerTest, StorageExhaustion) {
+  Server s = MakeServer(1000);
+  EXPECT_TRUE(s.ReserveStorage(1000).ok());
+  const Status st = s.ReserveStorage(1);
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_EQ(s.used_storage(), 1000u);
+}
+
+TEST(ServerTest, StorageReleaseAndOverRelease) {
+  Server s = MakeServer(1000);
+  ASSERT_TRUE(s.ReserveStorage(500).ok());
+  EXPECT_TRUE(s.ReleaseStorage(200).ok());
+  EXPECT_EQ(s.used_storage(), 300u);
+  // Over-release clamps and reports an internal error.
+  EXPECT_TRUE(s.ReleaseStorage(500).IsInternal());
+  EXPECT_EQ(s.used_storage(), 0u);
+}
+
+TEST(ServerTest, OfflineRejectsStorage) {
+  Server s = MakeServer();
+  s.set_online(false);
+  EXPECT_TRUE(s.ReserveStorage(10).IsUnavailable());
+}
+
+TEST(ServerTest, WipeStorageZeroes) {
+  Server s = MakeServer();
+  ASSERT_TRUE(s.ReserveStorage(500).ok());
+  s.WipeStorage();
+  EXPECT_EQ(s.used_storage(), 0u);
+}
+
+TEST(ServerTest, BandwidthDebtGatesTransfers) {
+  Server s = MakeServer(1000, /*repl_bw=*/300);
+  EXPECT_TRUE(s.CanStartReplication());
+  s.ChargeReplication(250);  // within one epoch's budget
+  EXPECT_TRUE(s.CanStartReplication());
+  s.ChargeReplication(200);  // 450 total: above the per-epoch budget
+  EXPECT_FALSE(s.CanStartReplication());
+}
+
+TEST(ServerTest, BandwidthDebtPaysDownPerEpoch) {
+  Server s = MakeServer(1000, /*repl_bw=*/300);
+  s.ChargeReplication(650);
+  EXPECT_FALSE(s.CanStartReplication());
+  s.BeginEpoch();  // debt 350
+  EXPECT_FALSE(s.CanStartReplication());
+  s.BeginEpoch();  // debt 50
+  EXPECT_TRUE(s.CanStartReplication());
+  EXPECT_EQ(s.replication_debt(), 50u);
+}
+
+TEST(ServerTest, MigrationBudgetIndependentOfReplication) {
+  Server s = MakeServer(1000, 300, 100);
+  s.ChargeReplication(10000);
+  EXPECT_FALSE(s.CanStartReplication());
+  EXPECT_TRUE(s.CanStartMigration());
+  s.ChargeMigration(150);
+  EXPECT_FALSE(s.CanStartMigration());
+  s.BeginEpoch();
+  EXPECT_TRUE(s.CanStartMigration());
+  EXPECT_EQ(s.migration_debt(), 50u);
+}
+
+TEST(ServerTest, LargeTransferAllowedOnceDebtIsLow) {
+  // A 208 MB partition exceeds the 100 MB/epoch migration budget; the
+  // debt model lets it start, then throttles the next one (DESIGN.md).
+  Server s = MakeServer(1000, 300, 100);
+  EXPECT_TRUE(s.CanStartMigration());
+  s.ChargeMigration(208);
+  EXPECT_FALSE(s.CanStartMigration());
+  s.BeginEpoch();  // 108
+  EXPECT_FALSE(s.CanStartMigration());
+  s.BeginEpoch();  // 8
+  EXPECT_TRUE(s.CanStartMigration());
+}
+
+TEST(ServerTest, OfflineBlocksTransfers) {
+  Server s = MakeServer();
+  s.set_online(false);
+  EXPECT_FALSE(s.CanStartReplication());
+  EXPECT_FALSE(s.CanStartMigration());
+}
+
+TEST(ServerTest, QueryCapacityEnforced) {
+  Server s = MakeServer(1000, 300, 100, /*qcap=*/10);
+  EXPECT_EQ(s.ServeQueries(6), 6u);
+  EXPECT_EQ(s.ServeQueries(6), 4u);  // only 4 slots left
+  EXPECT_EQ(s.queries_served_this_epoch(), 10u);
+  EXPECT_EQ(s.queries_dropped_this_epoch(), 2u);
+  EXPECT_EQ(s.ServeQueries(5), 0u);
+  EXPECT_EQ(s.queries_dropped_this_epoch(), 7u);
+}
+
+TEST(ServerTest, OfflineDropsAllQueries) {
+  Server s = MakeServer();
+  s.set_online(false);
+  EXPECT_EQ(s.ServeQueries(5), 0u);
+  EXPECT_EQ(s.queries_dropped_this_epoch(), 5u);
+}
+
+TEST(ServerTest, QueryUtilizationUsesLastEpoch) {
+  Server s = MakeServer(1000, 300, 100, 10);
+  s.ServeQueries(5);
+  EXPECT_EQ(s.query_utilization(), 0.0);  // current epoch not closed yet
+  s.BeginEpoch();
+  EXPECT_DOUBLE_EQ(s.query_utilization(), 0.5);
+  EXPECT_EQ(s.queries_served_this_epoch(), 0u);  // counters rolled
+  EXPECT_EQ(s.queries_served_last_epoch(), 5u);
+}
+
+TEST(ServerTest, MeanUtilizationStartsAtPriorAndConvergesSlowly) {
+  Server s = MakeServer(1000, 300, 100, 10);
+  EXPECT_DOUBLE_EQ(s.mean_utilization(), 0.5);  // previous-month prior
+  ASSERT_TRUE(s.ReserveStorage(500).ok());      // 50% storage
+  for (int i = 0; i < 20; ++i) {
+    s.ServeQueries(10);  // 100% queries
+    s.BeginEpoch();
+  }
+  // Monthly time constant: after 20 epochs the mean has barely moved —
+  // that slowness is what keeps Eq. 1's congestion signal pointing the
+  // right way (see server.cc).
+  EXPECT_NEAR(s.mean_utilization(), 0.5, 0.02);
+  EXPECT_EQ(s.age_epochs(), 20);
+  // After a few thousand epochs it approaches the true mean 0.75.
+  for (int i = 0; i < 3000; ++i) {
+    s.ServeQueries(10);
+    s.BeginEpoch();
+  }
+  EXPECT_NEAR(s.mean_utilization(), 0.75, 0.05);
+}
+
+TEST(ServerTest, ZeroCapacityEdge) {
+  ServerResources res;
+  res.storage_capacity = 0;
+  res.query_capacity_per_epoch = 0;
+  Server s(0, Location::Of(0, 0, 0, 0, 0, 0), res, ServerEconomics{});
+  EXPECT_DOUBLE_EQ(s.storage_utilization(), 1.0);
+  EXPECT_EQ(s.ServeQueries(3), 0u);
+  s.BeginEpoch();
+  EXPECT_DOUBLE_EQ(s.query_utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace skute

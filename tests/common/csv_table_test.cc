@@ -1,0 +1,102 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "skute/common/csv.h"
+#include "skute/common/logging.h"
+#include "skute/common/table.h"
+#include "skute/common/units.h"
+
+namespace skute {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.Header({"epoch", "vnodes"});
+  csv.Field(int64_t{1}).Field(uint64_t{7}).EndRow();
+  EXPECT_EQ(out.str(), "epoch,vnodes\n1,7\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.Field("a,b").Field("say \"hi\"").EndRow();
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, DoubleFormatting) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.Field(0.5).Field(1e6).EndRow();
+  EXPECT_EQ(out.str(), "0.5,1e+06\n");
+}
+
+TEST(CsvWriterTest, NegativeIntegers) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.Field(int64_t{-3}).EndRow();
+  EXPECT_EQ(out.str(), "-3\n");
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable t({"ring", "vnodes"});
+  t.AddRow({"0", "1600"});
+  t.AddRow({"long-ring-name", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("ring"), std::string::npos);
+  EXPECT_NE(s.find("long-ring-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTableTest, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NO_FATAL_FAILURE(t.ToString());
+}
+
+TEST(AsciiTableTest, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Num(uint64_t{42}), "42");
+  EXPECT_EQ(AsciiTable::Num(int64_t{-42}), "-42");
+}
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kMiB, 1048576u);
+  EXPECT_EQ(kMB, 1000000u);
+  EXPECT_EQ(kGB, 1000u * kMB);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(kMiB), "1.0 MiB");
+  EXPECT_EQ(FormatBytes(kGiB + kGiB / 2), "1.5 GiB");
+}
+
+TEST(LoggingTest, SinkCapturesAboveLevel) {
+  std::string sink;
+  Logging::SetSink(&sink);
+  Logging::SetLevel(LogLevel::kWarning);
+  SKUTE_LOG(kInfo) << "hidden";
+  SKUTE_LOG(kWarning) << "shown " << 42;
+  Logging::SetSink(nullptr);
+  Logging::SetLevel(LogLevel::kWarning);
+  EXPECT_EQ(sink, "WARN: shown 42\n");
+}
+
+TEST(LoggingTest, LevelFilterIsInclusive) {
+  std::string sink;
+  Logging::SetSink(&sink);
+  Logging::SetLevel(LogLevel::kDebug);
+  SKUTE_LOG(kDebug) << "d";
+  SKUTE_LOG(kError) << "e";
+  Logging::SetSink(nullptr);
+  Logging::SetLevel(LogLevel::kWarning);
+  EXPECT_NE(sink.find("DEBUG: d"), std::string::npos);
+  EXPECT_NE(sink.find("ERROR: e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,294 @@
+#include "skute/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t x = rng.NextUint64();
+  uint64_t y = rng.NextUint64();
+  EXPECT_NE(x, y);  // not stuck at a fixed point
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(rng.NextDoubleOpen(), 0.0);
+    ASSERT_LE(rng.NextDoubleOpen(), 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++seen[rng.UniformInt(0, 7)];
+  }
+  for (int count : seen) {
+    // Expected 1000 each; loose 5-sigma bound.
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double lambda = GetParam();
+  Rng rng(37);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>(rng.Poisson(lambda));
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  // Poisson: mean == variance == lambda. 5% relative tolerance.
+  EXPECT_NEAR(mean, lambda, std::max(0.05, lambda * 0.05));
+  EXPECT_NEAR(var, lambda, std::max(0.3, lambda * 0.10));
+}
+
+// Covers the Knuth branch (<256) and the Gaussian branch (>=256),
+// including the paper's lambda=3000 and the Slashdot peak 183000.
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMeanTest,
+                         ::testing::Values(0.5, 3.0, 50.0, 255.0, 256.0,
+                                           3000.0, 183000.0));
+
+TEST(PoissonTest, ZeroAndNegativeMeanGiveZero) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+  EXPECT_EQ(rng.Poisson(-5.0), 0u);
+}
+
+TEST(ParetoTest, NeverBelowScale) {
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(ParetoTest, MeanMatchesForShapeAbove1) {
+  Rng rng(47);
+  // shape 3, scale 1 -> mean 1.5; finite variance so the SLLN bites fast.
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.02);
+}
+
+TEST(ParetoTest, PaperSpecIsHeavyTailed) {
+  // Pareto(1, 50) read as mean 50: a substantial fraction of total mass
+  // sits in the top 10% of draws.
+  Rng rng(53);
+  std::vector<double> draws(2000);
+  for (double& d : draws) d = rng.Pareto(1.0, 50.0 / 49.0);
+  std::sort(draws.begin(), draws.end());
+  const double total = std::accumulate(draws.begin(), draws.end(), 0.0);
+  const double top10 =
+      std::accumulate(draws.end() - 200, draws.end(), 0.0);
+  EXPECT_GT(top10 / total, 0.5);  // heavy tail: top 10% > half the mass
+}
+
+TEST(BoundedParetoTest, RespectsBothBounds) {
+  Rng rng(59);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.BoundedPareto(1.0, 1.2, 100.0);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(BoundedParetoTest, DegenerateCapReturnsScale) {
+  Rng rng(61);
+  EXPECT_EQ(rng.BoundedPareto(5.0, 1.2, 5.0), 5.0);
+  EXPECT_EQ(rng.BoundedPareto(5.0, 1.2, 1.0), 5.0);
+}
+
+TEST(ZipfTest, RanksWithinDomain) {
+  Rng rng(67);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.Zipf(100, 1.0), 100u);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(71);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(73);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(79);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(83);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(89);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(97);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(CdfSamplerTest, MatchesWeights) {
+  const std::vector<double> weights{2.0, 1.0, 1.0};
+  CdfSampler sampler(weights);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 4.0);
+  Rng rng(101);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000.0, 0.5, 0.02);
+}
+
+TEST(CdfSamplerTest, NegativeWeightsTreatedAsZero) {
+  CdfSampler sampler({-1.0, 2.0});
+  Rng rng(103);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(sampler.Sample(&rng), 1u);
+  }
+}
+
+TEST(CdfSamplerTest, AllZeroWeights) {
+  CdfSampler sampler({0.0, 0.0});
+  Rng rng(107);
+  EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,168 @@
+#include "skute/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "skute/common/histogram.h"
+
+namespace skute {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(CoefficientOfVariationTest, UniformIsZero) {
+  EXPECT_EQ(CoefficientOfVariation({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(CoefficientOfVariationTest, KnownValue) {
+  // mean 2, population stddev sqrt(2/3)
+  EXPECT_NEAR(CoefficientOfVariation({1.0, 2.0, 3.0}),
+              std::sqrt(2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(CoefficientOfVariationTest, EmptyAndZeroMean) {
+  EXPECT_EQ(CoefficientOfVariation({}), 0.0);
+  EXPECT_EQ(CoefficientOfVariation({0.0, 0.0}), 0.0);
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({3.0, 3.0, 3.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, TotalConcentrationApproachesOne) {
+  // One holder of everything among many: G = (n-1)/n.
+  std::vector<double> v(10, 0.0);
+  v[9] = 100.0;
+  EXPECT_NEAR(GiniCoefficient(v), 0.9, 1e-12);
+}
+
+TEST(GiniTest, OrderIndependent) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({1.0, 5.0, 3.0}),
+                   GiniCoefficient({5.0, 3.0, 1.0}));
+}
+
+TEST(GiniTest, EmptyAndZeroTotals) {
+  EXPECT_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+}
+
+TEST(PeakToAverageTest, BalancedIsOne) {
+  EXPECT_DOUBLE_EQ(PeakToAverage({4.0, 4.0, 4.0}), 1.0);
+}
+
+TEST(PeakToAverageTest, KnownSkew) {
+  EXPECT_DOUBLE_EQ(PeakToAverage({0.0, 0.0, 9.0}), 3.0);
+}
+
+TEST(PeakToAverageTest, EmptyIsZero) {
+  EXPECT_EQ(PeakToAverage({}), 0.0);
+}
+
+TEST(HistogramTest, EmptyDefaults) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+}
+
+TEST(HistogramTest, PercentileAfterMoreAdds) {
+  Histogram h;
+  h.Add(10.0);
+  EXPECT_EQ(h.Percentile(50), 10.0);
+  h.Add(20.0);  // invalidates the sorted cache
+  EXPECT_EQ(h.Percentile(100), 20.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5.0);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,111 @@
+// Tests for the communication-overhead accounting (CommStats), the
+// future-work metric the store maintains at its real call sites.
+
+#include <gtest/gtest.h>
+
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+class CommStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 2;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, ServerResources{}, ServerEconomics{});
+    }
+    SkuteOptions options;
+    options.track_real_data = false;
+    store_ = std::make_unique<SkuteStore>(&cluster_, options);
+    const AppId app = store_->CreateApplication("comm");
+    ring_ = store_->AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 2)
+                .value();
+  }
+
+  Cluster cluster_{PricingParams{}};
+  std::unique_ptr<SkuteStore> store_;
+  RingId ring_ = 0;
+};
+
+TEST_F(CommStatsTest, BoardBroadcastPerOnlineServer) {
+  store_->BeginEpoch();
+  EXPECT_EQ(store_->comm_this_epoch().board_msgs, 16u);
+  store_->EndEpoch();
+  ASSERT_TRUE(cluster_.FailServer(0).ok());
+  store_->HandleServerFailure(0);
+  store_->BeginEpoch();
+  EXPECT_EQ(store_->comm_this_epoch().board_msgs, 15u);
+}
+
+TEST_F(CommStatsTest, QueriesCounted) {
+  store_->BeginEpoch();
+  Partition* p = store_->catalog().ring(ring_)->partitions()[0].get();
+  store_->RouteQueriesToPartition(p, 25);
+  EXPECT_EQ(store_->comm_this_epoch().query_msgs, 25u);
+}
+
+TEST_F(CommStatsTest, WriteFanOutCountsLiveReplicas) {
+  store_->BeginEpoch();
+  store_->EndEpoch();  // repair to 2 replicas
+  store_->BeginEpoch();
+  const uint64_t before = store_->comm_this_epoch().consistency_msgs;
+  Partition* p = store_->catalog().ring(ring_)->partitions()[0].get();
+  ASSERT_TRUE(
+      store_->PutSynthetic(ring_, p->range().begin, 1000).ok());
+  const uint64_t fan_out =
+      store_->comm_this_epoch().consistency_msgs - before;
+  EXPECT_EQ(fan_out, p->replica_count());
+  EXPECT_EQ(store_->comm_this_epoch().consistency_bytes,
+            1000u * p->replica_count());
+}
+
+TEST_F(CommStatsTest, RepairTransfersCounted) {
+  store_->BeginEpoch();
+  ASSERT_TRUE(store_->PutSynthetic(ring_, 1, 5000).ok());
+  store_->EndEpoch();  // repair replicates the 2nd copy
+  EXPECT_GT(store_->comm_this_epoch().transfer_msgs, 0u);
+  EXPECT_GT(store_->comm_this_epoch().transfer_bytes, 0u);
+  EXPECT_GT(store_->comm_this_epoch().control_msgs, 0u);
+}
+
+TEST_F(CommStatsTest, EpochCountersResetTotalsAccumulate) {
+  store_->BeginEpoch();
+  Partition* p = store_->catalog().ring(ring_)->partitions()[0].get();
+  store_->RouteQueriesToPartition(p, 10);
+  store_->EndEpoch();
+  const uint64_t total_after_first = store_->comm_total().query_msgs;
+  EXPECT_EQ(total_after_first, 10u);
+  store_->BeginEpoch();
+  EXPECT_EQ(store_->comm_this_epoch().query_msgs, 0u);  // reset
+  store_->RouteQueriesToPartition(p, 5);
+  store_->EndEpoch();
+  EXPECT_EQ(store_->comm_total().query_msgs, 15u);  // accumulated
+}
+
+TEST_F(CommStatsTest, TotalMsgsSumsClasses) {
+  CommStats stats;
+  stats.board_msgs = 1;
+  stats.query_msgs = 2;
+  stats.consistency_msgs = 3;
+  stats.transfer_msgs = 4;
+  stats.control_msgs = 5;
+  EXPECT_EQ(stats.TotalMsgs(), 15u);
+  CommStats other = stats;
+  stats.Accumulate(other);
+  EXPECT_EQ(stats.TotalMsgs(), 30u);
+  stats.Clear();
+  EXPECT_EQ(stats.TotalMsgs(), 0u);
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,288 @@
+#include "skute/core/decision.h"
+
+#include <gtest/gtest.h>
+
+#include "skute/core/store.h"
+#include "skute/economy/availability.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+// Fixture: a 16-server cloud, one store with one 4-partition ring at the
+// 2-replica SLA, prices published. Tests drive the decision engine
+// directly for fine-grained control.
+class DecisionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 2;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, ServerResources{}, ServerEconomics{});
+    }
+    ring_ = catalog_.CreateRing(0, 4).value();
+    cluster_.BeginEpoch();
+    policies_.resize(1);
+    policies_[0].min_availability =
+        AvailabilityModel::ThresholdForReplicas(2, 1.0);
+  }
+
+  ServerId At(uint32_t c, uint32_t n, uint32_t k, uint32_t s) {
+    const Location want = Location::Of(c, n, 0, 0, k, s);
+    for (ServerId id = 0; id < cluster_.size(); ++id) {
+      if (cluster_.server(id)->location() == want) return id;
+    }
+    return kInvalidServer;
+  }
+
+  VirtualNode* AddReplica(Partition* p, ServerId server) {
+    const VNodeId vid = catalog_.AllocateVNodeId();
+    (void)p->AddReplica(server, vid, 0);
+    return vnodes_.Create(vid, p->id(), p->ring(), server, 0);
+  }
+
+  Cluster cluster_{PricingParams{}};
+  RingCatalog catalog_;
+  VNodeRegistry vnodes_{4};
+  RingId ring_ = 0;
+  std::vector<RingPolicy> policies_;
+  DecisionParams params_;
+};
+
+TEST_F(DecisionTest, RepairProposesReplicationBelowThreshold) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));  // one replica: availability 0 < th
+  DecisionEngine engine(params_);
+  const auto actions = engine.RepairPass(cluster_, catalog_, policies_);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].type, ActionType::kReplicate);
+  EXPECT_EQ(actions[0].partition, p->id());
+  // Best Eq. 3 target for a lone replica is the other continent.
+  EXPECT_EQ(cluster_.server(actions[0].target)->location().continent(),
+            1u);
+}
+
+TEST_F(DecisionTest, RepairSilentWhenSatisfied) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  AddReplica(p, At(1, 0, 0, 0));  // availability 63 >= th(2)=31.5
+  DecisionEngine engine(params_);
+  EXPECT_TRUE(engine.RepairPass(cluster_, catalog_, policies_).empty());
+}
+
+TEST_F(DecisionTest, RepairProposesMultipleStepsForHighSla) {
+  policies_[0].min_availability =
+      AvailabilityModel::ThresholdForReplicas(4, 1.0);  // needs 4 replicas
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  DecisionEngine engine(params_);
+  const auto actions = engine.RepairPass(cluster_, catalog_, policies_);
+  EXPECT_EQ(actions.size(), 3u);  // hypothetical set grows to 4 replicas
+  // All targets distinct and distinct from the source replica.
+  for (size_t i = 0; i < actions.size(); ++i) {
+    for (size_t j = i + 1; j < actions.size(); ++j) {
+      EXPECT_NE(actions[i].target, actions[j].target);
+    }
+    EXPECT_NE(actions[i].target, At(0, 0, 0, 0));
+  }
+}
+
+TEST_F(DecisionTest, RepairStepsCappedByParams) {
+  params_.max_repair_steps_per_epoch = 1;
+  policies_[0].min_availability =
+      AvailabilityModel::ThresholdForReplicas(4, 1.0);
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  DecisionEngine engine(params_);
+  EXPECT_EQ(engine.RepairPass(cluster_, catalog_, policies_).size(), 1u);
+}
+
+TEST_F(DecisionTest, RepairSkipsLostPartitions) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  ASSERT_TRUE(cluster_.FailServer(At(0, 0, 0, 0)).ok());
+  DecisionEngine engine(params_);
+  // No live replica -> no source -> no proposal (partition 0 lost; other
+  // partitions have no replicas at all and no policy obligation... they
+  // have zero replicas and are equally unrepairable).
+  EXPECT_TRUE(engine.RepairPass(cluster_, catalog_, policies_).empty());
+}
+
+TEST_F(DecisionTest, RepairHonorsReplicaCap) {
+  params_.max_replicas_per_partition = 1;
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  DecisionEngine engine(params_);
+  EXPECT_TRUE(engine.RepairPass(cluster_, catalog_, policies_).empty());
+}
+
+TEST_F(DecisionTest, NegativeStreakSuicidesWhenRedundant) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  AddReplica(p, At(1, 0, 0, 0));
+  VirtualNode* extra = AddReplica(p, At(0, 1, 0, 0));
+  // avail(all three) >= th; without `extra` still 63 >= th(2).
+  for (int i = 0; i < params_.balance_window; ++i) {
+    extra->balance.Record(-0.5);
+  }
+  DecisionEngine engine(params_);
+  const auto actions = engine.EconomicPass(cluster_, catalog_, vnodes_,
+                                           policies_, {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].type, ActionType::kSuicide);
+  EXPECT_EQ(actions[0].vnode, extra->id);
+  EXPECT_EQ(actions[0].source, extra->server);
+}
+
+TEST_F(DecisionTest, NegativeStreakMigratesWhenSuicideWouldViolateSla) {
+  Partition* p = catalog_.partition(0);
+  // Two replicas exactly meeting th: killing either violates the SLA, so
+  // a negative-balance vnode must migrate instead — and only if a cheaper
+  // server exists. Make the current server expensive via price history.
+  const ServerId a = At(0, 0, 0, 0);
+  const ServerId b = At(1, 0, 0, 0);
+  AddReplica(p, a);
+  VirtualNode* v = AddReplica(p, b);
+  // Inflate b's rent: heavy query usage -> high Eq. 1 load terms.
+  Server* sb = cluster_.server(b);
+  sb->ServeQueries(sb->resources().query_capacity_per_epoch);
+  cluster_.BeginEpoch();  // publishes higher rent for b
+  for (int i = 0; i < params_.balance_window; ++i) {
+    v->balance.Record(-0.5);
+  }
+  DecisionEngine engine(params_);
+  const auto actions = engine.EconomicPass(cluster_, catalog_, vnodes_,
+                                           policies_, {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].type, ActionType::kMigrate);
+  EXPECT_EQ(actions[0].source, b);
+  EXPECT_NE(actions[0].target, a);
+  EXPECT_NE(actions[0].target, b);
+  // The migration target must preserve the SLA: it stays on continent 1
+  // (or anywhere at diversity >= th from a).
+  const double avail_after = AvailabilityModel::OfServerIdsWith(
+      cluster_, {a}, actions[0].target);
+  EXPECT_GE(avail_after, policies_[0].min_availability);
+}
+
+TEST_F(DecisionTest, NoActionWithoutStreak) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  VirtualNode* v = AddReplica(p, At(1, 0, 0, 0));
+  v->balance.Record(-0.5);  // streak not complete
+  DecisionEngine engine(params_);
+  EXPECT_TRUE(
+      engine.EconomicPass(cluster_, catalog_, vnodes_, policies_, {})
+          .empty());
+}
+
+TEST_F(DecisionTest, PositiveStreakReplicatesWhenProfitable) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  VirtualNode* v = AddReplica(p, At(1, 0, 0, 0));
+  for (int i = 0; i < params_.balance_window; ++i) {
+    v->balance.Record(5.0);
+  }
+  PartitionStatsMap stats;
+  stats[p->id()].queries = 10000;  // plenty of demand
+  DecisionEngine engine(params_);
+  const auto actions =
+      engine.EconomicPass(cluster_, catalog_, vnodes_, policies_, stats);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].type, ActionType::kReplicate);
+  EXPECT_EQ(actions[0].partition, p->id());
+}
+
+TEST_F(DecisionTest, PositiveStreakDoesNotReplicateWithoutDemand) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  VirtualNode* v = AddReplica(p, At(1, 0, 0, 0));
+  for (int i = 0; i < params_.balance_window; ++i) {
+    v->balance.Record(5.0);
+  }
+  PartitionStatsMap stats;
+  stats[p->id()].queries = 3;  // projected share cannot cover rent
+  DecisionEngine engine(params_);
+  EXPECT_TRUE(
+      engine.EconomicPass(cluster_, catalog_, vnodes_, policies_, stats)
+          .empty());
+}
+
+TEST_F(DecisionTest, WriteHeavyPartitionHesitatesToReplicate) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  VirtualNode* v = AddReplica(p, At(1, 0, 0, 0));
+  for (int i = 0; i < params_.balance_window; ++i) {
+    v->balance.Record(5.0);
+  }
+  PartitionStatsMap stats;
+  stats[p->id()].queries = 600;
+  stats[p->id()].write_bytes = 0;
+  DecisionEngine base_engine(params_);
+  ASSERT_EQ(base_engine
+                .EconomicPass(cluster_, catalog_, vnodes_, policies_, stats)
+                .size(),
+            1u);
+  // Same demand but enormous write traffic: consistency cost wins.
+  stats[p->id()].write_bytes = 1000 * kMB;
+  ASSERT_TRUE(base_engine
+                  .EconomicPass(cluster_, catalog_, vnodes_, policies_,
+                                stats)
+                  .empty());
+}
+
+TEST_F(DecisionTest, ReplicaCapBlocksEconomicReplication) {
+  params_.max_replicas_per_partition = 2;
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  VirtualNode* v = AddReplica(p, At(1, 0, 0, 0));
+  for (int i = 0; i < params_.balance_window; ++i) {
+    v->balance.Record(5.0);
+  }
+  PartitionStatsMap stats;
+  stats[p->id()].queries = 10000;
+  DecisionEngine engine(params_);
+  EXPECT_TRUE(
+      engine.EconomicPass(cluster_, catalog_, vnodes_, policies_, stats)
+          .empty());
+}
+
+TEST_F(DecisionTest, UnderReplicatedPartitionLeftToRepairPass) {
+  Partition* p = catalog_.partition(0);
+  VirtualNode* v = AddReplica(p, At(0, 0, 0, 0));  // below th
+  for (int i = 0; i < params_.balance_window; ++i) {
+    v->balance.Record(-5.0);
+  }
+  DecisionEngine engine(params_);
+  // The economic pass must not suicide/migrate an under-replicated
+  // partition's last replica.
+  EXPECT_TRUE(
+      engine.EconomicPass(cluster_, catalog_, vnodes_, policies_, {})
+          .empty());
+}
+
+TEST_F(DecisionTest, OneActionPerPartitionPerEpoch) {
+  Partition* p = catalog_.partition(0);
+  AddReplica(p, At(0, 0, 0, 0));
+  AddReplica(p, At(1, 0, 0, 0));
+  VirtualNode* e1 = AddReplica(p, At(0, 1, 0, 0));
+  VirtualNode* e2 = AddReplica(p, At(1, 1, 0, 0));
+  for (int i = 0; i < params_.balance_window; ++i) {
+    e1->balance.Record(-0.5);
+    e2->balance.Record(-0.5);
+  }
+  DecisionEngine engine(params_);
+  const auto actions = engine.EconomicPass(cluster_, catalog_, vnodes_,
+                                           policies_, {});
+  EXPECT_EQ(actions.size(), 1u);  // not two suicides at once
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,160 @@
+#include "skute/core/router.h"
+
+#include <gtest/gtest.h>
+
+#include "skute/common/hash.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 2;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    ServerResources res;
+    res.storage_capacity = 64 * kMiB;
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, res, ServerEconomics{});
+    }
+    SkuteOptions options;
+    options.max_partition_bytes = 4 * kMiB;
+    options.track_real_data = false;
+    store_ = std::make_unique<SkuteStore>(&cluster_, options);
+    const AppId app = store_->CreateApplication("routed");
+    ring_ = store_->AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 8)
+                .value();
+  }
+
+  Cluster cluster_{PricingParams{}};
+  std::unique_ptr<SkuteStore> store_;
+  RingId ring_ = 0;
+};
+
+TEST_F(RouterTest, AgreesWithCatalogRouting) {
+  Router router(store_.get());
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t h = rng.NextUint64();
+    auto route = router.LookupHash(ring_, h);
+    ASSERT_TRUE(route.ok());
+    const Partition* expected = store_->catalog().FindPartition(ring_, h);
+    ASSERT_NE(expected, nullptr);
+    EXPECT_EQ(route->partition, expected->id());
+  }
+}
+
+TEST_F(RouterTest, LookupByKeyHashesConsistently) {
+  Router router(store_.get());
+  auto by_key = router.Lookup(ring_, "user:7");
+  auto by_hash = router.LookupHash(ring_, Hash64("user:7"));
+  ASSERT_TRUE(by_key.ok());
+  ASSERT_TRUE(by_hash.ok());
+  EXPECT_EQ(by_key->partition, by_hash->partition);
+}
+
+TEST_F(RouterTest, CachesUntilPlacementChanges) {
+  Router router(store_.get());
+  ASSERT_TRUE(router.LookupHash(ring_, 1).ok());  // first: refresh
+  ASSERT_TRUE(router.LookupHash(ring_, 2).ok());
+  ASSERT_TRUE(router.LookupHash(ring_, 3).ok());
+  EXPECT_EQ(router.refreshes(), 1u);
+  EXPECT_EQ(router.cache_hits(), 2u);
+}
+
+TEST_F(RouterTest, RepairInvalidatesSnapshot) {
+  Router router(store_.get());
+  auto before = router.LookupHash(ring_, 42);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->replicas.size(), 1u);  // startup: single replica
+
+  // Run the economy until the 2-replica SLA is met.
+  for (int i = 0; i < 10; ++i) {
+    store_->BeginEpoch();
+    store_->EndEpoch();
+  }
+  auto after = router.LookupHash(ring_, 42);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after->replicas.size(), 2u);  // snapshot refreshed
+  EXPECT_GE(router.refreshes(), 2u);
+  EXPECT_EQ(router.snapshot_version(), store_->placement_version());
+}
+
+TEST_F(RouterTest, SplitInvalidatesSnapshot) {
+  Router router(store_.get());
+  ASSERT_TRUE(router.LookupHash(ring_, 0).ok());
+  const uint64_t version_before = router.snapshot_version();
+  // Push one partition over the 4 MiB cap.
+  Rng rng(5);
+  store_->BeginEpoch();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        store_->PutSynthetic(ring_, rng.NextUint64(), 512 * 1024).ok());
+  }
+  ASSERT_GT(store_->catalog().ring(ring_)->partition_count(), 8u);
+  ASSERT_TRUE(router.LookupHash(ring_, 0).ok());
+  EXPECT_NE(router.snapshot_version(), version_before);
+  // Snapshot agrees with the post-split catalog everywhere.
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t h = rng.NextUint64();
+    auto route = router.LookupHash(ring_, h);
+    ASSERT_TRUE(route.ok());
+    EXPECT_EQ(route->partition,
+              store_->catalog().FindPartition(ring_, h)->id());
+  }
+}
+
+TEST_F(RouterTest, FailureInvalidatesSnapshot) {
+  Router router(store_.get());
+  ASSERT_TRUE(router.LookupHash(ring_, 9).ok());
+  const uint64_t version_before = router.snapshot_version();
+  // Find a server hosting something and fail it.
+  const std::vector<uint32_t> counts = store_->VNodesPerServer();
+  ServerId victim = 0;
+  for (ServerId id = 0; id < counts.size(); ++id) {
+    if (counts[id] > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(cluster_.FailServer(victim).ok());
+  store_->HandleServerFailure(victim);
+  ASSERT_TRUE(router.LookupHash(ring_, 9).ok());
+  EXPECT_NE(router.snapshot_version(), version_before);
+  // No route lists the dead server anymore.
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    auto route = router.LookupHash(ring_, rng.NextUint64());
+    ASSERT_TRUE(route.ok());
+    for (ServerId s : route->replicas) {
+      EXPECT_NE(s, victim);
+    }
+  }
+}
+
+TEST_F(RouterTest, UnknownRingRejected) {
+  Router router(store_.get());
+  EXPECT_TRUE(router.LookupHash(99, 0).status().IsNotFound());
+}
+
+TEST_F(RouterTest, MultipleRingsRoutedIndependently) {
+  const RingId second =
+      store_->AttachRing(0, SlaLevel::ForReplicas(3, 1.0), 4).value();
+  Router router(store_.get());
+  auto a = router.LookupHash(ring_, 12345);
+  auto b = router.LookupHash(second, 12345);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->partition, b->partition);  // global partition ids differ
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,192 @@
+// Tests for split-sibling re-placement (SkuteStore::PlaceSiblingReplicas)
+// — the Fig. 5 mechanism that exports half of a splitting partition's
+// bytes through Eq. 3 instead of pinning the lineage to its servers.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "skute/common/hash.h"
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+#include "skute/workload/insertgen.h"
+
+namespace skute {
+namespace {
+
+class SplitPlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 2;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    ServerResources res;
+    res.storage_capacity = 256 * kMiB;
+    res.replication_bw_per_epoch = 300 * kMB;
+    res.migration_bw_per_epoch = 100 * kMB;
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, res, ServerEconomics{});
+    }
+    SkuteOptions options;
+    options.max_partition_bytes = 8 * kMiB;
+    options.track_real_data = false;
+    store_ = std::make_unique<SkuteStore>(&cluster_, options);
+    const AppId app = store_->CreateApplication("split-test");
+    ring_ = store_->AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 1)
+                .value();
+    // Converge to the SLA before loading.
+    for (int i = 0; i < 10; ++i) {
+      store_->BeginEpoch();
+      store_->EndEpoch();
+    }
+  }
+
+  /// Whole-cloud storage accounting invariant.
+  void CheckAccounting() {
+    uint64_t expected = 0;
+    store_->catalog().ForEachPartition([&](const Partition* p) {
+      for (const ReplicaInfo& r : p->replicas()) {
+        const Server* s = cluster_.server(r.server);
+        ASSERT_NE(s, nullptr);
+        expected += p->bytes();
+      }
+    });
+    EXPECT_EQ(cluster_.TotalUsedStorage(), expected);
+  }
+
+  Cluster cluster_{PricingParams{}};
+  std::unique_ptr<SkuteStore> store_;
+  RingId ring_ = 0;
+};
+
+TEST_F(SplitPlacementTest, AccountingSurvivesManySplits) {
+  Rng rng(3);
+  store_->BeginEpoch();
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        store_->PutSynthetic(ring_, rng.NextUint64(), 256 * 1024).ok());
+  }
+  EXPECT_GT(store_->catalog().ring(ring_)->partition_count(), 8u);
+  CheckAccounting();
+}
+
+TEST_F(SplitPlacementTest, SiblingsSpreadAcrossServers) {
+  Rng rng(5);
+  store_->BeginEpoch();
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        store_->PutSynthetic(ring_, rng.NextUint64(), 256 * 1024).ok());
+  }
+  // Count distinct servers hosting the ring: with re-placement, the
+  // lineage must NOT be pinned to the 2 original servers.
+  std::set<ServerId> servers;
+  for (const auto& p : store_->catalog().ring(ring_)->partitions()) {
+    for (const ReplicaInfo& r : p->replicas()) servers.insert(r.server);
+  }
+  EXPECT_GT(servers.size(), 2u);
+}
+
+TEST_F(SplitPlacementTest, BandwidthExhaustionFallsBackToMirroring) {
+  // Saturate every server's replication budget: the sibling must mirror
+  // in place (no transfer possible) and accounting must still hold.
+  for (ServerId id = 0; id < cluster_.size(); ++id) {
+    cluster_.server(id)->ChargeReplication(100 * kGB);
+  }
+  Partition* p =
+      store_->catalog().ring(ring_)->partitions().front().get();
+  const std::set<ServerId> before = [&] {
+    std::set<ServerId> s;
+    for (const ReplicaInfo& r : p->replicas()) s.insert(r.server);
+    return s;
+  }();
+
+  Rng rng(7);
+  store_->BeginEpoch();
+  // BeginEpoch paid down one epoch of budget; re-saturate.
+  for (ServerId id = 0; id < cluster_.size(); ++id) {
+    cluster_.server(id)->ChargeReplication(100 * kGB);
+  }
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(store_->PutSynthetic(
+                        ring_, SampleHashInRange(p->range(), &rng),
+                        256 * 1024)
+                    .ok());
+  }
+  // All partitions of the lineage still live on the original servers.
+  std::set<ServerId> after;
+  for (const auto& part : store_->catalog().ring(ring_)->partitions()) {
+    for (const ReplicaInfo& r : part->replicas()) after.insert(r.server);
+  }
+  for (ServerId id : after) {
+    EXPECT_TRUE(before.count(id) > 0) << "unexpected transfer to " << id;
+  }
+  CheckAccounting();
+}
+
+TEST_F(SplitPlacementTest, SiblingRespectsAdmissionCap) {
+  // Fill all servers except the parent's to just under the admission
+  // cap; siblings must not be placed past it.
+  Partition* p =
+      store_->catalog().ring(ring_)->partitions().front().get();
+  std::set<ServerId> parents;
+  for (const ReplicaInfo& r : p->replicas()) parents.insert(r.server);
+  const double cap =
+      store_->options().decision.candidate.max_target_storage_utilization;
+  for (ServerId id = 0; id < cluster_.size(); ++id) {
+    if (parents.count(id) > 0) continue;
+    Server* s = cluster_.server(id);
+    const uint64_t fill = static_cast<uint64_t>(
+        cap * static_cast<double>(s->resources().storage_capacity));
+    ASSERT_TRUE(s->ReserveStorage(fill).ok());
+  }
+  Rng rng(9);
+  store_->BeginEpoch();
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(store_->PutSynthetic(
+                        ring_, SampleHashInRange(p->range(), &rng),
+                        256 * 1024)
+                    .ok());
+  }
+  for (ServerId id = 0; id < cluster_.size(); ++id) {
+    const Server* s = cluster_.server(id);
+    EXPECT_LE(s->storage_utilization(), cap + 0.02)
+        << "server " << id << " crammed past the admission cap";
+  }
+}
+
+TEST_F(SplitPlacementTest, RealDataSurvivesReplacedSplits) {
+  SkuteOptions options;
+  options.max_partition_bytes = 2 * kMiB;
+  options.track_real_data = true;
+  SkuteStore real_store(&cluster_, options);
+  const AppId app = real_store.CreateApplication("real");
+  const RingId ring =
+      real_store.AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 1).value();
+  for (int i = 0; i < 10; ++i) {
+    real_store.BeginEpoch();
+    real_store.EndEpoch();
+  }
+  std::vector<std::string> keys;
+  real_store.BeginEpoch();
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "doc-" + std::to_string(i);
+    ASSERT_TRUE(
+        real_store.Put(ring, key, std::string(64 * 1024, 'd')).ok());
+    keys.push_back(key);
+  }
+  ASSERT_GT(real_store.catalog().ring(ring)->partition_count(), 1u);
+  for (const std::string& key : keys) {
+    auto v = real_store.Get(ring, key);
+    ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+    EXPECT_EQ(v->size(), 64u * 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace skute

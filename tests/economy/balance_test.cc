@@ -1,0 +1,102 @@
+#include "skute/economy/balance.h"
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(QueryUtilityTest, ProportionalToQueriesAndProximity) {
+  UtilityParams params;
+  params.value_per_query = 0.01;
+  EXPECT_DOUBLE_EQ(QueryUtility(100, 1.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(QueryUtility(100, 2.0, params), 2.0);
+  EXPECT_DOUBLE_EQ(QueryUtility(0, 5.0, params), 0.0);
+}
+
+TEST(QueryUtilityTest, LiteralDivideByProximityAblation) {
+  UtilityParams params;
+  params.value_per_query = 0.01;
+  params.divide_by_proximity = true;
+  EXPECT_DOUBLE_EQ(QueryUtility(100, 2.0, params), 0.5);
+  // Guard against division by zero.
+  EXPECT_DOUBLE_EQ(QueryUtility(100, 0.0, params), 1.0);
+}
+
+TEST(BalanceTrackerTest, NoStreakBeforeWindowFills) {
+  BalanceTracker t(3);
+  t.Record(-1.0);
+  t.Record(-1.0);
+  EXPECT_FALSE(t.NegativeStreak());
+  t.Record(-1.0);
+  EXPECT_TRUE(t.NegativeStreak());
+}
+
+TEST(BalanceTrackerTest, PositiveStreak) {
+  BalanceTracker t(2);
+  t.Record(0.5);
+  t.Record(0.5);
+  EXPECT_TRUE(t.PositiveStreak());
+  EXPECT_FALSE(t.NegativeStreak());
+}
+
+TEST(BalanceTrackerTest, ZeroBreaksBothStreaks) {
+  // The utility floor produces exact zeros on the cheapest server; zero
+  // must break a negative streak (the paper's anti-churn rule).
+  BalanceTracker t(2);
+  t.Record(-1.0);
+  t.Record(0.0);
+  EXPECT_FALSE(t.NegativeStreak());
+  EXPECT_FALSE(t.PositiveStreak());
+}
+
+TEST(BalanceTrackerTest, MixedSignsNoStreak) {
+  BalanceTracker t(3);
+  t.Record(-1.0);
+  t.Record(1.0);
+  t.Record(-1.0);
+  EXPECT_FALSE(t.NegativeStreak());
+  EXPECT_FALSE(t.PositiveStreak());
+}
+
+TEST(BalanceTrackerTest, WindowSlides) {
+  BalanceTracker t(2);
+  t.Record(1.0);
+  t.Record(-1.0);
+  t.Record(-2.0);
+  EXPECT_TRUE(t.NegativeStreak());  // the old +1 slid out
+  EXPECT_DOUBLE_EQ(t.last(), -2.0);
+}
+
+TEST(BalanceTrackerTest, ResetClearsHistoryNotLifetime) {
+  BalanceTracker t(2);
+  t.Record(-1.0);
+  t.Record(-1.0);
+  EXPECT_TRUE(t.NegativeStreak());
+  t.Reset();
+  EXPECT_FALSE(t.NegativeStreak());
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.lifetime_net(), -2.0);  // lifetime survives resets
+}
+
+TEST(BalanceTrackerTest, WindowOfOneReactsImmediately) {
+  BalanceTracker t(1);
+  t.Record(-0.1);
+  EXPECT_TRUE(t.NegativeStreak());
+  t.Record(0.1);
+  EXPECT_TRUE(t.PositiveStreak());
+}
+
+TEST(BalanceTrackerTest, DegenerateWindowClampedToOne) {
+  BalanceTracker t(0);
+  EXPECT_EQ(t.window(), 1);
+  t.Record(1.0);
+  EXPECT_TRUE(t.PositiveStreak());
+}
+
+TEST(BalanceTrackerTest, LastOnEmptyIsZero) {
+  BalanceTracker t(3);
+  EXPECT_DOUBLE_EQ(t.last(), 0.0);
+}
+
+}  // namespace
+}  // namespace skute

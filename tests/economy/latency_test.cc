@@ -1,0 +1,73 @@
+#include "skute/economy/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(LatencyModelTest, LadderAnchors) {
+  EXPECT_DOUBLE_EQ(EstimateRttMs(0), 0.1);    // same server
+  EXPECT_DOUBLE_EQ(EstimateRttMs(1), 0.3);    // same rack
+  EXPECT_DOUBLE_EQ(EstimateRttMs(3), 0.5);    // same room
+  EXPECT_DOUBLE_EQ(EstimateRttMs(7), 1.0);    // same datacenter
+  EXPECT_DOUBLE_EQ(EstimateRttMs(15), 12.0);  // same country
+  EXPECT_DOUBLE_EQ(EstimateRttMs(31), 40.0);  // same continent
+  EXPECT_DOUBLE_EQ(EstimateRttMs(63), 150.0); // inter-continental
+}
+
+TEST(LatencyModelTest, MonotoneInDiversity) {
+  double prev = -1.0;
+  for (uint8_t d = 0; d <= 63; ++d) {
+    const double rtt = EstimateRttMs(d);
+    EXPECT_GE(rtt, prev) << "diversity " << int(d);
+    prev = rtt;
+  }
+}
+
+TEST(LatencyModelTest, ClampsAboveMax) {
+  EXPECT_DOUBLE_EQ(EstimateRttMs(200), 150.0);
+}
+
+TEST(LatencyModelTest, NullMixUsesUniformReference) {
+  const Location server = Location::Of(1, 0, 0, 0, 0, 0);
+  const double rtt = ExpectedQueryRttMs(nullptr, server);
+  EXPECT_GT(rtt, 40.0);   // between same-continent and inter-continental
+  EXPECT_LE(rtt, 150.0);
+}
+
+TEST(LatencyModelTest, ColocatedClientsAreFast) {
+  ClientMix mix;
+  const Location here = Location::Of(0, 0, 0, 0, 0, 0);
+  mix.loads.push_back({here, 1.0});
+  EXPECT_DOUBLE_EQ(ExpectedQueryRttMs(&mix, here), 0.1);
+}
+
+TEST(LatencyModelTest, MixedClientsAreWeighted) {
+  ClientMix mix;
+  const Location server = Location::Of(0, 0, 0, 0, 0, 0);
+  mix.loads.push_back({server, 3.0});                          // 0.1 ms
+  mix.loads.push_back({Location::Of(1, 0, 0, 0, 0, 0), 1.0});  // 150 ms
+  EXPECT_NEAR(ExpectedQueryRttMs(&mix, server),
+              (3.0 * 0.1 + 1.0 * 150.0) / 4.0, 1e-9);
+}
+
+TEST(LatencyModelTest, ZeroQueryMixFallsBack) {
+  ClientMix mix;
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 0.0});
+  const double rtt =
+      ExpectedQueryRttMs(&mix, Location::Of(1, 0, 0, 0, 0, 0));
+  EXPECT_GT(rtt, 40.0);
+}
+
+TEST(LatencyModelTest, CloserServerAlwaysFasterForAMix) {
+  ClientMix mix;
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 1.0});
+  const double near =
+      ExpectedQueryRttMs(&mix, Location::Of(0, 0, 1, 0, 0, 0));
+  const double far =
+      ExpectedQueryRttMs(&mix, Location::Of(1, 0, 0, 0, 0, 0));
+  EXPECT_LT(near, far);
+}
+
+}  // namespace
+}  // namespace skute

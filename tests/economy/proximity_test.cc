@@ -1,0 +1,99 @@
+#include "skute/economy/proximity.h"
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(ClientMixTest, TotalQueries) {
+  ClientMix mix;
+  EXPECT_TRUE(mix.empty());
+  EXPECT_EQ(mix.TotalQueries(), 0.0);
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 10.0});
+  mix.loads.push_back({Location::Of(1, 0, 0, 0, 0, 0), 5.0});
+  EXPECT_EQ(mix.TotalQueries(), 15.0);
+}
+
+TEST(RawEq4Test, LiteralFormula) {
+  // One client location l with q=10 at diversity 63 from the server:
+  // g = 10 / (1 + 10*63).
+  ClientMix mix;
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 10.0});
+  const Location server = Location::Of(1, 0, 0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(RawEq4Proximity(mix, server), 10.0 / (1.0 + 630.0));
+}
+
+TEST(RawEq4Test, ColocatedClientGivesQOverOne) {
+  ClientMix mix;
+  const Location here = Location::Of(0, 1, 0, 0, 1, 1);
+  mix.loads.push_back({here, 4.0});
+  // diversity(here, here) = 0 -> g = 4 / 1 = 4.
+  EXPECT_DOUBLE_EQ(RawEq4Proximity(mix, here), 4.0);
+}
+
+TEST(MeanClientDiversityTest, WeightedAverage) {
+  ClientMix mix;
+  const Location server = Location::Of(0, 0, 0, 0, 0, 0);
+  mix.loads.push_back({server, 1.0});                           // div 0
+  mix.loads.push_back({Location::Of(1, 0, 0, 0, 0, 0), 3.0});   // div 63
+  EXPECT_DOUBLE_EQ(MeanClientDiversity(mix, server), 63.0 * 0.75);
+}
+
+TEST(MeanClientDiversityTest, NoQueriesFallsBackToReference) {
+  ClientMix mix;
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 0.0});
+  EXPECT_DOUBLE_EQ(
+      MeanClientDiversity(mix, Location::Of(1, 0, 0, 0, 0, 0)),
+      kUniformReferenceDiversity);
+}
+
+TEST(NormalizedProximityTest, EmptyMixIsExactlyOne) {
+  // The paper's simulation assumption: uniform clients => g = 1.
+  ClientMix mix;
+  EXPECT_DOUBLE_EQ(
+      NormalizedProximity(mix, Location::Of(2, 1, 1, 0, 1, 3)), 1.0);
+}
+
+TEST(NormalizedProximityTest, CloserServerScoresHigher) {
+  ClientMix mix;
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 1.0});
+  const double same_dc =
+      NormalizedProximity(mix, Location::Of(0, 0, 0, 1, 0, 0));
+  const double same_country =
+      NormalizedProximity(mix, Location::Of(0, 0, 1, 0, 0, 0));
+  const double other_continent =
+      NormalizedProximity(mix, Location::Of(1, 0, 0, 0, 0, 0));
+  EXPECT_GT(same_dc, same_country);
+  EXPECT_GT(same_country, other_continent);
+}
+
+TEST(NormalizedProximityTest, ColocatedIsMaximal) {
+  ClientMix mix;
+  const Location here = Location::Of(0, 0, 0, 0, 0, 0);
+  mix.loads.push_back({here, 1.0});
+  EXPECT_DOUBLE_EQ(NormalizedProximity(mix, here),
+                   1.0 + kUniformReferenceDiversity);
+}
+
+TEST(NormalizedProximityTest, FarthestIsBelowOne) {
+  ClientMix mix;
+  mix.loads.push_back({Location::Of(0, 0, 0, 0, 0, 0), 1.0});
+  const double far =
+      NormalizedProximity(mix, Location::Of(1, 0, 0, 0, 0, 0));
+  EXPECT_LT(far, 1.0);
+  EXPECT_GT(far, 0.0);
+}
+
+TEST(NormalizedProximityTest, ReferenceMixScoresNearOne) {
+  // A mix whose mean diversity equals the reference scores exactly 1.
+  ClientMix mix;
+  // Construct: two clients such that mean diversity = 55 = reference:
+  // weights w at 63 and (1-w) at 31: 63w + 31(1-w) = 55 -> w = 0.75.
+  mix.loads.push_back({Location::Of(1, 0, 0, 0, 0, 0), 0.75});  // div 63
+  mix.loads.push_back({Location::Of(0, 1, 0, 0, 0, 0), 0.25});  // div 31
+  EXPECT_NEAR(NormalizedProximity(mix, Location::Of(0, 0, 0, 0, 0, 0)),
+              1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace skute

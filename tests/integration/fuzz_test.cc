@@ -1,0 +1,150 @@
+// Randomized operation storms against the full store, across seeds: the
+// sequence interleaves puts, deletes, gets, epoch boundaries, failures,
+// recoveries and arrivals, and after every step the whole-system
+// invariants must hold. This is the economy's concurrent-agent safety
+// net beyond the curated scenarios.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "skute/common/hash.h"
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+class StoreFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 2;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    ServerResources res;
+    res.storage_capacity = 32 * kMiB;
+    res.query_capacity_per_epoch = 10000;
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, res, ServerEconomics{});
+    }
+    SkuteOptions options;
+    options.max_partition_bytes = 2 * kMiB;
+    options.track_real_data = true;
+    options.seed = GetParam();
+    store_ = std::make_unique<SkuteStore>(&cluster_, options);
+    const AppId app = store_->CreateApplication("fuzz");
+    ring_ = store_->AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 4)
+                .value();
+    store_->BeginEpoch();
+  }
+
+  void CheckInvariants() {
+    uint64_t expected_storage = 0;
+    size_t replica_count = 0;
+    store_->catalog().ForEachPartition([&](const Partition* p) {
+      std::set<ServerId> servers;
+      for (const ReplicaInfo& r : p->replicas()) {
+        EXPECT_TRUE(servers.insert(r.server).second);
+        const Server* s = cluster_.server(r.server);
+        ASSERT_NE(s, nullptr);
+        EXPECT_TRUE(s->online());
+        const VirtualNode* v = store_->vnodes().Find(r.vnode);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->server, r.server);
+        expected_storage += p->bytes();
+        ++replica_count;
+      }
+    });
+    EXPECT_EQ(cluster_.TotalUsedStorage(), expected_storage);
+    EXPECT_EQ(store_->vnodes().size(), replica_count);
+
+    // Live keys must still be readable (those with a live replica).
+    for (const auto& [key, size] : live_keys_) {
+      auto v = store_->Get(ring_, key);
+      if (v.ok()) {
+        EXPECT_EQ(v->size(), size);
+      } else {
+        // Acceptable failures: lost partition, saturation. Silent
+        // wrong-value reads are not.
+        EXPECT_TRUE(v.status().IsUnavailable() ||
+                    v.status().IsResourceExhausted() ||
+                    v.status().IsNotFound())
+            << v.status().ToString();
+      }
+    }
+  }
+
+  Cluster cluster_{PricingParams{}};
+  std::unique_ptr<SkuteStore> store_;
+  RingId ring_ = 0;
+  std::map<std::string, size_t> live_keys_;
+};
+
+TEST_P(StoreFuzzTest, SurvivesRandomOperationStorm) {
+  Rng rng(GetParam() * 7919 + 1);
+  std::vector<ServerId> downed;
+  int epochs = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t dice = rng.UniformInt(0, 99);
+    if (dice < 45) {
+      // Put a random-size value under a recycled key id.
+      const std::string key =
+          "obj-" + std::to_string(rng.UniformInt(0, 199));
+      const size_t size =
+          static_cast<size_t>(rng.UniformInt(1, 64 * 1024));
+      const Status st = store_->Put(ring_, key, std::string(size, 'f'));
+      if (st.ok()) {
+        live_keys_[key] = size;  // Get returns the value bytes only
+      }
+    } else if (dice < 55) {
+      const std::string key =
+          "obj-" + std::to_string(rng.UniformInt(0, 199));
+      const Status st = store_->Delete(ring_, key);
+      if (st.ok()) live_keys_.erase(key);
+    } else if (dice < 75) {
+      const std::string key =
+          "obj-" + std::to_string(rng.UniformInt(0, 199));
+      (void)store_->Get(ring_, key);
+    } else if (dice < 90) {
+      store_->EndEpoch();
+      store_->BeginEpoch();
+      ++epochs;
+    } else if (dice < 95 && cluster_.online_count() > 8) {
+      // Fail a random online server.
+      const std::vector<ServerId> online = cluster_.OnlineServers();
+      const ServerId victim = online[static_cast<size_t>(
+          rng.UniformInt(0, online.size() - 1))];
+      ASSERT_TRUE(cluster_.FailServer(victim).ok());
+      store_->HandleServerFailure(victim);
+      downed.push_back(victim);
+    } else if (!downed.empty()) {
+      // Recover the oldest downed server (comes back empty).
+      ASSERT_TRUE(cluster_.RecoverServer(downed.front()).ok());
+      downed.erase(downed.begin());
+    }
+    if (step % 50 == 0) CheckInvariants();
+  }
+  // Let the economy settle, then final full check.
+  for (int i = 0; i < 15; ++i) {
+    store_->EndEpoch();
+    store_->BeginEpoch();
+  }
+  CheckInvariants();
+  EXPECT_GT(epochs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace skute

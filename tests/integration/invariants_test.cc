@@ -1,0 +1,145 @@
+// Cross-module property tests: whole-system invariants that must hold at
+// every epoch of any simulation, across seeds. These are the safety net
+// for the economy's concurrent-agent semantics.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "skute/economy/availability.h"
+#include "skute/sim/simulation.h"
+
+namespace skute {
+namespace {
+
+class InvariantsTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    SimConfig config = SimConfig::Tiny();
+    config.seed = GetParam();
+    sim_ = std::make_unique<Simulation>(config);
+    ASSERT_TRUE(sim_->Initialize().ok());
+  }
+
+  /// Sum over partitions of bytes * live replicas == sum of server
+  /// used_storage: no leaked or phantom reservations, ever.
+  void CheckStorageAccounting() {
+    uint64_t expected = 0;
+    sim_->store().catalog().ForEachPartition([&](const Partition* p) {
+      for (const ReplicaInfo& r : p->replicas()) {
+        const Server* s = sim_->cluster().server(r.server);
+        ASSERT_NE(s, nullptr);
+        EXPECT_TRUE(s->online())
+            << "replica on offline server " << r.server;
+        expected += p->bytes();
+      }
+    });
+    EXPECT_EQ(sim_->cluster().TotalUsedStorage(), expected);
+  }
+
+  /// Every replica has a live agent, every agent has a replica, and no
+  /// partition holds two replicas on one server.
+  void CheckReplicaVNodeConsistency() {
+    size_t replica_count = 0;
+    sim_->store().catalog().ForEachPartition([&](const Partition* p) {
+      std::unordered_set<ServerId> servers;
+      for (const ReplicaInfo& r : p->replicas()) {
+        EXPECT_TRUE(servers.insert(r.server).second)
+            << "duplicate replica on server " << r.server;
+        const VirtualNode* v = sim_->store().vnodes().Find(r.vnode);
+        ASSERT_NE(v, nullptr) << "replica without agent";
+        EXPECT_EQ(v->server, r.server);
+        EXPECT_EQ(v->partition, p->id());
+        EXPECT_EQ(v->ring, p->ring());
+        ++replica_count;
+      }
+    });
+    EXPECT_EQ(sim_->store().vnodes().size(), replica_count);
+  }
+
+  /// Ring ranges stay a contiguous cover (routing never loses keys).
+  void CheckRingCover() {
+    for (RingId r : sim_->rings()) {
+      const VirtualRing* ring = sim_->store().catalog().ring(r);
+      const auto& parts = ring->partitions();
+      ASSERT_FALSE(parts.empty());
+      EXPECT_EQ(parts.front()->range().begin, 0u);
+      for (size_t i = 1; i < parts.size(); ++i) {
+        EXPECT_EQ(parts[i]->range().begin, parts[i - 1]->range().end);
+      }
+      EXPECT_EQ(parts.back()->range().end, 0u);
+    }
+  }
+
+  /// Partitions never exceed the split cap (beyond one in-flight put).
+  void CheckPartitionCap() {
+    const uint64_t cap = sim_->store().options().max_partition_bytes;
+    sim_->store().catalog().ForEachPartition([&](const Partition* p) {
+      EXPECT_LE(p->bytes(), cap + sim_->config().object_bytes);
+    });
+  }
+
+  void CheckAll() {
+    CheckStorageAccounting();
+    CheckReplicaVNodeConsistency();
+    CheckRingCover();
+    CheckPartitionCap();
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_P(InvariantsTest, HoldAtEveryEpochOfNormalOperation) {
+  CheckAll();
+  for (int i = 0; i < 25; ++i) {
+    sim_->Step();
+    CheckAll();
+  }
+}
+
+TEST_P(InvariantsTest, HoldThroughFailuresAndArrivals) {
+  sim_->Run(10);
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch(), 2));
+  sim_->ScheduleEvent(SimEvent::AddServers(sim_->run_epoch() + 5, 4));
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch() + 10, 2));
+  for (int i = 0; i < 25; ++i) {
+    sim_->Step();
+    CheckAll();
+  }
+}
+
+TEST_P(InvariantsTest, HoldUnderInsertPressure) {
+  InsertWorkloadOptions inserts;
+  inserts.inserts_per_epoch = 100;
+  inserts.object_bytes = 512 * 1024;
+  sim_->EnableInserts(inserts);
+  for (int i = 0; i < 20; ++i) {
+    sim_->Step();
+    CheckAll();
+  }
+}
+
+TEST_P(InvariantsTest, SlaHoldsAfterStabilization) {
+  sim_->Run(40);
+  for (RingId r : sim_->rings()) {
+    const VirtualRing* ring = sim_->store().catalog().ring(r);
+    const double th =
+        sim_->store().sla_of_ring(r)->min_availability;
+    for (const auto& p : ring->partitions()) {
+      EXPECT_GE(AvailabilityModel::OfPartition(*p, sim_->cluster()), th)
+          << "ring " << r << " partition " << p->id();
+    }
+  }
+}
+
+TEST_P(InvariantsTest, NoLostPartitionsInNormalOperation) {
+  sim_->Run(40);
+  EXPECT_EQ(sim_->store().lost_partitions(), 0u);
+  EXPECT_EQ(sim_->store().insert_failures(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,177 @@
+#include "skute/ring/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(KeyRangeTest, SimpleContains) {
+  const KeyRange r{100, 200};
+  EXPECT_TRUE(r.Contains(100));
+  EXPECT_TRUE(r.Contains(199));
+  EXPECT_FALSE(r.Contains(200));
+  EXPECT_FALSE(r.Contains(99));
+  EXPECT_EQ(r.Size(), 100u);
+}
+
+TEST(KeyRangeTest, FullRing) {
+  const KeyRange r{0, 0};
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_TRUE(r.Contains(~0ull));
+  EXPECT_EQ(r.Size(), 0u);  // encodes 2^64
+  EXPECT_EQ(r.Midpoint(), 1ull << 63);
+}
+
+TEST(KeyRangeTest, WrappingArc) {
+  const KeyRange r{~0ull - 10, 10};
+  EXPECT_TRUE(r.Contains(~0ull));
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_TRUE(r.Contains(9));
+  EXPECT_FALSE(r.Contains(10));
+  EXPECT_FALSE(r.Contains(1000));
+  EXPECT_EQ(r.Size(), 21u);
+}
+
+TEST(KeyRangeTest, TailArcEncodedWithZeroEnd) {
+  // [X, 2^64) is encoded as {X, 0}.
+  const KeyRange r{1ull << 63, 0};
+  EXPECT_TRUE(r.Contains(~0ull));
+  EXPECT_TRUE(r.Contains(1ull << 63));
+  EXPECT_FALSE(r.Contains(0));
+  EXPECT_EQ(r.Size(), 1ull << 63);
+  EXPECT_EQ(r.Midpoint(), (1ull << 63) + (1ull << 62));
+}
+
+TEST(PartitionTest, UpsertTracksBytes) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  EXPECT_EQ(p.UpsertObject(10, 100), 100);
+  EXPECT_EQ(p.UpsertObject(20, 50), 50);
+  EXPECT_EQ(p.bytes(), 150u);
+  EXPECT_EQ(p.object_count(), 2u);
+}
+
+TEST(PartitionTest, UpsertOverwriteReturnsDelta) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  p.UpsertObject(10, 100);
+  EXPECT_EQ(p.UpsertObject(10, 40), -60);
+  EXPECT_EQ(p.bytes(), 40u);
+  EXPECT_EQ(p.object_count(), 1u);
+  EXPECT_EQ(p.UpsertObject(10, 90), 50);
+  EXPECT_EQ(p.bytes(), 90u);
+}
+
+TEST(PartitionTest, FindAndRemove) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  p.UpsertObject(42, 7);
+  auto found = p.FindObject(42);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 7u);
+  EXPECT_TRUE(p.FindObject(43).status().IsNotFound());
+
+  auto removed = p.RemoveObject(42);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 7u);
+  EXPECT_EQ(p.bytes(), 0u);
+  EXPECT_TRUE(p.RemoveObject(42).status().IsNotFound());
+}
+
+TEST(PartitionTest, ReplicaSetManagement) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  EXPECT_TRUE(p.AddReplica(3, 100, 0).ok());
+  EXPECT_TRUE(p.AddReplica(5, 101, 1).ok());
+  EXPECT_EQ(p.replica_count(), 2u);
+  EXPECT_TRUE(p.HasReplicaOn(3));
+  EXPECT_FALSE(p.HasReplicaOn(4));
+  EXPECT_TRUE(p.AddReplica(3, 102, 2).IsAlreadyExists());
+
+  auto info = p.ReplicaOn(5);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->vnode, 101u);
+  EXPECT_EQ(info->created_epoch, 1);
+
+  EXPECT_TRUE(p.RemoveReplica(3).ok());
+  EXPECT_FALSE(p.HasReplicaOn(3));
+  EXPECT_TRUE(p.RemoveReplica(3).IsNotFound());
+  EXPECT_TRUE(p.ReplicaOn(3).status().IsNotFound());
+}
+
+TEST(PartitionTest, NeedsSplitAboveCap) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  p.UpsertObject(1, 100);
+  EXPECT_FALSE(p.NeedsSplit(100));
+  p.UpsertObject(2, 1);
+  EXPECT_TRUE(p.NeedsSplit(100));
+}
+
+TEST(PartitionTest, SplitDividesObjectsByHash) {
+  Partition p(1, 0, KeyRange{0, 0}, 2.0);
+  const uint64_t mid = 1ull << 63;
+  p.UpsertObject(mid - 1, 10);  // lower half
+  p.UpsertObject(mid, 20);      // upper half
+  p.UpsertObject(mid + 5, 30);  // upper half
+  auto sibling = p.SplitUpperHalf(2);
+  ASSERT_TRUE(sibling.ok());
+
+  EXPECT_EQ(p.range().begin, 0u);
+  EXPECT_EQ(p.range().end, mid);
+  EXPECT_EQ(sibling->range().begin, mid);
+  EXPECT_EQ(sibling->range().end, 0u);
+
+  EXPECT_EQ(p.bytes(), 10u);
+  EXPECT_EQ(sibling->bytes(), 50u);
+  EXPECT_EQ(p.object_count(), 1u);
+  EXPECT_EQ(sibling->object_count(), 2u);
+
+  // Byte conservation.
+  EXPECT_EQ(p.bytes() + sibling->bytes(), 60u);
+  // Weight divides proportionally to object count: 1/3 vs 2/3 of 2.0.
+  EXPECT_NEAR(p.popularity_weight(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sibling->popularity_weight(), 4.0 / 3.0, 1e-12);
+  // The sibling starts replica-less; the store mirrors placement.
+  EXPECT_EQ(sibling->replica_count(), 0u);
+}
+
+TEST(PartitionTest, SplitEmptyPartitionHalvesWeight) {
+  Partition p(1, 0, KeyRange{0, 0}, 3.0);
+  auto sibling = p.SplitUpperHalf(2);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_NEAR(p.popularity_weight(), 1.5, 1e-12);
+  EXPECT_NEAR(sibling->popularity_weight(), 1.5, 1e-12);
+}
+
+TEST(PartitionTest, SplitObjectsStayFindable) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  for (uint64_t h = 0; h < 100; ++h) {
+    p.UpsertObject(h * 0x0123456789abcdefull, 1);
+  }
+  auto sibling = p.SplitUpperHalf(2);
+  ASSERT_TRUE(sibling.ok());
+  for (uint64_t h = 0; h < 100; ++h) {
+    const uint64_t key = h * 0x0123456789abcdefull;
+    const bool in_lower = p.FindObject(key).ok();
+    const bool in_upper = sibling->FindObject(key).ok();
+    EXPECT_NE(in_lower, in_upper);  // exactly one side holds it
+    EXPECT_EQ(in_upper, sibling->range().Contains(key));
+  }
+}
+
+TEST(PartitionTest, SplitRefusedAtMinimumRange) {
+  Partition p(1, 0, KeyRange{10, 11}, 1.0);
+  EXPECT_TRUE(p.SplitUpperHalf(2).status().IsFailedPrecondition());
+}
+
+TEST(PartitionTest, RepeatedSplitsPreserveCover) {
+  Partition p(1, 0, KeyRange{0, 0}, 1.0);
+  auto s1 = p.SplitUpperHalf(2);
+  ASSERT_TRUE(s1.ok());
+  auto s2 = p.SplitUpperHalf(3);
+  ASSERT_TRUE(s2.ok());
+  // p=[0,2^62), s2=[2^62,2^63), s1=[2^63,0)
+  EXPECT_EQ(p.range().end, 1ull << 62);
+  EXPECT_EQ(s2->range().begin, 1ull << 62);
+  EXPECT_EQ(s2->range().end, 1ull << 63);
+  EXPECT_EQ(s1->range().begin, 1ull << 63);
+}
+
+}  // namespace
+}  // namespace skute

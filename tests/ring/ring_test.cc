@@ -1,0 +1,181 @@
+#include "skute/ring/ring.h"
+
+#include <gtest/gtest.h>
+
+#include "skute/common/random.h"
+#include "skute/ring/catalog.h"
+
+namespace skute {
+namespace {
+
+TEST(VirtualRingTest, InitializeCreatesContiguousCover) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(8, 0).ok());
+  EXPECT_EQ(ring.partition_count(), 8u);
+  const auto& parts = ring.partitions();
+  EXPECT_EQ(parts.front()->range().begin, 0u);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i]->range().begin, parts[i - 1]->range().end);
+  }
+  EXPECT_EQ(parts.back()->range().end, 0u);  // wraps to 2^64
+}
+
+TEST(VirtualRingTest, InitializeRejectsZeroOrTwice) {
+  VirtualRing ring(0, 0);
+  EXPECT_TRUE(ring.InitializePartitions(0, 0).IsInvalidArgument());
+  ASSERT_TRUE(ring.InitializePartitions(4, 0).ok());
+  EXPECT_TRUE(ring.InitializePartitions(4, 10).IsFailedPrecondition());
+}
+
+TEST(VirtualRingTest, SinglePartitionOwnsEverything) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(1, 5).ok());
+  EXPECT_EQ(ring.FindPartition(0)->id(), 5u);
+  EXPECT_EQ(ring.FindPartition(~0ull)->id(), 5u);
+}
+
+TEST(VirtualRingTest, RoutingMatchesContains) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(7, 0).ok());  // non-power-of-two
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t h = rng.NextUint64();
+    const Partition* p = ring.FindPartition(h);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(p->range().Contains(h));
+  }
+}
+
+TEST(VirtualRingTest, BoundaryRouting) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(4, 0).ok());
+  const auto& parts = ring.partitions();
+  for (const auto& p : parts) {
+    EXPECT_EQ(ring.FindPartition(p->range().begin), p.get());
+    // end-1 still belongs to p (half-open ranges).
+    EXPECT_EQ(ring.FindPartition(p->range().end - 1), p.get());
+  }
+}
+
+TEST(VirtualRingTest, SplitKeepsRoutingConsistent) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(4, 0).ok());
+  Partition* target = ring.FindPartition(1ull << 62);
+  auto sibling = ring.Split(target, 100);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_EQ(ring.partition_count(), 5u);
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t h = rng.NextUint64();
+    const Partition* p = ring.FindPartition(h);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(p->range().Contains(h));
+  }
+}
+
+TEST(VirtualRingTest, SplitRejectsForeignPartition) {
+  VirtualRing ring_a(0, 0), ring_b(1, 0);
+  ASSERT_TRUE(ring_a.InitializePartitions(2, 0).ok());
+  ASSERT_TRUE(ring_b.InitializePartitions(2, 10).ok());
+  Partition* foreign = ring_b.FindPartition(0);
+  EXPECT_TRUE(ring_a.Split(foreign, 99).status().IsInvalidArgument());
+  EXPECT_TRUE(ring_a.Split(nullptr, 99).status().IsInvalidArgument());
+}
+
+TEST(VirtualRingTest, TotalsAggregate) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(3, 0).ok());
+  const auto& parts = ring.partitions();
+  (void)parts[0]->AddReplica(1, 100, 0);
+  (void)parts[0]->AddReplica(2, 101, 0);
+  (void)parts[1]->AddReplica(1, 102, 0);
+  parts[0]->UpsertObject(1, 10);
+  parts[1]->UpsertObject(1ull << 62, 20);
+  EXPECT_EQ(ring.TotalVNodes(), 3u);
+  EXPECT_EQ(ring.TotalBytes(), 30u);
+}
+
+TEST(RingCatalogTest, CreateRingsAssignsDenseIds) {
+  RingCatalog catalog;
+  auto r0 = catalog.CreateRing(0, 4);
+  auto r1 = catalog.CreateRing(1, 2);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r0, 0u);
+  EXPECT_EQ(*r1, 1u);
+  EXPECT_EQ(catalog.ring_count(), 2u);
+  EXPECT_EQ(catalog.total_partitions(), 6u);
+  EXPECT_EQ(catalog.ring(*r1)->app(), 1u);
+  EXPECT_EQ(catalog.ring(7), nullptr);
+}
+
+TEST(RingCatalogTest, PartitionIdsGloballyUnique) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 3).ok());
+  ASSERT_TRUE(catalog.CreateRing(1, 3).ok());
+  // Ring 1's partitions continue the global id sequence.
+  EXPECT_NE(catalog.partition(0), nullptr);
+  EXPECT_NE(catalog.partition(5), nullptr);
+  EXPECT_EQ(catalog.partition(6), nullptr);
+  EXPECT_EQ(catalog.partition(5)->ring(), 1u);
+}
+
+TEST(RingCatalogTest, SplitAllocatesNewGlobalId) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 2).ok());
+  auto sibling = catalog.SplitPartition(0);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_EQ((*sibling)->id(), 2u);
+  EXPECT_EQ(catalog.partition(2), *sibling);
+  EXPECT_EQ(catalog.total_partitions(), 3u);
+  EXPECT_TRUE(catalog.SplitPartition(999).status().IsNotFound());
+}
+
+TEST(RingCatalogTest, VNodeIdsMonotonic) {
+  RingCatalog catalog;
+  EXPECT_EQ(catalog.AllocateVNodeId(), 0u);
+  EXPECT_EQ(catalog.AllocateVNodeId(), 1u);
+}
+
+TEST(RingCatalogTest, ForEachVisitsAllPartitions) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 3).ok());
+  ASSERT_TRUE(catalog.CreateRing(1, 2).ok());
+  size_t visited = 0;
+  catalog.ForEachPartition([&](Partition*) { ++visited; });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(RingCatalogTest, PartitionsWithReplicaOn) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 3).ok());
+  (void)catalog.partition(0)->AddReplica(7, 100, 0);
+  (void)catalog.partition(2)->AddReplica(7, 101, 0);
+  (void)catalog.partition(1)->AddReplica(8, 102, 0);
+  const auto on7 = catalog.PartitionsWithReplicaOn(7);
+  EXPECT_EQ(on7.size(), 2u);
+  EXPECT_EQ(catalog.total_vnodes(), 3u);
+}
+
+class RingRoutingPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RingRoutingPropertyTest, EveryKeyRoutesToExactlyOnePartition) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(GetParam(), 0).ok());
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t h = rng.NextUint64();
+    int owners = 0;
+    for (const auto& p : ring.partitions()) {
+      if (p->range().Contains(h)) ++owners;
+    }
+    ASSERT_EQ(owners, 1);
+    ASSERT_TRUE(ring.FindPartition(h)->range().Contains(h));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, RingRoutingPropertyTest,
+                         ::testing::Values(1, 2, 3, 16, 200, 255));
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,104 @@
+// Property sweep: repeated partition splitting over random object
+// populations must conserve bytes and objects, keep every object
+// findable in exactly one partition, and keep the ring cover routable.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "skute/common/random.h"
+#include "skute/ring/catalog.h"
+
+namespace skute {
+namespace {
+
+class SplitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SplitPropertyTest, RepeatedSplitsConserveEverything) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 3).ok());
+  Rng rng(GetParam());
+
+  // Populate with random objects, remembering the ground truth.
+  std::map<uint64_t, uint32_t> truth;
+  uint64_t total_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t hash = rng.NextUint64();
+    const uint32_t size = static_cast<uint32_t>(rng.UniformInt(1, 4096));
+    Partition* p = catalog.FindPartition(0, hash);
+    ASSERT_NE(p, nullptr);
+    const auto existing = truth.find(hash);
+    if (existing != truth.end()) {
+      total_bytes -= existing->second;
+    }
+    p->UpsertObject(hash, size);
+    truth[hash] = size;
+    total_bytes += size;
+  }
+
+  // Split random partitions repeatedly.
+  for (int round = 0; round < 40; ++round) {
+    const VirtualRing* ring = catalog.ring(0);
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, ring->partition_count() - 1));
+    const PartitionId target = ring->partitions()[idx]->id();
+    auto sibling = catalog.SplitPartition(target);
+    ASSERT_TRUE(sibling.ok()) << "round " << round;
+  }
+
+  // Conservation and uniqueness.
+  uint64_t seen_bytes = 0;
+  size_t seen_objects = 0;
+  catalog.ForEachPartition([&](const Partition* p) {
+    seen_bytes += p->bytes();
+    seen_objects += p->object_count();
+  });
+  EXPECT_EQ(seen_bytes, total_bytes);
+  EXPECT_EQ(seen_objects, truth.size());
+
+  // Every object findable exactly where routing says.
+  for (const auto& [hash, size] : truth) {
+    Partition* p = catalog.FindPartition(0, hash);
+    ASSERT_NE(p, nullptr);
+    auto found = p->FindObject(hash);
+    ASSERT_TRUE(found.ok()) << "hash " << hash;
+    EXPECT_EQ(*found, size);
+  }
+
+  // The cover stays contiguous.
+  const auto& parts = catalog.ring(0)->partitions();
+  EXPECT_EQ(parts.front()->range().begin, 0u);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i]->range().begin, parts[i - 1]->range().end);
+  }
+  EXPECT_EQ(parts.back()->range().end, 0u);
+}
+
+TEST_P(SplitPropertyTest, WeightConservedAcrossSplits) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 2).ok());
+  Rng rng(GetParam() ^ 0xfeed);
+  double assigned = 0.0;
+  catalog.ForEachPartition([&](Partition* p) {
+    const double w = rng.Pareto(1.0, 1.2);
+    p->set_popularity_weight(w);
+    assigned += w;
+  });
+  for (int round = 0; round < 20; ++round) {
+    const VirtualRing* ring = catalog.ring(0);
+    const size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, ring->partition_count() - 1));
+    ASSERT_TRUE(
+        catalog.SplitPartition(ring->partitions()[idx]->id()).ok());
+  }
+  double total = 0.0;
+  catalog.ForEachPartition(
+      [&](const Partition* p) { total += p->popularity_weight(); });
+  EXPECT_NEAR(total, assigned, 1e-9 * assigned);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,126 @@
+// Scenario stress tests: multi-event timelines on the tiny simulator that
+// the figure benches exercise only at paper scale.
+
+#include <gtest/gtest.h>
+
+#include "skute/sim/simulation.h"
+
+namespace skute {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig config = SimConfig::Tiny();
+    config.seed = 17;
+    sim_ = std::make_unique<Simulation>(config);
+    ASSERT_TRUE(sim_->Initialize().ok());
+  }
+
+  size_t TotalBelowSla() {
+    size_t below = 0;
+    for (RingId r : sim_->rings()) {
+      below += sim_->store().ReportRing(r).below_threshold;
+    }
+    return below;
+  }
+
+  size_t TotalLost() {
+    size_t lost = 0;
+    for (RingId r : sim_->rings()) {
+      lost += sim_->store().ReportRing(r).lost;
+    }
+    return lost;
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_F(ScenarioTest, RecoveryEventBringsServersBack) {
+  sim_->Run(20);
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch(), 4));
+  sim_->Run(5);
+  ASSERT_EQ(sim_->cluster().online_count(), 12u);
+  // Recover the exact failed set; they come back empty and rejoin the
+  // economy (board prices them again, placements may use them).
+  sim_->ScheduleEvent(
+      SimEvent::Recover(sim_->run_epoch(), sim_->failed_servers()));
+  sim_->Run(20);
+  EXPECT_EQ(sim_->cluster().online_count(), 16u);
+  // Recovered servers come back empty (hard-failure model), so
+  // partitions that lost every replica stay lost; everything repairable
+  // is back at its SLA.
+  EXPECT_EQ(TotalBelowSla(), TotalLost());
+  for (ServerId id : sim_->failed_servers()) {
+    EXPECT_TRUE(sim_->cluster().server(id)->online());
+  }
+}
+
+TEST_F(ScenarioTest, RepeatedFailureWaves) {
+  sim_->Run(15);
+  // Three waves of 2 failures, 8 epochs apart; repair must keep up.
+  for (int wave = 0; wave < 3; ++wave) {
+    sim_->ScheduleEvent(
+        SimEvent::FailRandom(sim_->run_epoch() + wave * 8, 2));
+  }
+  sim_->Run(3 * 8 + 25);
+  EXPECT_EQ(sim_->cluster().online_count(), 10u);
+  EXPECT_EQ(TotalBelowSla(), TotalLost());  // repairable SLAs met
+}
+
+TEST_F(ScenarioTest, ArrivalsExtendRacksUniquely) {
+  sim_->Run(5);
+  sim_->ScheduleEvent(SimEvent::AddServers(sim_->run_epoch(), 4));
+  sim_->Run(2);
+  sim_->ScheduleEvent(SimEvent::AddServers(sim_->run_epoch(), 4));
+  sim_->Run(2);
+  ASSERT_EQ(sim_->cluster().size(), 24u);
+  // No two servers share the exact same location.
+  for (ServerId a = 0; a < sim_->cluster().size(); ++a) {
+    for (ServerId b = a + 1; b < sim_->cluster().size(); ++b) {
+      EXPECT_NE(sim_->cluster().server(a)->location(),
+                sim_->cluster().server(b)->location())
+          << "servers " << a << " and " << b;
+    }
+  }
+}
+
+TEST_F(ScenarioTest, GrowthThenShrinkKeepsSlas) {
+  sim_->Run(15);
+  sim_->ScheduleEvent(SimEvent::AddServers(sim_->run_epoch(), 8));
+  sim_->Run(15);
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch(), 8));
+  sim_->Run(30);
+  EXPECT_EQ(TotalBelowSla(), TotalLost());
+}
+
+TEST_F(ScenarioTest, SpikeDuringFailureRecovery) {
+  // The nastiest combination: a load spike lands while the repair pass
+  // is rebuilding replicas. Invariants and SLAs must still converge.
+  sim_->Run(15);
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch() + 2, 3));
+  sim_->SetRateSchedule(std::make_unique<SlashdotSchedule>(
+      400.0, 8000.0, sim_->run_epoch() + 2, 4, 10));
+  sim_->Run(45);
+  EXPECT_EQ(TotalBelowSla(), TotalLost());
+  EXPECT_EQ(sim_->store().catalog().total_vnodes(),
+            sim_->store().vnodes().size());
+}
+
+TEST_F(ScenarioTest, CommOverheadTracksRegimes) {
+  sim_->Run(10);
+  const uint64_t steady_transfers =
+      sim_->metrics().last().comm.transfer_bytes;
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch(), 3));
+  sim_->Run(2);
+  // Repair right after a failure must move more bytes than steady state.
+  uint64_t recovery_transfers = 0;
+  const auto& series = sim_->metrics().series();
+  for (size_t i = series.size() - 2; i < series.size(); ++i) {
+    recovery_transfers += series[i].comm.transfer_bytes;
+  }
+  EXPECT_GT(recovery_transfers, steady_transfers);
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,224 @@
+#include "skute/sim/simulation.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(EventScheduleTest, TakeDueReturnsInOrder) {
+  EventSchedule schedule;
+  schedule.Add(SimEvent::FailRandom(20, 2));
+  schedule.Add(SimEvent::AddServers(10, 4));
+  schedule.Add(SimEvent::AddServers(15, 1));
+  EXPECT_EQ(schedule.pending(), 3u);
+
+  auto due = schedule.TakeDue(9);
+  EXPECT_TRUE(due.empty());
+  due = schedule.TakeDue(15);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].at, 10);
+  EXPECT_EQ(due[1].at, 15);
+  EXPECT_EQ(schedule.pending(), 1u);
+  due = schedule.TakeDue(100);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].kind, SimEvent::Kind::kFailRandomServers);
+}
+
+TEST(EventScheduleTest, FactoriesPopulateFields) {
+  const SimEvent add = SimEvent::AddServers(5, 20);
+  EXPECT_EQ(add.kind, SimEvent::Kind::kAddServers);
+  EXPECT_EQ(add.count, 20u);
+  const SimEvent scope = SimEvent::FailScope(
+      7, Location::Of(1, 0, 0, 0, 0, 0), GeoLevel::kDatacenter);
+  EXPECT_EQ(scope.kind, SimEvent::Kind::kFailScope);
+  EXPECT_EQ(scope.level, GeoLevel::kDatacenter);
+  const SimEvent recover = SimEvent::Recover(9, {1, 2});
+  EXPECT_EQ(recover.servers.size(), 2u);
+}
+
+TEST(SimConfigTest, PaperMatchesSectionIIIA) {
+  const SimConfig config = SimConfig::Paper();
+  EXPECT_EQ(config.server_count(), 200u);
+  ASSERT_EQ(config.apps.size(), 3u);
+  EXPECT_EQ(config.apps[0].replicas, 2);
+  EXPECT_EQ(config.apps[1].replicas, 3);
+  EXPECT_EQ(config.apps[2].replicas, 4);
+  EXPECT_EQ(config.apps[0].initial_partitions, 200u);
+  EXPECT_NEAR(config.apps[0].query_fraction, 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(config.apps[2].query_fraction, 1.0 / 7.0, 1e-12);
+  EXPECT_EQ(config.base_query_rate, 3000.0);
+  EXPECT_EQ(config.object_bytes, 500 * kKB);
+  EXPECT_EQ(config.resources.replication_bw_per_epoch, 300 * kMB);
+  EXPECT_EQ(config.resources.migration_bw_per_epoch, 100 * kMB);
+  // 500 GB raw across the apps.
+  uint64_t total = 0;
+  for (const auto& app : config.apps) total += app.initial_bytes;
+  EXPECT_NEAR(static_cast<double>(total), 500e9, 1e9);
+}
+
+class TinySimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig config = SimConfig::Tiny();
+    config.seed = 7;
+    sim_ = std::make_unique<Simulation>(config);
+    ASSERT_TRUE(sim_->Initialize().ok());
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_F(TinySimTest, InitializeBuildsClusterAndRings) {
+  EXPECT_EQ(sim_->cluster().size(), 16u);
+  EXPECT_EQ(sim_->rings().size(), 2u);
+  EXPECT_NEAR(sim_->fractions()[0] + sim_->fractions()[1], 1.0, 1e-12);
+  // Initial data made it in.
+  EXPECT_GT(sim_->store().catalog().ring(0)->TotalBytes(), 0u);
+  // Cost classes: 30% expensive of 16 ~ 5 servers.
+  size_t expensive = 0;
+  for (ServerId id = 0; id < sim_->cluster().size(); ++id) {
+    if (sim_->cluster().server(id)->economics().monthly_cost > 100.0) {
+      ++expensive;
+    }
+  }
+  EXPECT_EQ(expensive, 5u);
+}
+
+TEST_F(TinySimTest, DoubleInitializeRejected) {
+  EXPECT_TRUE(sim_->Initialize().IsFailedPrecondition());
+}
+
+TEST_F(TinySimTest, RunProducesMetrics) {
+  sim_->Run(20);
+  EXPECT_EQ(sim_->metrics().series().size(), 20u);
+  const EpochSnapshot& last = sim_->metrics().last();
+  EXPECT_EQ(last.online_servers, 16u);
+  EXPECT_GT(last.queries_routed, 0u);
+  EXPECT_GT(last.total_vnodes, 0u);
+  ASSERT_EQ(last.ring_vnodes.size(), 2u);
+}
+
+TEST_F(TinySimTest, ConvergesToSla) {
+  sim_->Run(40);
+  for (RingId r : sim_->rings()) {
+    const RingReport report = sim_->store().ReportRing(r);
+    EXPECT_EQ(report.below_threshold, 0u) << "ring " << r;
+    EXPECT_EQ(report.lost, 0u);
+  }
+  // Gold ring (3 replicas) holds more vnodes than bronze (2) per
+  // partition.
+  const RingReport gold = sim_->store().ReportRing(sim_->rings()[0]);
+  const RingReport bronze = sim_->store().ReportRing(sim_->rings()[1]);
+  EXPECT_GT(static_cast<double>(gold.vnodes) / gold.partitions,
+            static_cast<double>(bronze.vnodes) / bronze.partitions);
+}
+
+TEST_F(TinySimTest, FailureEventTriggersRecovery) {
+  sim_->Run(30);
+  const size_t vnodes_before = sim_->store().catalog().total_vnodes();
+  sim_->ScheduleEvent(SimEvent::FailRandom(sim_->run_epoch(), 3));
+  sim_->Run(40);
+  EXPECT_EQ(sim_->cluster().online_count(), 13u);
+  EXPECT_EQ(sim_->failed_servers().size(), 3u);
+  for (RingId r : sim_->rings()) {
+    EXPECT_EQ(sim_->store().ReportRing(r).below_threshold, 0u);
+  }
+  // Replication restored the replica population.
+  EXPECT_GE(sim_->store().catalog().total_vnodes(),
+            vnodes_before * 9 / 10);
+}
+
+TEST_F(TinySimTest, ArrivalEventGrowsCluster) {
+  sim_->Run(10);
+  sim_->ScheduleEvent(SimEvent::AddServers(sim_->run_epoch(), 4));
+  sim_->Run(5);
+  EXPECT_EQ(sim_->cluster().size(), 20u);
+  EXPECT_EQ(sim_->cluster().online_count(), 20u);
+}
+
+TEST_F(TinySimTest, ScopeFailureEvent) {
+  sim_->Run(20);
+  sim_->ScheduleEvent(SimEvent::FailScope(
+      sim_->run_epoch(), Location::Of(0, 0, 0, 0, 0, 0), GeoLevel::kCountry));
+  sim_->Run(30);
+  EXPECT_EQ(sim_->cluster().online_count(), 12u);  // one country = 4
+  for (RingId r : sim_->rings()) {
+    EXPECT_EQ(sim_->store().ReportRing(r).below_threshold, 0u);
+  }
+}
+
+TEST_F(TinySimTest, InsertWorkloadFillsStorage) {
+  InsertWorkloadOptions inserts;
+  inserts.inserts_per_epoch = 50;
+  inserts.object_bytes = 512 * 1024;
+  sim_->EnableInserts(inserts);
+  const double util_before = sim_->cluster().StorageUtilization();
+  sim_->Run(10);
+  EXPECT_GT(sim_->cluster().StorageUtilization(), util_before);
+  EXPECT_EQ(sim_->metrics().last().insert_attempted, 50u);
+}
+
+TEST_F(TinySimTest, SlashdotScheduleDrivesLoad) {
+  sim_->SetRateSchedule(std::make_unique<SlashdotSchedule>(
+      100.0, 5000.0, sim_->run_epoch() + 2, 3, 5));
+  sim_->Run(6);  // into the peak
+  const auto& series = sim_->metrics().series();
+  EXPECT_GT(series.back().queries_routed, series.front().queries_routed);
+}
+
+TEST_F(TinySimTest, MetricsCsvHasHeaderAndRows) {
+  sim_->Run(5);
+  std::ostringstream out;
+  sim_->metrics().WriteCsv(&out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("epoch,online_servers"), std::string::npos);
+  EXPECT_NE(csv.find("ring0_vnodes"), std::string::npos);
+  EXPECT_NE(csv.find("ring1_load_mean"), std::string::npos);
+  // Header + 5 epochs.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+TEST(SimDeterminismTest, SameSeedSameTrajectory) {
+  SimConfig config = SimConfig::Tiny();
+  config.seed = 99;
+  Simulation a(config), b(config);
+  ASSERT_TRUE(a.Initialize().ok());
+  ASSERT_TRUE(b.Initialize().ok());
+  a.Run(15);
+  b.Run(15);
+  ASSERT_EQ(a.metrics().series().size(), b.metrics().series().size());
+  for (size_t i = 0; i < a.metrics().series().size(); ++i) {
+    const EpochSnapshot& sa = a.metrics().series()[i];
+    const EpochSnapshot& sb = b.metrics().series()[i];
+    EXPECT_EQ(sa.queries_routed, sb.queries_routed);
+    EXPECT_EQ(sa.total_vnodes, sb.total_vnodes);
+    EXPECT_EQ(sa.exec.replications, sb.exec.replications);
+    EXPECT_EQ(sa.exec.migrations, sb.exec.migrations);
+    EXPECT_DOUBLE_EQ(sa.storage_utilization, sb.storage_utilization);
+  }
+}
+
+TEST(SimDeterminismTest, DifferentSeedsDiverge) {
+  SimConfig config = SimConfig::Tiny();
+  config.seed = 1;
+  Simulation a(config);
+  config.seed = 2;
+  Simulation b(config);
+  ASSERT_TRUE(a.Initialize().ok());
+  ASSERT_TRUE(b.Initialize().ok());
+  a.Run(10);
+  b.Run(10);
+  bool any_diff = false;
+  for (size_t i = 0; i < 10; ++i) {
+    if (a.metrics().series()[i].queries_routed !=
+        b.metrics().series()[i].queries_routed) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,172 @@
+#include "skute/storage/quorum.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(VersionTest, OrderingByTimestampThenWriter) {
+  EXPECT_TRUE((Version{2, 0}).NewerThan(Version{1, 9}));
+  EXPECT_TRUE((Version{1, 2}).NewerThan(Version{1, 1}));
+  EXPECT_FALSE((Version{1, 1}).NewerThan(Version{1, 1}));
+  EXPECT_EQ((Version{3, 4}), (Version{3, 4}));
+}
+
+TEST(QuorumTest, BasicPutGet) {
+  QuorumGroup group(3, 2, 2);
+  ASSERT_TRUE(group.Put("k", "v1").ok());
+  auto v = group.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v1");
+}
+
+TEST(QuorumTest, GetMissingIsNotFound) {
+  QuorumGroup group(3, 2, 2);
+  EXPECT_TRUE(group.Get("nope").status().IsNotFound());
+}
+
+TEST(QuorumTest, OverwriteWins) {
+  QuorumGroup group(3, 2, 2);
+  ASSERT_TRUE(group.Put("k", "old").ok());
+  ASSERT_TRUE(group.Put("k", "new").ok());
+  EXPECT_EQ(*group.Get("k"), "new");
+}
+
+TEST(QuorumTest, DeleteTombstones) {
+  QuorumGroup group(3, 2, 2);
+  ASSERT_TRUE(group.Put("k", "v").ok());
+  ASSERT_TRUE(group.Delete("k").ok());
+  EXPECT_TRUE(group.Get("k").status().IsNotFound());
+  // The tombstone exists as a versioned cell on the write quorum.
+  auto cell = group.InspectReplica(0, "k");
+  ASSERT_TRUE(cell.ok());
+  EXPECT_TRUE(cell->tombstone);
+}
+
+TEST(QuorumTest, WriteQuorumUnreachable) {
+  QuorumGroup group(3, 2, 2);
+  group.SetReplicaUp(0, false);
+  group.SetReplicaUp(1, false);
+  EXPECT_EQ(group.live_count(), 1u);
+  EXPECT_TRUE(group.Put("k", "v").IsUnavailable());
+  EXPECT_TRUE(group.Get("k").status().IsUnavailable());
+}
+
+TEST(QuorumTest, SloppyWriteSkipsDownReplica) {
+  QuorumGroup group(3, 2, 2);
+  group.SetReplicaUp(0, false);
+  ASSERT_TRUE(group.Put("k", "v").ok());  // replicas 1 and 2 took it
+  EXPECT_TRUE(group.InspectReplica(0, "k").status().IsNotFound());
+  EXPECT_TRUE(group.InspectReplica(1, "k").ok());
+  EXPECT_TRUE(group.InspectReplica(2, "k").ok());
+}
+
+TEST(QuorumTest, ReadAfterFailoverSeesWriteWhenQuorumsIntersect) {
+  // R + W > N: the read set must intersect the write set even when the
+  // failure pattern changes between the operations.
+  QuorumGroup group(3, 2, 2);
+  group.SetReplicaUp(0, false);
+  ASSERT_TRUE(group.Put("k", "v").ok());  // on {1, 2}
+  group.SetReplicaUp(0, true);
+  group.SetReplicaUp(2, false);
+  auto v = group.Get("k");  // reads {0, 1}; 1 has it
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+}
+
+TEST(QuorumTest, ReadRepairHealsStaleReplica) {
+  QuorumGroup group(3, 2, 3);
+  ASSERT_TRUE(group.Put("k", "v1").ok());
+  group.SetReplicaUp(2, false);
+  ASSERT_TRUE(group.Put("k", "v2").ok());  // only {0,1} have v2
+  group.SetReplicaUp(2, true);
+  EXPECT_FALSE(group.IsConsistent("k"));
+  auto v = group.Get("k");  // R=3 reads all, repairs replica 2
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2");
+  EXPECT_TRUE(group.IsConsistent("k"));
+  EXPECT_GT(group.read_repairs(), 0u);
+  auto cell = group.InspectReplica(2, "k");
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell->value, "v2");
+}
+
+TEST(QuorumTest, IsConsistentIgnoresDownReplicas) {
+  QuorumGroup group(3, 2, 2);
+  group.SetReplicaUp(2, false);
+  ASSERT_TRUE(group.Put("k", "v").ok());
+  EXPECT_TRUE(group.IsConsistent("k"));  // the down replica is excused
+  group.SetReplicaUp(2, true);
+  EXPECT_FALSE(group.IsConsistent("k"));  // now it counts, and is stale
+}
+
+TEST(QuorumTest, QuorumsClampedToReplicaCount) {
+  QuorumGroup group(3, 9, 0);
+  EXPECT_EQ(group.write_quorum(), 3u);
+  EXPECT_EQ(group.read_quorum(), 1u);
+}
+
+TEST(QuorumTest, InspectOutOfRange) {
+  QuorumGroup group(2, 1, 1);
+  EXPECT_TRUE(group.InspectReplica(5, "k").status().IsOutOfRange());
+}
+
+// Property sweep: for every (N, W, R) with R + W > N, a read that
+// follows a write observes it across every single-replica failure
+// pattern that still admits both quorums.
+class QuorumIntersectionTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(QuorumIntersectionTest, ReadSeesPrecedingWrite) {
+  const auto [n, w, r] = GetParam();
+  if (r + w <= n) GTEST_SKIP() << "quorums do not intersect";
+  for (int down_at_write = -1; down_at_write < n; ++down_at_write) {
+    for (int down_at_read = -1; down_at_read < n; ++down_at_read) {
+      QuorumGroup group(static_cast<size_t>(n), static_cast<size_t>(w),
+                        static_cast<size_t>(r));
+      if (down_at_write >= 0) {
+        group.SetReplicaUp(static_cast<size_t>(down_at_write), false);
+      }
+      if (group.live_count() < static_cast<size_t>(w)) continue;
+      ASSERT_TRUE(group.Put("k", "value").ok());
+      if (down_at_write >= 0) {
+        group.SetReplicaUp(static_cast<size_t>(down_at_write), true);
+      }
+      if (down_at_read >= 0) {
+        group.SetReplicaUp(static_cast<size_t>(down_at_read), false);
+      }
+      if (group.live_count() < static_cast<size_t>(r)) continue;
+      auto v = group.Get("k");
+      ASSERT_TRUE(v.ok()) << "N=" << n << " W=" << w << " R=" << r
+                          << " down_w=" << down_at_write
+                          << " down_r=" << down_at_read;
+      EXPECT_EQ(*v, "value");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, QuorumIntersectionTest,
+    ::testing::Values(std::make_tuple(3, 2, 2), std::make_tuple(3, 3, 1),
+                      std::make_tuple(3, 1, 3), std::make_tuple(5, 3, 3),
+                      std::make_tuple(5, 4, 2), std::make_tuple(4, 3, 2)));
+
+TEST(QuorumTest, LamportClockAdvancesAcrossReads) {
+  // A writer that reads a newer version orders its next write after it.
+  QuorumGroup group(3, 3, 3, /*writer_id=*/1);
+  ASSERT_TRUE(group.Put("k", "v1").ok());
+  ASSERT_TRUE(group.Put("k", "v2").ok());
+  auto before = group.InspectReplica(0, "k");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(group.Get("k").ok());
+  ASSERT_TRUE(group.Put("k", "v3").ok());
+  auto after = group.InspectReplica(0, "k");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->version.NewerThan(before->version));
+  EXPECT_EQ(after->value, "v3");
+}
+
+}  // namespace
+}  // namespace skute

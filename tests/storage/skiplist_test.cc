@@ -1,0 +1,168 @@
+#include "skute/storage/skiplist.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace {
+
+TEST(SkipListTest, EmptyList) {
+  SkipList<int, int> list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Find(1), nullptr);
+  EXPECT_FALSE(list.Begin().Valid());
+}
+
+TEST(SkipListTest, InsertAndFind) {
+  SkipList<int, std::string> list;
+  EXPECT_TRUE(list.Insert(2, "two"));
+  EXPECT_TRUE(list.Insert(1, "one"));
+  EXPECT_EQ(list.size(), 2u);
+  ASSERT_NE(list.Find(1), nullptr);
+  EXPECT_EQ(*list.Find(1), "one");
+  EXPECT_EQ(list.Find(3), nullptr);
+}
+
+TEST(SkipListTest, InsertOverwrites) {
+  SkipList<int, std::string> list;
+  EXPECT_TRUE(list.Insert(1, "a"));
+  EXPECT_FALSE(list.Insert(1, "b"));  // upsert, no new key
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(*list.Find(1), "b");
+}
+
+TEST(SkipListTest, EraseExistingAndMissing) {
+  SkipList<int, int> list;
+  list.Insert(5, 50);
+  EXPECT_TRUE(list.Erase(5));
+  EXPECT_FALSE(list.Erase(5));
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Find(5), nullptr);
+}
+
+TEST(SkipListTest, IterationIsOrdered) {
+  SkipList<int, int> list;
+  for (int k : {5, 1, 4, 2, 3}) list.Insert(k, k * 10);
+  int expected = 1;
+  for (auto it = list.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expected);
+    EXPECT_EQ(it.value(), expected * 10);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 6);
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  SkipList<int, int> list;
+  for (int k : {10, 20, 30}) list.Insert(k, k);
+  EXPECT_EQ(list.Seek(15).key(), 20);
+  EXPECT_EQ(list.Seek(20).key(), 20);
+  EXPECT_FALSE(list.Seek(31).Valid());
+  EXPECT_EQ(list.Seek(0).key(), 10);
+}
+
+TEST(SkipListTest, ClearEmptiesAndRemainsUsable) {
+  SkipList<int, int> list;
+  for (int i = 0; i < 100; ++i) list.Insert(i, i);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_TRUE(list.Insert(7, 70));
+  EXPECT_EQ(*list.Find(7), 70);
+}
+
+TEST(SkipListTest, MoveConstruction) {
+  SkipList<int, int> a;
+  a.Insert(1, 10);
+  a.Insert(2, 20);
+  SkipList<int, int> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(*b.Find(2), 20);
+  EXPECT_TRUE(a.empty());          // moved-from is empty but valid
+  EXPECT_TRUE(a.Insert(9, 90));    // and usable
+}
+
+TEST(SkipListTest, MoveAssignment) {
+  SkipList<int, int> a, b;
+  a.Insert(1, 10);
+  b.Insert(5, 50);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(*b.Find(1), 10);
+  EXPECT_EQ(b.Find(5), nullptr);
+}
+
+TEST(SkipListTest, StringKeysOrderedLexicographically) {
+  SkipList<std::string, int> list;
+  list.Insert("banana", 2);
+  list.Insert("apple", 1);
+  list.Insert("cherry", 3);
+  auto it = list.Begin();
+  EXPECT_EQ(it.key(), "apple");
+  it.Next();
+  EXPECT_EQ(it.key(), "banana");
+}
+
+TEST(SkipListTest, CustomComparator) {
+  SkipList<int, int, std::greater<int>> list(1, std::greater<int>());
+  list.Insert(1, 1);
+  list.Insert(3, 3);
+  list.Insert(2, 2);
+  auto it = list.Begin();
+  EXPECT_EQ(it.key(), 3);  // descending order
+}
+
+TEST(SkipListTest, RandomOpsAgreeWithStdMap) {
+  SkipList<uint64_t, uint64_t> list(99);
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.UniformInt(0, 499);
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {
+        list.Insert(key, i);
+        reference[key] = static_cast<uint64_t>(i);
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(list.Erase(key), reference.erase(key) > 0);
+        break;
+      }
+      default: {
+        const uint64_t* found = list.Find(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(list.size(), reference.size());
+  auto it = list.Begin();
+  for (const auto& [k, v] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, LargeSequentialInsertStaysOrdered) {
+  SkipList<int, int> list;
+  for (int i = 9999; i >= 0; --i) list.Insert(i, i);
+  EXPECT_EQ(list.size(), 10000u);
+  int prev = -1;
+  for (auto it = list.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), prev + 1);
+    prev = it.key();
+  }
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,200 @@
+#include "skute/topology/location.h"
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+TEST(LocationTest, OfAndAccessors) {
+  const Location loc = Location::Of(1, 2, 3, 4, 5, 6);
+  EXPECT_EQ(loc.continent(), 1u);
+  EXPECT_EQ(loc.country(), 2u);
+  EXPECT_EQ(loc.datacenter(), 3u);
+  EXPECT_EQ(loc.room(), 4u);
+  EXPECT_EQ(loc.rack(), 5u);
+  EXPECT_EQ(loc.server(), 6u);
+}
+
+TEST(LocationTest, ToStringFormat) {
+  EXPECT_EQ(Location::Of(0, 1, 0, 0, 1, 3).ToString(), "c0/n1/d0/r0/k1/s3");
+}
+
+TEST(LocationTest, ParseRoundTrip) {
+  const Location loc = Location::Of(4, 1, 1, 0, 1, 4);
+  auto parsed = Location::Parse(loc.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, loc);
+}
+
+TEST(LocationTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Location::Parse("").ok());
+  EXPECT_FALSE(Location::Parse("c0/n1/d0/r0/k1").ok());     // missing level
+  EXPECT_FALSE(Location::Parse("x0/n1/d0/r0/k1/s3").ok());  // wrong tag
+  EXPECT_FALSE(Location::Parse("c0/n1/d0/r0/k1/s").ok());   // missing id
+  EXPECT_FALSE(Location::Parse("c0/n1/d0/r0/k1/s3x").ok()); // trailing
+  EXPECT_FALSE(Location::Parse("c0n1/d0/r0/k1/s3").ok());   // missing '/'
+}
+
+TEST(LocationTest, ParseRejectsOverflow) {
+  EXPECT_FALSE(Location::Parse("c99999999999/n0/d0/r0/k0/s0").ok());
+}
+
+TEST(LocationTest, TruncationZeroesLowerLevels) {
+  const Location loc = Location::Of(1, 2, 3, 4, 5, 6);
+  EXPECT_EQ(loc.TruncatedTo(GeoLevel::kCountry),
+            Location::Of(1, 2, 0, 0, 0, 0));
+  EXPECT_EQ(loc.TruncatedTo(GeoLevel::kServer), loc);
+}
+
+TEST(LocationTest, GeoLevelNames) {
+  EXPECT_EQ(GeoLevelName(GeoLevel::kContinent), "continent");
+  EXPECT_EQ(GeoLevelName(GeoLevel::kServer), "server");
+}
+
+TEST(DiversityTest, PaperLadder) {
+  // The exact {0,1,3,7,15,31,63} ladder of Section II-B.
+  const Location base = Location::Of(0, 0, 0, 0, 0, 0);
+  EXPECT_EQ(DiversityValue(base, base), 0);
+  EXPECT_EQ(DiversityValue(base, Location::Of(0, 0, 0, 0, 0, 1)), 1);
+  EXPECT_EQ(DiversityValue(base, Location::Of(0, 0, 0, 0, 1, 0)), 3);
+  EXPECT_EQ(DiversityValue(base, Location::Of(0, 0, 0, 1, 0, 0)), 7);
+  EXPECT_EQ(DiversityValue(base, Location::Of(0, 0, 1, 0, 0, 0)), 15);
+  EXPECT_EQ(DiversityValue(base, Location::Of(0, 1, 0, 0, 0, 0)), 31);
+  EXPECT_EQ(DiversityValue(base, Location::Of(1, 0, 0, 0, 0, 0)), 63);
+}
+
+TEST(DiversityTest, PaperExampleSimilarity) {
+  // Paper: similarity 111000 -> diversity 000111 = 7 (same continent,
+  // country, datacenter; different room).
+  const Location a = Location::Of(2, 1, 0, 0, 1, 4);
+  const Location b = Location::Of(2, 1, 0, 1, 1, 4);
+  EXPECT_EQ(SimilarityMask(a, b), 0b111000);
+  EXPECT_EQ(DiversityValue(a, b), 7);
+}
+
+TEST(DiversityTest, HierarchicalNotPerLevel) {
+  // Same rack id but different countries: the shared label must NOT count
+  // (hierarchical semantics; see DESIGN.md).
+  const Location a = Location::Of(0, 0, 0, 0, 3, 0);
+  const Location b = Location::Of(0, 1, 0, 0, 3, 0);
+  EXPECT_EQ(DiversityValue(a, b), 31);
+}
+
+TEST(DiversityTest, MaskIsAlwaysPrefixShaped) {
+  const Location base = Location::Of(1, 1, 1, 0, 1, 2);
+  for (uint8_t level = 0; level < 6; ++level) {
+    Location other = base;
+    other.ids[level] += 1;
+    const uint8_t mask = SimilarityMask(base, other);
+    // mask must be of the form 111..000 within 6 bits.
+    EXPECT_EQ((mask | (mask >> 1)) & 0x3F, mask == 0 ? 0 : mask | (mask >> 1));
+    EXPECT_EQ(DiversityValue(base, other), (1 << (6 - level)) - 1);
+  }
+}
+
+class DiversityPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DiversityPropertyTest, SymmetricAndBounded) {
+  // Symmetry and bounds over all pairs drawn from a deterministic pool.
+  const auto [i, j] = GetParam();
+  auto make = [](int k) {
+    return Location::Of(k % 3, (k / 3) % 2, (k / 6) % 2, 0, (k / 12) % 2,
+                        k % 5);
+  };
+  const Location a = make(i);
+  const Location b = make(j);
+  EXPECT_EQ(DiversityValue(a, b), DiversityValue(b, a));
+  EXPECT_LE(DiversityValue(a, b), kMaxDiversity);
+  if (a == b) {
+    EXPECT_EQ(DiversityValue(a, b), 0);
+  }
+  // Identity of indiscernibles at the mask level.
+  EXPECT_EQ(SimilarityMask(a, b) & DiversityValue(a, b), 0);
+  EXPECT_EQ(SimilarityMask(a, b) | DiversityValue(a, b), 0x3F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, DiversityPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Range(0, 12)));
+
+TEST(GridSpecTest, PaperCounts) {
+  const GridSpec spec = GridSpec::Paper();
+  EXPECT_EQ(spec.server_count(), 200u);   // Section III-A
+  EXPECT_EQ(spec.datacenter_count(), 20u);  // 10 countries x 2
+  EXPECT_EQ(spec.rack_count(), 40u);
+}
+
+TEST(BuildGridTest, ProducesAllDistinctLocations) {
+  auto grid = BuildGrid(GridSpec::Paper());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->size(), 200u);
+  for (size_t i = 1; i < grid->size(); ++i) {
+    EXPECT_NE((*grid)[i - 1], (*grid)[i]);
+  }
+}
+
+TEST(BuildGridTest, RejectsZeroDimension) {
+  GridSpec spec;
+  spec.racks_per_room = 0;
+  EXPECT_FALSE(BuildGrid(spec).ok());
+}
+
+TEST(BuildGridTest, RackSizesMatchSpec) {
+  const GridSpec spec = GridSpec::Paper();
+  auto grid = BuildGrid(spec);
+  ASSERT_TRUE(grid.ok());
+  // Count servers in rack (c0,n0,d0,r0,k0): must equal servers_per_rack.
+  int in_rack = 0;
+  const Location rack = Location::Of(0, 0, 0, 0, 0, 0);
+  for (const Location& loc : *grid) {
+    if (LocationUnder(loc, rack, GeoLevel::kRack)) ++in_rack;
+  }
+  EXPECT_EQ(in_rack, 5);
+}
+
+TEST(ExpansionTest, ProducesRequestedCountInFreshRacks) {
+  const GridSpec spec = GridSpec::Paper();
+  const auto extra = ExpansionLocations(spec, 20, spec.racks_per_room);
+  EXPECT_EQ(extra.size(), 20u);
+  for (const Location& loc : extra) {
+    EXPECT_GE(loc.rack(), spec.racks_per_room);  // new racks only
+  }
+  // All distinct.
+  for (size_t i = 0; i < extra.size(); ++i) {
+    for (size_t j = i + 1; j < extra.size(); ++j) {
+      EXPECT_NE(extra[i], extra[j]);
+    }
+  }
+}
+
+TEST(ExpansionTest, SpreadsAcrossDatacenters) {
+  const GridSpec spec = GridSpec::Paper();
+  const auto extra = ExpansionLocations(spec, 20, 2);
+  // 20 servers, 5 per rack, rack-per-datacenter round robin: 4 DCs hit.
+  std::set<std::pair<uint32_t, uint32_t>> dcs;
+  for (const Location& loc : extra) {
+    dcs.insert({loc.continent() * 10 + loc.country(), loc.datacenter()});
+  }
+  EXPECT_EQ(dcs.size(), 4u);
+}
+
+TEST(LocationUnderTest, PrefixMatching) {
+  const Location loc = Location::Of(1, 2, 1, 0, 1, 3);
+  EXPECT_TRUE(LocationUnder(loc, Location::Of(1, 0, 0, 0, 0, 0),
+                            GeoLevel::kContinent));
+  EXPECT_TRUE(LocationUnder(loc, Location::Of(1, 2, 1, 0, 0, 0),
+                            GeoLevel::kDatacenter));
+  EXPECT_FALSE(LocationUnder(loc, Location::Of(1, 3, 0, 0, 0, 0),
+                             GeoLevel::kCountry));
+  EXPECT_TRUE(LocationUnder(loc, loc, GeoLevel::kServer));
+}
+
+}  // namespace
+}  // namespace skute

@@ -1,0 +1,281 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "skute/topology/topology.h"
+#include "skute/workload/geo.h"
+#include "skute/workload/insertgen.h"
+#include "skute/workload/popularity.h"
+#include "skute/workload/querygen.h"
+#include "skute/workload/schedule.h"
+
+namespace skute {
+namespace {
+
+TEST(ParetoSpecTest, PaperMeanIsFifty) {
+  const ParetoSpec spec = ParetoSpec::PaperPopularity();
+  EXPECT_EQ(spec.scale, 1.0);
+  EXPECT_NEAR(spec.Mean(), 50.0, 1e-9);
+}
+
+TEST(ParetoSpecTest, MeanUndefinedAtShapeOne) {
+  ParetoSpec spec;
+  spec.shape = 1.0;
+  EXPECT_LT(spec.Mean(), 0.0);
+}
+
+TEST(PopularityModelTest, AssignsPositiveWeights) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(32, 0).ok());
+  PopularityModel model(ParetoSpec::PaperPopularity(), 7);
+  model.AssignWeights(&ring);
+  for (const auto& p : ring.partitions()) {
+    EXPECT_GE(p->popularity_weight(), 1.0);  // Pareto minimum x_m = 1
+  }
+}
+
+TEST(PopularityModelTest, WeightsAreSkewed) {
+  VirtualRing ring(0, 0);
+  ASSERT_TRUE(ring.InitializePartitions(200, 0).ok());
+  PopularityModel model(ParetoSpec::PaperPopularity(), 11);
+  model.AssignWeights(&ring);
+  double max_w = 0.0, total = 0.0;
+  for (const auto& p : ring.partitions()) {
+    max_w = std::max(max_w, p->popularity_weight());
+    total += p->popularity_weight();
+  }
+  // Heavy tail: the hottest of 200 partitions carries well over the
+  // uniform share (0.5%).
+  EXPECT_GT(max_w / total, 0.05);
+}
+
+TEST(GeoMixTest, UniformCountryMixCoversGrid) {
+  const GridSpec spec = GridSpec::Paper();
+  const ClientMix mix = UniformCountryMix(spec);
+  EXPECT_EQ(mix.loads.size(), 10u);  // 10 countries
+  EXPECT_DOUBLE_EQ(mix.TotalQueries(), 10.0);
+}
+
+TEST(GeoMixTest, HotspotMixWeights) {
+  const GridSpec spec = GridSpec::Paper();
+  const Location hot = Location::Of(0, 0, 1, 0, 1, 2);
+  const ClientMix mix = HotspotMix(spec, hot, 0.7);
+  EXPECT_DOUBLE_EQ(mix.TotalQueries(), 1.0);
+  double hot_share = 0.0;
+  for (const ClientLoad& l : mix.loads) {
+    if (l.location.TruncatedTo(GeoLevel::kCountry) ==
+        hot.TruncatedTo(GeoLevel::kCountry)) {
+      hot_share += l.queries;
+    }
+  }
+  EXPECT_DOUBLE_EQ(hot_share, 0.7);
+}
+
+TEST(GeoMixTest, SingleOriginMix) {
+  const ClientMix mix = SingleOriginMix(Location::Of(1, 0, 0, 0, 0, 0));
+  ASSERT_EQ(mix.loads.size(), 1u);
+  EXPECT_DOUBLE_EQ(mix.loads[0].queries, 1.0);
+}
+
+TEST(ScheduleTest, ConstantRate) {
+  ConstantSchedule s(3000.0);
+  EXPECT_EQ(s.RateAt(0), 3000.0);
+  EXPECT_EQ(s.RateAt(1000), 3000.0);
+}
+
+TEST(ScheduleTest, SlashdotPaperShape) {
+  const SlashdotSchedule s = SlashdotSchedule::Paper();
+  EXPECT_DOUBLE_EQ(s.RateAt(0), 3000.0);
+  EXPECT_DOUBLE_EQ(s.RateAt(99), 3000.0);
+  // Linear ramp over 25 epochs from epoch 100.
+  EXPECT_GT(s.RateAt(110), 3000.0);
+  EXPECT_LT(s.RateAt(110), 183000.0);
+  EXPECT_DOUBLE_EQ(s.RateAt(125), 183000.0);  // peak epoch
+  EXPECT_EQ(s.peak_epoch(), 125);
+  // Decay over 250 epochs back to base.
+  EXPECT_LT(s.RateAt(200), 183000.0);
+  EXPECT_GT(s.RateAt(200), 3000.0);
+  EXPECT_DOUBLE_EQ(s.RateAt(375), 3000.0);
+  EXPECT_DOUBLE_EQ(s.RateAt(1000), 3000.0);
+}
+
+TEST(ScheduleTest, SlashdotMonotoneOnRampAndDecay) {
+  const SlashdotSchedule s = SlashdotSchedule::Paper();
+  for (Epoch e = 100; e < 125; ++e) {
+    EXPECT_LT(s.RateAt(e), s.RateAt(e + 1));
+  }
+  for (Epoch e = 125; e < 374; ++e) {
+    EXPECT_GT(s.RateAt(e), s.RateAt(e + 1));
+  }
+}
+
+TEST(ScheduleTest, StepSchedule) {
+  StepSchedule s(100.0);
+  s.AddStep(10, 500.0);
+  s.AddStep(20, 50.0);
+  EXPECT_EQ(s.RateAt(0), 100.0);
+  EXPECT_EQ(s.RateAt(10), 500.0);
+  EXPECT_EQ(s.RateAt(19), 500.0);
+  EXPECT_EQ(s.RateAt(25), 50.0);
+}
+
+TEST(SampleHashInRangeTest, StaysInRange) {
+  Rng rng(3);
+  const KeyRange narrow{1000, 2000};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(narrow.Contains(SampleHashInRange(narrow, &rng)));
+  }
+  const KeyRange wrapping{~0ull - 5, 5};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(wrapping.Contains(SampleHashInRange(wrapping, &rng)));
+  }
+  const KeyRange full{0, 0};
+  EXPECT_TRUE(full.Contains(SampleHashInRange(full, &rng)));
+}
+
+// Store-driven generator tests share a small fixture.
+class WorkloadStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridSpec spec;
+    spec.continents = 2;
+    spec.countries_per_continent = 1;
+    spec.datacenters_per_country = 1;
+    spec.rooms_per_datacenter = 1;
+    spec.racks_per_room = 2;
+    spec.servers_per_rack = 2;
+    auto grid = BuildGrid(spec);
+    ASSERT_TRUE(grid.ok());
+    ServerResources res;
+    res.storage_capacity = 64 * kMiB;
+    res.query_capacity_per_epoch = 100000;
+    for (const Location& loc : *grid) {
+      cluster_.AddServer(loc, res, ServerEconomics{});
+    }
+    SkuteOptions options;
+    options.max_partition_bytes = 4 * kMiB;
+    options.track_real_data = false;
+    store_ = std::make_unique<SkuteStore>(&cluster_, options);
+    const AppId app = store_->CreateApplication("a");
+    ring_a_ =
+        store_->AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 8).value();
+    ring_b_ =
+        store_->AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 8).value();
+    PopularityModel pop(ParetoSpec::PaperPopularity(), 13);
+    pop.AssignWeights(store_->catalog().ring(ring_a_));
+    pop.AssignWeights(store_->catalog().ring(ring_b_));
+  }
+
+  Cluster cluster_{PricingParams{}};
+  std::unique_ptr<SkuteStore> store_;
+  RingId ring_a_ = 0;
+  RingId ring_b_ = 0;
+};
+
+TEST_F(WorkloadStoreTest, QueryGeneratorHitsTargetRate) {
+  QueryGenerator gen(17);
+  store_->BeginEpoch();
+  uint64_t total = 0;
+  const int epochs = 50;
+  for (int i = 0; i < epochs; ++i) {
+    total += gen.GenerateEpoch(store_.get(), {ring_a_, ring_b_},
+                               {0.5, 0.5}, 1000.0);
+  }
+  // Poisson(1000) per epoch: the 50-epoch mean is within a few percent.
+  EXPECT_NEAR(static_cast<double>(total) / epochs, 1000.0, 50.0);
+}
+
+TEST_F(WorkloadStoreTest, QueryGeneratorRespectsFractions) {
+  QueryGenerator gen(19);
+  store_->BeginEpoch();
+  for (int i = 0; i < 20; ++i) {
+    gen.GenerateEpoch(store_.get(), {ring_a_, ring_b_}, {0.8, 0.2},
+                      2000.0);
+  }
+  const uint64_t qa = store_->ReportRing(ring_a_).queries_this_epoch;
+  const uint64_t qb = store_->ReportRing(ring_b_).queries_this_epoch;
+  EXPECT_NEAR(static_cast<double>(qa) / (qa + qb), 0.8, 0.05);
+}
+
+TEST_F(WorkloadStoreTest, QueryGeneratorFollowsPopularity) {
+  QueryGenerator gen(23);
+  store_->BeginEpoch();
+  for (int i = 0; i < 100; ++i) {
+    gen.GenerateEpoch(store_.get(), {ring_a_}, {1.0}, 5000.0);
+  }
+  // The hottest partition must receive more queries than the coldest.
+  const VirtualRing* ring = store_->catalog().ring(ring_a_);
+  const Partition* hottest = nullptr;
+  const Partition* coldest = nullptr;
+  for (const auto& p : ring->partitions()) {
+    if (hottest == nullptr ||
+        p->popularity_weight() > hottest->popularity_weight()) {
+      hottest = p.get();
+    }
+    if (coldest == nullptr ||
+        p->popularity_weight() < coldest->popularity_weight()) {
+      coldest = p.get();
+    }
+  }
+  uint64_t hot_queries = 0, cold_queries = 0;
+  for (const ReplicaInfo& r : hottest->replicas()) {
+    const VirtualNode* v = store_->vnodes().Find(r.vnode);
+    if (v != nullptr) hot_queries += v->queries_routed;
+  }
+  for (const ReplicaInfo& r : coldest->replicas()) {
+    const VirtualNode* v = store_->vnodes().Find(r.vnode);
+    if (v != nullptr) cold_queries += v->queries_routed;
+  }
+  EXPECT_GT(hot_queries, cold_queries);
+}
+
+TEST_F(WorkloadStoreTest, ZeroRateGeneratesNothing) {
+  QueryGenerator gen(29);
+  store_->BeginEpoch();
+  EXPECT_EQ(gen.GenerateEpoch(store_.get(), {ring_a_}, {1.0}, 0.0), 0u);
+}
+
+TEST_F(WorkloadStoreTest, InsertGeneratorCountsAndBytes) {
+  InsertWorkloadOptions options;
+  options.inserts_per_epoch = 100;
+  options.object_bytes = 1024;
+  InsertGenerator gen(options, 31);
+  const auto result = gen.GenerateEpoch(store_.get(), {ring_a_, ring_b_});
+  EXPECT_EQ(result.attempted, 100u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.bytes_accepted, 100u * 1024u);
+  // Bytes landed in the catalogs of both rings.
+  EXPECT_GT(store_->catalog().ring(ring_a_)->TotalBytes(), 0u);
+  EXPECT_GT(store_->catalog().ring(ring_b_)->TotalBytes(), 0u);
+}
+
+TEST_F(WorkloadStoreTest, InsertGeneratorReportsFailuresWhenFull) {
+  InsertWorkloadOptions options;
+  options.inserts_per_epoch = 2000;
+  options.object_bytes = 4 * 1024 * 1024;
+  InsertGenerator gen(options, 37);
+  InsertGenerator::EpochResult last;
+  for (int i = 0; i < 40 && last.failed == 0; ++i) {
+    last = gen.GenerateEpoch(store_.get(), {ring_a_});
+  }
+  EXPECT_GT(last.failed, 0u);  // the tiny cloud fills up
+}
+
+TEST_F(WorkloadStoreTest, BulkLoadDeliversRequestedBytes) {
+  Rng rng(41);
+  const auto result = BulkLoadSynthetic(store_.get(), ring_a_, 10 * kMiB,
+                                        64 * 1024, &rng);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.objects, 10 * kMiB / (64 * 1024));
+  EXPECT_EQ(store_->catalog().ring(ring_a_)->TotalBytes(), result.bytes);
+}
+
+TEST_F(WorkloadStoreTest, BulkLoadZeroObjectSizeIsNoop) {
+  Rng rng(43);
+  const auto result =
+      BulkLoadSynthetic(store_.get(), ring_a_, kMiB, 0, &rng);
+  EXPECT_EQ(result.objects, 0u);
+}
+
+}  // namespace
+}  // namespace skute
