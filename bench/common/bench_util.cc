@@ -20,6 +20,8 @@ Args ParseArgs(int argc, char** argv) {
       args.sample_every = std::atoi(arg + 9);
     } else if (std::strcmp(arg, "--csv") == 0) {
       args.full_csv = true;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = std::atoi(arg + 10);
     }
   }
   return args;

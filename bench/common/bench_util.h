@@ -14,9 +14,11 @@ struct Args {
   uint64_t seed = 42;
   int sample_every = 0;   ///< 0 = bench default; CSV row downsampling
   bool full_csv = false;  ///< print every epoch regardless of sampling
+  int threads = 0;        ///< 0 = bench default; EpochOptions::threads
 };
 
-/// Parses --epochs=N, --seed=S, --sample=K, --csv; ignores unknown flags.
+/// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T; ignores
+/// unknown flags.
 Args ParseArgs(int argc, char** argv);
 
 /// Prints the bench banner: which figure, the paper's claim, parameters.

@@ -1,0 +1,177 @@
+// Epoch-pipeline throughput: epochs/sec of the sharded decision plane on
+// a 1000-server synthetic cluster, threads=1 vs threads=N.
+//
+//   ./build/bench/micro_epoch_pipeline [--epochs=N] [--threads=T]
+//
+// The scenario holds 3 rings x 256 partitions under live write + query
+// traffic, so every epoch runs the full pipeline: Eq. 1 price
+// publication, Eq. 5 balance recording, repair + economic proposal
+// passes, action execution, and comm accounting. Both runs use identical
+// seeds; the shape checks assert the determinism contract (identical
+// placements regardless of thread count) alongside the speedup report.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common/bench_util.h"
+#include "skute/common/hash.h"
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+
+namespace skute {
+namespace {
+
+constexpr int kDefaultMeasuredEpochs = 60;
+constexpr int kWarmupEpochs = 10;
+
+struct BenchResult {
+  double epochs_per_sec = 0.0;
+  uint64_t placement_version = 0;
+  uint64_t actions_applied = 0;
+  size_t partitions = 0;
+  size_t vnodes = 0;
+};
+
+/// One full run at the given thread count: fresh 1000-server cluster,
+/// bulk load, then `epochs` measured epochs of mixed traffic.
+BenchResult RunPipeline(int threads, int epochs, uint64_t seed) {
+  // 5 continents x 2 countries x 2 DCs x 5 racks x 10 servers = 1000.
+  GridSpec spec;
+  spec.continents = 5;
+  spec.countries_per_continent = 2;
+  spec.datacenters_per_country = 2;
+  spec.rooms_per_datacenter = 1;
+  spec.racks_per_room = 5;
+  spec.servers_per_rack = 10;
+  auto grid = BuildGrid(spec);
+
+  Cluster cluster{PricingParams{}};
+  ServerResources res;
+  res.storage_capacity = 4 * kGiB;
+  res.replication_bw_per_epoch = 600 * kMB;
+  res.migration_bw_per_epoch = 200 * kMB;
+  res.query_capacity_per_epoch = 5000;
+  for (const Location& loc : *grid) {
+    cluster.AddServer(loc, res, ServerEconomics{});
+  }
+
+  SkuteOptions options;
+  options.seed = seed;
+  options.track_real_data = false;
+  options.epoch.threads = threads;
+
+  SkuteStore store(&cluster, options);
+  const AppId app = store.CreateApplication("bench");
+  const RingId gold = *store.AttachRing(app, SlaLevel::ForReplicas(4, 1.0),
+                                        256);
+  const RingId silver =
+      *store.AttachRing(app, SlaLevel::ForReplicas(3, 1.0), 256);
+  const RingId bronze =
+      *store.AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 256);
+  const RingId rings[] = {gold, silver, bronze};
+
+  // Bulk load: ~8 MB per partition so repair/replication move real bytes.
+  SplitMix64 keys(seed ^ 0xabcdef);
+  for (int i = 0; i < 6144; ++i) {
+    (void)store.PutSynthetic(rings[i % 3], keys.Next(),
+                             static_cast<uint32_t>(kMB));
+  }
+
+  auto run_epoch = [&](Epoch e) {
+    store.BeginEpoch();
+    for (int i = 0; i < 64; ++i) {
+      (void)store.PutSynthetic(rings[i % 3], keys.Next(), 256 * kKB);
+    }
+    // Skewed query traffic: a few hot keys plus a rotating warm set.
+    for (int i = 0; i < 48; ++i) {
+      const uint64_t hot = Hash64("hot-" + std::to_string(i % 8));
+      store.RouteQueries(rings[i % 3], hot, 200);
+      const uint64_t warm =
+          Hash64("warm-" + std::to_string((e * 48 + i) % 512));
+      store.RouteQueries(rings[(i + 1) % 3], warm, 40);
+    }
+    store.EndEpoch();
+  };
+
+  for (Epoch e = 0; e < kWarmupEpochs; ++e) run_epoch(e);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (Epoch e = 0; e < static_cast<Epoch>(epochs); ++e) {
+    run_epoch(kWarmupEpochs + e);
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  BenchResult result;
+  result.epochs_per_sec =
+      elapsed > 0 ? static_cast<double>(epochs) / elapsed : 0.0;
+  result.placement_version = store.placement_version();
+  result.actions_applied = store.comm_total().transfer_msgs;
+  result.partitions = store.catalog().total_partitions();
+  result.vnodes = store.catalog().total_vnodes();
+  return result;
+}
+
+}  // namespace
+}  // namespace skute
+
+int main(int argc, char** argv) {
+  using namespace skute;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const int epochs = args.epochs > 0 ? args.epochs : kDefaultMeasuredEpochs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int parallel_threads =
+      args.threads > 0 ? args.threads
+                       : static_cast<int>(hw > 1 ? hw : 2);
+
+  bench::PrintHeader(
+      "micro_epoch_pipeline — sharded decision plane throughput",
+      "the epoch pipeline parallelizes across partition shards with "
+      "bit-identical results at any thread count");
+  std::printf("cluster: 1000 servers, 3 rings x 256 partitions, "
+              "%d measured epochs (+%d warmup)\n",
+              epochs, kWarmupEpochs);
+  std::printf("hardware_concurrency: %u\n", hw);
+
+  bench::PrintSection("threads=1");
+  const BenchResult base = RunPipeline(1, epochs, args.seed);
+  std::printf("epochs/sec: %s  (partitions=%zu vnodes=%zu applied=%llu)\n",
+              bench::Fmt(base.epochs_per_sec).c_str(), base.partitions,
+              base.vnodes,
+              static_cast<unsigned long long>(base.actions_applied));
+
+  bench::PrintSection("threads=" + std::to_string(parallel_threads));
+  const BenchResult par = RunPipeline(parallel_threads, epochs, args.seed);
+  std::printf("epochs/sec: %s  (partitions=%zu vnodes=%zu applied=%llu)\n",
+              bench::Fmt(par.epochs_per_sec).c_str(), par.partitions,
+              par.vnodes,
+              static_cast<unsigned long long>(par.actions_applied));
+
+  bench::PrintSection("summary");
+  const double speedup = base.epochs_per_sec > 0
+                             ? par.epochs_per_sec / base.epochs_per_sec
+                             : 0.0;
+  std::printf("threads=1:  %s epochs/sec\n",
+              bench::Fmt(base.epochs_per_sec).c_str());
+  std::printf("threads=%d: %s epochs/sec  (speedup %sx)\n",
+              parallel_threads, bench::Fmt(par.epochs_per_sec).c_str(),
+              bench::Fmt(speedup).c_str());
+
+  bench::ShapeChecks checks;
+  checks.Check("both runs made progress",
+               base.epochs_per_sec > 0 && par.epochs_per_sec > 0,
+               "epochs/sec measured for both thread counts");
+  checks.Check("decision plane active", base.actions_applied > 0,
+               "actions were proposed and applied during the run");
+  checks.Check(
+      "determinism across thread counts",
+      base.placement_version == par.placement_version &&
+          base.actions_applied == par.actions_applied &&
+          base.vnodes == par.vnodes && base.partitions == par.partitions,
+      "placement_version/actions/vnodes/partitions identical at "
+      "threads=1 and threads=" + std::to_string(parallel_threads));
+  return checks.Summarize();
+}

@@ -1,0 +1,47 @@
+#ifndef SKUTE_CORE_COMM_STATS_H_
+#define SKUTE_CORE_COMM_STATS_H_
+
+#include <cstdint>
+
+namespace skute {
+
+/// \brief Communication-overhead accounting (the paper's future-work
+/// analysis): every message class the protocol would put on the wire,
+/// counted at the real call sites. One "message" is one request/reply
+/// exchange.
+struct CommStats {
+  /// Price board publication: one message per online server per epoch.
+  uint64_t board_msgs = 0;
+  /// Client queries routed (Get + aggregate routing).
+  uint64_t query_msgs = 0;
+  /// Write fan-out for consistency: one message per live replica per
+  /// write, plus the bytes shipped.
+  uint64_t consistency_msgs = 0;
+  uint64_t consistency_bytes = 0;
+  /// Replica transfers (replication, migration, split re-placement).
+  uint64_t transfer_msgs = 0;
+  uint64_t transfer_bytes = 0;
+  /// Decision-plane traffic: proposals the agents made this epoch.
+  uint64_t control_msgs = 0;
+
+  uint64_t TotalMsgs() const {
+    return board_msgs + query_msgs + consistency_msgs + transfer_msgs +
+           control_msgs;
+  }
+
+  void Clear() { *this = CommStats(); }
+
+  void Accumulate(const CommStats& other) {
+    board_msgs += other.board_msgs;
+    query_msgs += other.query_msgs;
+    consistency_msgs += other.consistency_msgs;
+    consistency_bytes += other.consistency_bytes;
+    transfer_msgs += other.transfer_msgs;
+    transfer_bytes += other.transfer_bytes;
+    control_msgs += other.control_msgs;
+  }
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_COMM_STATS_H_

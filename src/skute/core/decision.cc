@@ -36,58 +36,66 @@ double DecisionEngine::AvailabilityWith(const Cluster& cluster,
   return AvailabilityModel::OfServerIdsWith(cluster, servers, extra);
 }
 
+void DecisionEngine::ProposeRepair(const Cluster& cluster,
+                                   const Partition& partition,
+                                   const std::vector<RingPolicy>& policies,
+                                   RentSurcharge* surcharge,
+                                   std::vector<Action>* actions) const {
+  const RingPolicy& policy = policies[partition.ring()];
+  if (policy.min_availability <= 0.0) return;
+
+  std::vector<ServerId> live = ReplicaServerSet(partition);
+  // Drop offline entries for the hypothetical availability computation.
+  live.erase(std::remove_if(live.begin(), live.end(),
+                            [&](ServerId id) {
+                              const Server* s = cluster.server(id);
+                              return s == nullptr || !s->online();
+                            }),
+             live.end());
+  if (live.empty()) return;  // lost partition: no source to repair from
+
+  double avail = AvailabilityModel::OfServerIds(cluster, live);
+  if (avail >= policy.min_availability) return;
+
+  ServerId primary_server = kInvalidServer;
+  const VNodeId primary = PrimaryVNode(partition, cluster, &primary_server);
+
+  for (int step = 0; step < params_.max_repair_steps_per_epoch &&
+                     avail < policy.min_availability;
+       ++step) {
+    if (params_.max_replicas_per_partition != 0 &&
+        live.size() >= params_.max_replicas_per_partition) {
+      break;
+    }
+    auto choice = SelectTargetForSet(
+        cluster, live, partition.bytes(), policy.mix, params_.candidate,
+        /*exclude=*/{}, surcharge, /*tie_break_salt=*/partition.id());
+    if (!choice.ok()) break;
+    Action a;
+    a.type = ActionType::kReplicate;
+    a.partition = partition.id();
+    a.ring = partition.ring();
+    a.vnode = primary;
+    a.source = primary_server;
+    a.target = choice->server;
+    a.score = choice->score;
+    a.reason = "repair: availability below threshold";
+    actions->push_back(a);
+    if (surcharge != nullptr) {
+      (*surcharge)[choice->server] += params_.pending_placement_penalty;
+    }
+    live.push_back(choice->server);
+    avail = AvailabilityModel::OfServerIds(cluster, live);
+  }
+}
+
 std::vector<Action> DecisionEngine::RepairPass(
     const Cluster& cluster, const RingCatalog& catalog,
     const std::vector<RingPolicy>& policies,
     RentSurcharge* surcharge) const {
   std::vector<Action> actions;
   catalog.ForEachPartition([&](const Partition* p) {
-    const RingPolicy& policy = policies[p->ring()];
-    if (policy.min_availability <= 0.0) return;
-
-    std::vector<ServerId> live = ReplicaServerSet(*p);
-    // Drop offline entries for the hypothetical availability computation.
-    live.erase(std::remove_if(live.begin(), live.end(),
-                              [&](ServerId id) {
-                                const Server* s = cluster.server(id);
-                                return s == nullptr || !s->online();
-                              }),
-               live.end());
-    if (live.empty()) return;  // lost partition: no source to repair from
-
-    double avail = AvailabilityModel::OfServerIds(cluster, live);
-    if (avail >= policy.min_availability) return;
-
-    ServerId primary_server = kInvalidServer;
-    const VNodeId primary = PrimaryVNode(*p, cluster, &primary_server);
-
-    for (int step = 0; step < params_.max_repair_steps_per_epoch &&
-                       avail < policy.min_availability;
-         ++step) {
-      if (params_.max_replicas_per_partition != 0 &&
-          live.size() >= params_.max_replicas_per_partition) {
-        break;
-      }
-      auto choice = SelectTargetForSet(
-          cluster, live, p->bytes(), policy.mix, params_.candidate,
-          /*exclude=*/{}, surcharge, /*tie_break_salt=*/p->id());
-      if (!choice.ok()) break;
-      Action a;
-      a.type = ActionType::kReplicate;
-      a.partition = p->id();
-      a.ring = p->ring();
-      a.vnode = primary;
-      a.source = primary_server;
-      a.target = choice->server;
-      a.score = choice->score;
-      a.reason = "repair: availability below threshold";
-      actions.push_back(a);
-      if (surcharge != nullptr) {
-        (*surcharge)[choice->server] += params_.pending_placement_penalty;
-      }
-      live.push_back(choice->server);
-      avail = AvailabilityModel::OfServerIds(cluster, live);
-    }
+    ProposeRepair(cluster, *p, policies, surcharge, &actions);
   });
   return actions;
 }
@@ -204,11 +212,13 @@ Action DecisionEngine::MaybeReplicate(const Cluster& cluster,
   return a;
 }
 
-std::vector<Action> DecisionEngine::EconomicPass(
-    const Cluster& cluster, const RingCatalog& catalog,
-    const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
-    const PartitionStatsMap& stats, RentSurcharge* surcharge) const {
-  std::vector<Action> actions;
+void DecisionEngine::ProposeEconomic(const Cluster& cluster,
+                                     const Partition& partition,
+                                     const VNodeRegistry& vnodes,
+                                     const std::vector<RingPolicy>& policies,
+                                     const PartitionStatsMap& stats,
+                                     RentSurcharge* surcharge,
+                                     std::vector<Action>* actions) const {
   static const PartitionEpochStats kNoTraffic;
 
   auto charge = [&](const Action& a) {
@@ -217,44 +227,54 @@ std::vector<Action> DecisionEngine::EconomicPass(
     }
   };
 
-  catalog.ForEachPartition([&](const Partition* p) {
-    const RingPolicy& policy = policies[p->ring()];
-    const double avail = AvailabilityModel::OfPartition(*p, cluster);
-    if (avail < policy.min_availability) {
-      return;  // under-replicated: repair owns this partition this epoch
-    }
+  const RingPolicy& policy = policies[partition.ring()];
+  const double avail = AvailabilityModel::OfPartition(partition, cluster);
+  if (avail < policy.min_availability) {
+    return;  // under-replicated: repair owns this partition this epoch
+  }
 
-    // Cost-cutting first: the first vnode (replica order) with a negative
-    // streak acts; one action per partition per epoch.
-    for (const ReplicaInfo& r : p->replicas()) {
-      const VirtualNode* v = vnodes.Find(r.vnode);
-      if (v == nullptr) continue;
-      Action a = DecideForVNode(cluster, *p, *v, policy, avail, surcharge);
-      if (a.type != ActionType::kNone) {
-        charge(a);
-        actions.push_back(a);
-        return;
-      }
-    }
-
-    // Growth second: replicate when some replica sustained profit.
-    bool positive = false;
-    for (const ReplicaInfo& r : p->replicas()) {
-      const VirtualNode* v = vnodes.Find(r.vnode);
-      if (v != nullptr && v->balance.PositiveStreak()) {
-        positive = true;
-        break;
-      }
-    }
-    if (!positive) return;
-    const auto it = stats.find(p->id());
-    const PartitionEpochStats& traffic =
-        it == stats.end() ? kNoTraffic : it->second;
-    Action a = MaybeReplicate(cluster, *p, policy, traffic, surcharge);
+  // Cost-cutting first: the first vnode (replica order) with a negative
+  // streak acts; one action per partition per epoch.
+  for (const ReplicaInfo& r : partition.replicas()) {
+    const VirtualNode* v = vnodes.Find(r.vnode);
+    if (v == nullptr) continue;
+    Action a =
+        DecideForVNode(cluster, partition, *v, policy, avail, surcharge);
     if (a.type != ActionType::kNone) {
       charge(a);
-      actions.push_back(a);
+      actions->push_back(a);
+      return;
     }
+  }
+
+  // Growth second: replicate when some replica sustained profit.
+  bool positive = false;
+  for (const ReplicaInfo& r : partition.replicas()) {
+    const VirtualNode* v = vnodes.Find(r.vnode);
+    if (v != nullptr && v->balance.PositiveStreak()) {
+      positive = true;
+      break;
+    }
+  }
+  if (!positive) return;
+  const auto it = stats.find(partition.id());
+  const PartitionEpochStats& traffic =
+      it == stats.end() ? kNoTraffic : it->second;
+  Action a = MaybeReplicate(cluster, partition, policy, traffic, surcharge);
+  if (a.type != ActionType::kNone) {
+    charge(a);
+    actions->push_back(a);
+  }
+}
+
+std::vector<Action> DecisionEngine::EconomicPass(
+    const Cluster& cluster, const RingCatalog& catalog,
+    const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+    const PartitionStatsMap& stats, RentSurcharge* surcharge) const {
+  std::vector<Action> actions;
+  catalog.ForEachPartition([&](const Partition* p) {
+    ProposeEconomic(cluster, *p, vnodes, policies, stats, surcharge,
+                    &actions);
   });
   return actions;
 }
@@ -269,6 +289,25 @@ std::vector<Action> DecisionEngine::ProposeAll(
   std::vector<Action> econ =
       EconomicPass(cluster, catalog, vnodes, policies, stats, &surcharge);
   actions.insert(actions.end(), econ.begin(), econ.end());
+  return actions;
+}
+
+std::vector<Action> DecisionEngine::ProposeForPartitions(
+    const Cluster& cluster,
+    const std::vector<const Partition*>& partitions,
+    const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+    const PartitionStatsMap& stats) const {
+  // Same pass order as ProposeAll — repair over the whole shard, then
+  // economic — so a single-shard plan reproduces it action for action.
+  RentSurcharge surcharge;
+  std::vector<Action> actions;
+  for (const Partition* p : partitions) {
+    ProposeRepair(cluster, *p, policies, &surcharge, &actions);
+  }
+  for (const Partition* p : partitions) {
+    ProposeEconomic(cluster, *p, vnodes, policies, stats, &surcharge,
+                    &actions);
+  }
   return actions;
 }
 

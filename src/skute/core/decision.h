@@ -127,7 +127,38 @@ class DecisionEngine {
                                  const std::vector<RingPolicy>& policies,
                                  const PartitionStatsMap& stats) const;
 
+  /// \brief Both passes restricted to an explicit partition list — one
+  /// decision-plane shard — with its own rent-surcharge ledger.
+  ///
+  /// Called concurrently from the epoch pipeline's worker pool, one call
+  /// per shard; everything it touches is read-only shared state plus
+  /// shard-local accumulators, so calls are thread-safe. A shard only
+  /// surcharges its *own* proposals: cross-shard pile-ups onto one cheap
+  /// server are possible within an epoch (as they are between real
+  /// uncoordinated agents) and are arbitrated by the executor's
+  /// storage/bandwidth re-validation. With a single shard this is exactly
+  /// ProposeAll.
+  std::vector<Action> ProposeForPartitions(
+      const Cluster& cluster,
+      const std::vector<const Partition*>& partitions,
+      const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+      const PartitionStatsMap& stats) const;
+
  private:
+  /// Repair leg for one partition (appends 0..max_repair_steps actions).
+  void ProposeRepair(const Cluster& cluster, const Partition& partition,
+                     const std::vector<RingPolicy>& policies,
+                     RentSurcharge* surcharge,
+                     std::vector<Action>* actions) const;
+
+  /// Economic leg for one partition (appends at most one action).
+  void ProposeEconomic(const Cluster& cluster, const Partition& partition,
+                       const VNodeRegistry& vnodes,
+                       const std::vector<RingPolicy>& policies,
+                       const PartitionStatsMap& stats,
+                       RentSurcharge* surcharge,
+                       std::vector<Action>* actions) const;
+
   /// Eq. 2 over an explicit id set plus one extra server.
   double AvailabilityWith(const Cluster& cluster,
                           const std::vector<ServerId>& servers,

@@ -29,6 +29,30 @@ class PlacementPolicy {
       const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
       const PartitionStatsMap& stats) = 0;
 
+  /// \brief Sharded proposal support. When true, the epoch pipeline calls
+  /// ProposeActionsForShard once per partition shard — concurrently, from
+  /// the worker pool — instead of ProposeActions.
+  ///
+  /// Contract for implementations: the method must be thread-safe (const,
+  /// no hidden mutable state) and its output must be a function of the
+  /// shard's contents and order only, so that results do not depend on
+  /// the thread count (see ShardPlan's determinism note).
+  virtual bool SupportsShardedProposals() const { return false; }
+
+  /// Proposes actions for the partitions of one shard. Only called when
+  /// SupportsShardedProposals() is true.
+  virtual std::vector<Action> ProposeActionsForShard(
+      const Cluster& cluster, const std::vector<const Partition*>& shard,
+      const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+      const PartitionStatsMap& stats) const {
+    (void)cluster;
+    (void)shard;
+    (void)vnodes;
+    (void)policies;
+    (void)stats;
+    return {};
+  }
+
   /// Human-readable policy name for reports.
   virtual const char* name() const = 0;
 };
@@ -44,6 +68,18 @@ class EconomicPolicy : public PlacementPolicy {
       const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
       const PartitionStatsMap& stats) override {
     return engine_.ProposeAll(cluster, catalog, vnodes, policies, stats);
+  }
+
+  /// The decision engine's passes are const and read-only over shared
+  /// state, so shards can run concurrently.
+  bool SupportsShardedProposals() const override { return true; }
+
+  std::vector<Action> ProposeActionsForShard(
+      const Cluster& cluster, const std::vector<const Partition*>& shard,
+      const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
+      const PartitionStatsMap& stats) const override {
+    return engine_.ProposeForPartitions(cluster, shard, vnodes, policies,
+                                        stats);
   }
 
   const char* name() const override { return "economic"; }

@@ -14,21 +14,12 @@ SkuteStore::SkuteStore(Cluster* cluster, const SkuteOptions& options)
       policy_(std::make_unique<EconomicPolicy>(options.decision)),
       executor_(cluster, &catalog_, &vnodes_,
                 options.track_real_data ? &replica_data_ : nullptr),
-      rng_(options.seed) {}
+      rng_(options.seed),
+      pipeline_(options.epoch) {}
 
 void SkuteStore::SetPlacementPolicy(
     std::unique_ptr<PlacementPolicy> policy) {
   policy_ = std::move(policy);
-}
-
-void CommStats::Accumulate(const CommStats& other) {
-  board_msgs += other.board_msgs;
-  query_msgs += other.query_msgs;
-  consistency_msgs += other.consistency_msgs;
-  consistency_bytes += other.consistency_bytes;
-  transfer_msgs += other.transfer_msgs;
-  transfer_bytes += other.transfer_bytes;
-  control_msgs += other.control_msgs;
 }
 
 AppId SkuteStore::CreateApplication(std::string name) {
@@ -441,61 +432,42 @@ void SkuteStore::RouteQueries(RingId ring, uint64_t key_hash,
 }
 
 // --- Epoch lifecycle -----------------------------------------------------------
+//
+// All pass logic lives in the EpochPipeline's stages (skute/engine): the
+// store only assembles the context over its own members.
 
-void SkuteStore::BeginEpoch() {
-  cluster_->BeginEpoch();
-  stats_.clear();
-  vnodes_.ForEach([](VirtualNode* v) { v->ResetEpochCounters(); });
-  std::fill(ring_queries_epoch_.begin(), ring_queries_epoch_.end(), 0);
-  std::fill(ring_spend_epoch_.begin(), ring_spend_epoch_.end(), 0.0);
-  comm_epoch_.Clear();
-  comm_epoch_.board_msgs += cluster_->online_count();
+EpochContext SkuteStore::MakeEpochContext(
+    const std::vector<RingPolicy>* policies) {
+  EpochContext ctx;
+  ctx.cluster = cluster_;
+  ctx.catalog = &catalog_;
+  ctx.vnodes = &vnodes_;
+  ctx.policy = policy_.get();
+  ctx.executor = &executor_;
+  ctx.rng = &rng_;
+  ctx.decision = &options_.decision;
+  ctx.policies = policies;
+  ctx.epoch = &epoch_;
+  ctx.seed = options_.seed;
+  ctx.stats = &stats_;
+  ctx.ring_queries_epoch = &ring_queries_epoch_;
+  ctx.ring_spend_epoch = &ring_spend_epoch_;
+  ctx.ring_spend_total = &ring_spend_total_;
+  ctx.comm_epoch = &comm_epoch_;
+  ctx.comm_total = &comm_total_;
+  ctx.last_stats = &last_stats_;
+  ctx.placement_version = &placement_version_;
+  return ctx;
 }
 
-void SkuteStore::RecordBalances() {
-  const Board& board = cluster_->board();
-  const double floor = board.min_rent();
-  catalog_.ForEachPartition([&](Partition* p) {
-    const ClientMix* mix = MixOf(p->ring());
-    for (const ReplicaInfo& r : p->replicas()) {
-      VirtualNode* v = vnodes_.Find(r.vnode);
-      if (v == nullptr) continue;
-      const Server* s = cluster_->server(r.server);
-      if (s == nullptr || !s->online()) continue;
-      const double g =
-          mix == nullptr ? 1.0 : NormalizedProximity(*mix, s->location());
-      double utility =
-          QueryUtility(v->queries_served, g, options_.decision.utility);
-      if (options_.decision.utility_floor) {
-        utility = std::max(utility, floor);
-      }
-      const double rent = board.RentOf(r.server);
-      v->last_utility = utility;
-      v->last_rent = rent;
-      v->balance.Record(utility - rent);
-      if (p->ring() < ring_spend_epoch_.size()) {
-        ring_spend_epoch_[p->ring()] += rent;
-        ring_spend_total_[p->ring()] += rent;
-      }
-    }
-  });
+void SkuteStore::BeginEpoch() {
+  EpochContext ctx = MakeEpochContext(/*policies=*/nullptr);
+  pipeline_.Run(EpochPhase::kBegin, ctx);
 }
 
 ExecutorStats SkuteStore::EndEpoch() {
-  const std::vector<RingPolicy>& pol = policies();
-  RecordBalances();
-
-  std::vector<Action> actions =
-      policy_->ProposeActions(*cluster_, catalog_, vnodes_, pol, stats_);
-  comm_epoch_.control_msgs += actions.size();
-
-  last_stats_ = executor_.Apply(std::move(actions), pol, epoch_, &rng_);
-  if (last_stats_.applied() > 0) ++placement_version_;
-  comm_epoch_.transfer_msgs += last_stats_.applied();
-  comm_epoch_.transfer_bytes +=
-      last_stats_.bytes_replicated + last_stats_.bytes_migrated;
-  comm_total_.Accumulate(comm_epoch_);
-  ++epoch_;
+  EpochContext ctx = MakeEpochContext(&policies());
+  pipeline_.Run(EpochPhase::kEnd, ctx);
   return last_stats_;
 }
 

@@ -11,12 +11,14 @@
 #include "skute/cluster/cluster.h"
 #include "skute/common/random.h"
 #include "skute/common/result.h"
+#include "skute/core/comm_stats.h"
 #include "skute/core/decision.h"
 #include "skute/core/executor.h"
 #include "skute/core/policy.h"
 #include "skute/core/sla.h"
 #include "skute/core/vnode.h"
 #include "skute/economy/proximity.h"
+#include "skute/engine/epoch_pipeline.h"
 #include "skute/ring/catalog.h"
 #include "skute/storage/replica_store.h"
 
@@ -25,6 +27,9 @@ namespace skute {
 /// Store-wide configuration.
 struct SkuteOptions {
   DecisionParams decision;
+  /// Epoch decision-plane tuning: worker threads and shard layout (see
+  /// skute/engine/epoch_options.h for the determinism contract).
+  EpochOptions epoch;
   /// The paper's 256 MB partition cap: a partition that grows past this
   /// splits into two.
   uint64_t max_partition_bytes = 256 * kMB;
@@ -40,33 +45,6 @@ struct Application {
   AppId id = 0;
   std::string name;
   std::vector<RingId> rings;
-};
-
-/// \brief Communication-overhead accounting (the paper's future-work
-/// analysis): every message class the protocol would put on the wire,
-/// counted at the real call sites. One "message" is one request/reply
-/// exchange.
-struct CommStats {
-  /// Price board publication: one message per online server per epoch.
-  uint64_t board_msgs = 0;
-  /// Client queries routed (Get + aggregate routing).
-  uint64_t query_msgs = 0;
-  /// Write fan-out for consistency: one message per live replica per
-  /// write, plus the bytes shipped.
-  uint64_t consistency_msgs = 0;
-  uint64_t consistency_bytes = 0;
-  /// Replica transfers (replication, migration, split re-placement).
-  uint64_t transfer_msgs = 0;
-  uint64_t transfer_bytes = 0;
-  /// Decision-plane traffic: proposals the agents made this epoch.
-  uint64_t control_msgs = 0;
-
-  uint64_t TotalMsgs() const {
-    return board_msgs + query_msgs + consistency_msgs + transfer_msgs +
-           control_msgs;
-  }
-  void Clear() { *this = CommStats(); }
-  void Accumulate(const CommStats& other);
 };
 
 /// Availability/utilization summary of one ring (see ReportRing).
@@ -156,16 +134,27 @@ class SkuteStore {
   void RouteQueries(RingId ring, uint64_t key_hash, uint64_t count);
 
   // --- Epoch lifecycle ------------------------------------------------------
+  //
+  // Both calls are thin delegations into the EpochPipeline (skute/engine):
+  // the store builds an EpochContext over its own state and the pipeline's
+  // stages do all the work.
 
-  /// Publishes prices (Eq. 1 via the board) and clears epoch counters.
+  /// Runs the kBegin stages: publishes prices (Eq. 1 via the board) and
+  /// clears epoch counters.
   void BeginEpoch();
 
-  /// Closes the epoch: records Eq. 5 balances for every vnode, runs the
-  /// repair and economic passes, executes the proposed actions, and
-  /// returns the execution counters.
+  /// Runs the kEnd stages: records Eq. 5 balances for every vnode, runs
+  /// the repair and economic passes (sharded across
+  /// EpochOptions::threads), executes the proposed actions, and returns
+  /// the execution counters.
   ExecutorStats EndEpoch();
 
   Epoch epoch() const { return epoch_; }
+
+  /// The epoch pipeline driving BeginEpoch/EndEpoch (exposed so callers
+  /// can inspect stages or append custom ones).
+  EpochPipeline& epoch_pipeline() { return pipeline_; }
+  const EpochPipeline& epoch_pipeline() const { return pipeline_; }
 
   // --- Failure integration --------------------------------------------------
 
@@ -232,7 +221,9 @@ class SkuteStore {
   void SplitRealData(const Partition& lower, const Partition& upper);
   void MoveSiblingData(PartitionId sibling, ServerId from, ServerId to);
   const ClientMix* MixOf(RingId ring) const;
-  void RecordBalances();
+  /// Builds the per-epoch context the pipeline stages run against.
+  /// `policies` is the rebuilt per-ring policy view (nullptr for kBegin).
+  EpochContext MakeEpochContext(const std::vector<RingPolicy>* policies);
 
   Cluster* cluster_;
   SkuteOptions options_;
@@ -242,6 +233,7 @@ class SkuteStore {
   std::unordered_map<ServerId, ReplicaStore> replica_data_;
   ActionExecutor executor_;
   Rng rng_;
+  EpochPipeline pipeline_;
 
   std::vector<Application> apps_;
   std::deque<RingInfo> ring_info_;  // stable addresses; indexed by RingId

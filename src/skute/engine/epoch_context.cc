@@ -1,0 +1,29 @@
+#include "skute/engine/epoch_context.h"
+
+namespace skute {
+
+const ShardPlan& EpochContext::Shards() {
+  if (!shard_plan_.has_value()) {
+    // Salted by the epoch: shard RNG streams differ epoch to epoch but
+    // are identical across thread counts.
+    const uint64_t salt = seed ^ (*epoch * 0xc2b2ae3d27d4eb4full);
+    shard_plan_ = ShardPlan::Build(*catalog, *options, salt);
+  }
+  return *shard_plan_;
+}
+
+void EpochContext::RunSharded(
+    const std::function<void(size_t, Rng*)>& fn) {
+  const ShardPlan& plan = Shards();
+  auto run_one = [&](size_t shard) {
+    Rng shard_rng = plan.ShardRng(shard);
+    fn(shard, &shard_rng);
+  };
+  if (pool == nullptr || plan.shard_count() <= 1) {
+    for (size_t s = 0; s < plan.shard_count(); ++s) run_one(s);
+    return;
+  }
+  pool->ParallelFor(plan.shard_count(), run_one);
+}
+
+}  // namespace skute

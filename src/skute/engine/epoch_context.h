@@ -1,0 +1,81 @@
+#ifndef SKUTE_ENGINE_EPOCH_CONTEXT_H_
+#define SKUTE_ENGINE_EPOCH_CONTEXT_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "skute/cluster/cluster.h"
+#include "skute/common/random.h"
+#include "skute/core/comm_stats.h"
+#include "skute/core/decision.h"
+#include "skute/core/executor.h"
+#include "skute/core/policy.h"
+#include "skute/core/vnode.h"
+#include "skute/engine/epoch_options.h"
+#include "skute/engine/shard.h"
+#include "skute/engine/worker_pool.h"
+#include "skute/ring/catalog.h"
+
+namespace skute {
+
+/// \brief Everything one epoch's pipeline run reads and writes: a borrowed
+/// view of the store's substrate plus the state staged between stages.
+///
+/// The context owns nothing. The store builds one per BeginEpoch/EndEpoch
+/// call, pointing at its own members; stages communicate exclusively
+/// through it (e.g. ProposeActionsStage fills `actions`, ExecuteStage
+/// consumes them), which is what makes the stage list reorderable and
+/// testable in isolation.
+class EpochContext {
+ public:
+  // --- Substrate (borrowed from the store) --------------------------------
+  Cluster* cluster = nullptr;
+  RingCatalog* catalog = nullptr;
+  VNodeRegistry* vnodes = nullptr;
+  PlacementPolicy* policy = nullptr;
+  ActionExecutor* executor = nullptr;
+  /// The store's sequential RNG (executor shuffle); per-shard streams come
+  /// from Shards().ShardRng instead.
+  Rng* rng = nullptr;
+  const DecisionParams* decision = nullptr;
+  const EpochOptions* options = nullptr;
+  /// Per-ring policies; set for the end phase, nullptr during begin.
+  const std::vector<RingPolicy>* policies = nullptr;
+  /// Worker pool for sharded stages; nullptr = run shards inline.
+  WorkerPool* pool = nullptr;
+
+  // --- Per-epoch mutable state (borrowed from the store) ------------------
+  Epoch* epoch = nullptr;
+  uint64_t seed = 0;  // store seed; salts the per-shard RNG streams
+  PartitionStatsMap* stats = nullptr;
+  std::vector<uint64_t>* ring_queries_epoch = nullptr;
+  std::vector<double>* ring_spend_epoch = nullptr;
+  std::vector<double>* ring_spend_total = nullptr;
+  CommStats* comm_epoch = nullptr;
+  CommStats* comm_total = nullptr;
+  ExecutorStats* last_stats = nullptr;
+  uint64_t* placement_version = nullptr;
+
+  // --- Staged data (owned by the context, passed between stages) ----------
+  /// Proposal stage output, execution stage input.
+  std::vector<Action> actions;
+
+  /// The epoch's shard plan, built on first use (RecordBalancesStage and
+  /// ProposeActionsStage share one snapshot; partitions are never created
+  /// mid-pipeline, so the snapshot stays valid through execution).
+  const ShardPlan& Shards();
+
+  /// Runs fn(shard, shard_rng) for every shard of Shards(), on the worker
+  /// pool when present. Shard-to-thread assignment is nondeterministic;
+  /// fn must only write shard-local state, merged by the caller in shard
+  /// order.
+  void RunSharded(const std::function<void(size_t, Rng*)>& fn);
+
+ private:
+  std::optional<ShardPlan> shard_plan_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_EPOCH_CONTEXT_H_

@@ -1,0 +1,39 @@
+#ifndef SKUTE_ENGINE_EPOCH_OPTIONS_H_
+#define SKUTE_ENGINE_EPOCH_OPTIONS_H_
+
+#include <cstdint>
+
+namespace skute {
+
+/// \brief Tunables of the epoch decision plane (skute/engine).
+///
+/// The per-epoch work — Eq. 5 balance recording and the repair/economic
+/// proposal passes — is sharded by partition and run on a worker pool.
+/// Determinism contract: the shard layout is a function of the partition
+/// count only, never of `threads`, so a run with threads=1 and a run with
+/// threads=N produce bit-for-bit identical stores (see
+/// tests/engine/determinism_test.cc).
+struct EpochOptions {
+  /// Worker threads for the sharded stages. 1 (the default) runs every
+  /// shard inline on the calling thread. Note the guarantee is
+  /// thread-count invariance, not equivalence with the pre-engine store:
+  /// once the partition count produces a multi-shard plan (>= 2 *
+  /// min_partitions_per_shard), proposals use per-shard surcharge
+  /// ledgers whatever `threads` is, which can place differently than the
+  /// legacy single-ledger pass did. Single-shard plans (every store
+  /// below that size, including all unit-test fixtures) reproduce the
+  /// legacy pass action for action.
+  int threads = 1;
+
+  /// A shard receives at least this many partitions; small clusters
+  /// collapse to one shard (which also preserves the exact legacy
+  /// proposal semantics: one shared rent surcharge across all agents).
+  uint32_t min_partitions_per_shard = 64;
+
+  /// Hard cap on logical shards per epoch.
+  uint32_t max_shards = 16;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_EPOCH_OPTIONS_H_

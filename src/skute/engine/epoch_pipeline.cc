@@ -1,0 +1,46 @@
+#include "skute/engine/epoch_pipeline.h"
+
+#include "skute/engine/stages.h"
+
+namespace skute {
+
+EpochPipeline::EpochPipeline(const EpochOptions& options)
+    : options_(options) {
+  stages_.push_back(std::make_unique<PublishPricesStage>());
+  stages_.push_back(std::make_unique<RecordBalancesStage>());
+  stages_.push_back(std::make_unique<ProposeActionsStage>());
+  stages_.push_back(std::make_unique<ExecuteStage>());
+  stages_.push_back(std::make_unique<AccountingStage>());
+}
+
+EpochPipeline::~EpochPipeline() = default;
+
+void EpochPipeline::AddStage(std::unique_ptr<EpochStage> stage) {
+  stages_.push_back(std::move(stage));
+}
+
+WorkerPool* EpochPipeline::PoolForRun() {
+  if (options_.threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(options_.threads);
+  }
+  return pool_.get();
+}
+
+void EpochPipeline::Run(EpochPhase phase, EpochContext& ctx) {
+  ctx.options = &options_;
+  ctx.pool = PoolForRun();
+  for (const std::unique_ptr<EpochStage>& stage : stages_) {
+    if (stage->phase() == phase) stage->Run(ctx);
+  }
+}
+
+std::vector<const char*> EpochPipeline::StageNames(EpochPhase phase) const {
+  std::vector<const char*> names;
+  for (const std::unique_ptr<EpochStage>& stage : stages_) {
+    if (stage->phase() == phase) names.push_back(stage->name());
+  }
+  return names;
+}
+
+}  // namespace skute

@@ -1,0 +1,53 @@
+#ifndef SKUTE_ENGINE_EPOCH_PIPELINE_H_
+#define SKUTE_ENGINE_EPOCH_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "skute/engine/epoch_context.h"
+#include "skute/engine/epoch_stage.h"
+#include "skute/engine/worker_pool.h"
+
+namespace skute {
+
+/// \brief The ordered stage list that IS the epoch lifecycle:
+///
+///   kBegin: publish_prices
+///   kEnd:   record_balances -> propose_actions -> execute -> accounting
+///
+/// SkuteStore::BeginEpoch/EndEpoch are thin delegations into Run(); all
+/// pass logic lives in the stages. The pipeline owns the worker pool that
+/// the sharded stages fan out on (created lazily once threads > 1).
+class EpochPipeline {
+ public:
+  /// Builds the default five-stage pipeline.
+  explicit EpochPipeline(const EpochOptions& options);
+  ~EpochPipeline();
+
+  EpochPipeline(const EpochPipeline&) = delete;
+  EpochPipeline& operator=(const EpochPipeline&) = delete;
+
+  /// Runs every stage of `phase`, in registration order, against `ctx`.
+  /// Wires ctx.options and ctx.pool before the first stage.
+  void Run(EpochPhase phase, EpochContext& ctx);
+
+  /// Appends a custom stage (runs after the defaults of its phase) —
+  /// the extension seam for metrics/tracing stages and for tests.
+  void AddStage(std::unique_ptr<EpochStage> stage);
+
+  /// Stage names of one phase, in execution order.
+  std::vector<const char*> StageNames(EpochPhase phase) const;
+
+  const EpochOptions& options() const { return options_; }
+
+ private:
+  WorkerPool* PoolForRun();
+
+  EpochOptions options_;
+  std::vector<std::unique_ptr<EpochStage>> stages_;
+  std::unique_ptr<WorkerPool> pool_;  // lazily created, reused per epoch
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_EPOCH_PIPELINE_H_

@@ -1,0 +1,32 @@
+#ifndef SKUTE_ENGINE_EPOCH_STAGE_H_
+#define SKUTE_ENGINE_EPOCH_STAGE_H_
+
+#include "skute/engine/epoch_context.h"
+
+namespace skute {
+
+/// Which half of the epoch lifecycle a stage belongs to.
+enum class EpochPhase {
+  kBegin,  ///< SkuteStore::BeginEpoch — before the epoch's traffic
+  kEnd,    ///< SkuteStore::EndEpoch — after the epoch's traffic
+};
+
+/// \brief One step of the epoch pipeline. Stages are stateless between
+/// epochs: everything they read or write lives in the EpochContext, so a
+/// pipeline is just an ordered stage list and the store is just the
+/// builder of contexts.
+class EpochStage {
+ public:
+  virtual ~EpochStage() = default;
+
+  /// Stable identifier for diagnostics and ordering tests.
+  virtual const char* name() const = 0;
+
+  virtual EpochPhase phase() const = 0;
+
+  virtual void Run(EpochContext& ctx) = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_EPOCH_STAGE_H_

@@ -1,0 +1,55 @@
+#include "skute/engine/shard.h"
+
+#include <algorithm>
+
+namespace skute {
+
+size_t ShardPlan::ShardCountFor(size_t partitions,
+                                const EpochOptions& options) {
+  const size_t min_per_shard =
+      options.min_partitions_per_shard == 0
+          ? 1
+          : options.min_partitions_per_shard;
+  const size_t max_shards = options.max_shards == 0 ? 1 : options.max_shards;
+  const size_t by_size = partitions / min_per_shard;
+  return std::max<size_t>(1, std::min(by_size, max_shards));
+}
+
+ShardPlan ShardPlan::Build(const RingCatalog& catalog,
+                           const EpochOptions& options, uint64_t rng_salt) {
+  std::vector<const Partition*> all;
+  all.reserve(catalog.total_partitions());
+  catalog.ForEachPartition(
+      [&](const Partition* p) { all.push_back(p); });
+
+  ShardPlan plan;
+  plan.rng_salt_ = rng_salt;
+  const size_t shards = ShardCountFor(all.size(), options);
+  plan.shards_.resize(shards);
+  // Contiguous chunks, remainder spread over the leading shards.
+  const size_t base = all.size() / shards;
+  const size_t extra = all.size() % shards;
+  size_t next = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t take = base + (s < extra ? 1 : 0);
+    plan.shards_[s].assign(all.begin() + static_cast<ptrdiff_t>(next),
+                           all.begin() + static_cast<ptrdiff_t>(next + take));
+    next += take;
+  }
+  return plan;
+}
+
+size_t ShardPlan::total_partitions() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s.size();
+  return total;
+}
+
+Rng ShardPlan::ShardRng(size_t shard) const {
+  // SplitMix64 decorrelates the per-shard seeds even when rng_salt_ and
+  // shard are small consecutive integers.
+  SplitMix64 mix(rng_salt_ ^ (0x9e3779b97f4a7c15ull * (shard + 1)));
+  return Rng(mix.Next());
+}
+
+}  // namespace skute

@@ -1,0 +1,56 @@
+#ifndef SKUTE_ENGINE_SHARD_H_
+#define SKUTE_ENGINE_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "skute/common/random.h"
+#include "skute/engine/epoch_options.h"
+#include "skute/ring/catalog.h"
+
+namespace skute {
+
+/// \brief The epoch's deterministic partition sharding: contiguous chunks
+/// of the catalog's partition iteration order, one chunk per logical
+/// shard.
+///
+/// The shard count is a pure function of the partition count and the
+/// EpochOptions — crucially, it never depends on EpochOptions::threads.
+/// Worker threads are merely the executors of logical shards, so a run
+/// with any thread count visits identical shard boundaries, each shard
+/// sees an identical partition order, and per-shard outputs merged in
+/// shard order are identical. That is the whole determinism argument of
+/// the parallel decision plane.
+class ShardPlan {
+ public:
+  /// Snapshot of the catalog's partitions, chunked. `rng_salt` seeds the
+  /// per-shard RNG streams (callers pass seed ^ epoch so streams differ
+  /// across epochs but not across thread counts).
+  static ShardPlan Build(const RingCatalog& catalog,
+                         const EpochOptions& options, uint64_t rng_salt);
+
+  /// clamp(partitions / min_partitions_per_shard, 1, max_shards).
+  static size_t ShardCountFor(size_t partitions,
+                              const EpochOptions& options);
+
+  size_t shard_count() const { return shards_.size(); }
+  const std::vector<const Partition*>& shard(size_t i) const {
+    return shards_[i];
+  }
+  size_t total_partitions() const;
+
+  /// An independent deterministic RNG stream for one shard: a function of
+  /// (rng_salt, shard) only. Stages that need randomness inside a shard
+  /// draw from this, never from the store's sequential RNG, so the
+  /// draw order cannot depend on thread interleaving.
+  Rng ShardRng(size_t shard) const;
+
+ private:
+  std::vector<std::vector<const Partition*>> shards_;
+  uint64_t rng_salt_ = 0;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_SHARD_H_

@@ -1,0 +1,113 @@
+#include "skute/engine/stages.h"
+
+#include <algorithm>
+
+#include "skute/economy/proximity.h"
+
+namespace skute {
+
+// --- PublishPricesStage -----------------------------------------------------
+
+void PublishPricesStage::Run(EpochContext& ctx) {
+  ctx.cluster->BeginEpoch();
+  ctx.stats->clear();
+  ctx.vnodes->ForEach([](VirtualNode* v) { v->ResetEpochCounters(); });
+  std::fill(ctx.ring_queries_epoch->begin(), ctx.ring_queries_epoch->end(),
+            0);
+  std::fill(ctx.ring_spend_epoch->begin(), ctx.ring_spend_epoch->end(),
+            0.0);
+  ctx.comm_epoch->Clear();
+  ctx.comm_epoch->board_msgs += ctx.cluster->online_count();
+}
+
+// --- RecordBalancesStage ----------------------------------------------------
+
+void RecordBalancesStage::Run(EpochContext& ctx) {
+  const Board& board = ctx.cluster->board();
+  const double floor = board.min_rent();
+  const ShardPlan& plan = ctx.Shards();
+  const size_t rings = ctx.ring_spend_epoch->size();
+
+  // Per-shard rent partials: each shard sums its own partitions in
+  // catalog order; the merge below runs in shard order on one thread.
+  std::vector<std::vector<double>> spend(
+      plan.shard_count(), std::vector<double>(rings, 0.0));
+
+  ctx.RunSharded([&](size_t shard, Rng* /*rng*/) {
+    for (const Partition* p : plan.shard(shard)) {
+      const ClientMix* mix = (*ctx.policies)[p->ring()].mix;
+      for (const ReplicaInfo& r : p->replicas()) {
+        VirtualNode* v = ctx.vnodes->Find(r.vnode);
+        if (v == nullptr) continue;
+        const Server* s = ctx.cluster->server(r.server);
+        if (s == nullptr || !s->online()) continue;
+        const double g = mix == nullptr
+                             ? 1.0
+                             : NormalizedProximity(*mix, s->location());
+        double utility =
+            QueryUtility(v->queries_served, g, ctx.decision->utility);
+        if (ctx.decision->utility_floor) {
+          utility = std::max(utility, floor);
+        }
+        const double rent = board.RentOf(r.server);
+        v->last_utility = utility;
+        v->last_rent = rent;
+        v->balance.Record(utility - rent);
+        if (p->ring() < rings) {
+          spend[shard][p->ring()] += rent;
+        }
+      }
+    }
+  });
+
+  for (size_t shard = 0; shard < plan.shard_count(); ++shard) {
+    for (size_t ring = 0; ring < rings; ++ring) {
+      (*ctx.ring_spend_epoch)[ring] += spend[shard][ring];
+      (*ctx.ring_spend_total)[ring] += spend[shard][ring];
+    }
+  }
+}
+
+// --- ProposeActionsStage ----------------------------------------------------
+
+void ProposeActionsStage::Run(EpochContext& ctx) {
+  if (ctx.policy->SupportsShardedProposals()) {
+    const ShardPlan& plan = ctx.Shards();
+    std::vector<std::vector<Action>> per_shard(plan.shard_count());
+    ctx.RunSharded([&](size_t shard, Rng* /*rng*/) {
+      per_shard[shard] = ctx.policy->ProposeActionsForShard(
+          *ctx.cluster, plan.shard(shard), *ctx.vnodes, *ctx.policies,
+          *ctx.stats);
+    });
+    ctx.actions.clear();
+    for (const std::vector<Action>& shard_actions : per_shard) {
+      ctx.actions.insert(ctx.actions.end(), shard_actions.begin(),
+                         shard_actions.end());
+    }
+  } else {
+    ctx.actions = ctx.policy->ProposeActions(
+        *ctx.cluster, *ctx.catalog, *ctx.vnodes, *ctx.policies, *ctx.stats);
+  }
+  ctx.comm_epoch->control_msgs += ctx.actions.size();
+}
+
+// --- ExecuteStage -----------------------------------------------------------
+
+void ExecuteStage::Run(EpochContext& ctx) {
+  *ctx.last_stats = ctx.executor->Apply(std::move(ctx.actions),
+                                        *ctx.policies, *ctx.epoch, ctx.rng);
+  ctx.actions.clear();
+  if (ctx.last_stats->applied() > 0) ++*ctx.placement_version;
+}
+
+// --- AccountingStage --------------------------------------------------------
+
+void AccountingStage::Run(EpochContext& ctx) {
+  ctx.comm_epoch->transfer_msgs += ctx.last_stats->applied();
+  ctx.comm_epoch->transfer_bytes +=
+      ctx.last_stats->bytes_replicated + ctx.last_stats->bytes_migrated;
+  ctx.comm_total->Accumulate(*ctx.comm_epoch);
+  ++*ctx.epoch;
+}
+
+}  // namespace skute

@@ -1,0 +1,62 @@
+#ifndef SKUTE_ENGINE_STAGES_H_
+#define SKUTE_ENGINE_STAGES_H_
+
+#include "skute/engine/epoch_stage.h"
+
+namespace skute {
+
+/// \brief Opens the epoch (BeginEpoch): rolls every server's counters,
+/// publishes the Eq. 1 virtual rents at the board, resets the per-epoch
+/// counters, and accounts the board's publication messages.
+class PublishPricesStage : public EpochStage {
+ public:
+  const char* name() const override { return "publish_prices"; }
+  EpochPhase phase() const override { return EpochPhase::kBegin; }
+  void Run(EpochContext& ctx) override;
+};
+
+/// \brief Eq. 5: records utility - rent for every live vnode, sharded by
+/// partition. Per-ring rent spend is accumulated into per-shard partials
+/// and merged in shard order, so the floating-point sum order — and hence
+/// the reported rents — is identical for every thread count.
+class RecordBalancesStage : public EpochStage {
+ public:
+  const char* name() const override { return "record_balances"; }
+  EpochPhase phase() const override { return EpochPhase::kEnd; }
+  void Run(EpochContext& ctx) override;
+};
+
+/// \brief Runs the placement policy. Policies that support sharding
+/// (EconomicPolicy) are invoked once per shard — concurrently on the
+/// worker pool — each shard with its own rent-surcharge ledger; per-shard
+/// action lists are concatenated in shard order. Legacy policies fall
+/// back to the single whole-catalog call.
+class ProposeActionsStage : public EpochStage {
+ public:
+  const char* name() const override { return "propose_actions"; }
+  EpochPhase phase() const override { return EpochPhase::kEnd; }
+  void Run(EpochContext& ctx) override;
+};
+
+/// \brief Applies the epoch's proposed actions through the ActionExecutor
+/// (sequential: execution arbitrates between concurrently generated
+/// proposals, so it is the serialization point of the epoch).
+class ExecuteStage : public EpochStage {
+ public:
+  const char* name() const override { return "execute"; }
+  EpochPhase phase() const override { return EpochPhase::kEnd; }
+  void Run(EpochContext& ctx) override;
+};
+
+/// \brief Closes the epoch's books: transfer/communication accounting,
+/// lifetime totals, and the epoch counter increment.
+class AccountingStage : public EpochStage {
+ public:
+  const char* name() const override { return "accounting"; }
+  EpochPhase phase() const override { return EpochPhase::kEnd; }
+  void Run(EpochContext& ctx) override;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_STAGES_H_

@@ -1,0 +1,95 @@
+#include "skute/engine/worker_pool.h"
+
+#include <exception>
+
+namespace skute {
+
+WorkerPool::WorkerPool(int threads) {
+  const int workers = threads - 1;
+  workers_.reserve(workers > 0 ? static_cast<size_t>(workers) : 0);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::DrainJob(const std::function<void(size_t)>& fn,
+                          size_t count) {
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    fn(i);
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = job_;
+      count = job_count_;
+    }
+    DrainJob(*fn, count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Exception barrier: fn must not unwind through a worker
+  // (std::terminate) or through the caller while workers still point at
+  // the job. The first exception is captured and rethrown only after
+  // every thread has left the job.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const std::function<void(size_t)> guarded = [&](size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &guarded;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainJob(guarded, count);  // the caller pulls its share of the indices
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+    job_count_ = 0;
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace skute

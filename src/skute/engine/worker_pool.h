@@ -1,0 +1,61 @@
+#ifndef SKUTE_ENGINE_WORKER_POOL_H_
+#define SKUTE_ENGINE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skute {
+
+/// \brief A fixed pool of worker threads executing index-based parallel
+/// loops (the epoch pipeline's shard fan-out).
+///
+/// The pool holds `threads - 1` workers: the calling thread participates
+/// in every ParallelFor, so WorkerPool(1) spawns nothing and degrades to a
+/// plain loop. Indices are claimed from a shared atomic counter
+/// (self-balancing when shards are uneven); which thread runs which index
+/// is nondeterministic, so callers must keep per-index work independent
+/// and merge results by index.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total threads that execute a ParallelFor (workers + caller).
+  int thread_count() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all complete.
+  /// Not reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims indices from next_ until the current job is exhausted.
+  void DrainJob(const std::function<void(size_t)>& fn, size_t count);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
+  size_t job_count_ = 0;                              // guarded by mu_
+  uint64_t generation_ = 0;                           // guarded by mu_
+  int active_ = 0;                                    // guarded by mu_
+  bool shutdown_ = false;                             // guarded by mu_
+
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_ENGINE_WORKER_POOL_H_

@@ -21,7 +21,12 @@ struct Version {
     if (timestamp != other.timestamp) return timestamp > other.timestamp;
     return writer > other.writer;
   }
-  friend bool operator==(const Version&, const Version&) = default;
+  friend bool operator==(const Version& a, const Version& b) {
+    return a.timestamp == b.timestamp && a.writer == b.writer;
+  }
+  friend bool operator!=(const Version& a, const Version& b) {
+    return !(a == b);
+  }
 };
 
 /// A versioned register cell; deletes are tombstones so that replicas

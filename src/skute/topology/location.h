@@ -2,7 +2,6 @@
 #define SKUTE_TOPOLOGY_LOCATION_H_
 
 #include <array>
-#include <compare>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -59,7 +58,26 @@ struct Location {
   /// Parses the ToString format; rejects malformed input.
   static Result<Location> Parse(std::string_view text);
 
-  friend auto operator<=>(const Location&, const Location&) = default;
+  // Lexicographic by level ids, most significant first (C++17: spelled
+  // out instead of a defaulted <=>).
+  friend bool operator==(const Location& a, const Location& b) {
+    return a.ids == b.ids;
+  }
+  friend bool operator!=(const Location& a, const Location& b) {
+    return a.ids != b.ids;
+  }
+  friend bool operator<(const Location& a, const Location& b) {
+    return a.ids < b.ids;
+  }
+  friend bool operator<=(const Location& a, const Location& b) {
+    return a.ids <= b.ids;
+  }
+  friend bool operator>(const Location& a, const Location& b) {
+    return a.ids > b.ids;
+  }
+  friend bool operator>=(const Location& a, const Location& b) {
+    return a.ids >= b.ids;
+  }
 };
 
 /// Number of leading levels on which `a` and `b` agree, in [0, 6].

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -286,7 +288,15 @@ TEST(CdfSamplerTest, AllZeroWeights) {
 }
 
 TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
-  static_assert(std::uniform_random_bit_generator<Rng>);
+  // C++17 spelling of the std::uniform_random_bit_generator requirements:
+  // an unsigned result_type, constexpr min()/max() with min() < max(), and
+  // operator() returning result_type.
+  static_assert(std::is_unsigned<Rng::result_type>::value,
+                "result_type must be unsigned");
+  static_assert(
+      std::is_same<decltype(std::declval<Rng&>()()), Rng::result_type>::value,
+      "operator() must return result_type");
+  static_assert(Rng::min() < Rng::max(), "min() must be below max()");
   SUCCEED();
 }
 
