@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
   double churn_f1 = 0.0, churn_f8 = 0.0;
   for (int f : {1, 2, 4, 8}) {
     SimConfig config = MidConfig(args.seed);
+    config.backend = bench::BackendFromFlag(args.backend, "ablation_params");
     config.store.decision.balance_window = f;
     const SteadyState result = Run(std::move(config), epochs);
     ftable.AddRow({AsciiTable::Num(int64_t{f}),
@@ -156,6 +157,7 @@ int main(int argc, char** argv) {
   double cv_b0 = 0.0, cv_b4 = 0.0;
   for (double beta : {0.0, 1.0, 4.0}) {
     SimConfig config = MidConfig(args.seed);
+    config.backend = bench::BackendFromFlag(args.backend, "ablation_params");
     config.pricing.beta = beta;
     const SteadyState result = Run(std::move(config), epochs);
     btable.AddRow({AsciiTable::Num(beta, 1),
@@ -175,6 +177,7 @@ int main(int argc, char** argv) {
   double diversity_corrected = 0.0, diversity_literal = 0.0;
   for (const bool literal : {false, true}) {
     SimConfig config = MidConfig(args.seed);
+    config.backend = bench::BackendFromFlag(args.backend, "ablation_params");
     config.store.decision.utility.divide_by_proximity = literal;
     Simulation sim(std::move(config));
     const Status init = sim.Initialize();

@@ -1,8 +1,11 @@
 #include "common/bench_util.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 
@@ -22,9 +25,51 @@ Args ParseArgs(int argc, char** argv) {
       args.full_csv = true;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       args.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      args.backend = arg + 10;
     }
   }
   return args;
+}
+
+BackendConfig BackendFromFlag(const std::string& flag,
+                              const std::string& run_tag) {
+  BackendConfig config;
+  if (flag.empty()) return config;
+  auto kind = ParseBackendKind(flag);
+  if (!kind.ok()) {
+    std::fprintf(stderr,
+                 "warning: %s; using the memory backend\n",
+                 std::string(kind.status().message()).c_str());
+    return config;
+  }
+  config.kind = *kind;
+  if (config.kind == BackendKind::kFileSegment) {
+    // Every created dir is removed at process exit, so repeated bench
+    // runs never accumulate state under /tmp.
+    static std::vector<std::string>* dirs = [] {
+      auto* list = new std::vector<std::string>();
+      std::atexit([] {
+        for (const std::string& d : *dirs) {
+          std::error_code ec;
+          std::filesystem::remove_all(d, ec);
+        }
+      });
+      return list;
+    }();
+    static int run_counter = 0;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("skute_bench_" + run_tag + "_" + std::to_string(::getpid()) +
+          "_" + std::to_string(run_counter++)))
+            .string();
+    std::filesystem::create_directories(dir);
+    dirs->push_back(dir);
+    config.data_dir = dir;
+    std::fprintf(stderr, "file backend state: %s (removed at exit)\n",
+                 dir.c_str());
+  }
+  return config;
 }
 
 void PrintHeader(const std::string& title, const std::string& claim) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "skute/backend/config.h"
 #include "skute/sim/metrics.h"
 
 namespace skute::bench {
@@ -15,11 +16,19 @@ struct Args {
   int sample_every = 0;   ///< 0 = bench default; CSV row downsampling
   bool full_csv = false;  ///< print every epoch regardless of sampling
   int threads = 0;        ///< 0 = bench default; EpochOptions::threads
+  std::string backend;    ///< "" = bench default (memory); see --backend
 };
 
-/// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T; ignores
-/// unknown flags.
+/// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
+/// --backend=memory|durable|file; ignores unknown flags.
 Args ParseArgs(int argc, char** argv);
+
+/// Resolves the --backend flag into a BackendConfig. Unknown names warn
+/// and fall back to memory. The file backend gets a unique directory
+/// under the system temp dir (tagged with `run_tag` so e.g. the
+/// threads=1 and threads=N runs of one bench never share state).
+BackendConfig BackendFromFlag(const std::string& flag,
+                              const std::string& run_tag);
 
 /// Prints the bench banner: which figure, the paper's claim, parameters.
 void PrintHeader(const std::string& title, const std::string& claim);

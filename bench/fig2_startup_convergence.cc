@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   SimConfig config = SimConfig::Paper();
   config.seed = args.seed;
+  config.backend = bench::BackendFromFlag(args.backend, "fig2_startup_convergence");
   // Fig. 2 watches the startup transient itself: load everything up
   // front, no interleaved decision epochs.
   config.load_chunk_objects = 0;

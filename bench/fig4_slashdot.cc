@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
 
   SimConfig config = SimConfig::Paper();
   config.seed = args.seed;
+  config.backend = bench::BackendFromFlag(args.backend, "fig4_slashdot");
   Simulation sim(config);
   const Status init = sim.Initialize();
   if (!init.ok()) {

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   SimConfig config = SimConfig::Paper();
   config.seed = args.seed;
+  config.backend = bench::BackendFromFlag(args.backend, "fig5_saturation");
   Simulation sim(config);
   const Status init = sim.Initialize();
   if (!init.ok()) {

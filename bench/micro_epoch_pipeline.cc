@@ -2,18 +2,23 @@
 // a 1000-server synthetic cluster, threads=1 vs threads=N.
 //
 //   ./build/bench/micro_epoch_pipeline [--epochs=N] [--threads=T]
+//                                      [--backend=memory|durable|file]
 //
 // The scenario holds 3 rings x 256 partitions under live write + query
 // traffic, so every epoch runs the full pipeline: Eq. 1 price
 // publication, Eq. 5 balance recording, repair + economic proposal
-// passes, action execution, and comm accounting. Both runs use identical
-// seeds; the shape checks assert the determinism contract (identical
-// placements regardless of thread count) alongside the speedup report.
+// passes, action execution, and comm accounting. A small real-value Put
+// stream rides along so the selected storage backend is actually
+// exercised (and its IoStats reported). Both runs use identical seeds;
+// the shape checks assert the determinism contract (identical placements
+// regardless of thread count — with any backend) alongside the speedup
+// report, the per-stage wall-time split and the shard-plan cache delta.
 
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/bench_util.h"
 #include "skute/common/hash.h"
@@ -32,11 +37,16 @@ struct BenchResult {
   uint64_t actions_applied = 0;
   size_t partitions = 0;
   size_t vnodes = 0;
+  uint64_t plan_builds = 0;
+  uint64_t plan_reuses = 0;
+  std::vector<StageTiming> stage_timings;
+  IoStats io;
 };
 
 /// One full run at the given thread count: fresh 1000-server cluster,
 /// bulk load, then `epochs` measured epochs of mixed traffic.
-BenchResult RunPipeline(int threads, int epochs, uint64_t seed) {
+BenchResult RunPipeline(int threads, int epochs, uint64_t seed,
+                        const BackendConfig& backend) {
   // 5 continents x 2 countries x 2 DCs x 5 racks x 10 servers = 1000.
   GridSpec spec;
   spec.continents = 5;
@@ -54,12 +64,14 @@ BenchResult RunPipeline(int threads, int epochs, uint64_t seed) {
   res.migration_bw_per_epoch = 200 * kMB;
   res.query_capacity_per_epoch = 5000;
   for (const Location& loc : *grid) {
-    cluster.AddServer(loc, res, ServerEconomics{});
+    cluster.AddServer(loc, res, ServerEconomics{}, backend);
   }
 
   SkuteOptions options;
   options.seed = seed;
-  options.track_real_data = false;
+  // Real-value tracking on: the side Put stream below runs against the
+  // selected storage backend, so IoStats mean something here.
+  options.track_real_data = true;
   options.epoch.threads = threads;
 
   SkuteStore store(&cluster, options);
@@ -83,6 +95,12 @@ BenchResult RunPipeline(int threads, int epochs, uint64_t seed) {
     store.BeginEpoch();
     for (int i = 0; i < 64; ++i) {
       (void)store.PutSynthetic(rings[i % 3], keys.Next(), 256 * kKB);
+    }
+    // Real-value stream: a rotating working set of small objects whose
+    // bytes actually land in (and replicate through) the backends.
+    for (int i = 0; i < 16; ++i) {
+      const std::string rk = "rk-" + std::to_string((e * 16 + i) % 256);
+      (void)store.Put(rings[i % 3], rk, std::string(512, 'b'));
     }
     // Skewed query traffic: a few hot keys plus a rotating warm set.
     for (int i = 0; i < 48; ++i) {
@@ -112,7 +130,39 @@ BenchResult RunPipeline(int threads, int epochs, uint64_t seed) {
   result.actions_applied = store.comm_total().transfer_msgs;
   result.partitions = store.catalog().total_partitions();
   result.vnodes = store.catalog().total_vnodes();
+  result.plan_builds = store.epoch_pipeline().shard_plan_cache().builds();
+  result.plan_reuses = store.epoch_pipeline().shard_plan_cache().reuses();
+  result.stage_timings = store.epoch_pipeline().stage_timings();
+  result.io = store.io_stats();
   return result;
+}
+
+void PrintRun(const BenchResult& r) {
+  std::printf("epochs/sec: %s  (partitions=%zu vnodes=%zu applied=%llu)\n",
+              bench::Fmt(r.epochs_per_sec).c_str(), r.partitions, r.vnodes,
+              static_cast<unsigned long long>(r.actions_applied));
+  std::printf("shard plan: %llu builds, %llu reuses (cache hit %s%%)\n",
+              static_cast<unsigned long long>(r.plan_builds),
+              static_cast<unsigned long long>(r.plan_reuses),
+              bench::Fmt(r.plan_builds + r.plan_reuses == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(r.plan_reuses) /
+                                   static_cast<double>(r.plan_builds +
+                                                       r.plan_reuses),
+                         1)
+                  .c_str());
+  std::printf("stage wall time (total ms over the run):\n");
+  for (const StageTiming& t : r.stage_timings) {
+    std::printf("  %-16s %10.2f ms  (%llu runs, last %.3f ms)\n", t.name,
+                t.total_ms, static_cast<unsigned long long>(t.runs),
+                t.last_ms);
+  }
+  std::printf("backend io: ops=%llu log=%llu B flushed=%llu B "
+              "snap_out=%llu B\n",
+              static_cast<unsigned long long>(r.io.ops()),
+              static_cast<unsigned long long>(r.io.log_bytes_written),
+              static_cast<unsigned long long>(r.io.bytes_flushed),
+              static_cast<unsigned long long>(r.io.snapshot_bytes_out));
 }
 
 }  // namespace
@@ -134,21 +184,25 @@ int main(int argc, char** argv) {
   std::printf("cluster: 1000 servers, 3 rings x 256 partitions, "
               "%d measured epochs (+%d warmup)\n",
               epochs, kWarmupEpochs);
-  std::printf("hardware_concurrency: %u\n", hw);
+  std::printf("hardware_concurrency: %u  backend: %s\n", hw,
+              args.backend.empty() ? "memory" : args.backend.c_str());
+
+  // Separate run tags: the threads=1 and threads=N file-backend runs
+  // must never share on-disk state.
+  const BackendConfig backend_t1 =
+      bench::BackendFromFlag(args.backend, "pipeline_t1");
+  const BackendConfig backend_tn =
+      bench::BackendFromFlag(args.backend, "pipeline_tN");
 
   bench::PrintSection("threads=1");
-  const BenchResult base = RunPipeline(1, epochs, args.seed);
-  std::printf("epochs/sec: %s  (partitions=%zu vnodes=%zu applied=%llu)\n",
-              bench::Fmt(base.epochs_per_sec).c_str(), base.partitions,
-              base.vnodes,
-              static_cast<unsigned long long>(base.actions_applied));
+  const BenchResult base = RunPipeline(1, epochs, args.seed, backend_t1);
+  PrintRun(base);
 
   bench::PrintSection("threads=" + std::to_string(parallel_threads));
-  const BenchResult par = RunPipeline(parallel_threads, epochs, args.seed);
-  std::printf("epochs/sec: %s  (partitions=%zu vnodes=%zu applied=%llu)\n",
-              bench::Fmt(par.epochs_per_sec).c_str(), par.partitions,
-              par.vnodes,
-              static_cast<unsigned long long>(par.actions_applied));
+  const BenchResult par =
+      RunPipeline(parallel_threads, epochs, args.seed, backend_tn);
+  PrintRun(par);
+  // (BackendFromFlag removes any file-backend dirs at process exit.)
 
   bench::PrintSection("summary");
   const double speedup = base.epochs_per_sec > 0
@@ -166,6 +220,14 @@ int main(int argc, char** argv) {
                "epochs/sec measured for both thread counts");
   checks.Check("decision plane active", base.actions_applied > 0,
                "actions were proposed and applied during the run");
+  checks.Check("shard-plan cache reused across quiet epochs",
+               base.plan_reuses > 0,
+               std::to_string(base.plan_builds) + " builds vs " +
+                   std::to_string(base.plan_reuses) + " reuses");
+  checks.Check("stage timers recorded",
+               !base.stage_timings.empty() &&
+                   base.stage_timings.front().runs > 0,
+               "per-stage wall time available for the CSV/metrics path");
   checks.Check(
       "determinism across thread counts",
       base.placement_version == par.placement_version &&

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
 
   SimConfig config = SimConfig::Paper();
   config.seed = args.seed;
+  config.backend = bench::BackendFromFlag(args.backend, "overhead_analysis");
   Simulation sim(config);
   const Status init = sim.Initialize();
   if (!init.ok()) {

@@ -1,0 +1,62 @@
+#include "skute/backend/backend.h"
+
+#include "skute/storage/wal.h"
+
+namespace skute {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMemory:
+      return "memory";
+    case BackendKind::kDurable:
+      return "durable";
+    case BackendKind::kFileSegment:
+      return "file";
+  }
+  return "unknown";
+}
+
+Result<BackendKind> ParseBackendKind(std::string_view name) {
+  if (name == "memory" || name == "mem") return BackendKind::kMemory;
+  if (name == "durable" || name == "wal") return BackendKind::kDurable;
+  if (name == "file" || name == "file-segment" || name == "segment") {
+    return BackendKind::kFileSegment;
+  }
+  return Status::InvalidArgument("unknown backend: " + std::string(name));
+}
+
+std::string StorageBackend::ExportSnapshot() const {
+  std::string out;
+  uint64_t sequence = 0;
+  // Full key-ordered dump: every live pair as one Put record. Count()
+  // bounds the scan; the snapshot replays to the exporter's exact state.
+  for (const auto& [key, value] : Scan("", Count())) {
+    EncodeWalRecord(&out, WalOp::kPut, ++sequence, key, value);
+  }
+  io_.snapshot_bytes_out += out.size();
+  return out;
+}
+
+Status StorageBackend::ImportSnapshot(std::string_view bytes) {
+  WalReader reader(bytes);
+  for (;;) {
+    auto record = reader.Next();
+    if (!record.ok()) {
+      io_.snapshot_bytes_in += reader.offset();
+      if (record.status().IsNotFound()) return Status::OK();  // clean end
+      return Status::Internal("corrupt snapshot: intact prefix applied");
+    }
+    switch (record->op) {
+      case WalOp::kPut:
+        SKUTE_RETURN_IF_ERROR(Put(record->key, record->value));
+        break;
+      case WalOp::kDelete: {
+        const Status st = Delete(record->key);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace skute

@@ -1,0 +1,47 @@
+#ifndef SKUTE_BACKEND_CONFIG_H_
+#define SKUTE_BACKEND_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "skute/common/result.h"
+
+namespace skute {
+
+/// Which storage engine backs a server's partition replicas.
+enum class BackendKind : uint8_t {
+  kMemory = 0,       ///< skiplist memtable only (the seed behaviour)
+  kDurable = 1,      ///< WAL-then-apply over the memtable (in-memory log)
+  kFileSegment = 2,  ///< append-only segment files on the real filesystem
+};
+
+/// "memory" / "durable" / "file".
+const char* BackendKindName(BackendKind kind);
+
+/// Parses a backend name as accepted by the benches' --backend flag
+/// ("memory", "durable", "file" or "file-segment").
+Result<BackendKind> ParseBackendKind(std::string_view name);
+
+/// \brief Per-server storage-backend selection, threaded through
+/// Cluster::AddServer and SimConfig. The factory scopes `data_dir` per
+/// server and per partition, so one config can be shared cluster-wide.
+struct BackendConfig {
+  BackendKind kind = BackendKind::kMemory;
+
+  /// Root directory for kFileSegment state (required for that kind;
+  /// ignored otherwise). The factory nests `s<server>/p<partition>/`
+  /// underneath it.
+  std::string data_dir;
+
+  /// kFileSegment: the active segment rotates once it grows past this.
+  uint64_t segment_bytes = 4 * 1024 * 1024;
+
+  /// kFileSegment: fsync after every append (durability over throughput).
+  /// When false, appends are flushed to the OS but only Flush() syncs.
+  bool fsync_every_append = false;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_BACKEND_CONFIG_H_

@@ -1,0 +1,68 @@
+#include "skute/backend/durable_backend.h"
+
+#include "skute/storage/wal.h"
+
+namespace skute {
+
+Status DurableBackend::Put(std::string_view key, std::string_view value) {
+  ++io_.puts;
+  const size_t record = EncodedWalRecordSize(key, value);
+  io_.log_bytes_written += record;
+  unflushed_ += record;
+  return store_.Put(key, value);
+}
+
+Status DurableBackend::Delete(std::string_view key) {
+  ++io_.deletes;
+  // Uniform backend contract: a missing key is NotFound and nothing is
+  // logged (the log holds only applied mutations, so it replays exactly).
+  if (!store_.Contains(key)) return Status::NotFound("key not found");
+  const size_t record = EncodedWalRecordSize(key, {});
+  io_.log_bytes_written += record;
+  unflushed_ += record;
+  return store_.Delete(key);
+}
+
+std::string DurableBackend::ExportSnapshot() const {
+  // Ship the log verbatim (no scan) only while it both covers the whole
+  // history *and* is no larger than a key-ordered dump of the live set —
+  // a long write history of overwrites/deletes must not inflate transfer
+  // cost without bound.
+  const uint64_t dump_estimate =
+      ApproximateBytes() +
+      static_cast<uint64_t>(Count()) * EncodedWalRecordSize({}, {});
+  if (!checkpointed_ && store_.log().size() <= dump_estimate) {
+    io_.snapshot_bytes_out += store_.log().size();
+    return store_.log();
+  }
+  return StorageBackend::ExportSnapshot();
+}
+
+Status DurableBackend::Flush() {
+  io_.bytes_flushed += unflushed_;
+  unflushed_ = 0;
+  ++io_.fsyncs;
+  return Status::OK();
+}
+
+Status DurableBackend::Wipe() {
+  store_ = DurableKvStore();
+  unflushed_ = 0;
+  checkpointed_ = false;
+  return Status::OK();
+}
+
+Result<size_t> DurableBackend::Recover(std::string_view log_bytes) {
+  // Recovered records are applied to the memtable without re-logging, so
+  // from here on the local log no longer covers the whole history.
+  checkpointed_ = true;
+  return store_.Recover(log_bytes);
+}
+
+void DurableBackend::Checkpoint() {
+  store_.Checkpoint();
+  unflushed_ = 0;
+  checkpointed_ = true;
+}
+
+}  // namespace skute

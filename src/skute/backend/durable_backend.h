@@ -1,0 +1,82 @@
+#ifndef SKUTE_BACKEND_DURABLE_BACKEND_H_
+#define SKUTE_BACKEND_DURABLE_BACKEND_H_
+
+#include <string>
+#include <string_view>
+
+#include "skute/backend/backend.h"
+#include "skute/storage/durable.h"
+
+namespace skute {
+
+/// \brief DurableKvStore behind the StorageBackend interface: every
+/// mutation is appended to the in-memory write-ahead log before it
+/// touches the memtable (the log-then-apply contract lives in
+/// DurableKvStore — this class only adapts it and meters IoStats).
+/// `log()` is what a deployment fsyncs/ships; Recover() replays a log
+/// over the current state and tolerates a corrupt tail; Checkpoint()
+/// drops the log once the memtable has been persisted elsewhere.
+///
+/// One contract adaptation: the backend interface requires Delete of a
+/// missing key to be NotFound and unlogged, so the adapter checks
+/// Contains first (DurableKvStore itself logs blind deletes).
+class DurableBackend : public StorageBackend {
+ public:
+  explicit DurableBackend(uint64_t seed = 0) : store_(seed) {}
+
+  BackendKind kind() const override { return BackendKind::kDurable; }
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) const override {
+    ++io_.gets;
+    return store_.Get(key);
+  }
+  Status Delete(std::string_view key) override;
+  bool Contains(std::string_view key) const override {
+    return store_.Contains(key);
+  }
+  size_t Count() const override { return store_.Count(); }
+  uint64_t ApproximateBytes() const override {
+    return store_.ApproximateBytes();
+  }
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view start_key, size_t limit) const override {
+    ++io_.scans;
+    return store_.table().Scan(start_key, limit);
+  }
+
+  /// The log *is* the snapshot while it covers the whole history and is
+  /// no larger than a live-set dump; otherwise the base key-ordered
+  /// export takes over.
+  std::string ExportSnapshot() const override;
+
+  /// Flush models the fsync of the accumulated log tail.
+  Status Flush() override;
+
+  Status Wipe() override;
+
+  // --- Durability-specific surface (bench + recovery tests) ---------------
+
+  /// The serialized log since the last Checkpoint.
+  const std::string& log() const { return store_.log(); }
+  uint64_t last_sequence() const { return store_.last_sequence(); }
+
+  /// Replays a serialized log over the current state; returns the number
+  /// of records applied, stopping at (and tolerating) a corrupt tail.
+  Result<size_t> Recover(std::string_view log_bytes);
+
+  /// Drops the log (after the memtable has been persisted elsewhere).
+  void Checkpoint();
+
+ private:
+  DurableKvStore store_;
+  /// Log bytes not yet "synced" by Flush().
+  uint64_t unflushed_ = 0;
+  /// Set once Checkpoint()/Recover() ran: the log no longer covers the
+  /// whole history.
+  bool checkpointed_ = false;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_BACKEND_DURABLE_BACKEND_H_

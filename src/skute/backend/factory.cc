@@ -1,0 +1,48 @@
+#include "skute/backend/factory.h"
+
+#include <string>
+
+#include "skute/backend/durable_backend.h"
+#include "skute/backend/file_segment_backend.h"
+#include "skute/backend/memory_backend.h"
+
+namespace skute {
+
+Result<std::unique_ptr<StorageBackend>> BackendFactory::Create(
+    uint64_t partition_id) const {
+  switch (config_.kind) {
+    case BackendKind::kMemory:
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<MemoryBackend>(partition_id));
+    case BackendKind::kDurable:
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<DurableBackend>(partition_id));
+    case BackendKind::kFileSegment: {
+      if (config_.data_dir.empty()) {
+        return Status::InvalidArgument(
+            "file-segment backend needs a data_dir");
+      }
+      const std::string dir =
+          config_.data_dir + "/p" + std::to_string(partition_id);
+      SKUTE_ASSIGN_OR_RETURN(
+          std::unique_ptr<FileSegmentBackend> backend,
+          FileSegmentBackend::Open(dir, config_.segment_bytes,
+                                   config_.fsync_every_append));
+      return std::unique_ptr<StorageBackend>(std::move(backend));
+    }
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
+
+BackendFactory BackendFactory::ForServer(uint32_t server_id) const {
+  BackendConfig scoped = config_;
+  // A forgotten data_dir stays empty (rejected by Create) rather than
+  // becoming the absolute path "/s<id>" at the filesystem root.
+  if (scoped.kind == BackendKind::kFileSegment &&
+      !scoped.data_dir.empty()) {
+    scoped.data_dir += "/s" + std::to_string(server_id);
+  }
+  return BackendFactory(std::move(scoped));
+}
+
+}  // namespace skute

@@ -1,0 +1,42 @@
+#ifndef SKUTE_BACKEND_FACTORY_H_
+#define SKUTE_BACKEND_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "skute/backend/backend.h"
+#include "skute/backend/config.h"
+
+namespace skute {
+
+/// \brief Creates the configured StorageBackend for one partition
+/// replica. A copyable value type: ReplicaStore holds one, the store
+/// derives per-server factories from the cluster-wide config with
+/// ForServer() (which scopes the file backend's data_dir).
+class BackendFactory {
+ public:
+  /// Default: memory backend (the seed behaviour).
+  BackendFactory() = default;
+  explicit BackendFactory(BackendConfig config)
+      : config_(std::move(config)) {}
+
+  /// Creates (kMemory/kDurable) or opens-with-recovery (kFileSegment)
+  /// the backend for `partition_id`. File-segment state lives under
+  /// `<data_dir>/p<partition_id>/`.
+  Result<std::unique_ptr<StorageBackend>> Create(
+      uint64_t partition_id) const;
+
+  /// A copy whose file-segment state nests under `<data_dir>/s<id>/` —
+  /// one subtree per server, so per-server ReplicaStores never collide.
+  BackendFactory ForServer(uint32_t server_id) const;
+
+  const BackendConfig& config() const { return config_; }
+
+ private:
+  BackendConfig config_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_BACKEND_FACTORY_H_

@@ -1,0 +1,60 @@
+#ifndef SKUTE_BACKEND_MEMORY_BACKEND_H_
+#define SKUTE_BACKEND_MEMORY_BACKEND_H_
+
+#include "skute/backend/backend.h"
+#include "skute/storage/kvstore.h"
+
+namespace skute {
+
+/// \brief The seed behaviour as a backend: a skiplist memtable, no
+/// persistence. Log/flush/fsync counters stay at zero — this is the
+/// "free I/O" baseline the other backends are measured against.
+class MemoryBackend : public StorageBackend {
+ public:
+  explicit MemoryBackend(uint64_t seed = 0) : table_(seed) {}
+
+  BackendKind kind() const override { return BackendKind::kMemory; }
+
+  Status Put(std::string_view key, std::string_view value) override {
+    ++io_.puts;
+    return table_.Put(key, value);
+  }
+
+  Result<std::string> Get(std::string_view key) const override {
+    ++io_.gets;
+    return table_.Get(key);
+  }
+
+  Status Delete(std::string_view key) override {
+    ++io_.deletes;
+    return table_.Delete(key);
+  }
+
+  bool Contains(std::string_view key) const override {
+    return table_.Contains(key);
+  }
+
+  size_t Count() const override { return table_.Count(); }
+
+  uint64_t ApproximateBytes() const override {
+    return table_.ApproximateBytes();
+  }
+
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view start_key, size_t limit) const override {
+    ++io_.scans;
+    return table_.Scan(start_key, limit);
+  }
+
+  Status Wipe() override {
+    table_.Clear();
+    return Status::OK();
+  }
+
+ private:
+  KvStore table_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_BACKEND_MEMORY_BACKEND_H_

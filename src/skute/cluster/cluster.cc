@@ -4,10 +4,11 @@ namespace skute {
 
 ServerId Cluster::AddServer(const Location& location,
                             const ServerResources& resources,
-                            const ServerEconomics& economics) {
+                            const ServerEconomics& economics,
+                            const BackendConfig& backend) {
   const ServerId id = static_cast<ServerId>(servers_.size());
   servers_.push_back(
-      std::make_unique<Server>(id, location, resources, economics));
+      std::make_unique<Server>(id, location, resources, economics, backend));
   return id;
 }
 

@@ -23,10 +23,12 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Adds a server (initially online) and returns its id.
+  /// Adds a server (initially online) and returns its id. `backend`
+  /// selects the storage engine for the server's partition replicas.
   ServerId AddServer(const Location& location,
                      const ServerResources& resources,
-                     const ServerEconomics& economics);
+                     const ServerEconomics& economics,
+                     const BackendConfig& backend = BackendConfig{});
 
   /// Marks a server offline. Data it held is gone (hard failure); the
   /// storage accounting is wiped so a later recovery starts empty.

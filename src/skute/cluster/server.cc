@@ -12,11 +12,13 @@ constexpr double kUtilizationEwmaWeight = 1.0 / 720.0;
 
 Server::Server(ServerId id, const Location& location,
                const ServerResources& resources,
-               const ServerEconomics& economics)
+               const ServerEconomics& economics,
+               const BackendConfig& backend)
     : id_(id),
       location_(location),
       resources_(resources),
-      economics_(economics) {}
+      economics_(economics),
+      backend_(backend) {}
 
 Status Server::ReserveStorage(uint64_t bytes) {
   if (!online_) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "skute/backend/config.h"
 #include "skute/common/result.h"
 #include "skute/common/units.h"
 #include "skute/topology/location.h"
@@ -42,12 +43,17 @@ struct ServerEconomics {
 class Server {
  public:
   Server(ServerId id, const Location& location,
-         const ServerResources& resources, const ServerEconomics& economics);
+         const ServerResources& resources, const ServerEconomics& economics,
+         const BackendConfig& backend = BackendConfig{});
 
   ServerId id() const { return id_; }
   const Location& location() const { return location_; }
   const ServerResources& resources() const { return resources_; }
   const ServerEconomics& economics() const { return economics_; }
+
+  /// Which storage engine this server's partition replicas run on (the
+  /// store derives per-server BackendFactories from it).
+  const BackendConfig& backend() const { return backend_; }
 
   bool online() const { return online_; }
   void set_online(bool online) { online_ = online; }
@@ -129,6 +135,7 @@ class Server {
   Location location_;
   ServerResources resources_;
   ServerEconomics economics_;
+  BackendConfig backend_;
 
   bool online_ = true;
   uint64_t used_storage_ = 0;

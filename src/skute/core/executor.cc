@@ -15,33 +15,36 @@ void ExecutorStats::Accumulate(const ExecutorStats& other) {
   aborted_stale += other.aborted_stale;
   bytes_replicated += other.bytes_replicated;
   bytes_migrated += other.bytes_migrated;
+  snapshot_bytes += other.snapshot_bytes;
 }
 
-void ActionExecutor::CopyRealData(ServerId from, ServerId to,
-                                  PartitionId pid) {
-  if (replica_data_ == nullptr) return;
-  const auto src = replica_data_->find(from);
-  if (src == replica_data_->end() || src->second.Find(pid) == nullptr) {
-    return;  // synthetic partition: sizes only, nothing to copy
+uint64_t ActionExecutor::CopyRealData(ServerId from, ServerId to,
+                                      PartitionId pid) {
+  if (replica_data_ == nullptr) return 0;
+  ReplicaStore* src = replica_data_->Find(from);
+  if (src == nullptr || src->Find(pid) == nullptr) {
+    return 0;  // synthetic partition: sizes only, nothing to copy
   }
-  (void)(*replica_data_)[to].CopyFrom(src->second, pid);
+  auto streamed = replica_data_->For(to).CopyFrom(*src, pid);
+  return streamed.ok() ? *streamed : 0;
 }
 
-void ActionExecutor::MoveRealData(ServerId from, ServerId to,
-                                  PartitionId pid) {
-  if (replica_data_ == nullptr) return;
-  const auto src = replica_data_->find(from);
-  if (src == replica_data_->end() || src->second.Find(pid) == nullptr) {
-    return;
+uint64_t ActionExecutor::MoveRealData(ServerId from, ServerId to,
+                                      PartitionId pid) {
+  if (replica_data_ == nullptr) return 0;
+  ReplicaStore* src = replica_data_->Find(from);
+  if (src == nullptr || src->Find(pid) == nullptr) {
+    return 0;
   }
-  (void)(*replica_data_)[to].MoveFrom(&src->second, pid);
+  auto streamed = replica_data_->For(to).MoveFrom(src, pid);
+  return streamed.ok() ? *streamed : 0;
 }
 
 void ActionExecutor::DropRealData(ServerId server, PartitionId pid) {
   if (replica_data_ == nullptr) return;
-  const auto it = replica_data_->find(server);
-  if (it == replica_data_->end()) return;
-  (void)it->second.Drop(pid);
+  ReplicaStore* store = replica_data_->Find(server);
+  if (store == nullptr) return;
+  (void)store->Drop(pid);
 }
 
 ActionExecutor::Outcome ActionExecutor::ApplyReplicate(const Action& a,
@@ -82,7 +85,7 @@ ActionExecutor::Outcome ActionExecutor::ApplyReplicate(const Action& a,
   // AddReplica cannot fail: HasReplicaOn was checked above.
   (void)p->AddReplica(a.target, vid, epoch);
   vnodes_->Create(vid, p->id(), p->ring(), a.target, epoch);
-  CopyRealData(source->id(), a.target, p->id());
+  st->snapshot_bytes += CopyRealData(source->id(), a.target, p->id());
 
   ++st->replications;
   st->bytes_replicated += bytes;
@@ -125,7 +128,7 @@ ActionExecutor::Outcome ActionExecutor::ApplyMigrate(
   (void)p->AddReplica(a.target, v->id, epoch);
   v->server = a.target;
   v->balance.Reset();
-  MoveRealData(a.source, a.target, p->id());
+  st->snapshot_bytes += MoveRealData(a.source, a.target, p->id());
 
   ++st->migrations;
   st->bytes_migrated += bytes;

@@ -1,7 +1,6 @@
 #ifndef SKUTE_CORE_EXECUTOR_H_
 #define SKUTE_CORE_EXECUTOR_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "skute/cluster/cluster.h"
@@ -29,6 +28,10 @@ struct ExecutorStats {
   uint64_t aborted_stale = 0;
   uint64_t bytes_replicated = 0;
   uint64_t bytes_migrated = 0;
+  /// Snapshot bytes actually streamed between storage backends for the
+  /// epoch's transfers (0 when real data is off or for in-memory moves) —
+  /// the persistence-layer cost behind the catalog's logical byte counts.
+  uint64_t snapshot_bytes = 0;
 
   uint64_t applied() const { return replications + migrations + suicides; }
 
@@ -47,10 +50,9 @@ class ActionExecutor {
  public:
   /// `replica_data` may be nullptr (synthetic/simulation mode); when
   /// given, replicate/migrate/suicide also copy/move/drop the real
-  /// key-value bytes.
+  /// key-value bytes by streaming backend snapshots.
   ActionExecutor(Cluster* cluster, RingCatalog* catalog,
-                 VNodeRegistry* vnodes,
-                 std::unordered_map<ServerId, ReplicaStore>* replica_data)
+                 VNodeRegistry* vnodes, ReplicaDataMap* replica_data)
       : cluster_(cluster),
         catalog_(catalog),
         vnodes_(vnodes),
@@ -77,14 +79,16 @@ class ActionExecutor {
                        const std::vector<RingPolicy>& policies,
                        ExecutorStats* st);
 
-  void CopyRealData(ServerId from, ServerId to, PartitionId pid);
-  void MoveRealData(ServerId from, ServerId to, PartitionId pid);
+  /// Copy/Move return the snapshot bytes streamed (0 when nothing real
+  /// was transferred).
+  uint64_t CopyRealData(ServerId from, ServerId to, PartitionId pid);
+  uint64_t MoveRealData(ServerId from, ServerId to, PartitionId pid);
   void DropRealData(ServerId server, PartitionId pid);
 
   Cluster* cluster_;
   RingCatalog* catalog_;
   VNodeRegistry* vnodes_;
-  std::unordered_map<ServerId, ReplicaStore>* replica_data_;
+  ReplicaDataMap* replica_data_;
 };
 
 }  // namespace skute

@@ -15,7 +15,19 @@ SkuteStore::SkuteStore(Cluster* cluster, const SkuteOptions& options)
       executor_(cluster, &catalog_, &vnodes_,
                 options.track_real_data ? &replica_data_ : nullptr),
       rng_(options.seed),
-      pipeline_(options.epoch) {}
+      pipeline_(options.epoch) {
+  // Per-server backend selection reaches the data plane here: a server's
+  // ReplicaStore is created with the factory derived from its config.
+  replica_data_.set_provider(
+      [this](uint32_t id) { return FactoryForServer(id); });
+}
+
+BackendFactory SkuteStore::FactoryForServer(ServerId id) const {
+  const Server* s = cluster_->server(id);
+  const BackendFactory factory(s != nullptr ? s->backend()
+                                            : BackendConfig{});
+  return factory.ForServer(id);
+}
 
 void SkuteStore::SetPlacementPolicy(
     std::unique_ptr<PlacementPolicy> policy) {
@@ -169,7 +181,9 @@ Status SkuteStore::ApplyUpsert(RingId ring, uint64_t key_hash,
     if (s == nullptr || !s->online()) continue;
     ++live_replicas;
     if (value != nullptr && options_.track_real_data) {
-      (void)replica_data_[r.server].OpenOrCreate(p->id())->Put(key, *value);
+      (void)replica_data_.For(r.server)
+          .OpenOrCreate(p->id())
+          ->Put(key, *value);
     }
   }
   // Consistency fan-out: the write reaches every live replica.
@@ -233,13 +247,12 @@ Result<std::string> SkuteStore::Get(RingId ring, std::string_view key) {
   if (v != nullptr) ++v->queries_served;
 
   if (options_.track_real_data) {
-    const auto it = replica_data_.find(best->id());
-    if (it != replica_data_.end()) {
-      const KvStore* store = it->second.Find(p->id());
-      if (store != nullptr) {
-        auto value = store->Get(key);
-        if (value.ok()) return value;
-      }
+    const ReplicaStore* rs = replica_data_.Find(best->id());
+    const StorageBackend* store =
+        rs == nullptr ? nullptr : rs->Find(p->id());
+    if (store != nullptr) {
+      auto value = store->Get(key);
+      if (value.ok()) return value;
     }
   }
   return Status::FailedPrecondition(
@@ -254,9 +267,8 @@ Status SkuteStore::Delete(RingId ring, std::string_view key) {
   (void)ReserveOnReplicas(p, -static_cast<int64_t>(size));
   if (options_.track_real_data) {
     for (const ReplicaInfo& r : p->replicas()) {
-      const auto it = replica_data_.find(r.server);
-      if (it == replica_data_.end()) continue;
-      KvStore* store = it->second.Find(p->id());
+      ReplicaStore* rs = replica_data_.Find(r.server);
+      StorageBackend* store = rs == nullptr ? nullptr : rs->Find(p->id());
       if (store != nullptr) (void)store->Delete(key);
     }
   }
@@ -284,17 +296,17 @@ void SkuteStore::MaybeSplit(Partition* p) {
 void SkuteStore::MoveSiblingData(PartitionId sibling, ServerId from,
                                  ServerId to) {
   if (!options_.track_real_data) return;
-  const auto it = replica_data_.find(from);
-  if (it == replica_data_.end() || it->second.Find(sibling) == nullptr) {
+  ReplicaStore* src = replica_data_.Find(from);
+  if (src == nullptr || src->Find(sibling) == nullptr) {
     return;
   }
   // When the target is another parent-replica server it already holds an
   // identical copy from SplitRealData: keep that one, drop the source's.
-  if (replica_data_[to].Find(sibling) != nullptr) {
-    (void)it->second.Drop(sibling);
+  if (replica_data_.For(to).Find(sibling) != nullptr) {
+    (void)src->Drop(sibling);
     return;
   }
-  (void)replica_data_[to].MoveFrom(&it->second, sibling);
+  (void)replica_data_.For(to).MoveFrom(src, sibling);
 }
 
 void SkuteStore::PlaceSiblingReplicas(Partition* parent,
@@ -359,11 +371,11 @@ void SkuteStore::PlaceSiblingReplicas(Partition* parent,
 void SkuteStore::SplitRealData(const Partition& lower,
                                const Partition& upper) {
   for (const ReplicaInfo& r : lower.replicas()) {
-    const auto it = replica_data_.find(r.server);
-    if (it == replica_data_.end()) continue;
-    KvStore* src = it->second.Find(lower.id());
+    ReplicaStore* rs = replica_data_.Find(r.server);
+    if (rs == nullptr) continue;
+    StorageBackend* src = rs->Find(lower.id());
     if (src == nullptr) continue;
-    KvStore* dst = it->second.OpenOrCreate(upper.id());
+    StorageBackend* dst = rs->OpenOrCreate(upper.id());
     // Move every key whose hash now belongs to the upper range.
     std::vector<std::string> moved;
     for (const auto& [key, value] : src->Scan("", src->Count())) {
@@ -483,7 +495,7 @@ void SkuteStore::HandleServerFailure(ServerId id) {
     (void)p->RemoveReplica(id);
     if (p->replica_count() == 0) ++lost_partitions_;
   }
-  replica_data_.erase(id);
+  replica_data_.Erase(id);
 }
 
 // --- Introspection ------------------------------------------------------------------

@@ -198,6 +198,11 @@ class SkuteStore {
   /// it — the paper's "O(1) DHT": one staleness check, no hop chasing.
   uint64_t placement_version() const { return placement_version_; }
 
+  /// Aggregate I/O counters of every server's storage backends (zeroes
+  /// when real-data tracking is off). What MetricsCollector surfaces so
+  /// benches can price placement against real persistence cost.
+  IoStats io_stats() const { return replica_data_.AggregateIo(); }
+
   /// The policies vector the decision passes run against (rebuilt lazily).
   const std::vector<RingPolicy>& policies();
 
@@ -212,6 +217,10 @@ class SkuteStore {
     SlaLevel sla;
     ClientMix mix;  // empty = uniform
   };
+
+  /// The BackendFactory for one server's replica data: the server's
+  /// BackendConfig, scoped to a per-server data subtree.
+  BackendFactory FactoryForServer(ServerId id) const;
 
   Status ApplyUpsert(RingId ring, uint64_t key_hash, uint32_t size_bytes,
                      std::string_view key, const std::string* value);
@@ -230,7 +239,7 @@ class SkuteStore {
   RingCatalog catalog_;
   VNodeRegistry vnodes_;
   std::unique_ptr<PlacementPolicy> policy_;
-  std::unordered_map<ServerId, ReplicaStore> replica_data_;
+  ReplicaDataMap replica_data_;
   ActionExecutor executor_;
   Rng rng_;
   EpochPipeline pipeline_;

@@ -3,13 +3,18 @@
 namespace skute {
 
 const ShardPlan& EpochContext::Shards() {
-  if (!shard_plan_.has_value()) {
-    // Salted by the epoch: shard RNG streams differ epoch to epoch but
-    // are identical across thread counts.
-    const uint64_t salt = seed ^ (*epoch * 0xc2b2ae3d27d4eb4full);
+  if (resolved_plan_ != nullptr) return *resolved_plan_;
+  // Salted by the epoch: shard RNG streams differ epoch to epoch but
+  // are identical across thread counts.
+  const uint64_t salt = seed ^ (*epoch * 0xc2b2ae3d27d4eb4full);
+  if (plan_cache != nullptr && placement_version != nullptr) {
+    resolved_plan_ =
+        &plan_cache->Get(*catalog, *options, salt, *placement_version);
+  } else {
     shard_plan_ = ShardPlan::Build(*catalog, *options, salt);
+    resolved_plan_ = &*shard_plan_;
   }
-  return *shard_plan_;
+  return *resolved_plan_;
 }
 
 void EpochContext::RunSharded(

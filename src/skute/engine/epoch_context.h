@@ -44,6 +44,9 @@ class EpochContext {
   const std::vector<RingPolicy>* policies = nullptr;
   /// Worker pool for sharded stages; nullptr = run shards inline.
   WorkerPool* pool = nullptr;
+  /// Cross-epoch shard-plan cache (owned by the pipeline); nullptr makes
+  /// Shards() build a context-local plan (tests that run stages alone).
+  ShardPlanCache* plan_cache = nullptr;
 
   // --- Per-epoch mutable state (borrowed from the store) ------------------
   Epoch* epoch = nullptr;
@@ -61,9 +64,11 @@ class EpochContext {
   /// Proposal stage output, execution stage input.
   std::vector<Action> actions;
 
-  /// The epoch's shard plan, built on first use (RecordBalancesStage and
-  /// ProposeActionsStage share one snapshot; partitions are never created
-  /// mid-pipeline, so the snapshot stays valid through execution).
+  /// The epoch's shard plan, resolved on first use (RecordBalancesStage
+  /// and ProposeActionsStage share one snapshot; partitions are never
+  /// created mid-pipeline, so the snapshot stays valid through
+  /// execution). Served from the pipeline's ShardPlanCache when wired —
+  /// rebuilt only when placement_version moved since the last epoch.
   const ShardPlan& Shards();
 
   /// Runs fn(shard, shard_rng) for every shard of Shards(), on the worker
@@ -73,7 +78,8 @@ class EpochContext {
   void RunSharded(const std::function<void(size_t, Rng*)>& fn);
 
  private:
-  std::optional<ShardPlan> shard_plan_;
+  const ShardPlan* resolved_plan_ = nullptr;
+  std::optional<ShardPlan> shard_plan_;  // fallback without a cache
 };
 
 }  // namespace skute

@@ -1,21 +1,27 @@
 #include "skute/engine/epoch_pipeline.h"
 
+#include <chrono>
+
 #include "skute/engine/stages.h"
 
 namespace skute {
 
 EpochPipeline::EpochPipeline(const EpochOptions& options)
     : options_(options) {
-  stages_.push_back(std::make_unique<PublishPricesStage>());
-  stages_.push_back(std::make_unique<RecordBalancesStage>());
-  stages_.push_back(std::make_unique<ProposeActionsStage>());
-  stages_.push_back(std::make_unique<ExecuteStage>());
-  stages_.push_back(std::make_unique<AccountingStage>());
+  AddStage(std::make_unique<PublishPricesStage>());
+  AddStage(std::make_unique<RecordBalancesStage>());
+  AddStage(std::make_unique<ProposeActionsStage>());
+  AddStage(std::make_unique<ExecuteStage>());
+  AddStage(std::make_unique<AccountingStage>());
 }
 
 EpochPipeline::~EpochPipeline() = default;
 
 void EpochPipeline::AddStage(std::unique_ptr<EpochStage> stage) {
+  StageTiming timing;
+  timing.name = stage->name();
+  timing.phase = stage->phase();
+  timings_.push_back(timing);
   stages_.push_back(std::move(stage));
 }
 
@@ -30,8 +36,18 @@ WorkerPool* EpochPipeline::PoolForRun() {
 void EpochPipeline::Run(EpochPhase phase, EpochContext& ctx) {
   ctx.options = &options_;
   ctx.pool = PoolForRun();
-  for (const std::unique_ptr<EpochStage>& stage : stages_) {
-    if (stage->phase() == phase) stage->Run(ctx);
+  ctx.plan_cache = &plan_cache_;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i]->phase() != phase) continue;
+    const auto start = std::chrono::steady_clock::now();
+    stages_[i]->Run(ctx);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    timings_[i].last_ms = ms;
+    timings_[i].total_ms += ms;
+    ++timings_[i].runs;
   }
 }
 

@@ -6,9 +6,21 @@
 
 #include "skute/engine/epoch_context.h"
 #include "skute/engine/epoch_stage.h"
+#include "skute/engine/shard.h"
 #include "skute/engine/worker_pool.h"
 
 namespace skute {
+
+/// Wall-time accounting of one pipeline stage (ROADMAP "pipeline-stage
+/// metrics"): last run plus lifetime totals, surfaced by
+/// MetricsCollector::WriteCsv and the micro benches.
+struct StageTiming {
+  const char* name = "";
+  EpochPhase phase = EpochPhase::kBegin;
+  double last_ms = 0.0;
+  double total_ms = 0.0;
+  uint64_t runs = 0;
+};
 
 /// \brief The ordered stage list that IS the epoch lifecycle:
 ///
@@ -38,6 +50,15 @@ class EpochPipeline {
   /// Stage names of one phase, in execution order.
   std::vector<const char*> StageNames(EpochPhase phase) const;
 
+  /// Per-stage wall-time counters, in registration order (kBegin and
+  /// kEnd stages interleaved exactly as registered).
+  const std::vector<StageTiming>& stage_timings() const {
+    return timings_;
+  }
+
+  /// The cross-epoch shard-plan cache Run() wires into every context.
+  const ShardPlanCache& shard_plan_cache() const { return plan_cache_; }
+
   const EpochOptions& options() const { return options_; }
 
  private:
@@ -45,6 +66,8 @@ class EpochPipeline {
 
   EpochOptions options_;
   std::vector<std::unique_ptr<EpochStage>> stages_;
+  std::vector<StageTiming> timings_;  // parallel to stages_
+  ShardPlanCache plan_cache_;
   std::unique_ptr<WorkerPool> pool_;  // lazily created, reused per epoch
 };
 

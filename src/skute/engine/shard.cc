@@ -52,4 +52,19 @@ Rng ShardPlan::ShardRng(size_t shard) const {
   return Rng(mix.Next());
 }
 
+const ShardPlan& ShardPlanCache::Get(const RingCatalog& catalog,
+                                     const EpochOptions& options,
+                                     uint64_t rng_salt,
+                                     uint64_t placement_version) {
+  if (!plan_.has_value() || built_version_ != placement_version) {
+    plan_ = ShardPlan::Build(catalog, options, rng_salt);
+    built_version_ = placement_version;
+    ++builds_;
+    return *plan_;
+  }
+  plan_->set_rng_salt(rng_salt);
+  ++reuses_;
+  return *plan_;
+}
+
 }  // namespace skute

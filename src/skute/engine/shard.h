@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "skute/common/random.h"
@@ -46,9 +47,44 @@ class ShardPlan {
   /// draw order cannot depend on thread interleaving.
   Rng ShardRng(size_t shard) const;
 
+  /// Reseeds the per-shard RNG streams. The chunk layout is a pure
+  /// function of the catalog, so a cached plan is re-used across epochs
+  /// by swapping in the new epoch's salt (see ShardPlanCache).
+  void set_rng_salt(uint64_t salt) { rng_salt_ = salt; }
+
  private:
   std::vector<std::vector<const Partition*>> shards_;
   uint64_t rng_salt_ = 0;
+};
+
+/// \brief Cross-epoch ShardPlan cache (ROADMAP "shard-plan reuse"): the
+/// chunk layout is rebuilt only when the placement actually changed
+/// (placement_version moved — splits, repairs, migrations, failures,
+/// ring attachment all bump it), instead of O(partitions) every epoch.
+/// Reuse is exact: a cached plan is bit-identical to a fresh Build
+/// because partitions are never destroyed and the catalog's iteration
+/// order only changes on events that bump placement_version.
+class ShardPlanCache {
+ public:
+  /// The plan for this epoch: cached when `placement_version` matches
+  /// the build version, rebuilt otherwise. `rng_salt` is applied either
+  /// way (per-epoch shard RNG streams).
+  const ShardPlan& Get(const RingCatalog& catalog,
+                       const EpochOptions& options, uint64_t rng_salt,
+                       uint64_t placement_version);
+
+  void Invalidate() { plan_.reset(); }
+
+  /// Observability for the micro benches: how often the cache saved a
+  /// rebuild.
+  uint64_t builds() const { return builds_; }
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::optional<ShardPlan> plan_;
+  uint64_t built_version_ = 0;
+  uint64_t builds_ = 0;
+  uint64_t reuses_ = 0;
 };
 
 }  // namespace skute

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "skute/backend/config.h"
 #include "skute/cluster/server.h"
 #include "skute/core/store.h"
 #include "skute/topology/topology.h"
@@ -44,7 +45,20 @@ struct SimConfig {
   /// All servers share one confidence (Section III-A).
   double confidence = 1.0;
   PricingParams pricing;
-  SkuteOptions store;
+  /// Storage backend every simulated server runs (benches override it via
+  /// --backend). The big synthetic runs track sizes only, so a
+  /// non-memory backend shows up once real values flow (examples, the
+  /// storage benches, track_real_data runs).
+  BackendConfig backend;
+  /// SkuteOptions with real-value tracking off — simulation workloads
+  /// are synthetic (sizes only) whichever way the config is built; set
+  /// store.track_real_data = true to pair config.backend with real Puts.
+  static SkuteOptions SyntheticStoreOptions() {
+    SkuteOptions options;
+    options.track_real_data = false;
+    return options;
+  }
+  SkuteOptions store = SyntheticStoreOptions();
   std::vector<AppSpec> apps;
   ParetoSpec popularity = ParetoSpec::PaperPopularity();
   double base_query_rate = 3000.0;

@@ -25,6 +25,10 @@ void MetricsCollector::Snapshot(SkuteStore* store, const Cluster& cluster,
   snap.queries_dropped = cluster.TotalQueriesDroppedThisEpoch();
   snap.exec = store->last_epoch_stats();
   snap.comm = store->comm_this_epoch();
+  snap.io = store->io_stats();
+  for (const StageTiming& t : store->epoch_pipeline().stage_timings()) {
+    snap.stage_ms.emplace_back(t.name, t.last_ms);
+  }
 
   // Fig. 2: vnodes per server by cost class, online servers only.
   const std::vector<uint32_t> per_server = store->VNodesPerServer();
@@ -99,7 +103,12 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
       "vnodes_expensive_mean",             "vnodes_cv",
       "vnodes_min",     "vnodes_max",      "replications",
       "migrations",     "suicides",        "msgs_total",
-      "transfer_bytes"};
+      "transfer_bytes", "snapshot_bytes",  "io_ops",
+      "io_log_bytes",   "io_flushed_bytes",
+      "io_read_bytes",  "io_fsyncs"};
+  for (const auto& [stage, ms] : series_.front().stage_ms) {
+    header.push_back("stage_" + stage + "_ms");
+  }
   for (size_t r = 0; r < rings; ++r) {
     const std::string p = "ring" + std::to_string(r) + "_";
     header.push_back(p + "vnodes");
@@ -131,7 +140,17 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
         .Field(s.exec.migrations)
         .Field(s.exec.suicides)
         .Field(s.comm.TotalMsgs())
-        .Field(s.comm.transfer_bytes);
+        .Field(s.comm.transfer_bytes)
+        .Field(s.exec.snapshot_bytes)
+        .Field(s.io.ops())
+        .Field(s.io.log_bytes_written)
+        .Field(s.io.bytes_flushed)
+        .Field(s.io.bytes_read)
+        .Field(s.io.fsyncs);
+    const size_t stages = series_.front().stage_ms.size();
+    for (size_t i = 0; i < stages; ++i) {
+      csv.Field(i < s.stage_ms.size() ? s.stage_ms[i].second : 0.0);
+    }
     for (size_t r = 0; r < rings; ++r) {
       if (r < s.ring_vnodes.size()) {
         csv.Field(static_cast<uint64_t>(s.ring_vnodes[r]))

@@ -2,8 +2,11 @@
 #define SKUTE_SIM_METRICS_H_
 
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "skute/backend/io_stats.h"
 #include "skute/core/store.h"
 
 namespace skute {
@@ -49,6 +52,15 @@ struct EpochSnapshot {
 
   // Communication overhead of the epoch (future-work analysis).
   CommStats comm;
+
+  /// Storage-backend I/O aggregated over every server (cumulative since
+  /// start; zeroes when real-data tracking is off). The persistence cost
+  /// the placement economy is priced against.
+  IoStats io;
+
+  /// Wall time of each pipeline stage in the captured epoch, in
+  /// registration order (the ROADMAP's per-stage metrics).
+  std::vector<std::pair<std::string, double>> stage_ms;
 };
 
 /// \brief Collects one EpochSnapshot per epoch and renders the series as

@@ -52,14 +52,16 @@ Status Simulation::Initialize() {
     economics.monthly_cost = is_expensive[i]
                                  ? config_.expensive_monthly_cost
                                  : config_.cheap_monthly_cost;
-    cluster_.AddServer(locations[i], config_.resources, economics);
+    cluster_.AddServer(locations[i], config_.resources, economics,
+                       config_.backend);
   }
 
-  // One store options copy with the simulation's seed (synthetic data
-  // only: real-value tracking off keeps the big runs lean).
+  // One store options copy with the simulation's seed. Real-value
+  // tracking follows the config: SimConfig defaults it off (simulation
+  // workloads are synthetic, sizes only), but a caller pairing
+  // config.backend with real Puts can turn it on.
   SkuteOptions store_options = config_.store;
   store_options.seed = config_.seed ^ 0xc2b2ae3d27d4eb4full;
-  store_options.track_real_data = false;
   store_ = std::make_unique<SkuteStore>(&cluster_, store_options);
 
   // Applications, rings, popularity, data.
@@ -147,7 +149,8 @@ void Simulation::ApplyEvent(const SimEvent& event) {
       const std::vector<Location> locations =
           ExpansionLocations(config_.grid, event.count, next_rack_id_);
       for (const Location& loc : locations) {
-        cluster_.AddServer(loc, config_.resources, SampleEconomics());
+        cluster_.AddServer(loc, config_.resources, SampleEconomics(),
+                           config_.backend);
       }
       // Advance past the rack rounds ExpansionLocations consumed.
       const uint64_t per_round =

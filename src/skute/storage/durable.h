@@ -13,7 +13,10 @@ namespace skute {
 /// the WAL before it touches the memtable, and a crashed replica can be
 /// rebuilt by replaying the log (the standard log-then-apply contract;
 /// this is what a deployment would persist, and what replication ships
-/// when the paper's consistency traffic is made concrete).
+/// when the paper's consistency traffic is made concrete). The
+/// per-server pluggable DurableBackend (skute/backend/) adapts this
+/// class to the StorageBackend interface — the log-then-apply logic
+/// lives here, once.
 class DurableKvStore {
  public:
   explicit DurableKvStore(uint64_t seed = 0) : table_(seed) {}

@@ -36,21 +36,35 @@ bool GetU64(std::string_view data, size_t* offset, uint64_t* v) {
 
 }  // namespace
 
-uint64_t WalWriter::Append(WalOp op, std::string_view key,
-                           std::string_view value) {
-  ++sequence_;
+void EncodeWalRecord(std::string* out, WalOp op, uint64_t sequence,
+                     std::string_view key, std::string_view value) {
   std::string payload;
   payload.reserve(1 + 8 + 4 + key.size() + 4 + value.size());
   payload.push_back(static_cast<char>(op));
-  PutU64(&payload, sequence_);
+  PutU64(&payload, sequence);
   PutU32(&payload, static_cast<uint32_t>(key.size()));
   payload.append(key);
   PutU32(&payload, static_cast<uint32_t>(value.size()));
   payload.append(value);
 
-  PutU32(&buffer_, MaskCrc(Crc32c(payload)));
-  PutU32(&buffer_, static_cast<uint32_t>(payload.size()));
-  buffer_.append(payload);
+  PutU32(out, MaskCrc(Crc32c(payload)));
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+size_t EncodedWalRecordSize(std::string_view key, std::string_view value) {
+  // crc + payload_len + op + sequence + key frame + value frame.
+  return 4 + 4 + 1 + 8 + 4 + key.size() + 4 + value.size();
+}
+
+size_t WalRecordValueOffset(std::string_view key) {
+  return 4 + 4 + 1 + 8 + 4 + key.size() + 4;
+}
+
+uint64_t WalWriter::Append(WalOp op, std::string_view key,
+                           std::string_view value) {
+  ++sequence_;
+  EncodeWalRecord(&buffer_, op, sequence_, key, value);
   ++records_;
   return sequence_;
 }

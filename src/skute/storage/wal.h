@@ -21,6 +21,19 @@ struct WalRecord {
   std::string value;  // empty for kDelete
 };
 
+/// Appends one encoded record (the layout documented at WalWriter) to
+/// `out`. WalWriter and the file-segment backend share this framing, so
+/// a segment file is replayable by WalReader byte-for-byte.
+void EncodeWalRecord(std::string* out, WalOp op, uint64_t sequence,
+                     std::string_view key, std::string_view value);
+
+/// Size in bytes EncodeWalRecord will append for this key/value.
+size_t EncodedWalRecordSize(std::string_view key, std::string_view value);
+
+/// Byte offset of the value field *within* one encoded record (the
+/// file-segment backend indexes values at segment_offset + this).
+size_t WalRecordValueOffset(std::string_view key);
+
 /// \brief Write-ahead log encoder: length-prefixed, CRC-32C-guarded
 /// records appended to a byte buffer.
 ///

@@ -1,0 +1,315 @@
+// Parameterized conformance suite: every StorageBackend implementation
+// must expose identical Put/Get/Delete/Scan/snapshot semantics, so the
+// data plane (ReplicaStore, executor transfers, splits) can treat the
+// backend as opaque. Instantiated for memory, durable and file-segment.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "skute/backend/backend.h"
+#include "skute/backend/durable_backend.h"
+#include "skute/backend/factory.h"
+#include "skute/backend/file_segment_backend.h"
+#include "skute/backend/memory_backend.h"
+#include "skute/storage/replica_store.h"
+#include "testutil/temp_dir.h"
+
+namespace skute {
+namespace {
+
+class BackendConformanceTest
+    : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  std::unique_ptr<StorageBackend> Make() {
+    BackendConfig config;
+    config.kind = GetParam();
+    config.data_dir = tmp_.Sub("b" + std::to_string(next_dir_++));
+    config.segment_bytes = 64 * 1024;
+    auto backend = BackendFactory(config).Create(/*partition_id=*/1);
+    EXPECT_TRUE(backend.ok()) << backend.status().message();
+    return std::move(backend).value();
+  }
+
+  testutil::ScopedTempDir tmp_{"skute_conformance"};
+  int next_dir_ = 0;
+};
+
+TEST_P(BackendConformanceTest, ReportsItsKind) {
+  EXPECT_EQ(Make()->kind(), GetParam());
+}
+
+TEST_P(BackendConformanceTest, PutGetRoundTrip) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("key", "value").ok());
+  auto got = b->Get("key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+  EXPECT_TRUE(b->Contains("key"));
+  EXPECT_EQ(b->Count(), 1u);
+}
+
+TEST_P(BackendConformanceTest, GetMissingIsNotFound) {
+  auto b = Make();
+  EXPECT_TRUE(b->Get("ghost").status().IsNotFound());
+  EXPECT_FALSE(b->Contains("ghost"));
+}
+
+TEST_P(BackendConformanceTest, OverwriteKeepsOneCopyAndAdjustsBytes) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("k", "0123456789").ok());
+  ASSERT_TRUE(b->Put("k", "xy").ok());
+  EXPECT_EQ(b->Count(), 1u);
+  EXPECT_EQ(*b->Get("k"), "xy");
+  EXPECT_EQ(b->ApproximateBytes(), 3u);  // "k" + "xy"
+}
+
+TEST_P(BackendConformanceTest, DeleteSemantics) {
+  auto b = Make();
+  EXPECT_TRUE(b->Delete("ghost").IsNotFound());
+  ASSERT_TRUE(b->Put("k", "v").ok());
+  EXPECT_TRUE(b->Delete("k").ok());
+  EXPECT_TRUE(b->Get("k").status().IsNotFound());
+  EXPECT_EQ(b->Count(), 0u);
+  EXPECT_EQ(b->ApproximateBytes(), 0u);
+}
+
+TEST_P(BackendConformanceTest, EmptyValueAllowed) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("k", "").ok());
+  auto got = b->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "");
+}
+
+TEST_P(BackendConformanceTest, BinaryValuesSurviveRoundTrip) {
+  auto b = Make();
+  std::string value;
+  for (int i = 0; i < 256; ++i) value.push_back(static_cast<char>(i));
+  ASSERT_TRUE(b->Put("bin", value).ok());
+  EXPECT_EQ(*b->Get("bin"), value);
+}
+
+TEST_P(BackendConformanceTest, ScanOrderedWithStartKeyAndLimit) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("d", "4").ok());
+  ASSERT_TRUE(b->Put("a", "1").ok());
+  ASSERT_TRUE(b->Put("c", "3").ok());
+  ASSERT_TRUE(b->Put("b", "2").ok());
+
+  const auto all = b->Scan("", 10);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].first, "a");
+  EXPECT_EQ(all[3].first, "d");
+  EXPECT_EQ(all[2].second, "3");
+
+  const auto tail = b->Scan("b", 2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].first, "b");
+  EXPECT_EQ(tail[1].first, "c");
+}
+
+TEST_P(BackendConformanceTest, ApproximateBytesTracksLiveSet) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("aa", "11").ok());   // 4
+  ASSERT_TRUE(b->Put("bbb", "222").ok()); // 6
+  EXPECT_EQ(b->ApproximateBytes(), 10u);
+  ASSERT_TRUE(b->Delete("aa").ok());
+  EXPECT_EQ(b->ApproximateBytes(), 6u);
+}
+
+TEST_P(BackendConformanceTest, SnapshotRoundTripSameKind) {
+  auto src = Make();
+  for (int i = 0; i < 50; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    ASSERT_TRUE(src->Put(k, "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(src->Delete("key-7").ok());
+
+  auto dst = Make();
+  const std::string snapshot = src->ExportSnapshot();
+  ASSERT_TRUE(dst->ImportSnapshot(snapshot).ok());
+  EXPECT_EQ(dst->Count(), src->Count());
+  EXPECT_EQ(dst->ApproximateBytes(), src->ApproximateBytes());
+  EXPECT_EQ(*dst->Get("key-42"), "value-42");
+  EXPECT_TRUE(dst->Get("key-7").status().IsNotFound());
+}
+
+TEST_P(BackendConformanceTest, SnapshotImportsIntoEveryOtherKind) {
+  // The wire format is backend-agnostic: a snapshot taken here must
+  // land intact on each of the three kinds (cross-backend transfers).
+  auto src = Make();
+  ASSERT_TRUE(src->Put("k1", "v1").ok());
+  ASSERT_TRUE(src->Put("k2", "v2").ok());
+  const std::string snapshot = src->ExportSnapshot();
+
+  testutil::ScopedTempDir tmp("skute_cross");
+  std::vector<std::unique_ptr<StorageBackend>> others;
+  others.push_back(std::make_unique<MemoryBackend>());
+  others.push_back(std::make_unique<DurableBackend>());
+  auto file = FileSegmentBackend::Open(tmp.Sub("file"));
+  ASSERT_TRUE(file.ok());
+  others.push_back(std::move(file).value());
+
+  for (auto& dst : others) {
+    ASSERT_TRUE(dst->ImportSnapshot(snapshot).ok())
+        << BackendKindName(dst->kind());
+    EXPECT_EQ(dst->Count(), 2u) << BackendKindName(dst->kind());
+    EXPECT_EQ(*dst->Get("k1"), "v1") << BackendKindName(dst->kind());
+    EXPECT_EQ(*dst->Get("k2"), "v2") << BackendKindName(dst->kind());
+  }
+}
+
+TEST_P(BackendConformanceTest, WipeEmptiesButStaysUsable) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("k", "v").ok());
+  ASSERT_TRUE(b->Wipe().ok());
+  EXPECT_EQ(b->Count(), 0u);
+  EXPECT_EQ(b->ApproximateBytes(), 0u);
+  ASSERT_TRUE(b->Put("k2", "v2").ok());
+  EXPECT_EQ(*b->Get("k2"), "v2");
+}
+
+TEST_P(BackendConformanceTest, IoStatsCountOperations) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("k", "v").ok());
+  (void)b->Get("k");
+  (void)b->Scan("", 10);
+  EXPECT_TRUE(b->Delete("k").ok());
+  const IoStats& io = b->io();
+  EXPECT_EQ(io.puts, 1u);
+  EXPECT_EQ(io.gets, 1u);
+  EXPECT_EQ(io.scans, 1u);
+  EXPECT_EQ(io.deletes, 1u);
+  EXPECT_EQ(io.ops(), 4u);
+}
+
+TEST_P(BackendConformanceTest, PersistentBackendsMeterTheirLog) {
+  auto b = Make();
+  ASSERT_TRUE(b->Put("key", "value").ok());
+  ASSERT_TRUE(b->Flush().ok());
+  const IoStats& io = b->io();
+  if (GetParam() == BackendKind::kMemory) {
+    EXPECT_EQ(io.log_bytes_written, 0u);
+    EXPECT_EQ(io.fsyncs, 0u);
+  } else {
+    EXPECT_GT(io.log_bytes_written, 0u);
+    EXPECT_GE(io.fsyncs, 1u);
+  }
+  if (GetParam() == BackendKind::kFileSegment) {
+    EXPECT_GT(io.bytes_flushed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformanceTest,
+    ::testing::Values(BackendKind::kMemory, BackendKind::kDurable,
+                      BackendKind::kFileSegment),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendKindName(info.param));
+    });
+
+// ReplicaStore-level cross-backend streaming: a memory-backed server
+// replicating onto a file-backed one and migrating back.
+TEST(ReplicaStoreCrossBackendTest, CopyAndMoveAcrossHeterogeneousBackends) {
+  testutil::ScopedTempDir tmp("skute_cross_rs");
+
+  BackendConfig file_config;
+  file_config.kind = BackendKind::kFileSegment;
+  file_config.data_dir = tmp.Sub("server_b");
+
+  ReplicaStore mem_server;  // default: memory
+  ReplicaStore file_server{BackendFactory(file_config)};
+
+  ASSERT_TRUE(mem_server.OpenOrCreate(5)->Put("k", "v").ok());
+
+  // memory -> file replication.
+  auto copied = file_server.CopyFrom(mem_server, 5);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_GT(*copied, 0u);
+  ASSERT_NE(file_server.Find(5), nullptr);
+  EXPECT_EQ(file_server.Find(5)->kind(), BackendKind::kFileSegment);
+  EXPECT_EQ(*file_server.Find(5)->Get("k"), "v");
+
+  // file -> memory migration (drops the file replica's on-disk state).
+  ReplicaStore other_mem;
+  auto moved = other_mem.MoveFrom(&file_server, 5);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_GT(*moved, 0u);  // heterogeneous moves stream the snapshot
+  EXPECT_EQ(file_server.Find(5), nullptr);
+  EXPECT_EQ(*other_mem.Find(5)->Get("k"), "v");
+}
+
+TEST(ReplicaStoreCrossBackendTest, SelfMoveIsRejected) {
+  ReplicaStore store;
+  ASSERT_TRUE(store.OpenOrCreate(1)->Put("k", "v").ok());
+  EXPECT_TRUE(store.MoveFrom(&store, 1).status().IsInvalidArgument());
+  EXPECT_EQ(*store.Find(1)->Get("k"), "v");  // untouched
+}
+
+TEST(ReplicaStoreCrossBackendTest, AggregateIoSurvivesDropAndMove) {
+  ReplicaStore src, dst;
+  ASSERT_TRUE(src.OpenOrCreate(1)->Put("k", "v").ok());
+  ASSERT_TRUE(src.OpenOrCreate(2)->Put("k2", "v2").ok());
+  const IoStats before = src.AggregateIo();
+  ASSERT_GE(before.puts, 2u);
+
+  // Dropping a replica must not un-count the I/O it already performed.
+  ASSERT_TRUE(src.Drop(1).ok());
+  EXPECT_GE(src.AggregateIo().puts, before.puts);
+
+  // Same for a migration's source-side export traffic (memory->memory
+  // moves hand the backend over, so its counters travel with it; the
+  // src+dst sum never shrinks).
+  ASSERT_TRUE(dst.MoveFrom(&src, 2).ok());
+  IoStats total = src.AggregateIo();
+  total.Accumulate(dst.AggregateIo());
+  EXPECT_GE(total.puts, before.puts);
+}
+
+TEST(ReplicaDataMapTest, EraseWipesPersistentStateAndKeepsIo) {
+  testutil::ScopedTempDir tmp("skute_erase");
+  BackendConfig config;
+  config.kind = BackendKind::kFileSegment;
+  config.data_dir = tmp.path();
+  const BackendFactory base(config);
+  ReplicaDataMap data(
+      [&base](uint32_t server) { return base.ForServer(server); });
+
+  ASSERT_TRUE(data.For(3).OpenOrCreate(9)->Put("k", "v").ok());
+  const std::string dir = tmp.Sub("s3/p9");
+  ASSERT_TRUE(std::filesystem::exists(dir));
+
+  // A hard-failed server's disks are gone: nothing may survive for a
+  // later re-create of the server to resurrect...
+  data.Erase(3);
+  auto reopened = FileSegmentBackend::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Count(), 0u);
+
+  // ...but the I/O it performed stays on the books.
+  EXPECT_GE(data.AggregateIo().puts, 1u);
+}
+
+TEST(BackendFactoryTest, FileKindWithoutDataDirIsRejected) {
+  BackendConfig config;
+  config.kind = BackendKind::kFileSegment;  // data_dir forgotten
+  const BackendFactory factory =
+      BackendFactory(config).ForServer(/*server_id=*/5);
+  // Never "/s5" at the filesystem root: creation fails cleanly instead.
+  EXPECT_TRUE(factory.config().data_dir.empty());
+  EXPECT_TRUE(
+      factory.Create(/*partition_id=*/3).status().IsInvalidArgument());
+
+  // The data plane stays up: ReplicaStore falls back to memory.
+  ReplicaStore store{factory};
+  StorageBackend* backend = store.OpenOrCreate(3);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->kind(), BackendKind::kMemory);
+}
+
+}  // namespace
+}  // namespace skute

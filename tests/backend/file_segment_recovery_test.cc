@@ -1,0 +1,201 @@
+// FileSegmentBackend-specific behaviour: segment rotation, reopen
+// recovery, and the WAL corrupt-tail contract when a segment is
+// truncated or bit-flipped mid-record (a crash during an append).
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "skute/backend/file_segment_backend.h"
+#include "testutil/temp_dir.h"
+
+namespace skute {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<FileSegmentBackend> MustOpen(const std::string& dir,
+                                             uint64_t segment_bytes = 1024) {
+  auto backend = FileSegmentBackend::Open(dir, segment_bytes);
+  EXPECT_TRUE(backend.ok()) << backend.status().message();
+  return std::move(backend).value();
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+void TruncateFile(const std::string& path, uint64_t new_size) {
+  fs::resize_file(path, new_size);
+}
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c ^= 0x40;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+TEST(FileSegmentBackendTest, RotatesSegmentsPastTheSizeCap) {
+  testutil::ScopedTempDir tmp;
+  auto b = MustOpen(tmp.Sub("rot"), /*segment_bytes=*/256);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        b->Put("key-" + std::to_string(i), std::string(64, 'x')).ok());
+  }
+  EXPECT_GT(b->segment_count(), 1u);
+  // Every record stays readable across the segment boundary.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(*b->Get("key-" + std::to_string(i)), std::string(64, 'x'));
+  }
+}
+
+TEST(FileSegmentBackendTest, ReopenRecoversAcrossSegments) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("reopen");
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/256);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(b->Put("k" + std::to_string(i),
+                         "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(b->Delete("k3").ok());
+    ASSERT_TRUE(b->Put("k5", "overwritten").ok());
+  }  // destructor = clean process exit; files stay
+
+  auto b = MustOpen(dir, 256);
+  EXPECT_FALSE(b->recovered_corrupt_tail());
+  EXPECT_EQ(b->records_recovered(), 22u);  // 20 puts + delete + overwrite
+  EXPECT_EQ(b->Count(), 19u);
+  EXPECT_TRUE(b->Get("k3").status().IsNotFound());
+  EXPECT_EQ(*b->Get("k5"), "overwritten");
+  EXPECT_EQ(*b->Get("k19"), "v19");
+}
+
+TEST(FileSegmentBackendTest, TruncatedTailRecoversThePrefix) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("torn");
+  std::string active;
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/1 << 20);
+    ASSERT_TRUE(b->Put("a", "1").ok());
+    ASSERT_TRUE(b->Put("b", "2").ok());
+    ASSERT_TRUE(b->Put("c", "3").ok());
+    active = b->SegmentPath(0);
+  }
+  // A torn write at crash time: the last record is cut in half.
+  TruncateFile(active, FileSize(active) - 3);
+
+  auto b = MustOpen(dir, 1 << 20);
+  EXPECT_TRUE(b->recovered_corrupt_tail());
+  EXPECT_EQ(b->records_recovered(), 2u);  // everything before the tear
+  EXPECT_EQ(*b->Get("a"), "1");
+  EXPECT_EQ(*b->Get("b"), "2");
+  EXPECT_TRUE(b->Get("c").status().IsNotFound());
+}
+
+TEST(FileSegmentBackendTest, CorruptedRecordStopsReplayAtTheDamage) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("flip");
+  std::string active;
+  uint64_t first_record_end = 0;
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/1 << 20);
+    ASSERT_TRUE(b->Put("a", "1").ok());
+    first_record_end = FileSize(b->SegmentPath(0));
+    ASSERT_TRUE(b->Put("b", "2").ok());
+    ASSERT_TRUE(b->Put("c", "3").ok());
+    active = b->SegmentPath(0);
+  }
+  // Flip a payload byte inside the *second* record.
+  FlipByte(active, first_record_end + 12);
+
+  auto b = MustOpen(dir, 1 << 20);
+  EXPECT_TRUE(b->recovered_corrupt_tail());
+  EXPECT_EQ(b->records_recovered(), 1u);
+  EXPECT_EQ(*b->Get("a"), "1");
+  // The checksum cannot tell damage from a torn tail, so everything from
+  // the damaged record on is (correctly, conservatively) discarded.
+  EXPECT_TRUE(b->Get("b").status().IsNotFound());
+  EXPECT_TRUE(b->Get("c").status().IsNotFound());
+}
+
+TEST(FileSegmentBackendTest, WritesAfterRecoveryLandInAFreshSegment) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("fresh");
+  std::string active;
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/1 << 20);
+    ASSERT_TRUE(b->Put("a", "1").ok());
+    ASSERT_TRUE(b->Put("b", "2").ok());
+    active = b->SegmentPath(0);
+  }
+  TruncateFile(active, FileSize(active) - 1);
+
+  {
+    auto b = MustOpen(dir, 1 << 20);
+    ASSERT_TRUE(b->recovered_corrupt_tail());
+    // New writes must never append after a damaged tail.
+    ASSERT_TRUE(b->Put("c", "3").ok());
+    EXPECT_GE(b->segment_count(), 2u);
+  }
+  // And a second recovery sees both the old prefix and the new record.
+  auto b = MustOpen(dir, 1 << 20);
+  EXPECT_EQ(*b->Get("a"), "1");
+  EXPECT_EQ(*b->Get("c"), "3");
+  EXPECT_TRUE(b->Get("b").status().IsNotFound());
+}
+
+TEST(FileSegmentBackendTest, CleanReopenDoesNotGrowSegmentCount) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("stable");
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/1 << 20);
+    ASSERT_TRUE(b->Put("a", "1").ok());
+  }
+  // N clean restarts must not leave N segment files behind: the intact
+  // tail segment is reopened for append.
+  for (int round = 0; round < 5; ++round) {
+    auto b = MustOpen(dir, 1 << 20);
+    ASSERT_FALSE(b->recovered_corrupt_tail());
+    ASSERT_TRUE(
+        b->Put("round-" + std::to_string(round), "x").ok());
+    EXPECT_EQ(b->segment_count(), 1u) << "round " << round;
+  }
+  auto b = MustOpen(dir, 1 << 20);
+  EXPECT_EQ(b->Count(), 6u);
+  EXPECT_EQ(*b->Get("a"), "1");
+  EXPECT_EQ(*b->Get("round-4"), "x");
+}
+
+TEST(FileSegmentBackendTest, WipeRemovesAllFiles) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("wipe");
+  auto b = MustOpen(dir, /*segment_bytes=*/128);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(b->Put("k" + std::to_string(i), std::string(32, 'y')).ok());
+  }
+  ASSERT_GT(b->segment_count(), 1u);
+  ASSERT_TRUE(b->Wipe().ok());
+  EXPECT_EQ(b->Count(), 0u);
+  EXPECT_EQ(b->segment_count(), 1u);  // just the fresh active segment
+
+  // A reopen of a wiped dir starts empty (nothing resurrects).
+  ASSERT_TRUE(b->Put("new", "value").ok());
+  EXPECT_EQ(*b->Get("new"), "value");
+}
+
+TEST(FileSegmentBackendTest, OpenRejectsEmptyDir) {
+  auto backend = FileSegmentBackend::Open("");
+  EXPECT_FALSE(backend.ok());
+}
+
+}  // namespace
+}  // namespace skute

@@ -246,13 +246,16 @@ TEST_F(ExecutorTest, SuicideRemovesReplicaAndReleasesStorage) {
   AddReplica(p, a, 60);
   AddReplica(p, b, 60);
   VirtualNode* extra = AddReplica(p, c, 60);
+  // The suicide destroys the vnode; reading extra-> after Apply would be
+  // use-after-free (caught by the ASan job).
+  const VNodeId extra_id = extra->id;
   ActionExecutor exec(&cluster_, &catalog_, &vnodes_, nullptr);
   const ExecutorStats st =
       exec.Apply({Suicide(p, extra)}, policies_, 3, &rng_);
   EXPECT_EQ(st.suicides, 1u);
   EXPECT_FALSE(p->HasReplicaOn(c));
   EXPECT_EQ(cluster_.server(c)->used_storage(), 0u);
-  EXPECT_EQ(vnodes_.Find(extra->id), nullptr);
+  EXPECT_EQ(vnodes_.Find(extra_id), nullptr);
 }
 
 TEST_F(ExecutorTest, ConcurrentSuicidesOnlyOneSurvivesValidation) {
@@ -292,7 +295,7 @@ TEST_F(ExecutorTest, SuicideOfLastReplicaRefused) {
 }
 
 TEST_F(ExecutorTest, RealDataFollowsReplicateAndMigrate) {
-  std::unordered_map<ServerId, ReplicaStore> data;
+  ReplicaDataMap data;
   Partition* p = catalog_.partition(0);
   p->UpsertObject(Hash64("k"), 2);
   const ServerId a = At(0, 0, 0, 0);
@@ -301,22 +304,23 @@ TEST_F(ExecutorTest, RealDataFollowsReplicateAndMigrate) {
   // the SLA re-validation passes.
   const ServerId c = At(1, 1, 0, 0);
   AddReplica(p, a, 2);
-  ASSERT_TRUE(data[a].OpenOrCreate(p->id())->Put("k", "v").ok());
+  ASSERT_TRUE(data.For(a).OpenOrCreate(p->id())->Put("k", "v").ok());
 
   ActionExecutor exec(&cluster_, &catalog_, &vnodes_, &data);
   ExecutorStats st = exec.Apply({Replicate(p, a, b)}, policies_, 1, &rng_);
   ASSERT_EQ(st.replications, 1u);
-  ASSERT_NE(data[b].Find(p->id()), nullptr);
-  EXPECT_EQ(*data[b].Find(p->id())->Get("k"), "v");
+  EXPECT_GT(st.snapshot_bytes, 0u);  // the copy streamed a snapshot
+  ASSERT_NE(data.For(b).Find(p->id()), nullptr);
+  EXPECT_EQ(*data.For(b).Find(p->id())->Get("k"), "v");
 
   auto info = p->ReplicaOn(b);
   ASSERT_TRUE(info.ok());
   VirtualNode* v = vnodes_.Find(info->vnode);
   st = exec.Apply({Migrate(p, v, c)}, policies_, 2, &rng_);
   ASSERT_EQ(st.migrations, 1u);
-  EXPECT_EQ(data[b].Find(p->id()), nullptr);
-  ASSERT_NE(data[c].Find(p->id()), nullptr);
-  EXPECT_EQ(*data[c].Find(p->id())->Get("k"), "v");
+  EXPECT_EQ(data.For(b).Find(p->id()), nullptr);
+  ASSERT_NE(data.For(c).Find(p->id()), nullptr);
+  EXPECT_EQ(*data.For(c).Find(p->id())->Get("k"), "v");
 }
 
 TEST_F(ExecutorTest, StatsAccumulate) {

@@ -107,6 +107,97 @@ TEST(EpochPipelineTest, StoreEpochLifecycleRunsThroughPipeline) {
   EXPECT_EQ(cluster.board().updates_published(), 1u);
 }
 
+TEST(EpochPipelineTest, StageTimersRecordEveryRun) {
+  GridSpec spec;
+  spec.continents = 1;
+  spec.countries_per_continent = 1;
+  spec.datacenters_per_country = 1;
+  spec.rooms_per_datacenter = 1;
+  spec.racks_per_room = 2;
+  spec.servers_per_rack = 2;
+  auto grid = BuildGrid(spec);
+  ASSERT_TRUE(grid.ok());
+  Cluster cluster{PricingParams{}};
+  for (const Location& loc : *grid) {
+    cluster.AddServer(loc, ServerResources{}, ServerEconomics{});
+  }
+  SkuteStore store(&cluster, SkuteOptions{});
+  const AppId app = store.CreateApplication("t");
+  ASSERT_TRUE(store.AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 4).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    store.BeginEpoch();
+    store.EndEpoch();
+  }
+
+  const std::vector<StageTiming>& timings =
+      store.epoch_pipeline().stage_timings();
+  ASSERT_EQ(timings.size(), 5u);
+  for (const StageTiming& t : timings) {
+    EXPECT_EQ(t.runs, 3u) << t.name;
+    EXPECT_GE(t.total_ms, t.last_ms) << t.name;
+    EXPECT_GE(t.last_ms, 0.0) << t.name;
+  }
+  EXPECT_STREQ(timings[0].name, "publish_prices");
+  EXPECT_EQ(timings[0].phase, EpochPhase::kBegin);
+  EXPECT_STREQ(timings[3].name, "execute");
+}
+
+// --- ShardPlanCache ----------------------------------------------------------
+
+TEST(ShardPlanCacheTest, ReusesUntilPlacementVersionMoves) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 32).ok());
+  EpochOptions opts;
+  opts.min_partitions_per_shard = 8;
+
+  ShardPlanCache cache;
+  const ShardPlan& first = cache.Get(catalog, opts, /*rng_salt=*/1,
+                                     /*placement_version=*/7);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.reuses(), 0u);
+
+  // Same placement: the cached plan object is handed back (identity).
+  const ShardPlan& second = cache.Get(catalog, opts, /*rng_salt=*/2, 7);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.reuses(), 1u);
+
+  // The new epoch's salt was applied on reuse: shard RNG streams moved.
+  Rng salt1 = ShardPlan::Build(catalog, opts, 2).ShardRng(0);
+  EXPECT_EQ(second.ShardRng(0).NextUint64(), salt1.NextUint64());
+
+  // Placement changed (a split/migration/failure): rebuild.
+  const ShardPlan& third = cache.Get(catalog, opts, 3, 8);
+  EXPECT_EQ(cache.builds(), 2u);
+  EXPECT_EQ(third.total_partitions(), 32u);
+}
+
+TEST(ShardPlanCacheTest, CachedPlanMatchesFreshBuildAfterCatalogGrowth) {
+  RingCatalog catalog;
+  ASSERT_TRUE(catalog.CreateRing(0, 8).ok());
+  EpochOptions opts;
+  opts.min_partitions_per_shard = 4;
+
+  ShardPlanCache cache;
+  (void)cache.Get(catalog, opts, 1, /*placement_version=*/1);
+
+  // Growth always bumps placement_version (AttachRing/splits do), so the
+  // next Get rebuilds and covers the new partitions.
+  ASSERT_TRUE(catalog.CreateRing(0, 8).ok());
+  const ShardPlan& rebuilt = cache.Get(catalog, opts, 1, 2);
+  EXPECT_EQ(rebuilt.total_partitions(), 16u);
+
+  const ShardPlan fresh = ShardPlan::Build(catalog, opts, 1);
+  ASSERT_EQ(rebuilt.shard_count(), fresh.shard_count());
+  for (size_t s = 0; s < fresh.shard_count(); ++s) {
+    ASSERT_EQ(rebuilt.shard(s).size(), fresh.shard(s).size());
+    for (size_t i = 0; i < fresh.shard(s).size(); ++i) {
+      EXPECT_EQ(rebuilt.shard(s)[i], fresh.shard(s)[i]);
+    }
+  }
+}
+
 // --- ShardPlan ---------------------------------------------------------------
 
 TEST(ShardPlanTest, ShardCountFormula) {

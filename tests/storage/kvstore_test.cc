@@ -91,9 +91,11 @@ TEST(KvStoreTest, ClearResets) {
 
 TEST(ReplicaStoreTest, OpenOrCreateIsIdempotent) {
   ReplicaStore rs;
-  KvStore* a = rs.OpenOrCreate(7);
-  KvStore* b = rs.OpenOrCreate(7);
+  StorageBackend* a = rs.OpenOrCreate(7);
+  StorageBackend* b = rs.OpenOrCreate(7);
   EXPECT_EQ(a, b);
+  // The default factory produces the seed behaviour: memory backends.
+  EXPECT_EQ(a->kind(), BackendKind::kMemory);
   EXPECT_EQ(rs.partition_count(), 1u);
 }
 
@@ -113,12 +115,14 @@ TEST(ReplicaStoreTest, DropRemovesData) {
 TEST(ReplicaStoreTest, CopyFromOtherServer) {
   ReplicaStore src, dst;
   ASSERT_TRUE(src.OpenOrCreate(3)->Put("k", "v").ok());
-  ASSERT_TRUE(dst.CopyFrom(src, 3).ok());
+  auto streamed = dst.CopyFrom(src, 3);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_GT(*streamed, 0u);  // snapshot bytes crossed the "wire"
   ASSERT_NE(dst.Find(3), nullptr);
   EXPECT_EQ(*dst.Find(3)->Get("k"), "v");
   // Source keeps its copy (replication, not migration).
   EXPECT_NE(src.Find(3), nullptr);
-  EXPECT_TRUE(dst.CopyFrom(src, 99).IsNotFound());
+  EXPECT_TRUE(dst.CopyFrom(src, 99).status().IsNotFound());
 }
 
 TEST(ReplicaStoreTest, MoveFromOtherServer) {
@@ -128,7 +132,7 @@ TEST(ReplicaStoreTest, MoveFromOtherServer) {
   EXPECT_EQ(src.Find(3), nullptr);  // gone from the source
   ASSERT_NE(dst.Find(3), nullptr);
   EXPECT_EQ(*dst.Find(3)->Get("k"), "v");
-  EXPECT_TRUE(dst.MoveFrom(&src, 3).IsNotFound());
+  EXPECT_TRUE(dst.MoveFrom(&src, 3).status().IsNotFound());
 }
 
 TEST(ReplicaStoreTest, TotalBytesSumsPartitions) {

@@ -1,0 +1,50 @@
+#ifndef SKUTE_TESTS_TESTUTIL_TEMP_DIR_H_
+#define SKUTE_TESTS_TESTUTIL_TEMP_DIR_H_
+
+#include <cstdlib>
+
+#include <filesystem>
+#include <string>
+
+namespace skute::testutil {
+
+/// \brief A unique, self-cleaning scratch directory for tests that touch
+/// the real filesystem (the file-segment backend). mkdtemp gives
+/// collision-free concurrent ctest runs; the destructor removes the tree
+/// recursively, so no state leaks between runs even on test failure.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "skute_test") {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        (prefix + ".XXXXXX"))
+                           .string();
+    char* created = ::mkdtemp(tmpl.data());
+    // mkdtemp only fails if /tmp itself is broken; surface that loudly
+    // by leaving path_ empty (subsequent opens fail with clear errors).
+    if (created != nullptr) path_ = created;
+  }
+
+  ~ScopedTempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;  // best-effort; never throw from a destructor
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// A (not yet created) unique subdirectory path for one backend/case.
+  std::string Sub(const std::string& name) const {
+    return (std::filesystem::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace skute::testutil
+
+#endif  // SKUTE_TESTS_TESTUTIL_TEMP_DIR_H_
