@@ -53,11 +53,12 @@ RunResult RunOne(PlacementKind placement, uint64_t seed, int epochs,
   RunResult result;
   const auto& series = sim.metrics().series();
 
-  // Rent and load over the last 50 epochs.
+  // Rent and load over the last 50 epochs (or the whole run if shorter).
   double rent = 0.0;
   double vnode_epochs = 0.0;
   RunningStat cv;
-  for (size_t i = series.size() - 50; i < series.size(); ++i) {
+  for (size_t i = series.size() > 50 ? series.size() - 50 : 0;
+       i < series.size(); ++i) {
     for (size_t r = 0; r < series[i].ring_spend.size(); ++r) {
       rent += series[i].ring_spend[r];
       vnode_epochs += static_cast<double>(series[i].ring_vnodes[r]);
@@ -99,7 +100,12 @@ RunResult RunOne(PlacementKind placement, uint64_t seed, int epochs,
 
   // Recovery: epochs after the failure until the internal violation
   // count (against each run's own thresholds) drops back to the
-  // unrepairable floor.
+  // unrepairable floor. A run too short to contain the failure event has
+  // no recovery to measure (recovery_epochs stays -1).
+  if (series.size() <= static_cast<size_t>(failure_epoch) ||
+      failure_epoch == 0) {
+    return result;
+  }
   size_t pre_failure_below = 0;
   for (size_t r = 0;
        r < series[failure_epoch - 1].ring_below_threshold.size(); ++r) {

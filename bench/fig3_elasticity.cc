@@ -48,6 +48,16 @@ int main(int argc, char** argv) {
   bench::PrintSampledCsv(sim.metrics(), sample);
 
   const auto& series = sim.metrics().series();
+  // The summary reads fixed epochs around the arrival/failure events; a
+  // shortened run doesn't contain them and indexing past the series end
+  // would read out of bounds.
+  if (series.size() <= static_cast<size_t>(failure_epoch)) {
+    std::printf("run too short for the Fig. 3 summary (need > %llu "
+                "epochs, have %zu); skipping shape checks\n",
+                static_cast<unsigned long long>(failure_epoch),
+                series.size());
+    return 0;
+  }
   auto vnodes_at = [&](Epoch e) {
     return series[static_cast<size_t>(e)].total_vnodes;
   };

@@ -45,6 +45,15 @@ int main(int argc, char** argv) {
 
   const auto& series = sim.metrics().series();
   const size_t peak = static_cast<size_t>(schedule.peak_epoch());
+  // The summary compares the base epoch against the spike's peak; a
+  // shortened run (--epochs below the peak) has neither, and indexing
+  // series[50]/series[peak] would read out of bounds.
+  if (series.size() <= peak || peak <= 50) {
+    std::printf("run too short for the Fig. 4 summary (need > %zu "
+                "epochs, have %zu); skipping shape checks\n",
+                peak, series.size());
+    return 0;
+  }
 
   auto ratio_at = [&](size_t e, size_t num, size_t den) {
     const double d = series[e].ring_load_mean[den];

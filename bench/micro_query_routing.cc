@@ -1,0 +1,220 @@
+// Query-routing throughput: routed queries/sec of the sharded query
+// plane on a 1000-server synthetic cluster, threads=1 vs threads=N.
+//
+//   ./build/bench/micro_query_routing [--epochs=N] [--threads=T]
+//                                     [--backend=memory|durable|file]
+//
+// The scenario holds 3 rings x 512 partitions with Pareto popularity and
+// skewed client mixes, so every epoch's QueryBatch forces the route
+// plane's real work: live-replica selection, per-replica proximity
+// weights against the mix, and largest-remainder apportionment, fanned
+// out over the shard plan. The serial merge (capacity admission +
+// counter accumulation in shard order) is what keeps threads=1 and
+// threads=N bit-for-bit identical; the shape checks assert that
+// fingerprint alongside the speedup report.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "skute/core/store.h"
+#include "skute/topology/topology.h"
+#include "skute/workload/geo.h"
+#include "skute/workload/popularity.h"
+#include "skute/workload/querygen.h"
+
+namespace skute {
+namespace {
+
+constexpr int kDefaultMeasuredEpochs = 40;
+constexpr int kWarmupEpochs = 4;
+constexpr double kQueriesPerEpoch = 2000000.0;
+
+struct BenchResult {
+  double queries_per_sec = 0.0;  // routed / route-stage wall time
+  double epochs_per_sec = 0.0;
+  uint64_t requested = 0;
+  uint64_t routed = 0;
+  uint64_t lost = 0;
+  double route_ms = 0.0;
+  // Determinism fingerprint of the final epoch.
+  std::vector<std::vector<uint64_t>> served_per_ring_per_server;
+  uint64_t query_msgs_total = 0;
+};
+
+BenchResult RunRouting(int threads, int epochs, uint64_t seed,
+                       const BackendConfig& backend) {
+  // 5 continents x 2 countries x 2 DCs x 5 racks x 10 servers = 1000.
+  GridSpec spec;
+  spec.continents = 5;
+  spec.countries_per_continent = 2;
+  spec.datacenters_per_country = 2;
+  spec.rooms_per_datacenter = 1;
+  spec.racks_per_room = 5;
+  spec.servers_per_rack = 10;
+  auto grid = BuildGrid(spec);
+
+  Cluster cluster{PricingParams{}};
+  ServerResources res;
+  res.storage_capacity = 4 * kGiB;
+  res.query_capacity_per_epoch = 4000000;  // ample: routing, not drops
+  for (const Location& loc : *grid) {
+    cluster.AddServer(loc, res, ServerEconomics{}, backend);
+  }
+
+  SkuteOptions options;
+  options.seed = seed;
+  options.track_real_data = false;  // pure routing: no data plane
+  options.epoch.threads = threads;
+
+  SkuteStore store(&cluster, options);
+  const AppId app = store.CreateApplication("route-bench");
+  const RingId gold =
+      *store.AttachRing(app, SlaLevel::ForReplicas(3, 1.0), 512);
+  const RingId silver =
+      *store.AttachRing(app, SlaLevel::ForReplicas(3, 1.0), 512);
+  const RingId bronze =
+      *store.AttachRing(app, SlaLevel::ForReplicas(2, 1.0), 512);
+
+  // Skewed geography makes the proximity math real work: every replica's
+  // weight is a scan over the mix's client populations.
+  (void)store.SetClientMix(
+      gold, HotspotMix(spec, Location::Of(0, 0, 1, 0, 2, 3), 0.7));
+  (void)store.SetClientMix(silver, UniformCountryMix(spec));
+
+  PopularityModel popularity(ParetoSpec::PaperPopularity(), seed ^ 0xf00d);
+  popularity.AssignWeights(store.catalog().ring(gold));
+  popularity.AssignWeights(store.catalog().ring(silver));
+  popularity.AssignWeights(store.catalog().ring(bronze));
+
+  // Repair every partition up to its SLA replica count before measuring.
+  for (int i = 0; i < 8; ++i) {
+    store.BeginEpoch();
+    store.EndEpoch();
+  }
+
+  QueryGenerator gen(seed ^ 0xbeef);
+  const std::vector<RingId> rings = {gold, silver, bronze};
+  const std::vector<double> fractions = {4.0 / 7.0, 2.0 / 7.0, 1.0 / 7.0};
+
+  auto run_epoch = [&](BenchResult* out) {
+    store.BeginEpoch();
+    auto batch =
+        gen.BuildEpochBatch(store.catalog(), rings, fractions,
+                            kQueriesPerEpoch);
+    const RouteResult result = store.RouteQueryBatch(*batch);
+    if (out != nullptr) {
+      out->requested += result.requested;
+      out->routed += result.routed;
+      out->lost += result.lost;
+      out->route_ms += result.route_ms;
+    }
+    store.EndEpoch();
+  };
+
+  for (int e = 0; e < kWarmupEpochs; ++e) run_epoch(nullptr);
+
+  BenchResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (int e = 0; e < epochs; ++e) run_epoch(&result);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  result.queries_per_sec =
+      result.route_ms > 0
+          ? static_cast<double>(result.routed) / (result.route_ms / 1e3)
+          : 0.0;
+  result.epochs_per_sec =
+      elapsed > 0 ? static_cast<double>(epochs) / elapsed : 0.0;
+  result.served_per_ring_per_server =
+      store.QueriesServedPerRingPerServer();
+  result.query_msgs_total = store.comm_total().query_msgs;
+  return result;
+}
+
+void PrintRun(const BenchResult& r, int epochs) {
+  std::printf("routed queries/sec (route stage): %s\n",
+              bench::Fmt(r.queries_per_sec).c_str());
+  std::printf("route stage wall time: %s ms over %d epochs "
+              "(%.3f ms/epoch)\n",
+              bench::Fmt(r.route_ms).c_str(), epochs,
+              r.route_ms / epochs);
+  std::printf("requested=%llu routed=%llu lost=%llu  "
+              "whole-epoch rate: %s epochs/sec\n",
+              static_cast<unsigned long long>(r.requested),
+              static_cast<unsigned long long>(r.routed),
+              static_cast<unsigned long long>(r.lost),
+              bench::Fmt(r.epochs_per_sec).c_str());
+}
+
+}  // namespace
+}  // namespace skute
+
+int main(int argc, char** argv) {
+  using namespace skute;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const int epochs = args.epochs > 0 ? args.epochs : kDefaultMeasuredEpochs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int parallel_threads =
+      args.threads > 0 ? args.threads : static_cast<int>(hw > 1 ? hw : 2);
+
+  bench::PrintHeader(
+      "micro_query_routing — sharded query plane throughput",
+      "an epoch's QueryBatch fans out over partition shards with "
+      "bit-identical routing counters at any thread count");
+  std::printf("cluster: 1000 servers, 3 rings x 512 partitions, "
+              "%.0f queries/epoch, %d measured epochs (+%d warmup)\n",
+              kQueriesPerEpoch, epochs, kWarmupEpochs);
+  std::printf("hardware_concurrency: %u  backend: %s\n", hw,
+              args.backend.empty() ? "memory" : args.backend.c_str());
+
+  const BackendConfig backend_t1 =
+      bench::BackendFromFlag(args.backend, "routing_t1");
+  const BackendConfig backend_tn =
+      bench::BackendFromFlag(args.backend, "routing_tN");
+
+  bench::PrintSection("threads=1");
+  const BenchResult base = RunRouting(1, epochs, args.seed, backend_t1);
+  PrintRun(base, epochs);
+
+  bench::PrintSection("threads=" + std::to_string(parallel_threads));
+  const BenchResult par =
+      RunRouting(parallel_threads, epochs, args.seed, backend_tn);
+  PrintRun(par, epochs);
+
+  bench::PrintSection("summary");
+  const double speedup = base.queries_per_sec > 0
+                             ? par.queries_per_sec / base.queries_per_sec
+                             : 0.0;
+  std::printf("threads=1:  %s routed queries/sec\n",
+              bench::Fmt(base.queries_per_sec).c_str());
+  std::printf("threads=%d: %s routed queries/sec  (speedup %sx)\n",
+              parallel_threads, bench::Fmt(par.queries_per_sec).c_str(),
+              bench::Fmt(speedup).c_str());
+
+  bench::ShapeChecks checks;
+  checks.Check("both runs routed traffic",
+               base.routed > 0 && par.routed > 0,
+               "nonzero routed counts at both thread counts");
+  checks.Check("workload was generated at the configured rate",
+               base.requested > static_cast<uint64_t>(
+                                    0.9 * kQueriesPerEpoch * epochs),
+               std::to_string(base.requested) + " requested");
+  checks.Check(
+      "determinism across thread counts",
+      base.served_per_ring_per_server == par.served_per_ring_per_server &&
+          base.requested == par.requested && base.routed == par.routed &&
+          base.lost == par.lost &&
+          base.query_msgs_total == par.query_msgs_total,
+      "per-ring/per-server served counters and routing totals identical "
+      "at threads=1 and threads=" + std::to_string(parallel_threads));
+  if (parallel_threads > 1 && hw > 1) {
+    checks.Check("routing throughput improves with threads", speedup > 1.0,
+                 "speedup " + bench::Fmt(speedup) + "x");
+  }
+  return checks.Summarize();
+}

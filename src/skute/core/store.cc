@@ -1,6 +1,7 @@
 #include "skute/core/store.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "skute/common/hash.h"
 #include "skute/economy/availability.h"
@@ -390,52 +391,27 @@ void SkuteStore::SplitRealData(const Partition& lower,
 
 // --- Query plane -----------------------------------------------------------------
 
+RouteResult SkuteStore::RouteQueryBatch(const QueryBatch& batch) {
+  EpochContext ctx = MakeEpochContext(&policies());
+  ctx.query_batch = &batch;
+  const auto start = std::chrono::steady_clock::now();
+  pipeline_.Run(EpochPhase::kRoute, ctx);
+  ctx.route_result.route_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  last_route_.Accumulate(ctx.route_result);
+  return ctx.route_result;
+}
+
 void SkuteStore::RouteQueriesToPartition(Partition* partition,
                                          uint64_t count) {
   if (partition == nullptr || count == 0) return;
-  stats_[partition->id()].queries += count;
-  comm_epoch_.query_msgs += count;
-  if (partition->ring() < ring_queries_epoch_.size()) {
-    ring_queries_epoch_[partition->ring()] += count;
-  }
-
-  const ClientMix* mix = MixOf(partition->ring());
-  struct Target {
-    Server* server;
-    VirtualNode* vnode;
-    double weight;
-  };
-  std::vector<Target> targets;
-  double total_weight = 0.0;
-  for (const ReplicaInfo& r : partition->replicas()) {
-    Server* s = cluster_->server(r.server);
-    if (s == nullptr || !s->online()) continue;
-    const double g =
-        mix == nullptr ? 1.0 : NormalizedProximity(*mix, s->location());
-    targets.push_back(Target{s, vnodes_.Find(r.vnode), g});
-    total_weight += g;
-  }
-  if (targets.empty() || total_weight <= 0.0) return;  // all queries lost
-
-  // Proximity-weighted integer shares; remainder goes to the first
-  // targets (deterministic largest-remainder would cost a sort; the
-  // difference is at most one query per replica).
-  uint64_t assigned = 0;
-  for (size_t i = 0; i < targets.size(); ++i) {
-    uint64_t share;
-    if (i + 1 == targets.size()) {
-      share = count - assigned;
-    } else {
-      share = static_cast<uint64_t>(
-          static_cast<double>(count) * targets[i].weight / total_weight);
-    }
-    assigned += share;
-    const uint64_t served = targets[i].server->ServeQueries(share);
-    if (targets[i].vnode != nullptr) {
-      targets[i].vnode->queries_routed += share;
-      targets[i].vnode->queries_served += served;
-    }
-  }
+  RouteAccum accum;
+  ComputePartitionRoute(cluster_, &vnodes_, *partition, count,
+                        MixOf(partition->ring()), &accum);
+  ApplyRouteAccum(accum, &stats_, &ring_queries_epoch_, &comm_epoch_,
+                  &last_route_);
 }
 
 void SkuteStore::RouteQueries(RingId ring, uint64_t key_hash,
@@ -468,6 +444,7 @@ EpochContext SkuteStore::MakeEpochContext(
   ctx.comm_epoch = &comm_epoch_;
   ctx.comm_total = &comm_total_;
   ctx.last_stats = &last_stats_;
+  ctx.last_route = &last_route_;
   ctx.placement_version = &placement_version_;
   return ctx;
 }

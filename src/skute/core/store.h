@@ -15,6 +15,7 @@
 #include "skute/core/decision.h"
 #include "skute/core/executor.h"
 #include "skute/core/policy.h"
+#include "skute/core/query_routing.h"
 #include "skute/core/sla.h"
 #include "skute/core/vnode.h"
 #include "skute/economy/proximity.h"
@@ -126,8 +127,18 @@ class SkuteStore {
 
   // --- Query plane (aggregate, simulator) ----------------------------------
 
+  /// Routes a whole epoch's query batch through the engine's RouteStage:
+  /// the batch is sharded by partition (same shard layout as the decision
+  /// plane) and fanned out over the worker pool, with per-shard
+  /// accumulators merged in shard order so threads=1 and threads=N
+  /// produce bit-for-bit identical routing counters. Returns this batch's
+  /// outcome; the epoch's running totals are in last_route().
+  RouteResult RouteQueryBatch(const QueryBatch& batch);
+
   /// Routes `count` queries for one partition across its live replicas
-  /// (proximity-weighted shares) and accounts served/dropped per server.
+  /// (proximity-weighted largest-remainder shares, zero-weight replicas
+  /// skipped) and accounts served/dropped per server. Serial convenience
+  /// path for tests/benches; batch traffic goes through RouteQueryBatch.
   void RouteQueriesToPartition(Partition* partition, uint64_t count);
 
   /// Convenience: route by key hash.
@@ -183,6 +194,15 @@ class SkuteStore {
   uint64_t lost_partitions() const { return lost_partitions_; }
   uint64_t insert_failures() const { return insert_failures_; }
   const ExecutorStats& last_epoch_stats() const { return last_stats_; }
+
+  /// Routing totals of the current/just-closed epoch (requested, routed,
+  /// lost, route-stage wall time); reset at BeginEpoch. Covers both
+  /// RouteQueryBatch and the serial RouteQueries* path.
+  const RouteResult& last_route() const { return last_route_; }
+
+  /// Per-partition traffic counters of the current/just-closed epoch
+  /// (what the decision passes price against).
+  const PartitionStatsMap& partition_stats() const { return stats_; }
 
   /// Communication overhead of the current/just-closed epoch and the
   /// lifetime totals (the paper's future-work metric).
@@ -256,6 +276,7 @@ class SkuteStore {
   uint64_t lost_partitions_ = 0;
   uint64_t insert_failures_ = 0;
   ExecutorStats last_stats_;
+  RouteResult last_route_;
   CommStats comm_epoch_;
   CommStats comm_total_;
   uint64_t placement_version_ = 0;

@@ -11,6 +11,7 @@
 #include "skute/core/decision.h"
 #include "skute/core/executor.h"
 #include "skute/core/policy.h"
+#include "skute/core/query_routing.h"
 #include "skute/core/vnode.h"
 #include "skute/engine/epoch_options.h"
 #include "skute/engine/shard.h"
@@ -58,11 +59,20 @@ class EpochContext {
   CommStats* comm_epoch = nullptr;
   CommStats* comm_total = nullptr;
   ExecutorStats* last_stats = nullptr;
+  /// The store's per-epoch routing totals (cleared by PublishPricesStage,
+  /// accumulated by the store after each RouteStage run).
+  RouteResult* last_route = nullptr;
   uint64_t* placement_version = nullptr;
 
   // --- Staged data (owned by the context, passed between stages) ----------
   /// Proposal stage output, execution stage input.
   std::vector<Action> actions;
+
+  /// RouteStage input: the query workload to route (borrowed from the
+  /// caller of SkuteStore::RouteQueryBatch); nullptr outside kRoute runs.
+  const QueryBatch* query_batch = nullptr;
+  /// RouteStage output: this batch's routing outcome.
+  RouteResult route_result;
 
   /// The epoch's shard plan, resolved on first use (RecordBalancesStage
   /// and ProposeActionsStage share one snapshot; partitions are never

@@ -9,6 +9,7 @@ namespace skute {
 EpochPipeline::EpochPipeline(const EpochOptions& options)
     : options_(options) {
   AddStage(std::make_unique<PublishPricesStage>());
+  AddStage(std::make_unique<RouteStage>());
   AddStage(std::make_unique<RecordBalancesStage>());
   AddStage(std::make_unique<ProposeActionsStage>());
   AddStage(std::make_unique<ExecuteStage>());

@@ -25,14 +25,16 @@ struct StageTiming {
 /// \brief The ordered stage list that IS the epoch lifecycle:
 ///
 ///   kBegin: publish_prices
+///   kRoute: route_queries   (once per RouteQueryBatch call, 0..n times)
 ///   kEnd:   record_balances -> propose_actions -> execute -> accounting
 ///
-/// SkuteStore::BeginEpoch/EndEpoch are thin delegations into Run(); all
-/// pass logic lives in the stages. The pipeline owns the worker pool that
-/// the sharded stages fan out on (created lazily once threads > 1).
+/// SkuteStore::BeginEpoch/RouteQueryBatch/EndEpoch are thin delegations
+/// into Run(); all pass logic lives in the stages. The pipeline owns the
+/// worker pool that the sharded stages fan out on (created lazily once
+/// threads > 1).
 class EpochPipeline {
  public:
-  /// Builds the default five-stage pipeline.
+  /// Builds the default six-stage pipeline.
   explicit EpochPipeline(const EpochOptions& options);
   ~EpochPipeline();
 

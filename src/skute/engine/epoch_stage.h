@@ -5,9 +5,11 @@
 
 namespace skute {
 
-/// Which half of the epoch lifecycle a stage belongs to.
+/// Which part of the epoch lifecycle a stage belongs to.
 enum class EpochPhase {
   kBegin,  ///< SkuteStore::BeginEpoch — before the epoch's traffic
+  kRoute,  ///< SkuteStore::RouteQueryBatch — the epoch's query traffic
+           ///< (may run any number of times between kBegin and kEnd)
   kEnd,    ///< SkuteStore::EndEpoch — after the epoch's traffic
 };
 

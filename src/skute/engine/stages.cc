@@ -18,6 +18,46 @@ void PublishPricesStage::Run(EpochContext& ctx) {
             0.0);
   ctx.comm_epoch->Clear();
   ctx.comm_epoch->board_msgs += ctx.cluster->online_count();
+  if (ctx.last_route != nullptr) *ctx.last_route = RouteResult();
+}
+
+// --- RouteStage -------------------------------------------------------------
+
+void RouteStage::Run(EpochContext& ctx) {
+  const QueryBatch* batch = ctx.query_batch;
+  ctx.route_result = RouteResult();
+  if (batch == nullptr || batch->empty()) return;
+  const ShardPlan& plan = ctx.Shards();
+
+  // Parallel compute: each shard walks its partitions in plan order and
+  // resolves shares into its own accumulator — no shared writes.
+  std::vector<RouteAccum> accums(plan.shard_count());
+  ctx.RunSharded([&](size_t shard, Rng* /*rng*/) {
+    RouteAccum& accum = accums[shard];
+    for (const Partition* p : plan.shard(shard)) {
+      const uint64_t count = batch->CountFor(p);
+      if (count == 0) continue;
+      const ClientMix* mix =
+          ctx.policies != nullptr && p->ring() < ctx.policies->size()
+              ? (*ctx.policies)[p->ring()].mix
+              : nullptr;
+      ComputePartitionRoute(ctx.cluster, ctx.vnodes, *p, count, mix,
+                            &accum);
+    }
+  });
+
+  // Serial merge in shard order: counters and capacity admission.
+  for (const RouteAccum& accum : accums) {
+    ApplyRouteAccum(accum, ctx.stats, ctx.ring_queries_epoch,
+                    ctx.comm_epoch, &ctx.route_result);
+  }
+
+  // Batch entries the plan snapshot no longer covers (a partition created
+  // after the batch was built) are unroutable: account them as lost
+  // rather than dropping them silently.
+  const uint64_t missed = batch->total() - ctx.route_result.requested;
+  ctx.route_result.requested += missed;
+  ctx.route_result.lost += missed;
 }
 
 // --- RecordBalancesStage ----------------------------------------------------

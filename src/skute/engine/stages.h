@@ -15,6 +15,22 @@ class PublishPricesStage : public EpochStage {
   void Run(EpochContext& ctx) override;
 };
 
+/// \brief The parallel query-routing plane: routes the epoch's QueryBatch
+/// (partition -> requested count) by sharding it with the decision
+/// plane's shard layout and fanning the share computation — live-replica
+/// selection, proximity weights, largest-remainder apportionment — out
+/// over the worker pool. Per-shard accumulators (partition stats, ring
+/// queries, query messages, replica shares) are merged on the calling
+/// thread in shard order, and capacity admission (Server::ServeQueries)
+/// happens only in that merge, so routed/served counters and drop
+/// placement are bit-for-bit identical for any thread count.
+class RouteStage : public EpochStage {
+ public:
+  const char* name() const override { return "route_queries"; }
+  EpochPhase phase() const override { return EpochPhase::kRoute; }
+  void Run(EpochContext& ctx) override;
+};
+
 /// \brief Eq. 5: records utility - rent for every live vnode, sharded by
 /// partition. Per-ring rent spend is accumulated into per-shard partials
 /// and merged in shard order, so the floating-point sum order — and hence

@@ -23,6 +23,8 @@ void MetricsCollector::Snapshot(SkuteStore* store, const Cluster& cluster,
   snap.insert_failures_total = store->insert_failures();
   snap.queries_routed = queries_routed;
   snap.queries_dropped = cluster.TotalQueriesDroppedThisEpoch();
+  snap.queries_lost = store->last_route().lost;
+  snap.route_ms = store->last_route().route_ms;
   snap.exec = store->last_epoch_stats();
   snap.comm = store->comm_this_epoch();
   snap.io = store->io_stats();
@@ -97,7 +99,8 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
 
   std::vector<std::string> header = {
       "epoch",          "online_servers",  "storage_util",
-      "queries",        "dropped",         "insert_attempted",
+      "queries",        "dropped",         "queries_lost",
+      "route_ms",       "insert_attempted",
       "insert_failed",  "insert_failures_total",
       "vnodes_total",   "vnodes_cheap_mean",
       "vnodes_expensive_mean",             "vnodes_cv",
@@ -127,6 +130,8 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
         .Field(s.storage_utilization)
         .Field(s.queries_routed)
         .Field(s.queries_dropped)
+        .Field(s.queries_lost)
+        .Field(s.route_ms)
         .Field(s.insert_attempted)
         .Field(s.insert_failed)
         .Field(s.insert_failures_total)

@@ -27,6 +27,12 @@ struct EpochSnapshot {
   // Traffic.
   uint64_t queries_routed = 0;
   uint64_t queries_dropped = 0;
+  /// Queries that found no live replica at all this epoch (from
+  /// SkuteStore::last_route; a partition-loss signal, unlike `dropped`
+  /// which is capacity saturation).
+  uint64_t queries_lost = 0;
+  /// Wall time the epoch spent in the parallel route stage.
+  double route_ms = 0.0;
 
   // Fig. 2 series: virtual nodes per server, split by server cost class.
   size_t total_vnodes = 0;

@@ -1,17 +1,27 @@
 #include "skute/workload/querygen.h"
 
+#include <string>
+
+#include "skute/common/logging.h"
+
 namespace skute {
 
-uint64_t QueryGenerator::GenerateEpoch(SkuteStore* store,
-                                       const std::vector<RingId>& rings,
-                                       const std::vector<double>& fractions,
-                                       double total_rate) {
-  uint64_t routed = 0;
+Result<QueryBatch> QueryGenerator::BuildEpochBatch(
+    const RingCatalog& catalog, const std::vector<RingId>& rings,
+    const std::vector<double>& fractions, double total_rate) {
+  if (rings.size() != fractions.size()) {
+    return Status::InvalidArgument(
+        "rings/fractions size mismatch: " + std::to_string(rings.size()) +
+        " rings vs " + std::to_string(fractions.size()) + " fractions");
+  }
+  QueryBatch batch;
   for (size_t i = 0; i < rings.size(); ++i) {
-    VirtualRing* ring = store->catalog().ring(rings[i]);
-    if (ring == nullptr) continue;
-    const double ring_rate =
-        total_rate * (i < fractions.size() ? fractions[i] : 0.0);
+    const VirtualRing* ring = catalog.ring(rings[i]);
+    if (ring == nullptr) {
+      return Status::NotFound("unknown ring id " +
+                              std::to_string(rings[i]));
+    }
+    const double ring_rate = total_rate * fractions[i];
     if (ring_rate <= 0.0) continue;
 
     double total_weight = 0.0;
@@ -23,13 +33,24 @@ uint64_t QueryGenerator::GenerateEpoch(SkuteStore* store,
     for (const auto& p : ring->partitions()) {
       const double lambda =
           ring_rate * p->popularity_weight() / total_weight;
-      const uint64_t count = rng_.Poisson(lambda);
-      if (count == 0) continue;
-      store->RouteQueriesToPartition(p.get(), count);
-      routed += count;
+      batch.Add(p.get(), rng_.Poisson(lambda));
     }
   }
-  return routed;
+  return batch;
+}
+
+uint64_t QueryGenerator::GenerateEpoch(SkuteStore* store,
+                                       const std::vector<RingId>& rings,
+                                       const std::vector<double>& fractions,
+                                       double total_rate) {
+  Result<QueryBatch> batch =
+      BuildEpochBatch(store->catalog(), rings, fractions, total_rate);
+  if (!batch.ok()) {
+    SKUTE_LOG(kError) << "query workload misconfigured, no traffic "
+                         "generated: " << batch.status().message();
+    return 0;
+  }
+  return store->RouteQueryBatch(*batch).requested;
 }
 
 }  // namespace skute

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "skute/common/random.h"
+#include "skute/common/result.h"
+#include "skute/core/query_routing.h"
 #include "skute/core/store.h"
 
 namespace skute {
@@ -16,13 +18,29 @@ namespace skute {
 /// lambda_p = rate * fraction_ring * weight_p / total_weight_ring, which
 /// is distributionally identical to a Poisson total multinomially split
 /// (superposition property) and costs O(partitions) per epoch.
+///
+/// Generation is decoupled from routing: BuildEpochBatch draws the whole
+/// epoch's workload as a QueryBatch (partition -> count) without touching
+/// the store, and SkuteStore::RouteQueryBatch routes it in one sharded
+/// pass over the engine's worker pool. GenerateEpoch composes the two.
 class QueryGenerator {
  public:
   explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
 
-  /// Draws and routes one epoch of queries. `fractions[i]` is ring i's
-  /// share of `total_rate` (paper: 4/7, 2/7, 1/7); rings and fractions
-  /// must be the same length. Returns the number of queries routed.
+  /// Draws one epoch of queries as a batch. `fractions[i]` is ring i's
+  /// share of `total_rate` (paper: 4/7, 2/7, 1/7). Fails with
+  /// kInvalidArgument when `rings` and `fractions` differ in length and
+  /// with kNotFound on an unknown ring id — misconfigured scenarios must
+  /// fail loudly instead of silently dropping traffic.
+  Result<QueryBatch> BuildEpochBatch(const RingCatalog& catalog,
+                                     const std::vector<RingId>& rings,
+                                     const std::vector<double>& fractions,
+                                     double total_rate);
+
+  /// Draws and routes one epoch of queries (BuildEpochBatch +
+  /// SkuteStore::RouteQueryBatch). Returns the number of queries
+  /// requested; a misconfigured rings/fractions pair logs an error and
+  /// generates nothing.
   uint64_t GenerateEpoch(SkuteStore* store,
                          const std::vector<RingId>& rings,
                          const std::vector<double>& fractions,

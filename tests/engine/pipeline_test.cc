@@ -27,6 +27,11 @@ TEST(EpochPipelineTest, DefaultStageOrder) {
   ASSERT_EQ(begin.size(), 1u);
   EXPECT_STREQ(begin[0], "publish_prices");
 
+  const std::vector<const char*> route =
+      pipeline.StageNames(EpochPhase::kRoute);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_STREQ(route[0], "route_queries");
+
   const std::vector<const char*> end = pipeline.StageNames(EpochPhase::kEnd);
   ASSERT_EQ(end.size(), 4u);
   EXPECT_STREQ(end[0], "record_balances");
@@ -127,12 +132,15 @@ TEST(EpochPipelineTest, StageTimersRecordEveryRun) {
 
   for (int i = 0; i < 3; ++i) {
     store.BeginEpoch();
+    QueryBatch batch;
+    batch.Add(store.catalog().ring(0)->partitions()[0].get(), 10);
+    (void)store.RouteQueryBatch(batch);
     store.EndEpoch();
   }
 
   const std::vector<StageTiming>& timings =
       store.epoch_pipeline().stage_timings();
-  ASSERT_EQ(timings.size(), 5u);
+  ASSERT_EQ(timings.size(), 6u);
   for (const StageTiming& t : timings) {
     EXPECT_EQ(t.runs, 3u) << t.name;
     EXPECT_GE(t.total_ms, t.last_ms) << t.name;
@@ -140,7 +148,9 @@ TEST(EpochPipelineTest, StageTimersRecordEveryRun) {
   }
   EXPECT_STREQ(timings[0].name, "publish_prices");
   EXPECT_EQ(timings[0].phase, EpochPhase::kBegin);
-  EXPECT_STREQ(timings[3].name, "execute");
+  EXPECT_STREQ(timings[1].name, "route_queries");
+  EXPECT_EQ(timings[1].phase, EpochPhase::kRoute);
+  EXPECT_STREQ(timings[4].name, "execute");
 }
 
 // --- ShardPlanCache ----------------------------------------------------------

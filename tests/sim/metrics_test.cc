@@ -59,6 +59,27 @@ TEST_F(MetricsTest, SnapshotCapturesBasics) {
   ASSERT_EQ(snap.ring_vnodes.size(), 1u);
   EXPECT_GT(snap.comm.query_msgs, 0u);
   EXPECT_GT(snap.ring_latency_ms[0], 0.0);  // uniform-reference RTT
+  // All 40 queries found a live replica.
+  EXPECT_EQ(snap.queries_lost, 0u);
+}
+
+TEST_F(MetricsTest, LostQueriesAndRouteTimeCaptured) {
+  MetricsCollector metrics(110.0);
+  store_->BeginEpoch();
+  Partition* p = store_->catalog().ring(ring_)->partitions()[0].get();
+  // Kill the partition's only replica, then route against it.
+  for (const ReplicaInfo& r : std::vector<ReplicaInfo>(p->replicas())) {
+    ASSERT_TRUE(cluster_.FailServer(r.server).ok());
+    store_->HandleServerFailure(r.server);
+  }
+  store_->BeginEpoch();
+  QueryBatch batch;
+  batch.Add(p, 25);
+  (void)store_->RouteQueryBatch(batch);
+  store_->EndEpoch();
+  metrics.Snapshot(store_.get(), cluster_, 0, 25, 0, 0);
+  EXPECT_EQ(metrics.last().queries_lost, 25u);
+  EXPECT_GE(metrics.last().route_ms, 0.0);
 }
 
 TEST_F(MetricsTest, CostClassSplitUsesThreshold) {
@@ -97,6 +118,9 @@ TEST_F(MetricsTest, CsvRowPerSnapshotAndStableColumns) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3
   EXPECT_NE(csv.find("msgs_total"), std::string::npos);
   EXPECT_NE(csv.find("ring0_latency_ms"), std::string::npos);
+  EXPECT_NE(csv.find("queries_lost"), std::string::npos);
+  EXPECT_NE(csv.find("route_ms"), std::string::npos);
+  EXPECT_NE(csv.find("stage_route_queries_ms"), std::string::npos);
   // Every row has the same number of commas as the header.
   std::istringstream lines(csv);
   std::string line;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "skute/common/logging.h"
 #include "skute/topology/topology.h"
 #include "skute/workload/geo.h"
 #include "skute/workload/insertgen.h"
@@ -233,6 +234,55 @@ TEST_F(WorkloadStoreTest, ZeroRateGeneratesNothing) {
   QueryGenerator gen(29);
   store_->BeginEpoch();
   EXPECT_EQ(gen.GenerateEpoch(store_.get(), {ring_a_}, {1.0}, 0.0), 0u);
+}
+
+TEST_F(WorkloadStoreTest, MismatchedFractionsFailLoudly) {
+  QueryGenerator gen(47);
+  store_->BeginEpoch();
+
+  // Two rings but one fraction used to silently treat ring_b_ as rate 0;
+  // now the batch builder rejects the configuration outright.
+  const auto batch = gen.BuildEpochBatch(store_->catalog(),
+                                         {ring_a_, ring_b_}, {1.0}, 500.0);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+
+  // The routing wrapper generates nothing and logs an error.
+  std::string log;
+  Logging::SetSink(&log);
+  Logging::SetLevel(LogLevel::kError);
+  EXPECT_EQ(
+      gen.GenerateEpoch(store_.get(), {ring_a_, ring_b_}, {1.0}, 500.0),
+      0u);
+  Logging::SetSink(nullptr);
+  Logging::SetLevel(LogLevel::kWarning);  // restore the default
+  EXPECT_NE(log.find("size mismatch"), std::string::npos);
+  EXPECT_EQ(store_->ReportRing(ring_a_).queries_this_epoch, 0u);
+}
+
+TEST_F(WorkloadStoreTest, UnknownRingFailsLoudly) {
+  QueryGenerator gen(53);
+  const RingId bogus = 999;
+  const auto batch = gen.BuildEpochBatch(store_->catalog(), {bogus},
+                                         {1.0}, 500.0);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsNotFound());
+}
+
+TEST_F(WorkloadStoreTest, BatchTotalTracksRateAndRoutesThroughStore) {
+  QueryGenerator gen(59);
+  store_->BeginEpoch();
+  const auto batch = gen.BuildEpochBatch(
+      store_->catalog(), {ring_a_, ring_b_}, {0.5, 0.5}, 2000.0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_NEAR(static_cast<double>(batch->total()), 2000.0, 250.0);
+
+  const RouteResult result = store_->RouteQueryBatch(*batch);
+  EXPECT_EQ(result.requested, batch->total());
+  EXPECT_EQ(result.routed + result.lost, result.requested);
+  EXPECT_EQ(store_->ReportRing(ring_a_).queries_this_epoch +
+                store_->ReportRing(ring_b_).queries_this_epoch,
+            batch->total());
 }
 
 TEST_F(WorkloadStoreTest, InsertGeneratorCountsAndBytes) {
