@@ -1,198 +1,15 @@
 // Ablation — the paper's virtual economy vs. a Dynamo-style static
-// successor-list baseline (fixed replica counts, no economics), on the
-// identical substrate, workload and failure schedule.
+// successor-list baseline on the identical substrate, workload and
+// failure schedule.
 //
-// The paper positions Skute against fixed-replication key-value stores
-// ([5] in the paper); this bench quantifies the claimed advantages:
-//   1. differentiated availability: the economy keeps every partition at
-//      its Eq. 2 threshold; the baseline's hash-order placement misses
-//      the geographic-diversity targets for a large fraction of
-//      partitions;
-//   2. cost awareness: rent paid per vnode-epoch is lower under the
-//      economy (it drifts vnodes toward cheap servers);
-//   3. load awareness: per-server query load is more even.
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_ablation.cc, spec
+// "ablation_economy_vs_static"); run it directly or via
+// `skute_scenarios --run=ablation_economy_vs_static`.
 
-#include <cstdio>
-
-#include "common/bench_util.h"
-#include "skute/common/stats.h"
-#include "skute/common/table.h"
-#include "skute/economy/availability.h"
-#include "skute/sim/simulation.h"
-
-using namespace skute;
-
-namespace {
-
-struct RunResult {
-  double rent_per_vnode_epoch = 0.0;
-  double load_cv = 0.0;
-  size_t sla_violations = 0;  // vs the paper thresholds, end state
-  size_t lost = 0;            // partitions with no surviving replica
-  size_t partitions = 0;
-  size_t vnodes = 0;
-  int recovery_epochs = -1;   // after the failure event
-  uint64_t queries_dropped = 0;
-  uint64_t insert_failures = 0;
-};
-
-RunResult RunOne(PlacementKind placement, uint64_t seed, int epochs,
-                 Epoch failure_epoch) {
-  SimConfig config = SimConfig::Paper();
-  config.seed = seed;
-  config.placement = placement;
-  Simulation sim(config);
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("init failed: %s\n", init.ToString().c_str());
-    std::exit(1);
-  }
-  sim.ScheduleEvent(SimEvent::FailRandom(failure_epoch, 20));
-  sim.Run(epochs);
-
-  RunResult result;
-  const auto& series = sim.metrics().series();
-
-  // Rent and load over the last 50 epochs (or the whole run if shorter).
-  double rent = 0.0;
-  double vnode_epochs = 0.0;
-  RunningStat cv;
-  for (size_t i = series.size() > 50 ? series.size() - 50 : 0;
-       i < series.size(); ++i) {
-    for (size_t r = 0; r < series[i].ring_spend.size(); ++r) {
-      rent += series[i].ring_spend[r];
-      vnode_epochs += static_cast<double>(series[i].ring_vnodes[r]);
-    }
-    // Load CV across servers, averaged over rings weighted equally.
-    for (double v : series[i].ring_load_cv) cv.Add(v);
-    result.queries_dropped += series[i].queries_dropped;
-  }
-  result.rent_per_vnode_epoch = vnode_epochs > 0 ? rent / vnode_epochs : 0;
-  result.load_cv = cv.mean();
-
-  // End-state SLA violations measured against the *paper* thresholds for
-  // both systems (the baseline runs with threshold 0 internally).
-  // Partitions that lost every replica to the failure are unrepairable
-  // by any policy and are counted separately.
-  for (size_t i = 0; i < sim.rings().size(); ++i) {
-    const RingId ring = sim.rings()[i];
-    const double th = AvailabilityModel::ThresholdForReplicas(
-        sim.config().apps[i].replicas, sim.config().confidence);
-    for (const auto& p :
-         sim.store().catalog().ring(ring)->partitions()) {
-      ++result.partitions;
-      result.vnodes += p->replica_count();
-      bool any_live = false;
-      for (const ReplicaInfo& r : p->replicas()) {
-        const Server* s = sim.cluster().server(r.server);
-        if (s != nullptr && s->online()) {
-          any_live = true;
-          break;
-        }
-      }
-      if (!any_live) ++result.lost;
-      if (AvailabilityModel::OfPartition(*p, sim.cluster()) < th) {
-        ++result.sla_violations;
-      }
-    }
-  }
-  result.insert_failures = sim.store().insert_failures();
-
-  // Recovery: epochs after the failure until the internal violation
-  // count (against each run's own thresholds) drops back to the
-  // unrepairable floor. A run too short to contain the failure event has
-  // no recovery to measure (recovery_epochs stays -1).
-  if (series.size() <= static_cast<size_t>(failure_epoch) ||
-      failure_epoch == 0) {
-    return result;
-  }
-  size_t pre_failure_below = 0;
-  for (size_t r = 0;
-       r < series[failure_epoch - 1].ring_below_threshold.size(); ++r) {
-    pre_failure_below +=
-        series[failure_epoch - 1].ring_below_threshold[r];
-  }
-  for (size_t i = static_cast<size_t>(failure_epoch); i < series.size();
-       ++i) {
-    size_t below = 0;
-    size_t lost = 0;
-    for (size_t r = 0; r < series[i].ring_below_threshold.size(); ++r) {
-      below += series[i].ring_below_threshold[r];
-      lost += series[i].ring_lost[r];
-    }
-    if (below <= pre_failure_below + lost) {
-      result.recovery_epochs =
-          static_cast<int>(i) - static_cast<int>(failure_epoch);
-      break;
-    }
-  }
-  return result;
-}
-
-}  // namespace
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int epochs = args.epochs > 0 ? args.epochs : 150;
-  const Epoch failure_epoch = 75;
-
-  bench::PrintHeader(
-      "Ablation — virtual economy vs. static successor placement",
-      "economic placement delivers the differentiated availability and "
-      "cost/load awareness that fixed-count placement cannot");
-
-  std::printf("running economy...\n");
-  const RunResult economy =
-      RunOne(PlacementKind::kEconomic, args.seed, epochs, failure_epoch);
-  std::printf("running static baseline...\n");
-  const RunResult baseline = RunOne(PlacementKind::kStaticSuccessor,
-                                    args.seed, epochs, failure_epoch);
-
-  bench::PrintSection("comparison (steady state, 20-server failure at "
-                      "epoch 75)");
-  AsciiTable table({"metric", "economy", "static-successor"});
-  table.AddRow({"partitions", AsciiTable::Num(uint64_t{economy.partitions}),
-                AsciiTable::Num(uint64_t{baseline.partitions})});
-  table.AddRow({"vnodes", AsciiTable::Num(uint64_t{economy.vnodes}),
-                AsciiTable::Num(uint64_t{baseline.vnodes})});
-  table.AddRow({"SLA violations (paper th)",
-                AsciiTable::Num(uint64_t{economy.sla_violations}),
-                AsciiTable::Num(uint64_t{baseline.sla_violations})});
-  table.AddRow({"unrepairable (lost) partitions",
-                AsciiTable::Num(uint64_t{economy.lost}),
-                AsciiTable::Num(uint64_t{baseline.lost})});
-  table.AddRow({"insert failures (lifetime)",
-                AsciiTable::Num(uint64_t{economy.insert_failures}),
-                AsciiTable::Num(uint64_t{baseline.insert_failures})});
-  table.AddRow({"rent / vnode-epoch",
-                AsciiTable::Num(economy.rent_per_vnode_epoch, 4),
-                AsciiTable::Num(baseline.rent_per_vnode_epoch, 4)});
-  table.AddRow({"per-server load CV", AsciiTable::Num(economy.load_cv, 3),
-                AsciiTable::Num(baseline.load_cv, 3)});
-  table.AddRow({"queries dropped (last 50 ep)",
-                AsciiTable::Num(uint64_t{economy.queries_dropped}),
-                AsciiTable::Num(uint64_t{baseline.queries_dropped})});
-  table.AddRow({"recovery after failure (ep)",
-                AsciiTable::Num(int64_t{economy.recovery_epochs}),
-                AsciiTable::Num(int64_t{baseline.recovery_epochs})});
-  std::printf("%s", table.ToString().c_str());
-
-  bench::ShapeChecks checks;
-  checks.Check(
-      "economy meets every repairable SLA, baseline misses many",
-      economy.sla_violations <= economy.lost &&
-          baseline.sla_violations > 10 * (economy.sla_violations + 1),
-      "economy " + std::to_string(economy.sla_violations) + " (lost " +
-          std::to_string(economy.lost) + ") vs baseline " +
-          std::to_string(baseline.sla_violations));
-  checks.Check("economy pays no more rent per vnode-epoch",
-               economy.rent_per_vnode_epoch <=
-                   baseline.rent_per_vnode_epoch * 1.05,
-               bench::Fmt(economy.rent_per_vnode_epoch, 4) + " vs " +
-                   bench::Fmt(baseline.rent_per_vnode_epoch, 4));
-  checks.Check("economy recovers from the failure",
-               economy.recovery_epochs >= 0 &&
-                   economy.recovery_epochs <= 40,
-               std::to_string(economy.recovery_epochs) + " epochs");
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario(
+      "ablation_economy_vs_static", argc, argv);
 }

@@ -1,217 +1,14 @@
 // Ablation — sensitivity of the Section II-C decision process to its
-// knobs, on a mid-sized cloud:
-//   1. the utility floor (the paper's anti-churn stabilization rule),
-//   2. the hysteresis window f,
-//   3. Eq. 1's beta (query-load term) for load balancing,
-//   4. the u(pop, g) proximity direction (literal "divide" vs corrected
-//      "multiply"; see DESIGN.md).
+// knobs (utility floor, hysteresis window f, Eq. 1 beta, proximity
+// direction).
+//
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_ablation.cc, spec "ablation_params"); run
+// it directly or via `skute_scenarios --run=ablation_params`.
 
-#include <cstdio>
-#include <memory>
-
-#include "common/bench_util.h"
-#include "skute/common/stats.h"
-#include "skute/common/table.h"
-#include "skute/economy/proximity.h"
-#include "skute/sim/simulation.h"
-#include "skute/workload/geo.h"
-
-using namespace skute;
-
-namespace {
-
-SimConfig MidConfig(uint64_t seed) {
-  SimConfig config;
-  config.grid.continents = 3;
-  config.grid.countries_per_continent = 2;
-  config.grid.datacenters_per_country = 1;
-  config.grid.rooms_per_datacenter = 1;
-  config.grid.racks_per_room = 2;
-  config.grid.servers_per_rack = 4;  // 48 servers
-  config.resources.storage_capacity = 4 * kGiB;
-  config.resources.query_capacity_per_epoch = 1000;
-  config.store.max_partition_bytes = 64 * kMB;
-  config.apps = {
-      AppSpec{"gold", 3, 48, 12 * kGB, 0.7},
-      AppSpec{"bronze", 2, 48, 12 * kGB, 0.3},
-  };
-  config.base_query_rate = 2000.0;
-  config.object_bytes = 500 * kKB;
-  config.load_chunk_objects = 2000;
-  config.seed = seed;
-  return config;
-}
-
-struct SteadyState {
-  double actions_per_epoch = 0.0;      // churn over the last 40 epochs
-  double migrations_per_epoch = 0.0;
-  double load_cv = 0.0;
-  size_t sla_violations = 0;
-};
-
-SteadyState Run(SimConfig config, int epochs) {
-  Simulation sim(std::move(config));
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("init failed: %s\n", init.ToString().c_str());
-    std::exit(1);
-  }
-  sim.Run(epochs);
-  SteadyState out;
-  const auto& series = sim.metrics().series();
-  RunningStat cv;
-  for (size_t i = series.size() - 40; i < series.size(); ++i) {
-    out.actions_per_epoch +=
-        static_cast<double>(series[i].exec.applied()) / 40.0;
-    out.migrations_per_epoch +=
-        static_cast<double>(series[i].exec.migrations) / 40.0;
-    for (double v : series[i].ring_load_cv) cv.Add(v);
-  }
-  out.load_cv = cv.mean();
-  for (size_t r = 0; r < series.back().ring_below_threshold.size(); ++r) {
-    out.sla_violations += series.back().ring_below_threshold[r];
-  }
-  return out;
-}
-
-/// Mean client->replica diversity over all replicas of a ring (lower =
-/// closer to the clients).
-double MeanPlacementDiversity(Simulation& sim, RingId ring,
-                              const ClientMix& mix) {
-  RunningStat stat;
-  for (const auto& p : sim.store().catalog().ring(ring)->partitions()) {
-    for (const ReplicaInfo& r : p->replicas()) {
-      const Server* s = sim.cluster().server(r.server);
-      if (s == nullptr) continue;
-      stat.Add(MeanClientDiversity(mix, s->location()));
-    }
-  }
-  return stat.mean();
-}
-
-}  // namespace
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int epochs = args.epochs > 0 ? args.epochs : 120;
-
-  bench::PrintHeader(
-      "Ablation — decision-process parameter sensitivity",
-      "the utility floor stops migration churn; hysteresis f trades "
-      "adaptation speed for stability; beta>0 balances query load; the "
-      "corrected proximity pulls replicas toward clients");
-
-  bench::ShapeChecks checks;
-
-  // 1. Utility floor on/off.
-  bench::PrintSection("utility floor (paper's stabilization rule)");
-  SimConfig with_floor = MidConfig(args.seed);
-  SimConfig without_floor = MidConfig(args.seed);
-  without_floor.store.decision.utility_floor = false;
-  const SteadyState floor_on = Run(std::move(with_floor), epochs);
-  const SteadyState floor_off = Run(std::move(without_floor), epochs);
-  {
-    AsciiTable t({"floor", "migrations/epoch", "actions/epoch",
-                  "sla violations"});
-    t.AddRow({"on", AsciiTable::Num(floor_on.migrations_per_epoch, 2),
-              AsciiTable::Num(floor_on.actions_per_epoch, 2),
-              AsciiTable::Num(uint64_t{floor_on.sla_violations})});
-    t.AddRow({"off", AsciiTable::Num(floor_off.migrations_per_epoch, 2),
-              AsciiTable::Num(floor_off.actions_per_epoch, 2),
-              AsciiTable::Num(uint64_t{floor_off.sla_violations})});
-    std::printf("%s", t.ToString().c_str());
-  }
-  checks.Check("utility floor curbs steady-state migration churn",
-               floor_on.migrations_per_epoch <=
-                   floor_off.migrations_per_epoch + 0.5,
-               bench::Fmt(floor_on.migrations_per_epoch) + " vs " +
-                   bench::Fmt(floor_off.migrations_per_epoch) +
-                   " migrations/epoch");
-
-  // 2. Hysteresis window f.
-  bench::PrintSection("balance window f (decision hysteresis)");
-  AsciiTable ftable({"f", "actions/epoch", "migrations/epoch",
-                     "sla violations"});
-  double churn_f1 = 0.0, churn_f8 = 0.0;
-  for (int f : {1, 2, 4, 8}) {
-    SimConfig config = MidConfig(args.seed);
-    config.backend = bench::BackendFromFlag(args.backend, "ablation_params");
-    config.store.decision.balance_window = f;
-    const SteadyState result = Run(std::move(config), epochs);
-    ftable.AddRow({AsciiTable::Num(int64_t{f}),
-                   AsciiTable::Num(result.actions_per_epoch, 2),
-                   AsciiTable::Num(result.migrations_per_epoch, 2),
-                   AsciiTable::Num(uint64_t{result.sla_violations})});
-    if (f == 1) churn_f1 = result.actions_per_epoch;
-    if (f == 8) churn_f8 = result.actions_per_epoch;
-  }
-  std::printf("%s", ftable.ToString().c_str());
-  checks.Check("longer hysteresis does not increase churn",
-               churn_f8 <= churn_f1 + 0.5,
-               "f=1: " + bench::Fmt(churn_f1) + ", f=8: " +
-                   bench::Fmt(churn_f8) + " actions/epoch");
-
-  // 3. Eq. 1 beta (query-load pricing term).
-  bench::PrintSection("Eq. 1 beta (query-load term)");
-  AsciiTable btable({"beta", "load CV", "sla violations"});
-  double cv_b0 = 0.0, cv_b4 = 0.0;
-  for (double beta : {0.0, 1.0, 4.0}) {
-    SimConfig config = MidConfig(args.seed);
-    config.backend = bench::BackendFromFlag(args.backend, "ablation_params");
-    config.pricing.beta = beta;
-    const SteadyState result = Run(std::move(config), epochs);
-    btable.AddRow({AsciiTable::Num(beta, 1),
-                   AsciiTable::Num(result.load_cv, 3),
-                   AsciiTable::Num(uint64_t{result.sla_violations})});
-    if (beta == 0.0) cv_b0 = result.load_cv;
-    if (beta == 4.0) cv_b4 = result.load_cv;
-  }
-  std::printf("%s", btable.ToString().c_str());
-  checks.Check("query-load pricing does not hurt balance",
-               cv_b4 <= cv_b0 * 1.25 + 0.05,
-               "beta=0 CV " + bench::Fmt(cv_b0, 3) + ", beta=4 CV " +
-                   bench::Fmt(cv_b4, 3));
-
-  // 4. Proximity direction under a hotspot client mix.
-  bench::PrintSection("u(pop,g) direction with a single-country hotspot");
-  double diversity_corrected = 0.0, diversity_literal = 0.0;
-  for (const bool literal : {false, true}) {
-    SimConfig config = MidConfig(args.seed);
-    config.backend = bench::BackendFromFlag(args.backend, "ablation_params");
-    config.store.decision.utility.divide_by_proximity = literal;
-    Simulation sim(std::move(config));
-    const Status init = sim.Initialize();
-    if (!init.ok()) {
-      std::printf("init failed: %s\n", init.ToString().c_str());
-      return 1;
-    }
-    const ClientMix mix =
-        HotspotMix(sim.config().grid, Location::Of(0, 0, 0, 0, 0, 0), 0.9);
-    for (RingId ring : sim.rings()) {
-      (void)sim.store().SetClientMix(ring, mix);
-    }
-    sim.Run(epochs);
-    const double diversity =
-        MeanPlacementDiversity(sim, sim.rings()[0], mix);
-    if (literal) {
-      diversity_literal = diversity;
-    } else {
-      diversity_corrected = diversity;
-    }
-  }
-  {
-    AsciiTable t({"u(pop,g) reading", "mean client->replica diversity"});
-    t.AddRow({"multiply by g (corrected)",
-              AsciiTable::Num(diversity_corrected, 2)});
-    t.AddRow({"divide by g (literal)",
-              AsciiTable::Num(diversity_literal, 2)});
-    std::printf("%s", t.ToString().c_str());
-  }
-  checks.Check("corrected proximity places replicas no farther than "
-               "the literal reading",
-               diversity_corrected <= diversity_literal + 2.0,
-               bench::Fmt(diversity_corrected, 2) + " vs " +
-                   bench::Fmt(diversity_literal, 2));
-
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario("ablation_params", argc,
+                                                argv);
 }

@@ -1,133 +1,39 @@
 #include "common/bench_util.h"
 
-#include <unistd.h>
-
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
-#include <iostream>
-#include <sstream>
+
+#include "skute/scenario/spec.h"
 
 namespace skute::bench {
 
 Args ParseArgs(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--epochs=", 9) == 0) {
-      args.epochs = std::atoi(arg + 9);
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      args.seed = std::strtoull(arg + 7, nullptr, 10);
-    } else if (std::strncmp(arg, "--sample=", 9) == 0) {
-      args.sample_every = std::atoi(arg + 9);
-    } else if (std::strcmp(arg, "--csv") == 0) {
-      args.full_csv = true;
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      args.threads = std::atoi(arg + 10);
-    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
-      args.backend = arg + 10;
-    }
+  // One flag grammar for the whole tree: the scenario runner's parser
+  // (which already warns on unrecognized --* arguments). The micros just
+  // don't consume the scenario-only flags.
+  const scenario::RunOverrides o = scenario::ParseOverrides(argc, argv);
+  if (!o.placement.empty()) {
+    std::fprintf(stderr,
+                 "warning: --placement is not supported by this bench "
+                 "(ignored)\n");
   }
+  if (!o.out.empty()) {
+    std::fprintf(stderr,
+                 "warning: --out is not supported by this bench "
+                 "(ignored)\n");
+  }
+  Args args;
+  args.epochs = o.epochs;
+  args.seed = o.seed;
+  args.sample_every = o.sample_every;
+  args.full_csv = o.full_csv;
+  args.threads = o.threads;
+  args.backend = o.backend;
   return args;
 }
 
 BackendConfig BackendFromFlag(const std::string& flag,
                               const std::string& run_tag) {
-  BackendConfig config;
-  if (flag.empty()) return config;
-  auto kind = ParseBackendKind(flag);
-  if (!kind.ok()) {
-    std::fprintf(stderr,
-                 "warning: %s; using the memory backend\n",
-                 std::string(kind.status().message()).c_str());
-    return config;
-  }
-  config.kind = *kind;
-  if (config.kind == BackendKind::kFileSegment) {
-    // Every created dir is removed at process exit, so repeated bench
-    // runs never accumulate state under /tmp.
-    static std::vector<std::string>* dirs = [] {
-      auto* list = new std::vector<std::string>();
-      std::atexit([] {
-        for (const std::string& d : *dirs) {
-          std::error_code ec;
-          std::filesystem::remove_all(d, ec);
-        }
-      });
-      return list;
-    }();
-    static int run_counter = 0;
-    const std::string dir =
-        (std::filesystem::temp_directory_path() /
-         ("skute_bench_" + run_tag + "_" + std::to_string(::getpid()) +
-          "_" + std::to_string(run_counter++)))
-            .string();
-    std::filesystem::create_directories(dir);
-    dirs->push_back(dir);
-    config.data_dir = dir;
-    std::fprintf(stderr, "file backend state: %s (removed at exit)\n",
-                 dir.c_str());
-  }
-  return config;
-}
-
-void PrintHeader(const std::string& title, const std::string& claim) {
-  std::printf("================================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("Paper claim: %s\n", claim.c_str());
-  std::printf("================================================================\n");
-}
-
-void PrintSection(const std::string& label) {
-  std::printf("\n--- %s ---\n", label.c_str());
-}
-
-void ShapeChecks::Check(const std::string& name, bool pass,
-                        const std::string& detail) {
-  entries_.push_back(Entry{name, pass, detail});
-}
-
-int ShapeChecks::Summarize() const {
-  std::printf("\n=== shape checks ===\n");
-  int failures = 0;
-  for (const Entry& e : entries_) {
-    std::printf("[%s] %s — %s\n", e.pass ? "PASS" : "FAIL",
-                e.name.c_str(), e.detail.c_str());
-    if (!e.pass) ++failures;
-  }
-  std::printf("%d/%zu checks passed\n",
-              static_cast<int>(entries_.size()) - failures,
-              entries_.size());
-  return failures;
-}
-
-void PrintSampledCsv(const MetricsCollector& metrics, int every) {
-  std::ostringstream full;
-  metrics.WriteCsv(&full);
-  const std::string text = full.str();
-  std::istringstream lines(text);
-  std::string line;
-  size_t index = 0;
-  size_t total = 0;
-  for (char c : text) {
-    if (c == '\n') ++total;
-  }
-  while (std::getline(lines, line)) {
-    const bool is_header = index == 0;
-    const bool is_last = index + 1 == total;
-    const bool sampled = every <= 1 || ((index - 1) % every == 0);
-    if (is_header || is_last || sampled) {
-      std::printf("%s\n", line.c_str());
-    }
-    ++index;
-  }
-}
-
-std::string Fmt(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return std::string(buf);
+  return scenario::BackendConfigFromFlag(flag, run_tag);
 }
 
 }  // namespace skute::bench

@@ -5,11 +5,14 @@
 #include <vector>
 
 #include "skute/backend/config.h"
+#include "skute/scenario/report.h"
 #include "skute/sim/metrics.h"
 
 namespace skute::bench {
 
-/// Command-line options shared by the figure benches.
+/// Command-line options shared by the micro benches. (The figure benches
+/// are thin wrappers over the scenario registry and parse
+/// scenario::RunOverrides instead.)
 struct Args {
   int epochs = -1;        ///< -1 = bench default
   uint64_t seed = 42;
@@ -20,7 +23,8 @@ struct Args {
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
-/// --backend=memory|durable|file; ignores unknown flags.
+/// --backend=memory|durable|file; unrecognized `--*` arguments warn to
+/// stderr (a typo like --backnd=file must not silently run the default).
 Args ParseArgs(int argc, char** argv);
 
 /// Resolves the --backend flag into a BackendConfig. Unknown names warn
@@ -30,38 +34,14 @@ Args ParseArgs(int argc, char** argv);
 BackendConfig BackendFromFlag(const std::string& flag,
                               const std::string& run_tag);
 
-/// Prints the bench banner: which figure, the paper's claim, parameters.
-void PrintHeader(const std::string& title, const std::string& claim);
-
-/// Prints a section separator line with a label.
-void PrintSection(const std::string& label);
-
-/// \brief Collects qualitative shape checks (the "does the figure look
-/// like the paper's" assertions) and renders a PASS/FAIL summary.
-/// Exit code of a bench = number of failed checks.
-class ShapeChecks {
- public:
-  void Check(const std::string& name, bool pass,
-             const std::string& detail);
-
-  /// Prints all results; returns the number of failures.
-  int Summarize() const;
-
- private:
-  struct Entry {
-    std::string name;
-    bool pass;
-    std::string detail;
-  };
-  std::vector<Entry> entries_;
-};
-
-/// Streams the collector's CSV, keeping one row in `every` (first and
-/// last rows always kept).
-void PrintSampledCsv(const MetricsCollector& metrics, int every);
-
-/// "12.34" formatting helper.
-std::string Fmt(double v, int precision = 2);
+// Reporting helpers shared with the scenario runner (one implementation,
+// skute/scenario/report.h; the figure benches and the micros print the
+// same way).
+using scenario::Fmt;
+using scenario::PrintHeader;
+using scenario::PrintSampledCsv;
+using scenario::PrintSection;
+using scenario::ShapeChecks;
 
 }  // namespace skute::bench
 

@@ -1,119 +1,15 @@
 // Figure 2 — "Replication process at startup: the number of virtual nodes
 // per server."
 //
-// Setup (Section III-A): 200 servers over 10 countries, 3 applications at
-// 2/3/4 replicas, 200 initial partitions per app, 500 GB of data, lambda =
-// 3000 queries/epoch, uniform client geography. All data is loaded before
-// epoch 0 with a single replica per partition (the paper's startup state);
-// the bench then watches the vnodes replicate and migrate to equilibrium.
-//
-// Series printed: per-epoch vnodes-per-server statistics split by server
-// cost class ($100 vs $125), plus action counts.
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_paper.cc, spec "fig2_startup_convergence");
+// run it directly or via `skute_scenarios --run=fig2_startup_convergence`.
+// Existing flags (--epochs/--seed/--sample/--csv/--threads/--backend)
+// keep working, plus --placement and --out=FILE.
 
-#include <cstdio>
-
-#include "common/bench_util.h"
-#include "skute/sim/simulation.h"
-
-using namespace skute;
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int epochs = args.epochs > 0 ? args.epochs : 300;
-  const int sample = args.full_csv ? 1
-                     : args.sample_every > 0 ? args.sample_every
-                                             : 5;
-
-  bench::PrintHeader(
-      "Fig. 2 — Replication process at startup (vnodes per server)",
-      "the system soon reaches equilibrium, where fewer virtual nodes "
-      "reside at expensive servers");
-
-  SimConfig config = SimConfig::Paper();
-  config.seed = args.seed;
-  config.backend = bench::BackendFromFlag(args.backend, "fig2_startup_convergence");
-  // Fig. 2 watches the startup transient itself: load everything up
-  // front, no interleaved decision epochs.
-  config.load_chunk_objects = 0;
-  Simulation sim(config);
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("initialization failed: %s\n", init.ToString().c_str());
-    return 1;
-  }
-  std::printf("servers=%zu partitions=%zu initial_vnodes=%zu "
-              "storage_util=%.3f\n",
-              sim.cluster().size(),
-              sim.store().catalog().total_partitions(),
-              sim.store().catalog().total_vnodes(),
-              sim.cluster().StorageUtilization());
-
-  sim.Run(epochs);
-
-  bench::PrintSection("series (CSV, sampled)");
-  bench::PrintSampledCsv(sim.metrics(), sample);
-
-  const auto& series = sim.metrics().series();
-  const EpochSnapshot& first = series.front();
-  const EpochSnapshot& last = series.back();
-
-  bench::PrintSection("summary");
-  std::printf("epoch 0:    vnodes=%zu cheap_mean=%s expensive_mean=%s\n",
-              first.total_vnodes, bench::Fmt(first.vnodes_mean_cheap).c_str(),
-              bench::Fmt(first.vnodes_mean_expensive).c_str());
-  std::printf("epoch %d:  vnodes=%zu cheap_mean=%s expensive_mean=%s "
-              "min=%s max=%s cv=%s\n",
-              epochs - 1, last.total_vnodes,
-              bench::Fmt(last.vnodes_mean_cheap).c_str(),
-              bench::Fmt(last.vnodes_mean_expensive).c_str(),
-              bench::Fmt(last.vnodes_min, 0).c_str(),
-              bench::Fmt(last.vnodes_max, 0).c_str(),
-              bench::Fmt(last.vnodes_cv).c_str());
-
-  // Action volume in the last 10% of the run vs the first 10%.
-  uint64_t early_actions = 0, late_actions = 0;
-  const size_t tenth = series.size() / 10;
-  for (size_t i = 0; i < tenth; ++i) {
-    early_actions += series[i].exec.applied();
-    late_actions += series[series.size() - 1 - i].exec.applied();
-  }
-  std::printf("actions in first %zu epochs: %llu; in last %zu epochs: "
-              "%llu\n",
-              tenth, static_cast<unsigned long long>(early_actions), tenth,
-              static_cast<unsigned long long>(late_actions));
-
-  size_t below_total = 0;
-  for (size_t r = 0; r < last.ring_below_threshold.size(); ++r) {
-    below_total += last.ring_below_threshold[r];
-  }
-
-  bench::ShapeChecks checks;
-  checks.Check("replication happened at startup",
-               last.total_vnodes > first.total_vnodes * 2,
-               "vnodes " + std::to_string(first.total_vnodes) + " -> " +
-                   std::to_string(last.total_vnodes));
-  checks.Check(
-      "equilibrium reached (action volume collapses)",
-      late_actions * 10 < early_actions + 10,
-      std::to_string(early_actions) + " early vs " +
-          std::to_string(late_actions) + " late");
-  // The paper's claim is qualitative ("fewer virtual nodes reside at
-  // expensive servers"); with alpha=4 congestion pricing the split
-  // equalizes once cheap servers' storage pressure offsets their price
-  // advantage, so we require a clear but not extreme separation.
-  checks.Check("fewer vnodes on expensive servers",
-               last.vnodes_mean_cheap > 1.15 * last.vnodes_mean_expensive,
-               "cheap " + bench::Fmt(last.vnodes_mean_cheap) +
-                   " vs expensive " +
-                   bench::Fmt(last.vnodes_mean_expensive));
-  checks.Check("every partition meets its SLA at equilibrium",
-               below_total == 0,
-               std::to_string(below_total) + " below threshold");
-  checks.Check("no data lost during convergence",
-               sim.store().lost_partitions() == 0 &&
-                   sim.store().insert_failures() == 0,
-               "lost=" + std::to_string(sim.store().lost_partitions()) +
-                   " insert_failures=" +
-                   std::to_string(sim.store().insert_failures()));
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario("fig2_startup_convergence",
+                                                argc, argv);
 }

@@ -1,152 +1,15 @@
 // Figure 3 — "Total (per ring) number of virtual nodes upon upgrades and
 // failures."
 //
-// Scenario (Section III-C): after startup convergence, 20 new servers join
-// at epoch 100 and 20 different servers are removed at epoch 200. The
-// paper's claim: per-ring vnode totals stay constant when resources are
-// added, and rise (re-replication) after the failure to restore
-// availability.
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_paper.cc, spec "fig3_elasticity"); run it
+// directly or via `skute_scenarios --run=fig3_elasticity`. Existing
+// flags (--epochs/--seed/--sample/--csv/--threads/--backend) keep
+// working, plus --placement and --out=FILE.
 
-#include <algorithm>
-#include <cstdio>
-
-#include "common/bench_util.h"
-#include "skute/sim/simulation.h"
-
-using namespace skute;
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int epochs = args.epochs > 0 ? args.epochs : 300;
-  const int sample = args.full_csv ? 1
-                     : args.sample_every > 0 ? args.sample_every
-                                             : 5;
-
-  bench::PrintHeader(
-      "Fig. 3 — Per-ring virtual node totals under arrivals and failures",
-      "totals remain constant after adding 20 servers (epoch 100) and "
-      "increase upon removing 20 servers (epoch 200) to maintain "
-      "availability");
-
-  SimConfig config = SimConfig::Paper();
-  config.seed = args.seed;
-  config.backend = bench::BackendFromFlag(args.backend, "fig3_elasticity");
-  Simulation sim(config);
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("initialization failed: %s\n", init.ToString().c_str());
-    return 1;
-  }
-
-  const Epoch arrival_epoch = 100;
-  const Epoch failure_epoch = 200;
-  sim.ScheduleEvent(SimEvent::AddServers(arrival_epoch, 20));
-  sim.ScheduleEvent(SimEvent::FailRandom(failure_epoch, 20));
-  sim.Run(epochs);
-
-  bench::PrintSection("series (CSV, sampled)");
-  bench::PrintSampledCsv(sim.metrics(), sample);
-
-  const auto& series = sim.metrics().series();
-  // The summary reads fixed epochs around the arrival/failure events; a
-  // shortened run doesn't contain them and indexing past the series end
-  // would read out of bounds.
-  if (series.size() <= static_cast<size_t>(failure_epoch)) {
-    std::printf("run too short for the Fig. 3 summary (need > %llu "
-                "epochs, have %zu); skipping shape checks\n",
-                static_cast<unsigned long long>(failure_epoch),
-                series.size());
-    return 0;
-  }
-  auto vnodes_at = [&](Epoch e) {
-    return series[static_cast<size_t>(e)].total_vnodes;
-  };
-  auto ring_vnodes_at = [&](Epoch e, size_t r) {
-    return series[static_cast<size_t>(e)].ring_vnodes[r];
-  };
-
-  const size_t before_arrival = vnodes_at(arrival_epoch - 1);
-  const size_t after_arrival = vnodes_at(arrival_epoch + 20);
-  const size_t before_failure = vnodes_at(failure_epoch - 1);
-  const size_t at_failure = vnodes_at(failure_epoch);
-  const size_t end_total = series.back().total_vnodes;
-
-  // Recovery time: epochs after the failure until every *repairable*
-  // partition is back at its SLA. Partitions whose every replica sat on
-  // the 20 failed servers are gone for good (no surviving copy to
-  // replicate from) — with 2-replica SLAs and 10% of the cloud failing
-  // at once, a small number of such losses is information-theoretically
-  // unavoidable; they are reported separately below.
-  int recovery_epochs = -1;
-  for (size_t i = static_cast<size_t>(failure_epoch); i < series.size();
-       ++i) {
-    size_t below = 0;
-    size_t lost = 0;
-    for (size_t r = 0; r < series[i].ring_below_threshold.size(); ++r) {
-      below += series[i].ring_below_threshold[r];
-      lost += series[i].ring_lost[r];
-    }
-    if (below <= lost) {
-      recovery_epochs = static_cast<int>(i) - static_cast<int>(failure_epoch);
-      break;
-    }
-  }
-  const size_t lost_total = series.back().ring_lost[0] +
-                            series.back().ring_lost[1] +
-                            series.back().ring_lost[2];
-
-  bench::PrintSection("summary");
-  std::printf("total vnodes: before arrival=%zu, after arrival=%zu, "
-              "before failure=%zu, at failure=%zu, end=%zu\n",
-              before_arrival, after_arrival, before_failure, at_failure,
-              end_total);
-  for (size_t r = 0; r < 3; ++r) {
-    std::printf("ring %zu vnodes: pre-arrival=%zu post-arrival=%zu "
-                "pre-failure=%zu end=%zu\n",
-                r, ring_vnodes_at(arrival_epoch - 1, r),
-                ring_vnodes_at(arrival_epoch + 20, r),
-                ring_vnodes_at(failure_epoch - 1, r),
-                series.back().ring_vnodes[r]);
-  }
-  std::printf("SLA recovery after failure: %d epochs\n", recovery_epochs);
-  std::printf("unrecoverable (all replicas on failed servers): ring0=%zu "
-              "ring1=%zu ring2=%zu\n",
-              series.back().ring_lost[0], series.back().ring_lost[1],
-              series.back().ring_lost[2]);
-
-  bench::ShapeChecks checks;
-  const double arrival_drift =
-      std::abs(static_cast<double>(after_arrival) -
-               static_cast<double>(before_arrival)) /
-      static_cast<double>(before_arrival);
-  checks.Check("totals constant through the arrival (epoch 100)",
-               arrival_drift < 0.02,
-               "drift " + bench::Fmt(arrival_drift * 100) + "%");
-  checks.Check("failure knocks replicas out at epoch 200",
-               at_failure < before_failure,
-               std::to_string(before_failure) + " -> " +
-                   std::to_string(at_failure));
-  checks.Check("re-replication restores the population",
-               end_total + lost_total * 4 >= before_failure * 98 / 100,
-               "end " + std::to_string(end_total) + " vs pre-failure " +
-                   std::to_string(before_failure));
-  checks.Check("repairable partitions back at SLA within 40 epochs",
-               recovery_epochs >= 0 && recovery_epochs <= 40,
-               recovery_epochs < 0
-                   ? "never recovered"
-                   : std::to_string(recovery_epochs) + " epochs");
-  checks.Check("ring ordering preserved (4-replica ring largest)",
-               series.back().ring_vnodes[2] > series.back().ring_vnodes[1] &&
-                   series.back().ring_vnodes[1] >
-                       series.back().ring_vnodes[0],
-               std::to_string(series.back().ring_vnodes[0]) + " < " +
-                   std::to_string(series.back().ring_vnodes[1]) + " < " +
-                   std::to_string(series.back().ring_vnodes[2]));
-  checks.Check(
-      "unavoidable losses stay near the independent-placement floor",
-      lost_total <= 24 && series.back().ring_lost[2] == 0,
-      "lost " + std::to_string(lost_total) +
-          " of 2400 partitions (4-replica ring: " +
-          std::to_string(series.back().ring_lost[2]) + ")");
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario("fig3_elasticity", argc,
+                                                argv);
 }

@@ -1,134 +1,14 @@
 // Figure 4 — "Average query load per virtual ring per server over time."
 //
-// Scenario (Section III-D): the Slashdot effect. From epoch 100 the total
-// query rate climbs from 3000 to 183000 queries/epoch within 25 epochs,
-// then decays back to 3000 over 250 epochs. Applications 1/2/3 attract
-// 4/7, 2/7 and 1/7 of the load. The paper's claim: per-server query load
-// stays balanced throughout the spike.
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_paper.cc, spec "fig4_slashdot"); run it
+// directly or via `skute_scenarios --run=fig4_slashdot`. Existing flags
+// (--epochs/--seed/--sample/--csv/--threads/--backend) keep working,
+// plus --placement and --out=FILE.
 
-#include <algorithm>
-#include <cstdio>
-
-#include "common/bench_util.h"
-#include "skute/sim/simulation.h"
-#include "skute/workload/schedule.h"
-
-using namespace skute;
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int epochs = args.epochs > 0 ? args.epochs : 400;
-  const int sample = args.full_csv ? 1
-                     : args.sample_every > 0 ? args.sample_every
-                                             : 5;
-
-  bench::PrintHeader(
-      "Fig. 4 — Average query load per ring per server (Slashdot spike)",
-      "query load per server remains quite balanced despite the rate "
-      "varying 3000 -> 183000 -> 3000");
-
-  SimConfig config = SimConfig::Paper();
-  config.seed = args.seed;
-  config.backend = bench::BackendFromFlag(args.backend, "fig4_slashdot");
-  Simulation sim(config);
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("initialization failed: %s\n", init.ToString().c_str());
-    return 1;
-  }
-  const SlashdotSchedule schedule = SlashdotSchedule::Paper();
-  sim.SetRateSchedule(std::make_unique<SlashdotSchedule>(schedule));
-  sim.Run(epochs);
-
-  bench::PrintSection("series (CSV, sampled)");
-  bench::PrintSampledCsv(sim.metrics(), sample);
-
-  const auto& series = sim.metrics().series();
-  const size_t peak = static_cast<size_t>(schedule.peak_epoch());
-  // The summary compares the base epoch against the spike's peak; a
-  // shortened run (--epochs below the peak) has neither, and indexing
-  // series[50]/series[peak] would read out of bounds.
-  if (series.size() <= peak || peak <= 50) {
-    std::printf("run too short for the Fig. 4 summary (need > %zu "
-                "epochs, have %zu); skipping shape checks\n",
-                peak, series.size());
-    return 0;
-  }
-
-  auto ratio_at = [&](size_t e, size_t num, size_t den) {
-    const double d = series[e].ring_load_mean[den];
-    return d > 0 ? series[e].ring_load_mean[num] / d : 0.0;
-  };
-
-  // Aggregate drop rate over the spike window.
-  uint64_t spike_routed = 0, spike_dropped = 0, spike_replications = 0;
-  for (size_t e = 100; e < std::min<size_t>(series.size(), 375); ++e) {
-    spike_routed += series[e].queries_routed;
-    spike_dropped += series[e].queries_dropped;
-  }
-  for (size_t e = 100; e <= peak && e < series.size(); ++e) {
-    spike_replications += series[e].exec.replications;
-  }
-  uint64_t decay_suicides = 0;
-  for (size_t e = peak; e < series.size(); ++e) {
-    decay_suicides += series[e].exec.suicides;
-  }
-
-  bench::PrintSection("summary");
-  std::printf("base (epoch 50):  ring loads/server = %s / %s / %s\n",
-              bench::Fmt(series[50].ring_load_mean[0]).c_str(),
-              bench::Fmt(series[50].ring_load_mean[1]).c_str(),
-              bench::Fmt(series[50].ring_load_mean[2]).c_str());
-  std::printf("peak (epoch %zu): ring loads/server = %s / %s / %s\n", peak,
-              bench::Fmt(series[peak].ring_load_mean[0]).c_str(),
-              bench::Fmt(series[peak].ring_load_mean[1]).c_str(),
-              bench::Fmt(series[peak].ring_load_mean[2]).c_str());
-  std::printf("per-server load CV at peak: ring0=%s ring1=%s ring2=%s\n",
-              bench::Fmt(series[peak].ring_load_cv[0]).c_str(),
-              bench::Fmt(series[peak].ring_load_cv[1]).c_str(),
-              bench::Fmt(series[peak].ring_load_cv[2]).c_str());
-  std::printf("spike window: routed=%llu dropped=%llu (%.3f%%), "
-              "replications during ramp=%llu, suicides during decay=%llu\n",
-              static_cast<unsigned long long>(spike_routed),
-              static_cast<unsigned long long>(spike_dropped),
-              spike_routed > 0 ? 100.0 * spike_dropped / spike_routed : 0.0,
-              static_cast<unsigned long long>(spike_replications),
-              static_cast<unsigned long long>(decay_suicides));
-
-  bench::ShapeChecks checks;
-  checks.Check("load scales ~61x between base and peak",
-               series[peak].ring_load_mean[0] >
-                   30.0 * series[50].ring_load_mean[0],
-               bench::Fmt(series[50].ring_load_mean[0]) + " -> " +
-                   bench::Fmt(series[peak].ring_load_mean[0]));
-  checks.Check("app fractions hold at base (~2x and ~4x)",
-               ratio_at(50, 0, 1) > 1.5 && ratio_at(50, 0, 1) < 2.5 &&
-                   ratio_at(50, 0, 2) > 3.0 && ratio_at(50, 0, 2) < 5.0,
-               "r0/r1=" + bench::Fmt(ratio_at(50, 0, 1)) +
-                   " r0/r2=" + bench::Fmt(ratio_at(50, 0, 2)));
-  checks.Check("app fractions hold at peak",
-               ratio_at(peak, 0, 1) > 1.5 && ratio_at(peak, 0, 1) < 2.5 &&
-                   ratio_at(peak, 0, 2) > 3.0 &&
-                   ratio_at(peak, 0, 2) < 5.0,
-               "r0/r1=" + bench::Fmt(ratio_at(peak, 0, 1)) +
-                   " r0/r2=" + bench::Fmt(ratio_at(peak, 0, 2)));
-  checks.Check("dropped queries stay marginal through the spike",
-               spike_routed > 0 &&
-                   static_cast<double>(spike_dropped) / spike_routed < 0.02,
-               bench::Fmt(spike_routed > 0
-                              ? 100.0 * spike_dropped / spike_routed
-                              : 0.0, 3) +
-                   "% dropped");
-  checks.Check("hot partitions replicate during the ramp",
-               spike_replications > 0,
-               std::to_string(spike_replications) + " replications");
-  checks.Check("over-provisioned replicas retire during the decay",
-               decay_suicides > 0,
-               std::to_string(decay_suicides) + " suicides");
-  checks.Check("load returns to base after the spike",
-               series.back().ring_load_mean[0] <
-                   3.0 * series[50].ring_load_mean[0],
-               bench::Fmt(series.back().ring_load_mean[0]) + " vs base " +
-                   bench::Fmt(series[50].ring_load_mean[0]));
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario("fig4_slashdot", argc,
+                                                argv);
 }

@@ -1,115 +1,14 @@
 // Figure 5 — "Storage saturation: insert failures."
 //
-// Scenario (Section III-E): the cloud is saturated with 2000 insert
-// requests/epoch of 500 KB each, Pareto-skewed across the key space. The
-// paper's claim: the used storage is balanced efficiently enough that no
-// inserts fail until ~96% of the total capacity is in use.
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_paper.cc, spec "fig5_saturation"); run it
+// directly or via `skute_scenarios --run=fig5_saturation`. Existing
+// flags (--epochs/--seed/--sample/--csv/--threads/--backend) keep
+// working, plus --placement and --out=FILE.
 
-#include <cstdio>
-
-#include "common/bench_util.h"
-#include "skute/sim/simulation.h"
-
-using namespace skute;
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int max_epochs = args.epochs > 0 ? args.epochs : 900;
-  const int sample = args.full_csv ? 1
-                     : args.sample_every > 0 ? args.sample_every
-                                             : 10;
-
-  bench::PrintHeader(
-      "Fig. 5 — Storage saturation: insert failures",
-      "no data losses for used capacity up to 96% of the total storage");
-
-  SimConfig config = SimConfig::Paper();
-  config.seed = args.seed;
-  config.backend = bench::BackendFromFlag(args.backend, "fig5_saturation");
-  Simulation sim(config);
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("initialization failed: %s\n", init.ToString().c_str());
-    return 1;
-  }
-  InsertWorkloadOptions inserts;
-  inserts.inserts_per_epoch = 2000;
-  inserts.object_bytes = 500 * kKB;
-  sim.EnableInserts(inserts);
-
-  std::printf("capacity=%s, start utilization=%.3f, insert rate=%s/epoch\n",
-              FormatBytes(sim.cluster().TotalStorageCapacity()).c_str(),
-              sim.cluster().StorageUtilization(),
-              FormatBytes(inserts.inserts_per_epoch *
-                          inserts.object_bytes).c_str());
-
-  // Run until inserts have been failing persistently (fully saturated)
-  // or the epoch budget runs out.
-  double util_at_first_failure = -1.0;
-  int consecutive_failing = 0;
-  for (int e = 0; e < max_epochs; ++e) {
-    sim.Step();
-    const EpochSnapshot& snap = sim.metrics().last();
-    if (snap.insert_failed > 0) {
-      if (util_at_first_failure < 0) {
-        util_at_first_failure = snap.storage_utilization;
-      }
-      ++consecutive_failing;
-    } else {
-      consecutive_failing = 0;
-    }
-    if (consecutive_failing >= 25) break;  // deep into saturation
-  }
-
-  bench::PrintSection("series (CSV, sampled)");
-  bench::PrintSampledCsv(sim.metrics(), sample);
-
-  const auto& series = sim.metrics().series();
-  const EpochSnapshot& last = series.back();
-
-  // Highest utilization observed with zero failures so far.
-  double clean_util = 0.0;
-  bool failures_seen = false;
-  for (const EpochSnapshot& s : series) {
-    if (s.insert_failures_total > 0) {
-      failures_seen = true;
-      break;
-    }
-    clean_util = s.storage_utilization;
-  }
-
-  bench::PrintSection("summary");
-  std::printf("epochs run: %zu, final utilization=%.3f\n", series.size(),
-              last.storage_utilization);
-  std::printf("highest failure-free utilization: %.3f\n", clean_util);
-  std::printf("utilization at first insert failure: %s\n",
-              util_at_first_failure < 0
-                  ? "never failed"
-                  : bench::Fmt(util_at_first_failure, 3).c_str());
-  std::printf("total insert failures: %llu\n",
-              static_cast<unsigned long long>(last.insert_failures_total));
-
-  bench::ShapeChecks checks;
-  checks.Check("saturation was reached (failures eventually appear)",
-               failures_seen,
-               "final utilization " +
-                   bench::Fmt(last.storage_utilization, 3));
-  checks.Check("no insert failures below 90% utilization",
-               util_at_first_failure < 0 || util_at_first_failure >= 0.90,
-               "first failure at " +
-                   (util_at_first_failure < 0
-                        ? std::string("never")
-                        : bench::Fmt(util_at_first_failure, 3)));
-  checks.Check("storage kept balanced while filling (CV of vnode "
-               "placement stays moderate)",
-               last.vnodes_cv < 1.0,
-               "vnodes/server CV " + bench::Fmt(last.vnodes_cv));
-  checks.Check("partitions kept splitting under the insert stream",
-               sim.store().catalog().total_partitions() > 2400,
-               std::to_string(sim.store().catalog().total_partitions()) +
-                   " partitions");
-  checks.Check("no partitions lost",
-               sim.store().lost_partitions() == 0,
-               std::to_string(sim.store().lost_partitions()) + " lost");
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario("fig5_saturation", argc,
+                                                argv);
 }

@@ -1,166 +1,14 @@
-// Future-work analysis — the paper's conclusion: "In the future, we will
-// implement a full prototype of the approach and analyze its performance
-// regarding latency and communication overhead."
+// Future-work analysis — communication overhead and query latency per
+// regime (paper Section IV).
 //
-// This bench does that analysis on the simulator: it breaks the
-// protocol's message traffic into classes (board publication, client
-// queries, write-consistency fan-out, replica transfers, decision
-// control) across three regimes — steady state, failure recovery, and a
-// load spike — and measures expected query RTT per ring with and without
-// geographic client skew.
+// Thin wrapper: the experiment lives in the scenario registry
+// (src/skute/scenario/catalog_paper.cc, spec "overhead_analysis"); run
+// it directly or via `skute_scenarios --run=overhead_analysis`.
+// --epochs sets the per-regime phase length (default 60).
 
-#include <cstdio>
-
-#include "common/bench_util.h"
-#include "skute/common/table.h"
-#include "skute/sim/simulation.h"
-#include "skute/workload/geo.h"
-#include "skute/workload/schedule.h"
-
-using namespace skute;
-
-namespace {
-
-struct Window {
-  CommStats comm;
-  double epochs = 0;
-  double mean_latency_ms = 0.0;
-
-  void Add(const EpochSnapshot& snap) {
-    comm.Accumulate(snap.comm);
-    epochs += 1.0;
-    double weighted = 0.0, weight = 0.0;
-    for (size_t r = 0; r < snap.ring_latency_ms.size(); ++r) {
-      weighted += snap.ring_latency_ms[r] * snap.ring_load_mean[r];
-      weight += snap.ring_load_mean[r];
-    }
-    mean_latency_ms += weight > 0 ? weighted / weight : 0.0;
-  }
-
-  std::vector<std::string> Row(const char* name) const {
-    auto per_epoch = [&](uint64_t v) {
-      return AsciiTable::Num(static_cast<double>(v) / epochs, 1);
-    };
-    return {name,
-            per_epoch(comm.board_msgs),
-            per_epoch(comm.query_msgs),
-            per_epoch(comm.consistency_msgs),
-            per_epoch(comm.transfer_msgs),
-            per_epoch(comm.control_msgs),
-            FormatBytes(static_cast<uint64_t>(
-                static_cast<double>(comm.transfer_bytes) / epochs)),
-            AsciiTable::Num(mean_latency_ms / epochs, 1)};
-  }
-};
-
-}  // namespace
+#include "skute/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const bench::Args args = bench::ParseArgs(argc, argv);
-  const int phase = args.epochs > 0 ? args.epochs : 60;
-
-  bench::PrintHeader(
-      "Future work — communication overhead and query latency",
-      "quantify the message/byte cost of the economy per regime and the "
-      "RTT effect of geographic placement (paper Section IV)");
-
-  SimConfig config = SimConfig::Paper();
-  config.seed = args.seed;
-  config.backend = bench::BackendFromFlag(args.backend, "overhead_analysis");
-  Simulation sim(config);
-  const Status init = sim.Initialize();
-  if (!init.ok()) {
-    std::printf("init failed: %s\n", init.ToString().c_str());
-    return 1;
-  }
-  // A light write stream so the consistency fan-out class is exercised.
-  InsertWorkloadOptions writes;
-  writes.inserts_per_epoch = 200;
-  writes.object_bytes = 500 * kKB;
-  sim.EnableInserts(writes);
-  // Settle the residual post-startup churn before measuring.
-  sim.Run(2 * phase);
-
-  // Regime 1: steady state.
-  Window steady;
-  sim.Run(phase);
-  for (size_t i = sim.metrics().series().size() - phase;
-       i < sim.metrics().series().size(); ++i) {
-    steady.Add(sim.metrics().series()[i]);
-  }
-
-  // Regime 2: failure recovery (20 servers die).
-  Window recovery;
-  sim.ScheduleEvent(SimEvent::FailRandom(sim.run_epoch(), 20));
-  sim.Run(phase);
-  for (size_t i = sim.metrics().series().size() - phase;
-       i < sim.metrics().series().size(); ++i) {
-    recovery.Add(sim.metrics().series()[i]);
-  }
-
-  // Regime 3: a 10x load spike.
-  Window spike;
-  sim.SetRateSchedule(std::make_unique<SlashdotSchedule>(
-      3000.0, 30000.0, sim.run_epoch() + 5, 10, 30));
-  sim.Run(phase);
-  for (size_t i = sim.metrics().series().size() - phase;
-       i < sim.metrics().series().size(); ++i) {
-    spike.Add(sim.metrics().series()[i]);
-  }
-
-  bench::PrintSection("messages per epoch by class and regime");
-  AsciiTable table({"regime", "board", "queries", "consistency",
-                    "transfers", "control", "transfer bytes",
-                    "mean RTT (ms)"});
-  table.AddRow(steady.Row("steady state"));
-  table.AddRow(recovery.Row("failure recovery"));
-  table.AddRow(spike.Row("10x load spike"));
-  std::printf("%s", table.ToString().c_str());
-
-  // Latency with geographic skew: hotspot clients on ring 0, watch the
-  // expected RTT fall as replicas chase the clients.
-  bench::PrintSection("query latency under a 90% single-country hotspot");
-  const ClientMix mix =
-      HotspotMix(config.grid, Location::Of(0, 0, 0, 0, 0, 0), 0.9);
-  (void)sim.store().SetClientMix(sim.rings()[0], mix);
-  const double rtt_before = sim.metrics().last().ring_latency_ms[0];
-  sim.Run(120);
-  const double rtt_after = sim.metrics().last().ring_latency_ms[0];
-  std::printf("ring0 expected query RTT: %.1f ms (uniform placement) -> "
-              "%.1f ms (after 120 hotspot epochs)\n",
-              rtt_before, rtt_after);
-
-  bench::ShapeChecks checks;
-  checks.Check(
-      "steady-state overhead is dominated by queries, not control",
-      steady.comm.query_msgs >
-          10 * (steady.comm.control_msgs + steady.comm.transfer_msgs),
-      std::to_string(steady.comm.query_msgs) + " query vs " +
-          std::to_string(steady.comm.control_msgs +
-                         steady.comm.transfer_msgs) +
-          " control+transfer msgs");
-  checks.Check("failure recovery adds transfer traffic over steady state",
-               recovery.comm.transfer_bytes >
-                   steady.comm.transfer_bytes * 3 / 2,
-               FormatBytes(recovery.comm.transfer_bytes) + " vs " +
-                   FormatBytes(steady.comm.transfer_bytes));
-  checks.Check("write stream produces consistency fan-out",
-               steady.comm.consistency_msgs >
-                   static_cast<uint64_t>(steady.epochs) * 200,
-               std::to_string(steady.comm.consistency_msgs) + " msgs");
-  checks.Check("board overhead is one message per server per epoch",
-               steady.comm.board_msgs ==
-                   static_cast<uint64_t>(steady.epochs) * 200,
-               std::to_string(steady.comm.board_msgs) + " msgs over " +
-                   std::to_string(static_cast<int>(steady.epochs)) +
-                   " epochs");
-  // At the paper's lambda=3000 a vnode sees ~1 query/epoch, so the
-  // proximity term moves placement slowly — the effect is measurable but
-  // modest here; the geo_placement example shows the strong version at
-  // higher per-vnode query value.
-  checks.Check("geographic placement measurably cuts the hotspot's RTT",
-               rtt_after < rtt_before * 0.95,
-               bench::Fmt(rtt_before, 1) + " ms -> " +
-                   bench::Fmt(rtt_after, 1) + " ms");
-  return checks.Summarize();
+  return skute::scenario::RunRegisteredScenario("overhead_analysis", argc,
+                                                argv);
 }

@@ -1,0 +1,85 @@
+// skute_scenarios — the registry-driven experiment runner.
+//
+// Usage:
+//   skute_scenarios --list
+//   skute_scenarios --run=NAME [--epochs=N] [--seed=S] [--sample=K]
+//                   [--csv] [--threads=T] [--backend=memory|durable|file]
+//                   [--placement=economic|static] [--out=FILE]
+//
+// Every registered scenario — the seven ported paper/ablation
+// experiments plus the composed ones — runs through the same
+// ScenarioRunner lifecycle; a bench that used to be a ~200-line main()
+// is now a spec in src/skute/scenario/catalog_*.cc.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "skute/scenario/registry.h"
+#include "skute/scenario/runner.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: skute_scenarios --list\n"
+      "       skute_scenarios --run=NAME [--epochs=N] [--seed=S]\n"
+      "                       [--sample=K] [--csv] [--threads=T]\n"
+      "                       [--backend=memory|durable|file]\n"
+      "                       [--placement=economic|static] [--out=FILE]\n");
+}
+
+void PrintList() {
+  const auto specs = skute::scenario::ScenarioRegistry::Global().List();
+  std::printf("%zu registered scenarios:\n\n", specs.size());
+  size_t width = 0;
+  for (const auto* spec : specs) {
+    width = std::max(width, spec->name.size());
+  }
+  for (const auto* spec : specs) {
+    std::printf("  %-*s  %s\n", static_cast<int>(width),
+                spec->name.c_str(), spec->description.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  skute::scenario::RegisterBuiltinScenarios();
+
+  bool list = false;
+  std::string run;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strncmp(argv[i], "--run=", 6) == 0) {
+      run = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    }
+  }
+
+  if (list) {
+    PrintList();
+    return 0;
+  }
+  if (run.empty()) {
+    PrintUsage();
+    std::printf("\n");
+    PrintList();
+    return 2;
+  }
+
+  const auto spec =
+      skute::scenario::ScenarioRegistry::Global().Find(run);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  const skute::scenario::RunOverrides overrides =
+      skute::scenario::ParseOverrides(argc, argv, {"--list", "--help"},
+                                      {"--run="});
+  return skute::scenario::ScenarioRunner::RunMain(**spec, overrides);
+}

@@ -1,0 +1,36 @@
+#include "skute/scenario/catalog.h"
+
+#include "skute/common/logging.h"
+#include "skute/scenario/registry.h"
+
+namespace skute::scenario {
+
+void RegisterBuiltinScenarios() {
+  // No once-latch: idempotence comes from skipping names that are
+  // already registered, so a registry Clear() (test isolation) followed
+  // by another call re-populates the builtins.
+  ScenarioRegistry& registry = ScenarioRegistry::Global();
+  for (auto* builder : {
+           &Fig2StartupConvergenceSpec,
+           &Fig3ElasticitySpec,
+           &Fig4SlashdotSpec,
+           &Fig5SaturationSpec,
+           &OverheadAnalysisSpec,
+           &AblationParamsSpec,
+           &AblationEconomyVsStaticSpec,
+           &SteadyStateSpec,
+           &FlashCrowdFailureSpec,
+           &RollingChurnSpec,
+           &HeteroBackendFleetSpec,
+       }) {
+    ScenarioSpec spec = builder();
+    if (registry.Find(spec.name).ok()) continue;
+    const Status status = registry.Register(std::move(spec));
+    if (!status.ok()) {
+      SKUTE_LOG(kError) << "scenario registration failed: "
+                        << status.ToString();
+    }
+  }
+}
+
+}  // namespace skute::scenario

@@ -1,0 +1,28 @@
+#ifndef SKUTE_SCENARIO_CATALOG_H_
+#define SKUTE_SCENARIO_CATALOG_H_
+
+#include "skute/scenario/spec.h"
+
+namespace skute::scenario {
+
+// The seven ported paper-figure / ablation experiments. Each builder
+// returns the spec the matching legacy bench binary now runs through;
+// tests grab them directly to re-scale (e.g. the fig3 golden test swaps
+// in SimConfig::Tiny()).
+ScenarioSpec Fig2StartupConvergenceSpec();  // catalog_paper.cc
+ScenarioSpec Fig3ElasticitySpec();
+ScenarioSpec Fig4SlashdotSpec();
+ScenarioSpec Fig5SaturationSpec();
+ScenarioSpec OverheadAnalysisSpec();
+ScenarioSpec AblationParamsSpec();            // catalog_ablation.cc
+ScenarioSpec AblationEconomyVsStaticSpec();
+
+// Scenarios the paper never ran, composed from the same primitives.
+ScenarioSpec SteadyStateSpec();           // catalog_composed.cc
+ScenarioSpec FlashCrowdFailureSpec();     // Fig. 4 spike × Fig. 3 failure
+ScenarioSpec RollingChurnSpec();          // periodic add+fail waves
+ScenarioSpec HeteroBackendFleetSpec();    // per-server backend mix
+
+}  // namespace skute::scenario
+
+#endif  // SKUTE_SCENARIO_CATALOG_H_

@@ -1,0 +1,351 @@
+// Scenarios the paper never ran, composed from the same declarative
+// primitives the ported figures use — the point of the ScenarioSpec API:
+// a new workload is a ~30-line spec, not a new binary.
+
+#include <cstdio>
+#include <string>
+
+#include "skute/scenario/catalog.h"
+#include "skute/scenario/report.h"
+
+namespace skute::scenario {
+
+namespace {
+
+size_t SnapBelowTotal(const EpochSnapshot& snap) {
+  size_t below = 0;
+  for (size_t r = 0; r < snap.ring_below_threshold.size(); ++r) {
+    below += snap.ring_below_threshold[r];
+  }
+  return below;
+}
+
+size_t SnapLostTotal(const EpochSnapshot& snap) {
+  size_t lost = 0;
+  for (size_t r = 0; r < snap.ring_lost.size(); ++r) {
+    lost += snap.ring_lost[r];
+  }
+  return lost;
+}
+
+/// Shared end-state check: every partition that still has a surviving
+/// replica is back at its SLA.
+ShapeCheckResult RepairableSlasMet(const ScenarioContext& ctx) {
+  const EpochSnapshot& last = ctx.sim.metrics().last();
+  const size_t below = SnapBelowTotal(last);
+  const size_t lost = SnapLostTotal(last);
+  return {below <= lost, std::to_string(below) + " below SLA vs " +
+                             std::to_string(lost) + " unrepairable"};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Steady state — the null scenario: the paper's cloud with no events.
+
+ScenarioSpec SteadyStateSpec() {
+  ScenarioSpec spec;
+  spec.name = "steady_state";
+  spec.title = "Steady state — the paper's cloud, no disturbances";
+  spec.claim =
+      "with nothing happening, the economy converges and then leaves the "
+      "placement alone: SLAs met, churn near zero";
+  spec.description =
+      "baseline/regression scenario: 200 servers, paper workload, no "
+      "events; converge and stay quiet";
+  spec.default_epochs = 150;
+  spec.checks_require_epochs = 60;
+  spec.summarize = [](const ScenarioContext& ctx) {
+    const auto& series = ctx.sim.metrics().series();
+    uint64_t late_actions = 0;
+    for (size_t i = series.size() - 20; i < series.size(); ++i) {
+      late_actions += series[i].exec.applied();
+    }
+    PrintSection("summary");
+    std::printf("end vnodes=%zu, actions in last 20 epochs=%llu, "
+                "below SLA=%zu\n",
+                series.back().total_vnodes,
+                static_cast<unsigned long long>(late_actions),
+                SnapBelowTotal(series.back()));
+  };
+  spec.checks = {
+      {"every partition meets its SLA at the end",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const size_t below = SnapBelowTotal(ctx.sim.metrics().last());
+         return {below == 0, std::to_string(below) + " below threshold"};
+       }},
+      {"no partitions lost, no insert failures",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         auto& store = ctx.sim.store();
+         return {store.lost_partitions() == 0 &&
+                     store.insert_failures() == 0,
+                 "lost=" + std::to_string(store.lost_partitions()) +
+                     " insert_failures=" +
+                     std::to_string(store.insert_failures())};
+       }},
+      {"steady-state churn is near zero",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const auto& series = ctx.sim.metrics().series();
+         uint64_t late_actions = 0;
+         for (size_t i = series.size() - 20; i < series.size(); ++i) {
+           late_actions += series[i].exec.applied();
+         }
+         return {late_actions <= 20 * 5,
+                 std::to_string(late_actions) + " actions in 20 epochs"};
+       }},
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Flash crowd during failure — Fig. 4's Slashdot spike composed with a
+// Fig. 3-style mass failure in the middle of the ramp: the repair pass
+// and the spike's replica scale-out compete for the same bandwidth.
+
+ScenarioSpec FlashCrowdFailureSpec() {
+  ScenarioSpec spec;
+  spec.name = "flash_crowd_failure";
+  spec.title =
+      "Flash crowd during failure — Slashdot spike × 20-server outage";
+  spec.claim =
+      "composed stress the paper never ran: repair and spike-driven "
+      "scale-out overlap, yet SLAs recover and drops stay marginal";
+  spec.description =
+      "new composed scenario: the Fig. 4 spike with 20 servers failing "
+      "mid-ramp (epoch 110); recovery under peak load";
+  spec.default_epochs = 400;
+  spec.rate = RateSpec::PaperSlashdot();
+  spec.timeline = {SimEvent::FailRandom(110, 20)};
+  // The end-state checks judge the post-decay regime.
+  spec.checks_require_epochs = 375;
+  spec.summarize = [](const ScenarioContext& ctx) {
+    const auto& series = ctx.sim.metrics().series();
+    uint64_t spike_routed = 0, spike_dropped = 0;
+    for (size_t e = 100; e < series.size() && e < 375; ++e) {
+      spike_routed += series[e].queries_routed;
+      spike_dropped += series[e].queries_dropped;
+    }
+    int recovery_epochs = -1;
+    for (size_t i = 110; i < series.size(); ++i) {
+      if (SnapBelowTotal(series[i]) <= SnapLostTotal(series[i])) {
+        recovery_epochs = static_cast<int>(i) - 110;
+        break;
+      }
+    }
+    PrintSection("summary");
+    std::printf("failure at epoch 110 (mid-ramp), peak at 125\n");
+    std::printf("spike window: routed=%llu dropped=%llu (%.3f%%)\n",
+                static_cast<unsigned long long>(spike_routed),
+                static_cast<unsigned long long>(spike_dropped),
+                spike_routed > 0
+                    ? 100.0 * spike_dropped / spike_routed
+                    : 0.0);
+    std::printf("SLA recovery under spike load: %d epochs; "
+                "unrecoverable=%zu\n",
+                recovery_epochs, SnapLostTotal(series.back()));
+  };
+  spec.checks = {
+      {"failure knocks replicas out at epoch 110",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const EpochSnapshot* before = ctx.sim.metrics().SeriesAt(109);
+         const EpochSnapshot* at = ctx.sim.metrics().SeriesAt(110);
+         if (before == nullptr || at == nullptr) {
+           return {false, "series too short"};
+         }
+         return {at->total_vnodes < before->total_vnodes,
+                 std::to_string(before->total_vnodes) + " -> " +
+                     std::to_string(at->total_vnodes)};
+       }},
+      {"repairable partitions recover despite the spike",
+       RepairableSlasMet},
+      {"dropped queries stay bounded through spike + failure",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const auto& series = ctx.sim.metrics().series();
+         uint64_t routed = 0, dropped = 0;
+         for (size_t e = 100; e < series.size() && e < 375; ++e) {
+           routed += series[e].queries_routed;
+           dropped += series[e].queries_dropped;
+         }
+         const double rate =
+             routed > 0 ? static_cast<double>(dropped) / routed : 0.0;
+         return {routed > 0 && rate < 0.05,
+                 Fmt(rate * 100.0, 3) + "% dropped"};
+       }},
+      {"unavoidable losses stay near the independent-placement floor",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const size_t lost = SnapLostTotal(ctx.sim.metrics().last());
+         return {lost <= 24, std::to_string(lost) + " of 2400 lost"};
+       }},
+      {"load returns to base after the spike",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const EpochSnapshot* base = ctx.sim.metrics().SeriesAt(50);
+         if (base == nullptr) return {false, "series too short"};
+         const EpochSnapshot& last = ctx.sim.metrics().last();
+         return {last.ring_load_mean[0] < 3.0 * base->ring_load_mean[0],
+                 Fmt(last.ring_load_mean[0]) + " vs base " +
+                     Fmt(base->ring_load_mean[0])};
+       }},
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Rolling churn — periodic add+fail waves: the cloud is never stable,
+// membership turns over 20% across four waves.
+
+ScenarioSpec RollingChurnSpec() {
+  ScenarioSpec spec;
+  spec.name = "rolling_churn";
+  spec.title = "Rolling churn — four add+fail membership waves";
+  spec.claim =
+      "continuous membership turnover the paper never ran: the economy "
+      "absorbs each wave and keeps repairable SLAs met throughout";
+  spec.description =
+      "new composed scenario: every 60 epochs 10 servers join and 10 "
+      "(random, possibly the new ones) fail 30 epochs later";
+  spec.default_epochs = 320;
+  // Four waves: join at 60+60w, fail at 90+60w.
+  for (Epoch wave = 0; wave < 4; ++wave) {
+    spec.timeline.push_back(SimEvent::AddServers(60 + wave * 60, 10));
+    spec.timeline.push_back(SimEvent::FailRandom(90 + wave * 60, 10));
+  }
+  spec.checks_require_epochs = 290;
+  spec.summarize = [](const ScenarioContext& ctx) {
+    const auto& series = ctx.sim.metrics().series();
+    PrintSection("summary");
+    std::printf("end: online_servers=%zu vnodes=%zu below_sla=%zu "
+                "unrecoverable=%zu\n",
+                series.back().online_servers, series.back().total_vnodes,
+                SnapBelowTotal(series.back()),
+                SnapLostTotal(series.back()));
+  };
+  spec.checks = {
+      {"membership turned over but the fleet is back at strength",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const size_t online = ctx.sim.metrics().last().online_servers;
+         return {online == 200, std::to_string(online) +
+                                    " online (200 + 4x10 - 4x10)"};
+       }},
+      {"repairable partitions back at SLA after the last wave",
+       RepairableSlasMet},
+      {"re-replication keeps the population through churn",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const EpochSnapshot* pre_churn = ctx.sim.metrics().SeriesAt(59);
+         if (pre_churn == nullptr) return {false, "series too short"};
+         const size_t before_waves = pre_churn->total_vnodes;
+         const size_t end = ctx.sim.metrics().last().total_vnodes;
+         return {end * 10 >= before_waves * 9,
+                 "end " + std::to_string(end) + " vs pre-churn " +
+                     std::to_string(before_waves)};
+       }},
+      {"losses stay bounded across all four waves",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const size_t lost = SnapLostTotal(ctx.sim.metrics().last());
+         return {lost <= 40, std::to_string(lost) + " of 2400 lost"};
+       }},
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous-backend fleet — exercises the SimConfig per-server
+// backend hook: every fourth server runs the WAL-durable engine, the
+// rest stay in-memory; the economy must behave identically (placement is
+// synthetic-size driven) while the fleet is genuinely mixed.
+
+ScenarioSpec HeteroBackendFleetSpec() {
+  ScenarioSpec spec;
+  spec.name = "hetero_backend_fleet";
+  spec.title =
+      "Heterogeneous-backend fleet — 25% WAL-durable, 75% in-memory";
+  spec.claim =
+      "per-server backend selection (SimConfig::backend_for_server) runs "
+      "a mixed fleet through the paper workload without disturbing the "
+      "economy; the stepping stone to tiered, cost-aware placement";
+  spec.description =
+      "new composed scenario: per-server backend hook gives every 4th "
+      "server a durable engine; convergence on a mixed fleet";
+  spec.config = [] {
+    SimConfig config = SimConfig::Paper();
+    config.backend_for_server =
+        [](size_t index) -> std::optional<BackendConfig> {
+      if (index % 4 == 3) {
+        BackendConfig durable;
+        durable.kind = BackendKind::kDurable;
+        return durable;
+      }
+      return std::nullopt;  // cluster default (memory)
+    };
+    return config;
+  };
+  spec.default_epochs = 150;
+  spec.checks_require_epochs = 60;
+  spec.before_run = [](const ScenarioContext& ctx) {
+    size_t durable = 0, memory = 0, other = 0;
+    for (ServerId id = 0; id < ctx.sim.cluster().size(); ++id) {
+      switch (ctx.sim.cluster().server(id)->backend().kind) {
+        case BackendKind::kDurable: ++durable; break;
+        case BackendKind::kMemory: ++memory; break;
+        default: ++other; break;
+      }
+    }
+    std::printf("fleet: %zu memory + %zu durable + %zu other servers\n",
+                memory, durable, other);
+  };
+  spec.checks = {
+      // --backend swaps the *default* tier (the nullopt fallback), so
+      // the hook's overlay is asserted by index, and mixedness only when
+      // the chosen default isn't itself durable.
+      {"per-server hook gave every 4th server the durable engine",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         size_t wrong = 0;
+         const size_t total = ctx.sim.cluster().size();
+         for (ServerId id = 0; id < total; ++id) {
+           if (id % 4 == 3 &&
+               ctx.sim.cluster().server(id)->backend().kind !=
+                   BackendKind::kDurable) {
+             ++wrong;
+           }
+         }
+         return {wrong == 0, std::to_string(wrong) +
+                                 " hook servers not durable of " +
+                                 std::to_string(total / 4)};
+       }},
+      {"the fleet is genuinely mixed",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         if (ctx.overrides.backend == "durable") {
+           return {true,
+                   "skipped: --backend=durable makes the default tier "
+                   "durable too"};
+         }
+         size_t durable = 0;
+         const size_t total = ctx.sim.cluster().size();
+         for (ServerId id = 0; id < total; ++id) {
+           if (ctx.sim.cluster().server(id)->backend().kind ==
+               BackendKind::kDurable) {
+             ++durable;
+           }
+         }
+         return {durable == total / 4,
+                 std::to_string(durable) + " durable of " +
+                     std::to_string(total)};
+       }},
+      {"every partition meets its SLA on the mixed fleet",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         const size_t below = SnapBelowTotal(ctx.sim.metrics().last());
+         return {below == 0, std::to_string(below) + " below threshold"};
+       }},
+      {"no data lost on the mixed fleet",
+       [](const ScenarioContext& ctx) -> ShapeCheckResult {
+         auto& store = ctx.sim.store();
+         return {store.lost_partitions() == 0 &&
+                     store.insert_failures() == 0,
+                 "lost=" + std::to_string(store.lost_partitions()) +
+                     " insert_failures=" +
+                     std::to_string(store.insert_failures())};
+       }},
+  };
+  return spec;
+}
+
+}  // namespace skute::scenario

@@ -1,0 +1,44 @@
+#include "skute/scenario/registry.h"
+
+namespace skute::scenario {
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+Status ScenarioRegistry::Register(ScenarioSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("scenario spec has no name");
+  }
+  const std::string name = spec.name;
+  if (!specs_.emplace(name, std::move(spec)).second) {
+    return Status::AlreadyExists("scenario '" + name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<const ScenarioSpec*> ScenarioRegistry::Find(
+    const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    std::string known;
+    for (const auto& [key, spec] : specs_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("unknown scenario '" + name + "' (known: " +
+                            known + ")");
+  }
+  return &it->second;
+}
+
+std::vector<const ScenarioSpec*> ScenarioRegistry::List() const {
+  std::vector<const ScenarioSpec*> all;
+  all.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) all.push_back(&spec);
+  return all;  // std::map iterates name-sorted
+}
+
+}  // namespace skute::scenario

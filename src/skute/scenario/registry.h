@@ -1,0 +1,44 @@
+#ifndef SKUTE_SCENARIO_REGISTRY_H_
+#define SKUTE_SCENARIO_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "skute/common/result.h"
+#include "skute/scenario/spec.h"
+
+namespace skute::scenario {
+
+/// \brief Name -> ScenarioSpec map behind `skute_scenarios` and the
+/// legacy bench wrappers. Specs are held by value; pointers returned by
+/// Find/List stay valid until Clear (std::map nodes are stable).
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry the built-in catalog registers into.
+  static ScenarioRegistry& Global();
+
+  /// kInvalidArgument on an empty name, kAlreadyExists on a duplicate.
+  Status Register(ScenarioSpec spec);
+
+  /// kNotFound (with the known names in the message) for unknown names.
+  Result<const ScenarioSpec*> Find(const std::string& name) const;
+
+  /// All specs, name-sorted.
+  std::vector<const ScenarioSpec*> List() const;
+
+  size_t size() const { return specs_.size(); }
+  void Clear() { specs_.clear(); }
+
+ private:
+  std::map<std::string, ScenarioSpec> specs_;
+};
+
+/// Registers the built-in catalog (the seven ported paper/ablation
+/// scenarios plus the composed ones) into the global registry.
+/// Idempotent; every entry point calls it.
+void RegisterBuiltinScenarios();
+
+}  // namespace skute::scenario
+
+#endif  // SKUTE_SCENARIO_REGISTRY_H_

@@ -1,0 +1,66 @@
+#include "skute/scenario/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace skute::scenario {
+
+void PrintHeader(const std::string& title, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSection(const std::string& label) {
+  std::printf("\n--- %s ---\n", label.c_str());
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+void PrintSampledCsv(const MetricsCollector& metrics, int every) {
+  std::ostringstream full;
+  metrics.WriteCsv(&full);
+  const std::string text = full.str();
+  std::istringstream lines(text);
+  std::string line;
+  size_t index = 0;
+  size_t total = 0;
+  for (char c : text) {
+    if (c == '\n') ++total;
+  }
+  while (std::getline(lines, line)) {
+    const bool is_header = index == 0;
+    const bool is_last = index + 1 == total;
+    const bool sampled = every <= 1 || ((index - 1) % every == 0);
+    if (is_header || is_last || sampled) {
+      std::printf("%s\n", line.c_str());
+    }
+    ++index;
+  }
+}
+
+void ShapeChecks::Check(const std::string& name, bool pass,
+                        const std::string& detail) {
+  entries_.push_back(Entry{name, pass, detail});
+}
+
+int ShapeChecks::Summarize() const {
+  std::printf("\n=== shape checks ===\n");
+  int failures = 0;
+  for (const Entry& e : entries_) {
+    std::printf("[%s] %s — %s\n", e.pass ? "PASS" : "FAIL",
+                e.name.c_str(), e.detail.c_str());
+    if (!e.pass) ++failures;
+  }
+  std::printf("%d/%zu checks passed\n",
+              static_cast<int>(entries_.size()) - failures,
+              entries_.size());
+  return failures;
+}
+
+}  // namespace skute::scenario

@@ -1,0 +1,45 @@
+#ifndef SKUTE_SCENARIO_REPORT_H_
+#define SKUTE_SCENARIO_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "skute/sim/metrics.h"
+
+namespace skute::scenario {
+
+/// Prints the scenario banner: the title, the paper's claim, a separator.
+void PrintHeader(const std::string& title, const std::string& claim);
+
+/// Prints a section separator line with a label.
+void PrintSection(const std::string& label);
+
+/// "12.34" formatting helper.
+std::string Fmt(double v, int precision = 2);
+
+/// Streams the collector's CSV to stdout, keeping one row in `every`
+/// (first and last rows always kept).
+void PrintSampledCsv(const MetricsCollector& metrics, int every);
+
+/// \brief Collects qualitative shape checks (the "does the figure look
+/// like the paper's" assertions) and renders a PASS/FAIL summary.
+/// Exit code of a scenario run = number of failed checks.
+class ShapeChecks {
+ public:
+  void Check(const std::string& name, bool pass, const std::string& detail);
+
+  /// Prints all results; returns the number of failures.
+  int Summarize() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    bool pass;
+    std::string detail;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace skute::scenario
+
+#endif  // SKUTE_SCENARIO_REPORT_H_

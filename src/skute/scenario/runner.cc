@@ -1,0 +1,124 @@
+#include "skute/scenario/runner.h"
+
+#include <cstdio>
+
+#include "skute/scenario/registry.h"
+#include "skute/scenario/report.h"
+
+namespace skute::scenario {
+
+ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
+                                                const RunOverrides& overrides,
+                                                const Options& options) {
+  Outcome outcome;
+  if (spec.custom_main) {
+    outcome.status = Status::FailedPrecondition(
+        "scenario '" + spec.name +
+        "' is a custom-main experiment; run it via RunMain");
+    return outcome;
+  }
+
+  SimConfig config = spec.config();
+  ApplyOverrides(&config, overrides, spec.name);
+  const int epochs =
+      overrides.epochs > 0 ? overrides.epochs : spec.default_epochs;
+
+  Simulation sim(std::move(config));
+  const Status init = sim.Initialize();
+  if (!init.ok()) {
+    if (options.print) {
+      std::printf("initialization failed: %s\n", init.ToString().c_str());
+    }
+    outcome.status = init;
+    return outcome;
+  }
+
+  for (const SimEvent& event : spec.timeline) sim.ScheduleEvent(event);
+  if (auto schedule = spec.rate.Build()) {
+    sim.SetRateSchedule(std::move(schedule));
+  }
+  if (spec.inserts.has_value()) sim.EnableInserts(*spec.inserts);
+  if (spec.before_run && options.print) {
+    spec.before_run(ScenarioContext{sim, overrides, epochs});
+  }
+
+  for (int e = 0; e < epochs; ++e) {
+    sim.Step();
+    if (spec.stop_when && spec.stop_when(sim)) break;
+  }
+  const auto& series = sim.metrics().series();
+  outcome.epochs_run = static_cast<int>(series.size());
+
+  if (options.print) {
+    PrintSection("series (CSV, sampled)");
+    const int sample = overrides.full_csv ? 1
+                       : overrides.sample_every > 0 ? overrides.sample_every
+                                                    : spec.default_sample;
+    PrintSampledCsv(sim.metrics(), sample);
+  }
+  if (options.csv_capture != nullptr) {
+    sim.metrics().WriteCsv(options.csv_capture);
+  }
+  if (!overrides.out.empty()) {
+    const Status written = sim.metrics().WriteCsv(overrides.out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing --out=%s failed: %s\n",
+                   overrides.out.c_str(), written.ToString().c_str());
+      outcome.status = written;
+      return outcome;
+    }
+    if (options.print) {
+      std::printf("full CSV written to %s\n", overrides.out.c_str());
+    }
+  }
+
+  const ScenarioContext ctx{sim, overrides,
+                            static_cast<int>(series.size())};
+  if (spec.checks_require_epochs > 0 &&
+      series.size() <= static_cast<size_t>(spec.checks_require_epochs)) {
+    if (options.print) {
+      std::printf("run too short for the %s summary (need > %llu epochs, "
+                  "have %zu); skipping shape checks\n",
+                  spec.name.c_str(),
+                  static_cast<unsigned long long>(
+                      spec.checks_require_epochs),
+                  series.size());
+    }
+    return outcome;
+  }
+
+  if (spec.summarize && options.print) spec.summarize(ctx);
+
+  ShapeChecks printer;
+  for (const ShapeCheckSpec& check : spec.checks) {
+    const ShapeCheckResult result = check.eval(ctx);
+    printer.Check(check.name, result.pass, result.detail);
+    if (!result.pass) ++outcome.failed_checks;
+  }
+  if (options.print && !spec.checks.empty()) {
+    (void)printer.Summarize();
+  }
+  return outcome;
+}
+
+int ScenarioRunner::RunMain(const ScenarioSpec& spec,
+                            const RunOverrides& overrides) {
+  PrintHeader(spec.title, spec.claim);
+  if (spec.custom_main) return spec.custom_main(overrides);
+  const Outcome outcome = Execute(spec, overrides);
+  if (!outcome.status.ok()) return 1;
+  return outcome.failed_checks;
+}
+
+int RunRegisteredScenario(const std::string& name, int argc, char** argv) {
+  RegisterBuiltinScenarios();
+  const auto spec = ScenarioRegistry::Global().Find(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  const RunOverrides overrides = ParseOverrides(argc, argv);
+  return ScenarioRunner::RunMain(**spec, overrides);
+}
+
+}  // namespace skute::scenario

@@ -1,0 +1,57 @@
+#ifndef SKUTE_SCENARIO_RUNNER_H_
+#define SKUTE_SCENARIO_RUNNER_H_
+
+#include <ostream>
+#include <string>
+
+#include "skute/scenario/spec.h"
+
+namespace skute::scenario {
+
+/// \brief Drives a ScenarioSpec through the full experiment lifecycle:
+/// config + overrides -> Initialize -> schedule timeline/rate/inserts ->
+/// Run (with early stop) -> metrics CSV -> summary -> shape checks.
+/// Every scenario — registry-run or legacy bench wrapper — goes through
+/// this one code path.
+class ScenarioRunner {
+ public:
+  struct Options {
+    /// Print the banner / series / summary / checks like the legacy
+    /// bench binaries did. Off for in-process (test) runs.
+    bool print = true;
+    /// When set, the full (unsampled) metrics CSV is also streamed here
+    /// — the golden tests capture it for bit-identical comparison.
+    std::ostream* csv_capture = nullptr;
+  };
+
+  struct Outcome {
+    Status status;          ///< init/config errors (checks not run)
+    int failed_checks = 0;  ///< the legacy exit-code contract
+    int epochs_run = 0;
+  };
+
+  /// Runs the spec. Custom-main specs (`custom_main`) are executed via
+  /// RunMain only; here they return kFailedPrecondition.
+  static Outcome Execute(const ScenarioSpec& spec,
+                         const RunOverrides& overrides,
+                         const Options& options);
+  static Outcome Execute(const ScenarioSpec& spec,
+                         const RunOverrides& overrides) {
+    return Execute(spec, overrides, Options());
+  }
+
+  /// main() body for a scenario: banner + Execute (or the spec's
+  /// custom_main). Returns the process exit code: the number of failed
+  /// shape checks, or 1 on initialization failure.
+  static int RunMain(const ScenarioSpec& spec,
+                     const RunOverrides& overrides);
+};
+
+/// Entry point of the thin legacy bench wrappers: registers the built-in
+/// catalog, parses `argv` as overrides (warning on unknown flags) and
+/// runs the named scenario. Returns the process exit code.
+int RunRegisteredScenario(const std::string& name, int argc, char** argv);
+
+}  // namespace skute::scenario
+
+#endif  // SKUTE_SCENARIO_RUNNER_H_

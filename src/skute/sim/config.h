@@ -1,6 +1,8 @@
 #ifndef SKUTE_SIM_CONFIG_H_
 #define SKUTE_SIM_CONFIG_H_
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,13 @@ struct SimConfig {
   /// non-memory backend shows up once real values flow (examples, the
   /// storage benches, track_real_data runs).
   BackendConfig backend;
+  /// Optional per-server backend override for heterogeneous fleets:
+  /// called with the server's index (its ServerId: dense, in creation
+  /// order, including event-driven arrivals) at AddServer time. Return
+  /// nullopt to fall back to `backend`. The hook must be deterministic —
+  /// it is part of the run's reproducible configuration.
+  std::function<std::optional<BackendConfig>(size_t server_index)>
+      backend_for_server;
   /// SkuteOptions with real-value tracking off — simulation workloads
   /// are synthetic (sizes only) whichever way the config is built; set
   /// store.track_real_data = true to pair config.backend with real Puts.

@@ -1,5 +1,6 @@
 #include "skute/sim/metrics.h"
 
+#include <fstream>
 #include <string>
 
 #include "skute/common/csv.h"
@@ -172,6 +173,22 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
     }
     csv.EndRow();
   }
+}
+
+Status MetricsCollector::WriteCsv(const std::string& path) const {
+  if (path.empty()) {
+    return Status::InvalidArgument("CSV output path is empty");
+  }
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  WriteCsv(static_cast<std::ostream*>(&out));
+  out.flush();
+  if (!out.good()) {
+    return Status::Unavailable("write to '" + path + "' failed");
+  }
+  return Status::OK();
 }
 
 }  // namespace skute

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "skute/backend/io_stats.h"
+#include "skute/common/status.h"
 #include "skute/core/store.h"
 
 namespace skute {
@@ -87,9 +88,25 @@ class MetricsCollector {
   const EpochSnapshot& last() const { return series_.back(); }
   bool empty() const { return series_.empty(); }
 
+  /// Row `epoch` of the series, or nullptr when the run was too short to
+  /// contain it — the shared series-bounds guard (in simulation runs, row
+  /// index == run epoch). Scenario shape checks use it so shortened
+  /// --epochs runs skip summaries uniformly instead of reading out of
+  /// bounds.
+  const EpochSnapshot* SeriesAt(Epoch epoch) const {
+    if (epoch < 0 || static_cast<size_t>(epoch) >= series_.size()) {
+      return nullptr;
+    }
+    return &series_[static_cast<size_t>(epoch)];
+  }
+
   /// Streams the full series as CSV (one row per epoch; per-ring columns
   /// flattened as ring<i>_*).
   void WriteCsv(std::ostream* out) const;
+
+  /// Writes the full series CSV to `path`, overwriting. Errors (status
+  /// kInvalidArgument / kUnavailable) on empty or unwritable paths.
+  Status WriteCsv(const std::string& path) const;
 
   void Clear() { series_.clear(); }
 

@@ -18,6 +18,16 @@ Simulation::Simulation(SimConfig config)
       schedule_(std::make_unique<ConstantSchedule>(config_.base_query_rate)),
       next_rack_id_(config_.grid.racks_per_room) {}
 
+BackendConfig Simulation::BackendForServer(size_t index) const {
+  if (config_.backend_for_server) {
+    if (std::optional<BackendConfig> backend =
+            config_.backend_for_server(index)) {
+      return *backend;
+    }
+  }
+  return config_.backend;
+}
+
 ServerEconomics Simulation::SampleEconomics() {
   ServerEconomics economics;
   economics.confidence = config_.confidence;
@@ -53,7 +63,7 @@ Status Simulation::Initialize() {
                                  ? config_.expensive_monthly_cost
                                  : config_.cheap_monthly_cost;
     cluster_.AddServer(locations[i], config_.resources, economics,
-                       config_.backend);
+                       BackendForServer(i));
   }
 
   // One store options copy with the simulation's seed. Real-value
@@ -150,7 +160,7 @@ void Simulation::ApplyEvent(const SimEvent& event) {
           ExpansionLocations(config_.grid, event.count, next_rack_id_);
       for (const Location& loc : locations) {
         cluster_.AddServer(loc, config_.resources, SampleEconomics(),
-                           config_.backend);
+                           BackendForServer(cluster_.size()));
       }
       // Advance past the rack rounds ExpansionLocations consumed.
       const uint64_t per_round =

@@ -83,6 +83,10 @@ class Simulation {
  private:
   void ApplyEvent(const SimEvent& event);
   ServerEconomics SampleEconomics();
+  /// Resolves the backend for the server about to get `index` as its id
+  /// (SimConfig::backend_for_server hook, falling back to the cluster
+  /// default).
+  BackendConfig BackendForServer(size_t index) const;
   /// One decision epoch with no external traffic (startup interleave).
   void QuietEpoch();
 

@@ -1,0 +1,95 @@
+// EventSchedule / SimEvent edge cases the scenario timeline API leans
+// on: same-epoch ordering, run-epoch-0 events, events past the run end.
+
+#include <gtest/gtest.h>
+
+#include "skute/sim/events.h"
+#include "skute/sim/simulation.h"
+
+namespace skute {
+namespace {
+
+TEST(EventScheduleTest, SameEpochEventsKeepInsertionOrder) {
+  EventSchedule schedule;
+  schedule.Add(SimEvent::FailRandom(5, 1));
+  schedule.Add(SimEvent::AddServers(5, 2));
+  schedule.Add(SimEvent::FailRandom(5, 3));
+  const std::vector<SimEvent> due = schedule.TakeDue(5);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].kind, SimEvent::Kind::kFailRandomServers);
+  EXPECT_EQ(due[0].count, 1u);
+  EXPECT_EQ(due[1].kind, SimEvent::Kind::kAddServers);
+  EXPECT_EQ(due[1].count, 2u);
+  EXPECT_EQ(due[2].kind, SimEvent::Kind::kFailRandomServers);
+  EXPECT_EQ(due[2].count, 3u);
+  EXPECT_EQ(schedule.pending(), 0u);
+}
+
+TEST(EventScheduleTest, InterleavedEpochsStillSortAndPreserveFifo) {
+  EventSchedule schedule;
+  schedule.Add(SimEvent::AddServers(9, 1));
+  schedule.Add(SimEvent::AddServers(3, 2));
+  schedule.Add(SimEvent::AddServers(9, 3));
+  schedule.Add(SimEvent::AddServers(3, 4));
+  const std::vector<SimEvent> due = schedule.TakeDue(9);
+  ASSERT_EQ(due.size(), 4u);
+  EXPECT_EQ(due[0].count, 2u);  // epoch 3, first added
+  EXPECT_EQ(due[1].count, 4u);  // epoch 3, second added
+  EXPECT_EQ(due[2].count, 1u);  // epoch 9, first added
+  EXPECT_EQ(due[3].count, 3u);  // epoch 9, second added
+}
+
+TEST(EventScheduleTest, EventsAtEpochZeroAreDueImmediately) {
+  EventSchedule schedule;
+  schedule.Add(SimEvent::AddServers(0, 7));
+  const std::vector<SimEvent> due = schedule.TakeDue(0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].count, 7u);
+}
+
+TEST(EventScheduleTest, FutureEventsStayPending) {
+  EventSchedule schedule;
+  schedule.Add(SimEvent::AddServers(100, 1));
+  EXPECT_TRUE(schedule.TakeDue(99).empty());
+  EXPECT_EQ(schedule.pending(), 1u);
+}
+
+class SimulationEventTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig config = SimConfig::Tiny();
+    config.seed = 23;
+    sim_ = std::make_unique<Simulation>(config);
+    ASSERT_TRUE(sim_->Initialize().ok());
+  }
+
+  std::unique_ptr<Simulation> sim_;
+};
+
+TEST_F(SimulationEventTest, RunEpochZeroEventAppliesOnFirstStep) {
+  sim_->ScheduleEvent(SimEvent::AddServers(0, 2));
+  sim_->Step();
+  EXPECT_EQ(sim_->cluster().size(), 18u);
+  // The arrival is visible in the very first metrics row.
+  EXPECT_EQ(sim_->metrics().last().online_servers, 18u);
+}
+
+TEST_F(SimulationEventTest, SameEpochAddAndFailApplyInScheduleOrder) {
+  sim_->ScheduleEvent(SimEvent::AddServers(2, 2));
+  sim_->ScheduleEvent(SimEvent::FailRandom(2, 1));
+  sim_->Run(5);
+  EXPECT_EQ(sim_->cluster().size(), 18u);
+  EXPECT_EQ(sim_->cluster().online_count(), 17u);
+}
+
+TEST_F(SimulationEventTest, EventsPastRunEndNeverFireAndNeverCrash) {
+  sim_->ScheduleEvent(SimEvent::AddServers(1000, 4));
+  sim_->ScheduleEvent(SimEvent::FailRandom(2000, 4));
+  sim_->Run(10);
+  EXPECT_EQ(sim_->cluster().size(), 16u);
+  EXPECT_EQ(sim_->cluster().online_count(), 16u);
+  EXPECT_EQ(sim_->run_epoch(), 10u);
+}
+
+}  // namespace
+}  // namespace skute

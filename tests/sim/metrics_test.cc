@@ -1,10 +1,12 @@
 #include "skute/sim/metrics.h"
 
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "skute/topology/topology.h"
+#include "testutil/temp_dir.h"
 
 namespace skute {
 namespace {
@@ -137,6 +139,74 @@ TEST_F(MetricsTest, EmptyCollectorWritesNothing) {
   metrics.WriteCsv(&out);
   EXPECT_TRUE(out.str().empty());
   EXPECT_TRUE(metrics.empty());
+}
+
+TEST_F(MetricsTest, SeriesAtGuardsTheBounds) {
+  MetricsCollector metrics(110.0);
+  for (int e = 0; e < 3; ++e) {
+    store_->BeginEpoch();
+    store_->EndEpoch();
+    metrics.Snapshot(store_.get(), cluster_, e, 0, 0, 0);
+  }
+  ASSERT_NE(metrics.SeriesAt(0), nullptr);
+  ASSERT_NE(metrics.SeriesAt(2), nullptr);
+  EXPECT_EQ(metrics.SeriesAt(2)->epoch, 2);
+  EXPECT_EQ(metrics.SeriesAt(3), nullptr);   // one past the end
+  EXPECT_EQ(metrics.SeriesAt(-1), nullptr);  // negative epoch
+  EXPECT_EQ(metrics.SeriesAt(1000000), nullptr);
+}
+
+TEST_F(MetricsTest, WriteCsvToFileMatchesStreamOutput) {
+  testutil::ScopedTempDir tmp("metrics_csv");
+  MetricsCollector metrics(110.0);
+  for (int e = 0; e < 3; ++e) {
+    store_->BeginEpoch();
+    store_->EndEpoch();
+    metrics.Snapshot(store_.get(), cluster_, e, 0, 0, 0);
+  }
+  const std::string path = tmp.Sub("series.csv");
+  ASSERT_TRUE(metrics.WriteCsv(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream from_file;
+  from_file << in.rdbuf();
+  std::ostringstream from_stream;
+  metrics.WriteCsv(&from_stream);
+  EXPECT_FALSE(from_file.str().empty());
+  EXPECT_EQ(from_file.str(), from_stream.str());
+}
+
+TEST_F(MetricsTest, WriteCsvToFileOverwritesPreviousContent) {
+  testutil::ScopedTempDir tmp("metrics_csv");
+  const std::string path = tmp.Sub("series.csv");
+  {
+    std::ofstream seed_file(path);
+    seed_file << "stale content that must disappear\n";
+  }
+  MetricsCollector metrics(110.0);
+  store_->BeginEpoch();
+  store_->EndEpoch();
+  metrics.Snapshot(store_.get(), cluster_, 0, 0, 0, 0);
+  ASSERT_TRUE(metrics.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream from_file;
+  from_file << in.rdbuf();
+  EXPECT_EQ(from_file.str().find("stale"), std::string::npos);
+  EXPECT_NE(from_file.str().find("epoch"), std::string::npos);
+}
+
+TEST_F(MetricsTest, WriteCsvToUnwritablePathErrors) {
+  MetricsCollector metrics(110.0);
+  store_->BeginEpoch();
+  store_->EndEpoch();
+  metrics.Snapshot(store_.get(), cluster_, 0, 0, 0, 0);
+  const Status missing_dir =
+      metrics.WriteCsv("/nonexistent_dir_skute/series.csv");
+  EXPECT_FALSE(missing_dir.ok());
+  EXPECT_TRUE(missing_dir.IsUnavailable());
+  const Status empty_path = metrics.WriteCsv(std::string());
+  EXPECT_FALSE(empty_path.ok());
+  EXPECT_TRUE(empty_path.IsInvalidArgument());
 }
 
 TEST_F(MetricsTest, ClearDropsSeries) {
