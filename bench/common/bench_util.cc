@@ -6,7 +6,7 @@
 
 namespace skute::bench {
 
-Args ParseArgs(int argc, char** argv) {
+Args ParseArgs(int argc, char** argv, bool supports_out) {
   // One flag grammar for the whole tree: the scenario runner's parser
   // (which already warns on unrecognized --* arguments). The micros just
   // don't consume the scenario-only flags.
@@ -16,7 +16,7 @@ Args ParseArgs(int argc, char** argv) {
                  "warning: --placement is not supported by this bench "
                  "(ignored)\n");
   }
-  if (!o.out.empty()) {
+  if (!o.out.empty() && !supports_out) {
     std::fprintf(stderr,
                  "warning: --out is not supported by this bench "
                  "(ignored)\n");
@@ -28,6 +28,7 @@ Args ParseArgs(int argc, char** argv) {
   args.full_csv = o.full_csv;
   args.threads = o.threads;
   args.backend = o.backend;
+  if (supports_out) args.out = o.out;
   return args;
 }
 

@@ -20,12 +20,15 @@ struct Args {
   bool full_csv = false;  ///< print every epoch regardless of sampling
   int threads = 0;        ///< 0 = bench default; EpochOptions::threads
   std::string backend;    ///< "" = bench default (memory); see --backend
+  std::string out;        ///< --out=FILE; "" = bench default
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
 /// --backend=memory|durable|file; unrecognized `--*` arguments warn to
 /// stderr (a typo like --backnd=file must not silently run the default).
-Args ParseArgs(int argc, char** argv);
+/// `supports_out` declares whether the caller consumes --out (benches
+/// that don't must keep warning rather than silently ignoring it).
+Args ParseArgs(int argc, char** argv, bool supports_out = false);
 
 /// Resolves the --backend flag into a BackendConfig. Unknown names warn
 /// and fall back to memory. The file backend gets a unique directory

@@ -3,6 +3,7 @@
 //
 //   ./build/bench/micro_epoch_pipeline [--epochs=N] [--threads=T]
 //                                      [--backend=memory|durable|file]
+//                                      [--out=FILE]
 //
 // The scenario holds 3 rings x 256 partitions under live write + query
 // traffic, so every epoch runs the full pipeline: Eq. 1 price
@@ -12,10 +13,16 @@
 // exercised (and its IoStats reported). Both runs use identical seeds;
 // the shape checks assert the determinism contract (identical placements
 // regardless of thread count — with any backend) alongside the speedup
-// report, the per-stage wall-time split and the shard-plan cache delta.
+// report, the per-stage wall-time split, the execute-stage throughput
+// (actions applied/sec at threads=1 vs N — the conflict-group executor's
+// own scaling), and the shard-plan cache delta. A machine-readable
+// BENCH_pipeline.json (epochs/sec + per-stage ms for both runs) lands in
+// the working directory — or at --out=FILE — so the next PR can diff
+// the perf trajectory.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +49,23 @@ struct BenchResult {
   std::vector<StageTiming> stage_timings;
   IoStats io;
 };
+
+/// Total wall-time of one named stage over the run, or 0 when absent.
+double StageTotalMs(const BenchResult& r, const char* name) {
+  for (const StageTiming& t : r.stage_timings) {
+    if (std::string(t.name) == name) return t.total_ms;
+  }
+  return 0.0;
+}
+
+/// Execute-stage throughput: actions applied per second of execute-stage
+/// wall time (the conflict-group fan-out's own scaling, independent of
+/// the rest of the epoch).
+double ExecuteActionsPerSec(const BenchResult& r) {
+  const double ms = StageTotalMs(r, "execute");
+  return ms > 0 ? static_cast<double>(r.actions_applied) / (ms / 1000.0)
+                : 0.0;
+}
 
 /// One full run at the given thread count: fresh 1000-server cluster,
 /// bulk load, then `epochs` measured epochs of mixed traffic.
@@ -165,12 +189,57 @@ void PrintRun(const BenchResult& r) {
               static_cast<unsigned long long>(r.io.snapshot_bytes_out));
 }
 
+/// Machine-readable run record so the repo's perf trajectory can be
+/// diffed PR to PR: epochs/sec, execute-stage throughput, and the
+/// per-stage wall-time split for both thread counts.
+bool WriteBenchJson(const std::string& path, int epochs,
+                    int parallel_threads, const BenchResult& base,
+                    const BenchResult& par) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  const auto run = [&](const char* key, int threads, const BenchResult& r,
+                       bool last) {
+    out << "    \"" << key << "\": {\n"
+        << "      \"threads\": " << threads << ",\n"
+        << "      \"epochs_per_sec\": " << r.epochs_per_sec << ",\n"
+        << "      \"actions_applied\": " << r.actions_applied << ",\n"
+        << "      \"execute_actions_per_sec\": " << ExecuteActionsPerSec(r)
+        << ",\n"
+        << "      \"stage_total_ms\": {";
+    for (size_t i = 0; i < r.stage_timings.size(); ++i) {
+      const StageTiming& t = r.stage_timings[i];
+      out << (i == 0 ? "\n" : ",\n") << "        \"" << t.name
+          << "\": " << t.total_ms;
+    }
+    out << "\n      }\n    }" << (last ? "\n" : ",\n");
+  };
+  out << "{\n  \"bench\": \"micro_epoch_pipeline\",\n"
+      << "  \"cluster_servers\": 1000,\n"
+      << "  \"measured_epochs\": " << epochs << ",\n"
+      << "  \"runs\": {\n";
+  run("base", 1, base, /*last=*/false);
+  run("parallel", parallel_threads, par, /*last=*/true);
+  out << "  },\n"
+      << "  \"epoch_speedup\": "
+      << (base.epochs_per_sec > 0 ? par.epochs_per_sec / base.epochs_per_sec
+                                  : 0.0)
+      << ",\n"
+      << "  \"execute_speedup\": "
+      << (ExecuteActionsPerSec(base) > 0
+              ? ExecuteActionsPerSec(par) / ExecuteActionsPerSec(base)
+              : 0.0)
+      << "\n}\n";
+  out.flush();
+  return out.good();
+}
+
 }  // namespace
 }  // namespace skute
 
 int main(int argc, char** argv) {
   using namespace skute;
-  const bench::Args args = bench::ParseArgs(argc, argv);
+  const bench::Args args =
+      bench::ParseArgs(argc, argv, /*supports_out=*/true);
   const int epochs = args.epochs > 0 ? args.epochs : kDefaultMeasuredEpochs;
   const unsigned hw = std::thread::hardware_concurrency();
   const int parallel_threads =
@@ -214,6 +283,27 @@ int main(int argc, char** argv) {
               parallel_threads, bench::Fmt(par.epochs_per_sec).c_str(),
               bench::Fmt(speedup).c_str());
 
+  // Execute-stage throughput: the conflict-group fan-out's own scaling.
+  const double exec_base = ExecuteActionsPerSec(base);
+  const double exec_par = ExecuteActionsPerSec(par);
+  const double exec_speedup = exec_base > 0 ? exec_par / exec_base : 0.0;
+  std::printf("execute stage, threads=1:  %s actions/sec (%.2f ms total)\n",
+              bench::Fmt(exec_base).c_str(), StageTotalMs(base, "execute"));
+  std::printf("execute stage, threads=%d: %s actions/sec (%.2f ms total, "
+              "speedup %sx)\n",
+              parallel_threads, bench::Fmt(exec_par).c_str(),
+              StageTotalMs(par, "execute"),
+              bench::Fmt(exec_speedup).c_str());
+
+  // Perf record for PR-to-PR diffing; a failed write (e.g. read-only
+  // CWD) is reported but never fails the bench — the measurement stands.
+  const std::string json_path =
+      args.out.empty() ? "BENCH_pipeline.json" : args.out;
+  const bool json_ok =
+      WriteBenchJson(json_path, epochs, parallel_threads, base, par);
+  std::printf("%s %s\n", json_ok ? "wrote" : "FAILED to write",
+              json_path.c_str());
+
   bench::ShapeChecks checks;
   checks.Check("both runs made progress",
                base.epochs_per_sec > 0 && par.epochs_per_sec > 0,
@@ -228,6 +318,10 @@ int main(int argc, char** argv) {
                !base.stage_timings.empty() &&
                    base.stage_timings.front().runs > 0,
                "per-stage wall time available for the CSV/metrics path");
+  checks.Check("execute-stage throughput measured",
+               exec_base > 0 && exec_par > 0,
+               "actions/sec derived from the execute stage timer at both "
+               "thread counts");
   checks.Check(
       "determinism across thread counts",
       base.placement_version == par.placement_version &&

@@ -1,8 +1,12 @@
 #include "skute/core/executor.h"
 
 #include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
 
 #include "skute/economy/availability.h"
+#include "skute/economy/candidate.h"
 
 namespace skute {
 
@@ -25,7 +29,11 @@ uint64_t ActionExecutor::CopyRealData(ServerId from, ServerId to,
   if (src == nullptr || src->Find(pid) == nullptr) {
     return 0;  // synthetic partition: sizes only, nothing to copy
   }
-  auto streamed = replica_data_->For(to).CopyFrom(*src, pid);
+  // The planner pre-created every transfer target's store; Find (a pure
+  // lookup) keeps this path safe on a worker thread.
+  ReplicaStore* dst = replica_data_->Find(to);
+  if (dst == nullptr) return 0;
+  auto streamed = dst->CopyFrom(*src, pid);
   return streamed.ok() ? *streamed : 0;
 }
 
@@ -36,7 +44,9 @@ uint64_t ActionExecutor::MoveRealData(ServerId from, ServerId to,
   if (src == nullptr || src->Find(pid) == nullptr) {
     return 0;
   }
-  auto streamed = replica_data_->For(to).MoveFrom(src, pid);
+  ReplicaStore* dst = replica_data_->Find(to);
+  if (dst == nullptr) return 0;
+  auto streamed = dst->MoveFrom(src, pid);
   return streamed.ok() ? *streamed : 0;
 }
 
@@ -47,9 +57,8 @@ void ActionExecutor::DropRealData(ServerId server, PartitionId pid) {
   (void)store->Drop(pid);
 }
 
-ActionExecutor::Outcome ActionExecutor::ApplyReplicate(const Action& a,
-                                                       Epoch epoch,
-                                                       ExecutorStats* st) {
+ActionExecutor::Outcome ActionExecutor::ApplyReplicate(
+    const Action& a, VNodeId vid, Epoch epoch, ExecGroupResult* out) {
   Partition* p = catalog_->partition(a.partition);
   if (p == nullptr) return Outcome::kStale;
   Server* target = cluster_->server(a.target);
@@ -81,20 +90,22 @@ ActionExecutor::Outcome ActionExecutor::ApplyReplicate(const Action& a,
   source->ChargeReplication(bytes);
   target->ChargeReplication(bytes);
 
-  const VNodeId vid = catalog_->AllocateVNodeId();
-  // AddReplica cannot fail: HasReplicaOn was checked above.
+  // AddReplica cannot fail: HasReplicaOn was checked above. The vnode id
+  // was pre-allocated by the planner; the registry insert is deferred to
+  // the serial commit (nothing this epoch reads a vnode born this epoch).
   (void)p->AddReplica(a.target, vid, epoch);
-  vnodes_->Create(vid, p->id(), p->ring(), a.target, epoch);
-  st->snapshot_bytes += CopyRealData(source->id(), a.target, p->id());
+  out->creates.push_back(
+      PendingVNodeCreate{vid, p->id(), p->ring(), a.target, epoch});
+  out->stats.snapshot_bytes += CopyRealData(source->id(), a.target, p->id());
 
-  ++st->replications;
-  st->bytes_replicated += bytes;
+  ++out->stats.replications;
+  out->stats.bytes_replicated += bytes;
   return Outcome::kApplied;
 }
 
 ActionExecutor::Outcome ActionExecutor::ApplyMigrate(
     const Action& a, const std::vector<RingPolicy>& policies, Epoch epoch,
-    ExecutorStats* st) {
+    ExecGroupResult* out) {
   VirtualNode* v = vnodes_->Find(a.vnode);
   if (v == nullptr || v->server != a.source) return Outcome::kStale;
   Partition* p = catalog_->partition(a.partition);
@@ -128,16 +139,16 @@ ActionExecutor::Outcome ActionExecutor::ApplyMigrate(
   (void)p->AddReplica(a.target, v->id, epoch);
   v->server = a.target;
   v->balance.Reset();
-  st->snapshot_bytes += MoveRealData(a.source, a.target, p->id());
+  out->stats.snapshot_bytes += MoveRealData(a.source, a.target, p->id());
 
-  ++st->migrations;
-  st->bytes_migrated += bytes;
+  ++out->stats.migrations;
+  out->stats.bytes_migrated += bytes;
   return Outcome::kApplied;
 }
 
 ActionExecutor::Outcome ActionExecutor::ApplySuicide(
     const Action& a, const std::vector<RingPolicy>& policies,
-    ExecutorStats* st) {
+    ExecGroupResult* out) {
   VirtualNode* v = vnodes_->Find(a.vnode);
   if (v == nullptr || v->server != a.source) return Outcome::kStale;
   Partition* p = catalog_->partition(a.partition);
@@ -155,49 +166,216 @@ ActionExecutor::Outcome ActionExecutor::ApplySuicide(
   if (server != nullptr && server->online()) {
     (void)server->ReleaseStorage(p->bytes());
   }
+  // The replica set mutates eagerly (it carries re-validation for the
+  // rest of the group); the registry erase is deferred to the commit.
   (void)p->RemoveReplica(a.source);
-  (void)vnodes_->Remove(a.vnode);
+  out->removes.push_back(a.vnode);
   DropRealData(a.source, p->id());
 
-  ++st->suicides;
+  ++out->stats.suicides;
   return Outcome::kApplied;
+}
+
+void ActionExecutor::ApplyIndexed(const ExecutionPlan& plan, size_t index,
+                                  const std::vector<RingPolicy>& policies,
+                                  Epoch epoch, ExecGroupResult* out) {
+  const Action& a = plan.actions[index];
+  Outcome outcome = Outcome::kStale;
+  switch (a.type) {
+    case ActionType::kNone:
+      return;
+    case ActionType::kReplicate:
+      outcome =
+          ApplyReplicate(a, plan.replicate_vids[index], epoch, out);
+      break;
+    case ActionType::kMigrate:
+      outcome = ApplyMigrate(a, policies, epoch, out);
+      break;
+    case ActionType::kSuicide:
+      outcome = ApplySuicide(a, policies, out);
+      break;
+  }
+  switch (outcome) {
+    case Outcome::kApplied:
+      break;
+    case Outcome::kBlockedBandwidth:
+      ++out->stats.blocked_bandwidth;
+      break;
+    case Outcome::kBlockedStorage:
+      ++out->stats.blocked_storage;
+      break;
+    case Outcome::kStale:
+      ++out->stats.aborted_stale;
+      break;
+  }
+}
+
+ExecutionPlan ActionExecutor::Plan(std::vector<Action> actions, Rng* rng) {
+  ExecutionPlan plan;
+  rng->Shuffle(&actions);
+  plan.actions = std::move(actions);
+  const size_t n = plan.actions.size();
+  plan.replicate_vids.assign(n, kInvalidVNode);
+  if (n == 0) return plan;
+
+  // Union-find over action indices. Two actions conflict when their
+  // footprints — source + target + every server hosting a replica of the
+  // touched partition — intersect, or when they touch the same partition
+  // (belt and braces for partitions whose replica set is empty at plan
+  // time).
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) {
+    const size_t ra = find(a);
+    const size_t rb = find(b);
+    // Root at the lower index so group numbering stays first-touch.
+    if (ra < rb) {
+      parent[rb] = ra;
+    } else if (rb < ra) {
+      parent[ra] = rb;
+    }
+  };
+
+  std::unordered_map<ServerId, size_t> server_owner;
+  std::unordered_map<PartitionId, size_t> partition_owner;
+  std::vector<char> in_residual(n, 0);
+  std::vector<char> skip(n, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Action& a = plan.actions[i];
+    if (a.type == ActionType::kNone) {
+      skip[i] = 1;
+      continue;
+    }
+    if (a.type == ActionType::kReplicate) {
+      // Ids allocate in shuffled order whatever the thread count; a
+      // replication that later fails admission just wastes its id.
+      plan.replicate_vids[i] = catalog_->AllocateVNodeId();
+    }
+
+    bool any_footprint = false;
+    const auto touch_server = [&](ServerId s) {
+      if (s == kInvalidServer) return;
+      any_footprint = true;
+      const auto [it, inserted] = server_owner.try_emplace(s, i);
+      if (!inserted) unite(i, it->second);
+    };
+    const auto touch_partition = [&](PartitionId pid) {
+      const Partition* p = catalog_->partition(pid);
+      if (p == nullptr) return;
+      any_footprint = true;
+      const auto [it, inserted] = partition_owner.try_emplace(p->id(), i);
+      if (!inserted) unite(i, it->second);
+      for (const ReplicaInfo& r : p->replicas()) touch_server(r.server);
+    };
+    touch_server(a.source);
+    touch_server(a.target);
+    touch_partition(a.partition);
+    // A malformed proposal may name a vnode whose live server/partition
+    // disagree with a.source/a.partition; ApplyMigrate/ApplySuicide read
+    // that vnode's state regardless, so its real home joins the
+    // footprint too (no-op for well-formed proposals).
+    if (a.vnode != kInvalidVNode &&
+        (a.type == ActionType::kMigrate ||
+         a.type == ActionType::kSuicide)) {
+      if (const VirtualNode* v = vnodes_->Find(a.vnode)) {
+        touch_server(v->server);
+        touch_partition(v->partition);
+      }
+    }
+    if (!any_footprint) {
+      // No partition, no server: nothing to key concurrency on. The
+      // residual serial group applies these on the commit thread.
+      in_residual[i] = 1;
+      plan.residual.push_back(i);
+    }
+  }
+
+  // Groups in first-touch order: the group index is the order of its
+  // lowest member, and members stay in shuffled order.
+  std::unordered_map<size_t, size_t> root_to_group;
+  for (size_t i = 0; i < n; ++i) {
+    if (skip[i] || in_residual[i]) continue;
+    const size_t root = find(i);
+    const auto [it, inserted] =
+        root_to_group.try_emplace(root, plan.groups.size());
+    if (inserted) plan.groups.emplace_back();
+    plan.groups[it->second].push_back(i);
+  }
+  for (const std::vector<size_t>& g : plan.groups) {
+    plan.largest_group = std::max(plan.largest_group, g.size());
+  }
+
+  // Pre-create the ReplicaStore of every transfer target on this (serial)
+  // thread: workers may then only Find — the per-server hash map is never
+  // grown concurrently.
+  if (replica_data_ != nullptr) {
+    for (const Action& a : plan.actions) {
+      if (a.type != ActionType::kReplicate &&
+          a.type != ActionType::kMigrate) {
+        continue;
+      }
+      if (a.target == kInvalidServer ||
+          cluster_->server(a.target) == nullptr) {
+        continue;
+      }
+      (void)replica_data_->For(a.target);
+    }
+  }
+  return plan;
+}
+
+ExecGroupResult ActionExecutor::ApplyGroup(
+    const ExecutionPlan& plan, size_t group,
+    const std::vector<RingPolicy>& policies, Epoch epoch) {
+  ExecGroupResult out;
+  for (const size_t index : plan.groups[group]) {
+    ApplyIndexed(plan, index, policies, epoch, &out);
+  }
+  return out;
+}
+
+ExecutorStats ActionExecutor::Commit(const ExecutionPlan& plan,
+                                     std::vector<ExecGroupResult> results,
+                                     const std::vector<RingPolicy>& policies,
+                                     Epoch epoch) {
+  // Residual serial group first computes like any other (it conflicts
+  // with nothing by construction), then everything merges in group order.
+  ExecGroupResult residual;
+  for (const size_t index : plan.residual) {
+    ApplyIndexed(plan, index, policies, epoch, &residual);
+  }
+  results.push_back(std::move(residual));
+
+  ExecutorStats total;
+  for (const ExecGroupResult& r : results) {
+    total.Accumulate(r.stats);
+    for (const PendingVNodeCreate& c : r.creates) {
+      vnodes_->Create(c.id, c.partition, c.ring, c.server, c.epoch);
+    }
+    for (const VNodeId id : r.removes) {
+      (void)vnodes_->Remove(id);
+    }
+  }
+  return total;
 }
 
 ExecutorStats ActionExecutor::Apply(std::vector<Action> actions,
                                     const std::vector<RingPolicy>& policies,
                                     Epoch epoch, Rng* rng) {
-  ExecutorStats st;
-  rng->Shuffle(&actions);
-  for (const Action& a : actions) {
-    Outcome outcome = Outcome::kStale;
-    switch (a.type) {
-      case ActionType::kNone:
-        continue;
-      case ActionType::kReplicate:
-        outcome = ApplyReplicate(a, epoch, &st);
-        break;
-      case ActionType::kMigrate:
-        outcome = ApplyMigrate(a, policies, epoch, &st);
-        break;
-      case ActionType::kSuicide:
-        outcome = ApplySuicide(a, policies, &st);
-        break;
-    }
-    switch (outcome) {
-      case Outcome::kApplied:
-        break;
-      case Outcome::kBlockedBandwidth:
-        ++st.blocked_bandwidth;
-        break;
-      case Outcome::kBlockedStorage:
-        ++st.blocked_storage;
-        break;
-      case Outcome::kStale:
-        ++st.aborted_stale;
-        break;
-    }
+  const ExecutionPlan plan = Plan(std::move(actions), rng);
+  std::vector<ExecGroupResult> results(plan.groups.size());
+  for (size_t g = 0; g < plan.groups.size(); ++g) {
+    results[g] = ApplyGroup(plan, g, policies, epoch);
   }
-  return st;
+  return Commit(plan, std::move(results), policies, epoch);
 }
 
 }  // namespace skute

@@ -103,9 +103,14 @@ void ComputePartitionRoute(Cluster* cluster, VNodeRegistry* vnodes,
   }
 }
 
-void ApplyRouteAccum(const RouteAccum& accum, PartitionStatsMap* stats,
-                     std::vector<uint64_t>* ring_queries_epoch,
-                     CommStats* comm_epoch, RouteResult* result) {
+namespace {
+
+/// Counter merges of one accumulator — everything ApplyRouteAccum does
+/// except capacity admission. Shared by the sequential and batched
+/// appliers so their accounting can never drift apart.
+void MergeAccumCounters(const RouteAccum& accum, PartitionStatsMap* stats,
+                        std::vector<uint64_t>* ring_queries_epoch,
+                        CommStats* comm_epoch, RouteResult* result) {
   for (const auto& [partition, queries] : accum.partition_queries) {
     (*stats)[partition].queries += queries;
   }
@@ -115,6 +120,17 @@ void ApplyRouteAccum(const RouteAccum& accum, PartitionStatsMap* stats,
     }
   }
   comm_epoch->query_msgs += accum.query_msgs;
+  result->requested += accum.requested;
+  result->routed += accum.requested - accum.lost;
+  result->lost += accum.lost;
+}
+
+}  // namespace
+
+void ApplyRouteAccum(const RouteAccum& accum, PartitionStatsMap* stats,
+                     std::vector<uint64_t>* ring_queries_epoch,
+                     CommStats* comm_epoch, RouteResult* result) {
+  MergeAccumCounters(accum, stats, ring_queries_epoch, comm_epoch, result);
   for (const RouteShare& s : accum.shares) {
     const uint64_t served = s.server->ServeQueries(s.share);
     if (s.vnode != nullptr) {
@@ -122,9 +138,53 @@ void ApplyRouteAccum(const RouteAccum& accum, PartitionStatsMap* stats,
       s.vnode->queries_served += served;
     }
   }
-  result->requested += accum.requested;
-  result->routed += accum.requested - accum.lost;
-  result->lost += accum.lost;
+}
+
+void ApplyRouteAccumsBatched(const std::vector<RouteAccum>& accums,
+                             PartitionStatsMap* stats,
+                             std::vector<uint64_t>* ring_queries_epoch,
+                             CommStats* comm_epoch, RouteResult* result) {
+  // Counter merges, in shard order (identical to the sequential loop).
+  for (const RouteAccum& accum : accums) {
+    MergeAccumCounters(accum, stats, ring_queries_epoch, comm_epoch,
+                       result);
+  }
+
+  // Pass 1: total demand per server, servers in first-appearance order.
+  struct ServerDemand {
+    Server* server = nullptr;
+    uint64_t total = 0;
+    uint64_t granted = 0;
+  };
+  std::vector<ServerDemand> demands;
+  std::unordered_map<Server*, size_t> index;
+  for (const RouteAccum& accum : accums) {
+    for (const RouteShare& s : accum.shares) {
+      const auto [it, inserted] = index.try_emplace(s.server, demands.size());
+      if (inserted) demands.push_back(ServerDemand{s.server, 0, 0});
+      demands[it->second].total += s.share;
+    }
+  }
+
+  // One capacity debit per server: served and dropped counts equal the
+  // share-by-share sequence because ServeQueries is greedy.
+  for (ServerDemand& d : demands) {
+    d.granted = d.server->ServeQueries(d.total);
+  }
+
+  // Pass 2: hand each server's grant out front-to-back over its shares —
+  // the greedy prefix, exactly what sequential admission produced.
+  for (const RouteAccum& accum : accums) {
+    for (const RouteShare& s : accum.shares) {
+      ServerDemand& d = demands[index.at(s.server)];
+      const uint64_t served = std::min(s.share, d.granted);
+      d.granted -= served;
+      if (s.vnode != nullptr) {
+        s.vnode->queries_routed += s.share;
+        s.vnode->queries_served += served;
+      }
+    }
+  }
 }
 
 }  // namespace skute

@@ -117,10 +117,30 @@ void ComputePartitionRoute(Cluster* cluster, VNodeRegistry* vnodes,
 /// \brief Applies one accumulator: capacity admission (ServeQueries) in
 /// accumulator order plus the counter merges. Must run on one thread,
 /// accumulators in shard order — that ordering IS the determinism
-/// contract of the parallel query plane.
+/// contract of the parallel query plane. Serial convenience path
+/// (SkuteStore::RouteQueriesToPartition); batch traffic goes through
+/// ApplyRouteAccumsBatched.
 void ApplyRouteAccum(const RouteAccum& accum, PartitionStatsMap* stats,
                      std::vector<uint64_t>* ring_queries_epoch,
                      CommStats* comm_epoch, RouteResult* result);
+
+/// \brief Applies a whole batch of shard accumulators with **batched
+/// per-server capacity admission**: instead of one Server::ServeQueries
+/// call per share entry, every server's shares are summed across all
+/// accumulators and its capacity is debited once, with the grant handed
+/// out greedily over the shares in (shard, share) order.
+///
+/// Greedy admission has the prefix property — serving shares one by one
+/// and serving their sum then splitting the grant front-to-back debit the
+/// same capacity and serve the same per-share counts — so every counter
+/// (per-vnode routed/served, per-server served/dropped, stats, comm) is
+/// bit-for-bit identical to the sequential ApplyRouteAccum loop, just
+/// with one admission pass per server per batch. Must run on one thread,
+/// accumulators in shard order.
+void ApplyRouteAccumsBatched(const std::vector<RouteAccum>& accums,
+                             PartitionStatsMap* stats,
+                             std::vector<uint64_t>* ring_queries_epoch,
+                             CommStats* comm_epoch, RouteResult* result);
 
 }  // namespace skute
 

@@ -20,15 +20,19 @@ const ShardPlan& EpochContext::Shards() {
 void EpochContext::RunSharded(
     const std::function<void(size_t, Rng*)>& fn) {
   const ShardPlan& plan = Shards();
-  auto run_one = [&](size_t shard) {
+  RunIndexed(plan.shard_count(), [&](size_t shard) {
     Rng shard_rng = plan.ShardRng(shard);
     fn(shard, &shard_rng);
-  };
-  if (pool == nullptr || plan.shard_count() <= 1) {
-    for (size_t s = 0; s < plan.shard_count(); ++s) run_one(s);
+  });
+}
+
+void EpochContext::RunIndexed(size_t count,
+                              const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || count <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  pool->ParallelFor(plan.shard_count(), run_one);
+  pool->ParallelFor(count, fn);
 }
 
 }  // namespace skute

@@ -87,6 +87,13 @@ class EpochContext {
   /// order.
   void RunSharded(const std::function<void(size_t, Rng*)>& fn);
 
+  /// Runs fn(i) for every i in [0, count) on the worker pool when present
+  /// (inline otherwise). The generic index fan-out for stages whose work
+  /// units are not partition shards — the ExecuteStage's conflict groups.
+  /// Index-to-thread assignment is nondeterministic; fn must only write
+  /// index-local state, merged by the caller in index order.
+  void RunIndexed(size_t count, const std::function<void(size_t)>& fn);
+
  private:
   const ShardPlan* resolved_plan_ = nullptr;
   std::optional<ShardPlan> shard_plan_;  // fallback without a cache

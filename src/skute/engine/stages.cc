@@ -46,11 +46,12 @@ void RouteStage::Run(EpochContext& ctx) {
     }
   });
 
-  // Serial merge in shard order: counters and capacity admission.
-  for (const RouteAccum& accum : accums) {
-    ApplyRouteAccum(accum, ctx.stats, ctx.ring_queries_epoch,
-                    ctx.comm_epoch, &ctx.route_result);
-  }
+  // Serial merge in shard order, with capacity admission batched per
+  // server: each server's capacity is debited by one ServeQueries call
+  // for the whole batch (bit-identical to per-share admission — see
+  // ApplyRouteAccumsBatched).
+  ApplyRouteAccumsBatched(accums, ctx.stats, ctx.ring_queries_epoch,
+                          ctx.comm_epoch, &ctx.route_result);
 
   // Batch entries the plan snapshot no longer covers (a partition created
   // after the batch was built) are unroutable: account them as lost
@@ -134,9 +135,26 @@ void ProposeActionsStage::Run(EpochContext& ctx) {
 // --- ExecuteStage -----------------------------------------------------------
 
 void ExecuteStage::Run(EpochContext& ctx) {
-  *ctx.last_stats = ctx.executor->Apply(std::move(ctx.actions),
-                                        *ctx.policies, *ctx.epoch, ctx.rng);
+  // Phase 1 (serial): shuffle + conflict grouping + vnode-id/store
+  // pre-allocation. The plan is a pure function of the store's RNG
+  // stream, never of the thread count.
+  const ExecutionPlan plan =
+      ctx.executor->Plan(std::move(ctx.actions), ctx.rng);
   ctx.actions.clear();
+
+  // Phase 2 (parallel): disjoint conflict groups apply concurrently —
+  // re-validation, bandwidth/storage admission, and snapshot streaming
+  // all touch only the group's own servers.
+  std::vector<ExecGroupResult> results(plan.groups.size());
+  ctx.RunIndexed(plan.groups.size(), [&](size_t g) {
+    results[g] = ctx.executor->ApplyGroup(plan, g, *ctx.policies,
+                                          *ctx.epoch);
+  });
+
+  // Phase 3 (serial): merge counters and deferred vnode-registry
+  // mutations in group order, then the residual serial group.
+  *ctx.last_stats = ctx.executor->Commit(plan, std::move(results),
+                                         *ctx.policies, *ctx.epoch);
   if (ctx.last_stats->applied() > 0) ++*ctx.placement_version;
 }
 

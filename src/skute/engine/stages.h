@@ -21,9 +21,11 @@ class PublishPricesStage : public EpochStage {
 /// selection, proximity weights, largest-remainder apportionment — out
 /// over the worker pool. Per-shard accumulators (partition stats, ring
 /// queries, query messages, replica shares) are merged on the calling
-/// thread in shard order, and capacity admission (Server::ServeQueries)
-/// happens only in that merge, so routed/served counters and drop
-/// placement are bit-for-bit identical for any thread count.
+/// thread in shard order; capacity admission happens only in that merge
+/// and is batched per server (one Server::ServeQueries debit per server
+/// per batch, the grant split greedily over the shares), so routed/served
+/// counters and drop placement are bit-for-bit identical for any thread
+/// count — and identical to per-share admission.
 class RouteStage : public EpochStage {
  public:
   const char* name() const override { return "route_queries"; }
@@ -54,9 +56,16 @@ class ProposeActionsStage : public EpochStage {
   void Run(EpochContext& ctx) override;
 };
 
-/// \brief Applies the epoch's proposed actions through the ActionExecutor
-/// (sequential: execution arbitrates between concurrently generated
-/// proposals, so it is the serialization point of the epoch).
+/// \brief Applies the epoch's proposed actions through the
+/// ActionExecutor's plan/commit protocol: a serial planning pass groups
+/// the shuffled actions into conflict groups (disjoint server/partition
+/// footprints), the groups apply concurrently on the worker pool — each
+/// worker re-validating and admitting against only its group's servers,
+/// snapshot streaming included — and a serial commit merges counters and
+/// deferred vnode-registry mutations in group order. Grouping, in-group
+/// order, and merge order are functions of the shuffle alone, so
+/// threads=1 and threads=N stay bit-for-bit identical (the epoch's former
+/// serialization point now scales with the pool).
 class ExecuteStage : public EpochStage {
  public:
   const char* name() const override { return "execute"; }

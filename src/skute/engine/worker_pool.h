@@ -12,7 +12,9 @@
 namespace skute {
 
 /// \brief A fixed pool of worker threads executing index-based parallel
-/// loops (the epoch pipeline's shard fan-out).
+/// loops — the epoch pipeline's fan-outs: partition shards for the
+/// balance/proposal/route stages (EpochContext::RunSharded) and conflict
+/// groups for the execute stage (EpochContext::RunIndexed).
 ///
 /// The pool holds `threads - 1` workers: the calling thread participates
 /// in every ParallelFor, so WorkerPool(1) spawns nothing and degrades to a

@@ -106,7 +106,9 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
       "vnodes_total",   "vnodes_cheap_mean",
       "vnodes_expensive_mean",             "vnodes_cv",
       "vnodes_min",     "vnodes_max",      "replications",
-      "migrations",     "suicides",        "msgs_total",
+      "migrations",     "suicides",        "exec_blocked_bandwidth",
+      "exec_blocked_storage",              "exec_aborted_stale",
+      "msgs_total",
       "transfer_bytes", "snapshot_bytes",  "io_ops",
       "io_log_bytes",   "io_flushed_bytes",
       "io_read_bytes",  "io_fsyncs"};
@@ -145,6 +147,9 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
         .Field(s.exec.replications)
         .Field(s.exec.migrations)
         .Field(s.exec.suicides)
+        .Field(s.exec.blocked_bandwidth)
+        .Field(s.exec.blocked_storage)
+        .Field(s.exec.aborted_stale)
         .Field(s.comm.TotalMsgs())
         .Field(s.comm.transfer_bytes)
         .Field(s.exec.snapshot_bytes)

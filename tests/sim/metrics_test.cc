@@ -123,6 +123,10 @@ TEST_F(MetricsTest, CsvRowPerSnapshotAndStableColumns) {
   EXPECT_NE(csv.find("queries_lost"), std::string::npos);
   EXPECT_NE(csv.find("route_ms"), std::string::npos);
   EXPECT_NE(csv.find("stage_route_queries_ms"), std::string::npos);
+  // Executor outcome columns: scenarios shape-check contention with them.
+  EXPECT_NE(csv.find("exec_blocked_bandwidth"), std::string::npos);
+  EXPECT_NE(csv.find("exec_blocked_storage"), std::string::npos);
+  EXPECT_NE(csv.find("exec_aborted_stale"), std::string::npos);
   // Every row has the same number of commas as the header.
   std::istringstream lines(csv);
   std::string line;
@@ -191,7 +195,8 @@ TEST_F(MetricsTest, WriteCsvToFileOverwritesPreviousContent) {
   std::ifstream in(path);
   std::stringstream from_file;
   from_file << in.rdbuf();
-  EXPECT_EQ(from_file.str().find("stale"), std::string::npos);
+  // ("stale" alone would false-positive on the exec_aborted_stale column.)
+  EXPECT_EQ(from_file.str().find("stale content"), std::string::npos);
   EXPECT_NE(from_file.str().find("epoch"), std::string::npos);
 }
 
