@@ -29,6 +29,7 @@
 
 #include "common/bench_util.h"
 #include "skute/common/hash.h"
+#include "skute/core/policy.h"
 #include "skute/core/store.h"
 #include "skute/topology/topology.h"
 
@@ -48,6 +49,7 @@ struct BenchResult {
   uint64_t plan_reuses = 0;
   std::vector<StageTiming> stage_timings;
   IoStats io;
+  DecisionPlaneStats decision;
 };
 
 /// Total wall-time of one named stage over the run, or 0 when absent.
@@ -158,6 +160,10 @@ BenchResult RunPipeline(int threads, int epochs, uint64_t seed,
   result.plan_reuses = store.epoch_pipeline().shard_plan_cache().reuses();
   result.stage_timings = store.epoch_pipeline().stage_timings();
   result.io = store.io_stats();
+  if (const auto* econ =
+          dynamic_cast<const EconomicPolicy*>(&store.placement_policy())) {
+    result.decision = econ->decision_stats();
+  }
   return result;
 }
 
@@ -187,6 +193,17 @@ void PrintRun(const BenchResult& r) {
               static_cast<unsigned long long>(r.io.log_bytes_written),
               static_cast<unsigned long long>(r.io.bytes_flushed),
               static_cast<unsigned long long>(r.io.snapshot_bytes_out));
+  const DecisionPlaneStats& d = r.decision;
+  std::printf("decision plane: %llu selects (%llu candidates scored, "
+              "%llu full scans), %llu clean / %llu dirty partitions, "
+              "avail cache %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(d.select_calls),
+              static_cast<unsigned long long>(d.candidates_scored),
+              static_cast<unsigned long long>(d.full_scan_selects),
+              static_cast<unsigned long long>(d.partitions_clean),
+              static_cast<unsigned long long>(d.partitions_dirty),
+              static_cast<unsigned long long>(d.avail_cache_hits),
+              static_cast<unsigned long long>(d.avail_cache_misses));
 }
 
 /// Machine-readable run record so the repo's perf trajectory can be
@@ -205,6 +222,20 @@ bool WriteBenchJson(const std::string& path, int epochs,
         << "      \"actions_applied\": " << r.actions_applied << ",\n"
         << "      \"execute_actions_per_sec\": " << ExecuteActionsPerSec(r)
         << ",\n"
+        << "      \"decision\": {\n"
+        << "        \"select_calls\": " << r.decision.select_calls << ",\n"
+        << "        \"candidates_scored\": " << r.decision.candidates_scored
+        << ",\n"
+        << "        \"full_scan_selects\": " << r.decision.full_scan_selects
+        << ",\n"
+        << "        \"partitions_clean\": " << r.decision.partitions_clean
+        << ",\n"
+        << "        \"partitions_dirty\": " << r.decision.partitions_dirty
+        << ",\n"
+        << "        \"avail_cache_hits\": " << r.decision.avail_cache_hits
+        << ",\n"
+        << "        \"avail_cache_misses\": "
+        << r.decision.avail_cache_misses << "\n      },\n"
         << "      \"stage_total_ms\": {";
     for (size_t i = 0; i < r.stage_timings.size(); ++i) {
       const StageTiming& t = r.stage_timings[i];
@@ -322,6 +353,27 @@ int main(int argc, char** argv) {
                exec_base > 0 && exec_par > 0,
                "actions/sec derived from the execute stage timer at both "
                "thread counts");
+  // Counter-based (never wall-clock) assertions on the decision caches:
+  // the CI perf-smoke job relies on these staying green.
+  checks.Check("candidate cache engaged",
+               base.decision.select_calls > 0 &&
+                   base.decision.candidates_scored > 0,
+               std::to_string(base.decision.candidates_scored) +
+                   " candidates scored over " +
+                   std::to_string(base.decision.select_calls) +
+                   " selects");
+  checks.Check("dirty-partition tracking engaged",
+               base.decision.partitions_clean > 0 &&
+                   base.decision.partitions_dirty > 0,
+               std::to_string(base.decision.partitions_clean) +
+                   " clean skips vs " +
+                   std::to_string(base.decision.partitions_dirty) +
+                   " dirty runs");
+  checks.Check("availability cache hitting",
+               base.decision.avail_cache_hits > 0,
+               std::to_string(base.decision.avail_cache_hits) + " hits / " +
+                   std::to_string(base.decision.avail_cache_misses) +
+                   " misses");
   checks.Check(
       "determinism across thread counts",
       base.placement_version == par.placement_version &&

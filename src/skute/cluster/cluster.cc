@@ -9,6 +9,7 @@ ServerId Cluster::AddServer(const Location& location,
   const ServerId id = static_cast<ServerId>(servers_.size());
   servers_.push_back(
       std::make_unique<Server>(id, location, resources, economics, backend));
+  ++topology_version_;
   return id;
 }
 
@@ -20,6 +21,7 @@ Status Cluster::FailServer(ServerId id) {
   }
   s->set_online(false);
   s->WipeStorage();
+  ++topology_version_;
   return Status::OK();
 }
 
@@ -30,6 +32,7 @@ Status Cluster::RecoverServer(ServerId id) {
     return Status::FailedPrecondition("server already online");
   }
   s->set_online(true);
+  ++topology_version_;
   return Status::OK();
 }
 

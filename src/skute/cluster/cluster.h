@@ -54,6 +54,13 @@ class Cluster {
   Board& board() { return board_; }
   const Board& board() const { return board_; }
 
+  /// Monotone membership counter: bumped by AddServer and every
+  /// successful FailServer/RecoverServer. Caches keyed on a replica
+  /// set's availability use it to detect online flips without scanning
+  /// (confidence and location are immutable per server, so membership
+  /// changes are the only way a server's Eq. 2 contribution moves).
+  uint64_t topology_version() const { return topology_version_; }
+
   /// Starts a new epoch: rolls every server's counters, then publishes the
   /// new virtual rents from last epoch's usage (the paper's "virtual rent
   /// of each server is announced at a board ... updated at the beginning
@@ -70,6 +77,7 @@ class Cluster {
  private:
   std::vector<std::unique_ptr<Server>> servers_;
   Board board_;
+  uint64_t topology_version_ = 0;
 };
 
 }  // namespace skute

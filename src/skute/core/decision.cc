@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "skute/common/logging.h"
+#include "skute/core/decision_cache.h"
 #include "skute/economy/availability.h"
+#include "skute/economy/candidate_context.h"
 #include "skute/topology/location.h"
 
 namespace skute {
@@ -28,6 +31,21 @@ VNodeId PrimaryVNode(const Partition& partition, const Cluster& cluster,
   return best;
 }
 
+/// A partition whose ring id is past the policy vector is a wiring bug
+/// (rings attached without policies rebuilt); indexing would be silent
+/// UB. Fail loudly — same stance as the query plane's misconfig checks —
+/// and propose nothing for the partition.
+bool CheckRingPolicy(const Partition& partition,
+                     const std::vector<RingPolicy>& policies,
+                     const char* pass) {
+  if (partition.ring() < policies.size()) return true;
+  SKUTE_LOG(kError) << "decision (" << pass << "): partition "
+                    << partition.id() << " is on ring " << partition.ring()
+                    << " but only " << policies.size()
+                    << " ring policies are configured; skipping it";
+  return false;
+}
+
 }  // namespace
 
 double DecisionEngine::AvailabilityWith(const Cluster& cluster,
@@ -36,11 +54,28 @@ double DecisionEngine::AvailabilityWith(const Cluster& cluster,
   return AvailabilityModel::OfServerIdsWith(cluster, servers, extra);
 }
 
+Result<CandidateChoice> DecisionEngine::SelectTarget(
+    const Cluster& cluster, const std::vector<ServerId>& replica_servers,
+    uint64_t bytes_needed, const ClientMix* mix,
+    const std::vector<ServerId>& exclude, const RentSurcharge* surcharge,
+    uint64_t tie_break_salt, const ProposeContext* pctx) const {
+  if (pctx != nullptr && pctx->candidates != nullptr &&
+      pctx->candidates->ready()) {
+    return pctx->candidates->Select(replica_servers, bytes_needed, mix,
+                                    exclude, surcharge, tie_break_salt);
+  }
+  return SelectTargetForSet(cluster, replica_servers, bytes_needed, mix,
+                            params_.candidate, exclude, surcharge,
+                            tie_break_salt);
+}
+
 void DecisionEngine::ProposeRepair(const Cluster& cluster,
                                    const Partition& partition,
                                    const std::vector<RingPolicy>& policies,
                                    RentSurcharge* surcharge,
-                                   std::vector<Action>* actions) const {
+                                   std::vector<Action>* actions,
+                                   const ProposeContext* pctx) const {
+  if (!CheckRingPolicy(partition, policies, "repair")) return;
   const RingPolicy& policy = policies[partition.ring()];
   if (policy.min_availability <= 0.0) return;
 
@@ -54,7 +89,13 @@ void DecisionEngine::ProposeRepair(const Cluster& cluster,
              live.end());
   if (live.empty()) return;  // lost partition: no source to repair from
 
-  double avail = AvailabilityModel::OfServerIds(cluster, live);
+  // OfPartition over the live set — bit-identical to OfServerIds(live)
+  // (same servers, same pair order), so the cached value is shared with
+  // the economic pass.
+  double avail =
+      pctx != nullptr && pctx->avail_cache != nullptr
+          ? pctx->avail_cache->AvailabilityOf(partition, cluster)
+          : AvailabilityModel::OfServerIds(cluster, live);
   if (avail >= policy.min_availability) return;
 
   ServerId primary_server = kInvalidServer;
@@ -67,9 +108,9 @@ void DecisionEngine::ProposeRepair(const Cluster& cluster,
         live.size() >= params_.max_replicas_per_partition) {
       break;
     }
-    auto choice = SelectTargetForSet(
-        cluster, live, partition.bytes(), policy.mix, params_.candidate,
-        /*exclude=*/{}, surcharge, /*tie_break_salt=*/partition.id());
+    auto choice = SelectTarget(cluster, live, partition.bytes(), policy.mix,
+                               /*exclude=*/{}, surcharge,
+                               /*tie_break_salt=*/partition.id(), pctx);
     if (!choice.ok()) break;
     Action a;
     a.type = ActionType::kReplicate;
@@ -91,11 +132,11 @@ void DecisionEngine::ProposeRepair(const Cluster& cluster,
 
 std::vector<Action> DecisionEngine::RepairPass(
     const Cluster& cluster, const RingCatalog& catalog,
-    const std::vector<RingPolicy>& policies,
-    RentSurcharge* surcharge) const {
+    const std::vector<RingPolicy>& policies, RentSurcharge* surcharge,
+    const ProposeContext* pctx) const {
   std::vector<Action> actions;
   catalog.ForEachPartition([&](const Partition* p) {
-    ProposeRepair(cluster, *p, policies, surcharge, &actions);
+    ProposeRepair(cluster, *p, policies, surcharge, &actions, pctx);
   });
   return actions;
 }
@@ -105,7 +146,8 @@ Action DecisionEngine::DecideForVNode(const Cluster& cluster,
                                       const VirtualNode& vnode,
                                       const RingPolicy& policy,
                                       double avail_now,
-                                      const RentSurcharge* surcharge) const {
+                                      const RentSurcharge* surcharge,
+                                      const ProposeContext* pctx) const {
   Action none;
   if (!vnode.balance.NegativeStreak()) return none;
 
@@ -129,11 +171,11 @@ Action DecisionEngine::DecideForVNode(const Cluster& cluster,
 
   // Otherwise look for a strictly cheaper server that preserves
   // availability (the migration leg of Section II-C).
-  auto choice = SelectTargetForSet(
-      cluster, ReplicaServerSet(partition, vnode.server),
-      partition.bytes(), policy.mix, params_.candidate,
-      /*exclude=*/{vnode.server}, surcharge,
-      /*tie_break_salt=*/partition.id());
+  auto choice = SelectTarget(cluster, ReplicaServerSet(partition,
+                                                       vnode.server),
+                             partition.bytes(), policy.mix,
+                             /*exclude=*/{vnode.server}, surcharge,
+                             /*tie_break_salt=*/partition.id(), pctx);
   if (!choice.ok()) return none;
 
   const double my_rent = cluster.board().RentOf(vnode.server);
@@ -166,7 +208,8 @@ Action DecisionEngine::MaybeReplicate(const Cluster& cluster,
                                       const Partition& partition,
                                       const RingPolicy& policy,
                                       const PartitionEpochStats& stats,
-                                      const RentSurcharge* surcharge) const {
+                                      const RentSurcharge* surcharge,
+                                      const ProposeContext* pctx) const {
   Action none;
   const size_t replicas = partition.replica_count();
   if (params_.max_replicas_per_partition != 0 &&
@@ -175,10 +218,10 @@ Action DecisionEngine::MaybeReplicate(const Cluster& cluster,
   }
   if (replicas >= cluster.online_count()) return none;
 
-  auto choice = SelectTargetForSet(
-      cluster, ReplicaServerSet(partition), partition.bytes(), policy.mix,
-      params_.candidate, /*exclude=*/{}, surcharge,
-      /*tie_break_salt=*/partition.id());
+  auto choice = SelectTarget(cluster, ReplicaServerSet(partition),
+                             partition.bytes(), policy.mix,
+                             /*exclude=*/{}, surcharge,
+                             /*tie_break_salt=*/partition.id(), pctx);
   if (!choice.ok()) return none;
   const Server* target = cluster.server(choice->server);
 
@@ -218,7 +261,8 @@ void DecisionEngine::ProposeEconomic(const Cluster& cluster,
                                      const std::vector<RingPolicy>& policies,
                                      const PartitionStatsMap& stats,
                                      RentSurcharge* surcharge,
-                                     std::vector<Action>* actions) const {
+                                     std::vector<Action>* actions,
+                                     const ProposeContext* pctx) const {
   static const PartitionEpochStats kNoTraffic;
 
   auto charge = [&](const Action& a) {
@@ -227,40 +271,76 @@ void DecisionEngine::ProposeEconomic(const Cluster& cluster,
     }
   };
 
+  if (!CheckRingPolicy(partition, policies, "economic")) return;
   const RingPolicy& policy = policies[partition.ring()];
-  const double avail = AvailabilityModel::OfPartition(partition, cluster);
+  ProposalCache* cache =
+      pctx != nullptr ? pctx->avail_cache : nullptr;
+  const double avail = cache != nullptr
+                           ? cache->AvailabilityOf(partition, cluster)
+                           : AvailabilityModel::OfPartition(partition,
+                                                            cluster);
   if (avail < policy.min_availability) {
     return;  // under-replicated: repair owns this partition this epoch
   }
 
+  // Dirty check: a partition can only act when some replica vnode holds
+  // a full negative streak (cost-cutting) or positive streak (growth) —
+  // the quiescent path below reads nothing else, so skipping clean
+  // partitions is exact. The flags come precomputed from
+  // RecordBalancesStage when available (it already visited every vnode),
+  // from an inline scan otherwise.
+  bool has_negative = false;
+  bool has_positive = false;
+  bool flags_known = false;
+  if (pctx != nullptr && pctx->streak_flags != nullptr &&
+      partition.id() < pctx->streak_flags->size()) {
+    const uint8_t flags = (*pctx->streak_flags)[partition.id()];
+    if (flags & kStreakFlagsValid) {
+      flags_known = true;
+      has_negative = (flags & kStreakNegative) != 0;
+      has_positive = (flags & kStreakPositive) != 0;
+    }
+  }
+  if (!flags_known) {
+    for (const ReplicaInfo& r : partition.replicas()) {
+      const VirtualNode* v = vnodes.Find(r.vnode);
+      if (v == nullptr) continue;
+      has_negative = has_negative || v->balance.NegativeStreak();
+      has_positive = has_positive || v->balance.PositiveStreak();
+      if (has_negative && has_positive) break;
+    }
+  }
+  if (!has_negative && !has_positive) {
+    if (cache != nullptr) cache->CountClean();
+    return;  // quiescent: last epoch's no-action outcome stands
+  }
+  if (cache != nullptr) cache->CountDirty();
+
   // Cost-cutting first: the first vnode (replica order) with a negative
-  // streak acts; one action per partition per epoch.
-  for (const ReplicaInfo& r : partition.replicas()) {
-    const VirtualNode* v = vnodes.Find(r.vnode);
-    if (v == nullptr) continue;
-    Action a =
-        DecideForVNode(cluster, partition, *v, policy, avail, surcharge);
-    if (a.type != ActionType::kNone) {
-      charge(a);
-      actions->push_back(a);
-      return;
+  // streak acts; one action per partition per epoch. DecideForVNode
+  // returns none for every vnode without a negative streak, so the loop
+  // only runs when one exists.
+  if (has_negative) {
+    for (const ReplicaInfo& r : partition.replicas()) {
+      const VirtualNode* v = vnodes.Find(r.vnode);
+      if (v == nullptr) continue;
+      Action a = DecideForVNode(cluster, partition, *v, policy, avail,
+                                surcharge, pctx);
+      if (a.type != ActionType::kNone) {
+        charge(a);
+        actions->push_back(a);
+        return;
+      }
     }
   }
 
   // Growth second: replicate when some replica sustained profit.
-  bool positive = false;
-  for (const ReplicaInfo& r : partition.replicas()) {
-    const VirtualNode* v = vnodes.Find(r.vnode);
-    if (v != nullptr && v->balance.PositiveStreak()) {
-      positive = true;
-      break;
-    }
-  }
-  if (!positive) return;
+  if (!has_positive) return;
   const auto it = stats.find(partition.id());
   const PartitionEpochStats& traffic =
       it == stats.end() ? kNoTraffic : it->second;
-  Action a = MaybeReplicate(cluster, partition, policy, traffic, surcharge);
+  Action a = MaybeReplicate(cluster, partition, policy, traffic, surcharge,
+                            pctx);
   if (a.type != ActionType::kNone) {
     charge(a);
     actions->push_back(a);
@@ -270,11 +350,12 @@ void DecisionEngine::ProposeEconomic(const Cluster& cluster,
 std::vector<Action> DecisionEngine::EconomicPass(
     const Cluster& cluster, const RingCatalog& catalog,
     const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
-    const PartitionStatsMap& stats, RentSurcharge* surcharge) const {
+    const PartitionStatsMap& stats, RentSurcharge* surcharge,
+    const ProposeContext* pctx) const {
   std::vector<Action> actions;
   catalog.ForEachPartition([&](const Partition* p) {
     ProposeEconomic(cluster, *p, vnodes, policies, stats, surcharge,
-                    &actions);
+                    &actions, pctx);
   });
   return actions;
 }
@@ -282,12 +363,12 @@ std::vector<Action> DecisionEngine::EconomicPass(
 std::vector<Action> DecisionEngine::ProposeAll(
     const Cluster& cluster, const RingCatalog& catalog,
     const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
-    const PartitionStatsMap& stats) const {
+    const PartitionStatsMap& stats, const ProposeContext* pctx) const {
   RentSurcharge surcharge;
   std::vector<Action> actions =
-      RepairPass(cluster, catalog, policies, &surcharge);
-  std::vector<Action> econ =
-      EconomicPass(cluster, catalog, vnodes, policies, stats, &surcharge);
+      RepairPass(cluster, catalog, policies, &surcharge, pctx);
+  std::vector<Action> econ = EconomicPass(cluster, catalog, vnodes,
+                                          policies, stats, &surcharge, pctx);
   actions.insert(actions.end(), econ.begin(), econ.end());
   return actions;
 }
@@ -296,17 +377,17 @@ std::vector<Action> DecisionEngine::ProposeForPartitions(
     const Cluster& cluster,
     const std::vector<const Partition*>& partitions,
     const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
-    const PartitionStatsMap& stats) const {
+    const PartitionStatsMap& stats, const ProposeContext* pctx) const {
   // Same pass order as ProposeAll — repair over the whole shard, then
   // economic — so a single-shard plan reproduces it action for action.
   RentSurcharge surcharge;
   std::vector<Action> actions;
   for (const Partition* p : partitions) {
-    ProposeRepair(cluster, *p, policies, &surcharge, &actions);
+    ProposeRepair(cluster, *p, policies, &surcharge, &actions, pctx);
   }
   for (const Partition* p : partitions) {
     ProposeEconomic(cluster, *p, vnodes, policies, stats, &surcharge,
-                    &actions);
+                    &actions, pctx);
   }
   return actions;
 }

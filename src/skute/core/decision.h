@@ -13,6 +13,9 @@
 
 namespace skute {
 
+class CandidateContext;
+class ProposalCache;
+
 /// What a virtual-node agent decided to do at the end of an epoch
 /// (Section II-C: replicate, migrate, suicide, or nothing).
 enum class ActionType { kNone, kReplicate, kMigrate, kSuicide };
@@ -82,6 +85,31 @@ struct DecisionParams {
   /// serialized admission a real target server would impose; without it,
   /// stale identical board prices send every agent to the same server.
   double pending_placement_penalty = 0.25;
+  /// Decision-plane acceleration (both layers are bit-for-bit identical
+  /// to the uncached path — the flags exist for the equivalence tests
+  /// and the ablation bench, not as behavior knobs).
+  /// Per-epoch CandidateContext for Eq. 3 target selection.
+  bool use_candidate_context = true;
+  /// Cross-epoch ProposalCache: availability reuse + dirty-partition
+  /// skip in the economic pass.
+  bool use_proposal_cache = true;
+};
+
+/// \brief Optional per-epoch acceleration state threaded through the
+/// decision passes. All members may be null; a null member (or a null
+/// context pointer, the default everywhere) selects the original
+/// full-recompute path. EconomicPolicy assembles one per epoch in its
+/// BeginProposalEpoch prepare step.
+struct ProposeContext {
+  /// Per-epoch Eq. 3 scoring snapshot (exact; see candidate_context.h).
+  const CandidateContext* candidates = nullptr;
+  /// Cross-epoch availability/dirty-partition cache (exact; see
+  /// decision_cache.h).
+  ProposalCache* avail_cache = nullptr;
+  /// Per-partition streak flags from RecordBalancesStage (kStreak* bits,
+  /// indexed by PartitionId); entries without kStreakFlagsValid fall
+  /// back to the inline vnode scan.
+  const std::vector<uint8_t>* streak_flags = nullptr;
 };
 
 /// \brief Generates the epoch's proposed actions. Stateless except for
@@ -103,7 +131,8 @@ class DecisionEngine {
   std::vector<Action> RepairPass(
       const Cluster& cluster, const RingCatalog& catalog,
       const std::vector<RingPolicy>& policies,
-      RentSurcharge* surcharge = nullptr) const;
+      RentSurcharge* surcharge = nullptr,
+      const ProposeContext* pctx = nullptr) const;
 
   /// \brief Economic decisions (Section II-C second step), at most one
   /// action per partition per epoch:
@@ -117,7 +146,8 @@ class DecisionEngine {
       const VNodeRegistry& vnodes,
       const std::vector<RingPolicy>& policies,
       const PartitionStatsMap& stats,
-      RentSurcharge* surcharge = nullptr) const;
+      RentSurcharge* surcharge = nullptr,
+      const ProposeContext* pctx = nullptr) const;
 
   /// Both passes with a shared per-epoch rent surcharge (what
   /// EconomicPolicy runs every epoch).
@@ -125,7 +155,8 @@ class DecisionEngine {
                                  const RingCatalog& catalog,
                                  const VNodeRegistry& vnodes,
                                  const std::vector<RingPolicy>& policies,
-                                 const PartitionStatsMap& stats) const;
+                                 const PartitionStatsMap& stats,
+                                 const ProposeContext* pctx = nullptr) const;
 
   /// \brief Both passes restricted to an explicit partition list — one
   /// decision-plane shard — with its own rent-surcharge ledger.
@@ -142,14 +173,15 @@ class DecisionEngine {
       const Cluster& cluster,
       const std::vector<const Partition*>& partitions,
       const VNodeRegistry& vnodes, const std::vector<RingPolicy>& policies,
-      const PartitionStatsMap& stats) const;
+      const PartitionStatsMap& stats,
+      const ProposeContext* pctx = nullptr) const;
 
  private:
   /// Repair leg for one partition (appends 0..max_repair_steps actions).
   void ProposeRepair(const Cluster& cluster, const Partition& partition,
                      const std::vector<RingPolicy>& policies,
-                     RentSurcharge* surcharge,
-                     std::vector<Action>* actions) const;
+                     RentSurcharge* surcharge, std::vector<Action>* actions,
+                     const ProposeContext* pctx) const;
 
   /// Economic leg for one partition (appends at most one action).
   void ProposeEconomic(const Cluster& cluster, const Partition& partition,
@@ -157,22 +189,33 @@ class DecisionEngine {
                        const std::vector<RingPolicy>& policies,
                        const PartitionStatsMap& stats,
                        RentSurcharge* surcharge,
-                       std::vector<Action>* actions) const;
+                       std::vector<Action>* actions,
+                       const ProposeContext* pctx) const;
 
   /// Eq. 2 over an explicit id set plus one extra server.
   double AvailabilityWith(const Cluster& cluster,
                           const std::vector<ServerId>& servers,
                           ServerId extra) const;
 
+  /// Eq. 3 selection: through the pctx's CandidateContext when present
+  /// (exact pruned shortlist), the full SelectTargetForSet scan
+  /// otherwise.
+  Result<CandidateChoice> SelectTarget(
+      const Cluster& cluster, const std::vector<ServerId>& replica_servers,
+      uint64_t bytes_needed, const ClientMix* mix,
+      const std::vector<ServerId>& exclude, const RentSurcharge* surcharge,
+      uint64_t tie_break_salt, const ProposeContext* pctx) const;
+
   Action DecideForVNode(const Cluster& cluster, const Partition& partition,
                         const VirtualNode& vnode, const RingPolicy& policy,
-                        double avail_now,
-                        const RentSurcharge* surcharge) const;
+                        double avail_now, const RentSurcharge* surcharge,
+                        const ProposeContext* pctx) const;
 
   Action MaybeReplicate(const Cluster& cluster, const Partition& partition,
                         const RingPolicy& policy,
                         const PartitionEpochStats& stats,
-                        const RentSurcharge* surcharge) const;
+                        const RentSurcharge* surcharge,
+                        const ProposeContext* pctx) const;
 
   DecisionParams params_;
 };

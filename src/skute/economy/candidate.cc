@@ -7,18 +7,14 @@
 
 namespace skute {
 
-namespace {
-
 double SurchargeOf(const RentSurcharge* surcharge, ServerId id) {
   if (surcharge == nullptr) return 0.0;
   const auto it = surcharge->find(id);
   return it == surcharge->end() ? 0.0 : it->second;
 }
 
-/// Admission check: online, enough free storage, and the post-placement
-/// utilization stays under the pressure cap.
-bool Admissible(const Server& server, uint64_t bytes_needed,
-                const CandidateParams& params) {
+bool CandidateAdmissible(const Server& server, uint64_t bytes_needed,
+                         const CandidateParams& params) {
   if (!server.online()) return false;
   if (server.available_storage() < bytes_needed) return false;
   const uint64_t capacity = server.resources().storage_capacity;
@@ -28,8 +24,6 @@ bool Admissible(const Server& server, uint64_t bytes_needed,
       static_cast<double>(capacity);
   return after <= params.max_target_storage_utilization;
 }
-
-}  // namespace
 
 std::vector<ServerId> ReplicaServerSet(const Partition& partition,
                                        ServerId moving_from) {
@@ -73,22 +67,35 @@ Result<CandidateChoice> SelectTargetForSet(
   double best_rent = 0.0;
   uint64_t best_salted = 0;
 
+  // Replica sets and exclusions are a handful of ids: one small sorted
+  // vector replaces two linear std::find scans per candidate.
+  std::vector<ServerId> skip = replica_servers;
+  skip.insert(skip.end(), exclude.begin(), exclude.end());
+  std::sort(skip.begin(), skip.end());
+
   for (ServerId id = 0; id < cluster.size(); ++id) {
     const Server* s = cluster.server(id);
     if (s == nullptr) continue;
-    if (!Admissible(*s, bytes_needed, params)) continue;
-    if (std::find(replica_servers.begin(), replica_servers.end(), id) !=
-        replica_servers.end()) {
-      continue;
-    }
-    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
-      continue;
-    }
+    if (!CandidateAdmissible(*s, bytes_needed, params)) continue;
+    if (std::binary_search(skip.begin(), skip.end(), id)) continue;
 
-    const double score = ScoreCandidateForSet(cluster, replica_servers, *s,
-                                              mix, params, surcharge);
+    // Inline ScoreCandidateForSet so the rent — shared by the score and
+    // the tie-break — is computed once per candidate.
+    double diversity_sum = 0.0;
+    for (ServerId rid : replica_servers) {
+      const Server* rs = cluster.server(rid);
+      if (rs == nullptr || !rs->online()) continue;
+      diversity_sum += static_cast<double>(
+          DiversityValue(rs->location(), s->location()));
+    }
+    const double g = mix == nullptr
+                         ? 1.0
+                         : NormalizedProximity(*mix, s->location());
+    const double conf = s->economics().confidence;
     const double rent =
         cluster.board().RentOf(id) + SurchargeOf(surcharge, id);
+    const double score =
+        params.diversity_weight * g * conf * diversity_sum - rent;
     // Salted order decorrelates exact ties across partitions (see the
     // header comment); deterministic for a given salt.
     const uint64_t salted = Mix64(id ^ tie_break_salt);

@@ -43,6 +43,14 @@ struct CandidateChoice {
   double score = 0.0;
 };
 
+/// Surcharge on `id`'s rent this epoch; 0 when absent or no overlay.
+double SurchargeOf(const RentSurcharge* surcharge, ServerId id);
+
+/// Admission check of the Eq. 3 scan: online, enough free storage, and
+/// the post-placement utilization stays under the pressure cap.
+bool CandidateAdmissible(const Server& server, uint64_t bytes_needed,
+                         const CandidateParams& params);
+
 /// \brief Scores one candidate server against an explicit replica set (the
 /// inner expression of Eq. 3):
 ///

@@ -68,6 +68,13 @@ class EpochContext {
   /// Proposal stage output, execution stage input.
   std::vector<Action> actions;
 
+  /// Per-partition balance-streak flags (kStreak* bits, indexed by
+  /// PartitionId): filled by RecordBalancesStage — which already visits
+  /// every vnode — and consumed by ProposeActionsStage's prepare step so
+  /// the decision engine's dirty check skips the registry lookups.
+  /// Empty when the proposal cache is disabled.
+  std::vector<uint8_t> streak_flags;
+
   /// RouteStage input: the query workload to route (borrowed from the
   /// caller of SkuteStore::RouteQueryBatch); nullptr outside kRoute runs.
   const QueryBatch* query_batch = nullptr;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "skute/common/logging.h"
+#include "skute/core/decision_cache.h"
 #include "skute/economy/proximity.h"
 
 namespace skute {
@@ -69,6 +71,19 @@ void RecordBalancesStage::Run(EpochContext& ctx) {
   const ShardPlan& plan = ctx.Shards();
   const size_t rings = ctx.ring_spend_epoch->size();
 
+  // Post-record streak flags for the proposal stage's dirty check; this
+  // stage holds every vnode in hand anyway. Each partition id is written
+  // by exactly one shard.
+  const bool want_flags =
+      ctx.decision != nullptr && ctx.decision->use_proposal_cache &&
+      ctx.catalog != nullptr;
+  if (want_flags) {
+    ctx.streak_flags.assign(
+        static_cast<size_t>(ctx.catalog->partition_id_bound()), 0);
+  } else {
+    ctx.streak_flags.clear();
+  }
+
   // Per-shard rent partials: each shard sums its own partitions in
   // catalog order; the merge below runs in shard order on one thread.
   std::vector<std::vector<double>> spend(
@@ -76,27 +91,47 @@ void RecordBalancesStage::Run(EpochContext& ctx) {
 
   ctx.RunSharded([&](size_t shard, Rng* /*rng*/) {
     for (const Partition* p : plan.shard(shard)) {
+      if (p->ring() >= ctx.policies->size()) {
+        SKUTE_LOG(kError) << "record_balances: partition " << p->id()
+                          << " is on ring " << p->ring() << " but only "
+                          << ctx.policies->size()
+                          << " ring policies are configured; skipping it";
+        continue;
+      }
       const ClientMix* mix = (*ctx.policies)[p->ring()].mix;
+      uint8_t flags = kStreakFlagsValid;
       for (const ReplicaInfo& r : p->replicas()) {
         VirtualNode* v = ctx.vnodes->Find(r.vnode);
         if (v == nullptr) continue;
         const Server* s = ctx.cluster->server(r.server);
-        if (s == nullptr || !s->online()) continue;
-        const double g = mix == nullptr
-                             ? 1.0
-                             : NormalizedProximity(*mix, s->location());
-        double utility =
-            QueryUtility(v->queries_served, g, ctx.decision->utility);
-        if (ctx.decision->utility_floor) {
-          utility = std::max(utility, floor);
+        if (s != nullptr && s->online()) {
+          const double g = mix == nullptr
+                               ? 1.0
+                               : NormalizedProximity(*mix, s->location());
+          double utility =
+              QueryUtility(v->queries_served, g, ctx.decision->utility);
+          if (ctx.decision->utility_floor) {
+            utility = std::max(utility, floor);
+          }
+          const double rent = board.RentOf(r.server);
+          v->last_utility = utility;
+          v->last_rent = rent;
+          v->balance.Record(utility - rent);
+          if (p->ring() < rings) {
+            spend[shard][p->ring()] += rent;
+          }
         }
-        const double rent = board.RentOf(r.server);
-        v->last_utility = utility;
-        v->last_rent = rent;
-        v->balance.Record(utility - rent);
-        if (p->ring() < rings) {
-          spend[shard][p->ring()] += rent;
+        // Streak state *after* this epoch's record — exactly what the
+        // proposal pass will read. Replicas on offline servers record
+        // nothing but their vnodes still vote (ProposeEconomic consults
+        // them too).
+        if (want_flags) {
+          if (v->balance.NegativeStreak()) flags |= kStreakNegative;
+          if (v->balance.PositiveStreak()) flags |= kStreakPositive;
         }
+      }
+      if (want_flags && p->id() < ctx.streak_flags.size()) {
+        ctx.streak_flags[p->id()] = flags;
       }
     }
   });
@@ -114,12 +149,23 @@ void RecordBalancesStage::Run(EpochContext& ctx) {
 void ProposeActionsStage::Run(EpochContext& ctx) {
   if (ctx.policy->SupportsShardedProposals()) {
     const ShardPlan& plan = ctx.Shards();
+    // Prepare step: the policy builds its per-epoch decision inputs
+    // (candidate scoring context, availability-cache epoch, streak flags)
+    // once, fanning partition-independent work over the pool, before the
+    // per-shard proposal fan-out reads them concurrently.
+    ctx.policy->BeginProposalEpoch(
+        *ctx.cluster, *ctx.catalog, *ctx.policies,
+        ctx.streak_flags.empty() ? nullptr : &ctx.streak_flags,
+        [&ctx](size_t count, const std::function<void(size_t)>& fn) {
+          ctx.RunIndexed(count, fn);
+        });
     std::vector<std::vector<Action>> per_shard(plan.shard_count());
     ctx.RunSharded([&](size_t shard, Rng* /*rng*/) {
       per_shard[shard] = ctx.policy->ProposeActionsForShard(
           *ctx.cluster, plan.shard(shard), *ctx.vnodes, *ctx.policies,
           *ctx.stats);
     });
+    ctx.policy->EndProposalEpoch();
     ctx.actions.clear();
     for (const std::vector<Action>& shard_actions : per_shard) {
       ctx.actions.insert(ctx.actions.end(), shard_actions.begin(),

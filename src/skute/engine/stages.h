@@ -36,7 +36,9 @@ class RouteStage : public EpochStage {
 /// \brief Eq. 5: records utility - rent for every live vnode, sharded by
 /// partition. Per-ring rent spend is accumulated into per-shard partials
 /// and merged in shard order, so the floating-point sum order — and hence
-/// the reported rents — is identical for every thread count.
+/// the reported rents — is identical for every thread count. As a side
+/// product it fills EpochContext::streak_flags (post-record per-partition
+/// balance-streak bits) for the proposal stage's dirty check.
 class RecordBalancesStage : public EpochStage {
  public:
   const char* name() const override { return "record_balances"; }
@@ -45,10 +47,13 @@ class RecordBalancesStage : public EpochStage {
 };
 
 /// \brief Runs the placement policy. Policies that support sharding
-/// (EconomicPolicy) are invoked once per shard — concurrently on the
-/// worker pool — each shard with its own rent-surcharge ledger; per-shard
-/// action lists are concatenated in shard order. Legacy policies fall
-/// back to the single whole-catalog call.
+/// (EconomicPolicy) first get a BeginProposalEpoch prepare step — building
+/// the per-epoch candidate scoring context and availability-cache epoch
+/// once, fanned over the pool — then are invoked once per shard,
+/// concurrently, each shard with its own rent-surcharge ledger; per-shard
+/// action lists are concatenated in shard order and EndProposalEpoch
+/// releases the borrowed per-epoch state. Legacy policies fall back to
+/// the single whole-catalog call.
 class ProposeActionsStage : public EpochStage {
  public:
   const char* name() const override { return "propose_actions"; }

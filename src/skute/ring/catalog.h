@@ -56,6 +56,10 @@ class RingCatalog {
   size_t total_partitions() const;
   size_t total_vnodes() const;
 
+  /// One past the highest partition id ever allocated — the table size
+  /// for dense PartitionId-indexed caches (ids are never reused).
+  PartitionId partition_id_bound() const { return next_partition_; }
+
  private:
   std::vector<std::unique_ptr<VirtualRing>> rings_;
   // Partition id -> owning ring (partitions are owned by their ring).

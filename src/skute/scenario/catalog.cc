@@ -19,6 +19,7 @@ void RegisterBuiltinScenarios() {
            &AblationParamsSpec,
            &AblationEconomyVsStaticSpec,
            &SteadyStateSpec,
+           &SteadyState10kSpec,
            &FlashCrowdFailureSpec,
            &RollingChurnSpec,
            &HeteroBackendFleetSpec,

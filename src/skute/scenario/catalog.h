@@ -19,6 +19,7 @@ ScenarioSpec AblationEconomyVsStaticSpec();
 
 // Scenarios the paper never ran, composed from the same primitives.
 ScenarioSpec SteadyStateSpec();           // catalog_composed.cc
+ScenarioSpec SteadyState10kSpec();        // 10000-server scale run
 ScenarioSpec FlashCrowdFailureSpec();     // Fig. 4 spike × Fig. 3 failure
 ScenarioSpec RollingChurnSpec();          // periodic add+fail waves
 ScenarioSpec HeteroBackendFleetSpec();    // per-server backend mix

@@ -98,6 +98,88 @@ ScenarioSpec SteadyStateSpec() {
 }
 
 // ---------------------------------------------------------------------------
+// Steady state at 10000 servers — the 50x fleet the cached decision
+// plane (CandidateContext + ProposalCache) was built for. Same quiet
+// convergence contract as steady_state, with the churn allowance scaled
+// to the 3.2x partition count.
+
+ScenarioSpec SteadyState10kSpec() {
+  ScenarioSpec spec = SteadyStateSpec();
+  spec.name = "steady_state_10k";
+  spec.title = "Steady state at 10000 servers — the decision plane at scale";
+  spec.claim =
+      "the cached decision plane drives a 50x larger fleet through the "
+      "same convergence: SLAs met, churn near zero";
+  spec.description =
+      "scale scenario: 10000 servers, 3 apps x 10000 partitions, 1 TB, no "
+      "events; converge and stay quiet";
+  spec.config = [] {
+    SimConfig config = SimConfig::Paper();
+    // 5 continents x 2 countries x 2 DCs x 2 rooms x 25 racks x 10 = 10000.
+    config.grid.continents = 5;
+    config.grid.countries_per_continent = 2;
+    config.grid.datacenters_per_country = 2;
+    config.grid.rooms_per_datacenter = 2;
+    config.grid.racks_per_room = 25;
+    config.grid.servers_per_rack = 10;
+    // Scaling the fleet 50x means scaling the *density* with it, not
+    // just the server count. With the utility floor on, a vnode's
+    // steady-state balance is min_rent - my_rent (query income is far
+    // below rent at paper rates), so the fleet quiets only when rents —
+    // i.e. server occupancies — equalize *exactly*. That forces two
+    // choices here:
+    //  - integer density: min-SLA vnodes = (2+3+4) x 10000 partitions
+    //    = 90000 = exactly 9 per server, the paper's own density (its
+    //    1800 vnodes / 200 servers is also exactly 9 — fractional
+    //    densities like 5.76/server can never equalize and rent-chase
+    //    forever: ~2600 migrations/epoch, observed);
+    //  - smaller servers, so the placed bytes land at the ~47% fleet
+    //    utilization the pricing constants are calibrated for:
+    //      placed = 1 TB x avg 3 replicas = ~3 TB
+    //      fleet  = 10000 x 640 MB        = ~6.4 TB  (-> ~47%)
+    //      part   = ~33 MB                (-> ~5% of a server)
+    config.resources.storage_capacity = 640 * kMB;
+    const uint64_t per_app_bytes = 1000 * kGB / 3;
+    config.apps = {
+        AppSpec{"app1", 2, 10000, per_app_bytes, 4.0 / 7.0},
+        AppSpec{"app2", 3, 10000, per_app_bytes, 2.0 / 7.0},
+        AppSpec{"app3", 4, 10000, per_app_bytes, 1.0 / 7.0},
+    };
+    // The paper's ~5 queries per partition per epoch.
+    config.base_query_rate = 150000.0;
+    config.load_chunk_objects = 40000;
+    // One vnode is ~5% of a server, so one occupancy step moves Eq. 1
+    // rent by ~7% — far above the default 2% hysteresis. Near-uniform
+    // partition sizes make rents a discrete lattice here, so hysteresis
+    // below a few occupancy steps leaves a permanent migration
+    // musical-chairs (2% -> ~2600 moves/epoch, 10% -> a ~230/epoch
+    // plateau that never damps, observed over 250 epochs): every move
+    // bumps the target's rent a step and pushes its tenants negative in
+    // turn. 0.30 (~4 steps) lets genuine imbalance drain and lets the
+    // cascade terminate; it stays far below the full-vs-average rent
+    // spread (~66%) that storage-pressure migration needs to stay live.
+    config.store.decision.migration_savings_threshold = 0.30;
+    return config;
+  };
+  spec.default_epochs = 100;
+  spec.checks_require_epochs = 60;
+  // Same churn check as steady_state, allowance scaled by the partition
+  // ratio (19200 vs 600).
+  spec.checks.back() = {
+      "steady-state churn is near zero",
+      [](const ScenarioContext& ctx) -> ShapeCheckResult {
+        const auto& series = ctx.sim.metrics().series();
+        uint64_t late_actions = 0;
+        for (size_t i = series.size() - 20; i < series.size(); ++i) {
+          late_actions += series[i].exec.applied();
+        }
+        return {late_actions <= 20 * 16,
+                std::to_string(late_actions) + " actions in 20 epochs"};
+      }};
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
 // Flash crowd during failure — Fig. 4's Slashdot spike composed with a
 // Fig. 3-style mass failure in the middle of the ramp: the repair pass
 // and the spike's replica scale-out compete for the same bandwidth.
