@@ -2,11 +2,13 @@
 
 #include <cstdio>
 
+#include "skute/obs/trace.h"
 #include "skute/scenario/spec.h"
 
 namespace skute::bench {
 
-Args ParseArgs(int argc, char** argv, bool supports_out) {
+Args ParseArgs(int argc, char** argv, bool supports_out,
+               bool supports_metrics_json) {
   // One flag grammar for the whole tree: the scenario runner's parser
   // (which already warns on unrecognized --* arguments). The micros just
   // don't consume the scenario-only flags.
@@ -21,6 +23,11 @@ Args ParseArgs(int argc, char** argv, bool supports_out) {
                  "warning: --out is not supported by this bench "
                  "(ignored)\n");
   }
+  if (!o.metrics_json.empty() && !supports_metrics_json) {
+    std::fprintf(stderr,
+                 "warning: --metrics-json is not supported by this bench "
+                 "(ignored)\n");
+  }
   Args args;
   args.epochs = o.epochs;
   args.seed = o.seed;
@@ -28,8 +35,30 @@ Args ParseArgs(int argc, char** argv, bool supports_out) {
   args.full_csv = o.full_csv;
   args.threads = o.threads;
   args.backend = o.backend;
+  args.trace = o.trace;
   if (supports_out) args.out = o.out;
+  if (supports_metrics_json) args.metrics_json = o.metrics_json;
   return args;
+}
+
+void StartTraceIfRequested(const Args& args) {
+  if (!args.trace.empty()) obs::Tracer::Global().Start();
+}
+
+bool FinishTraceIfRequested(const Args& args) {
+  if (args.trace.empty()) return true;
+  obs::Tracer::Global().Stop();
+  const Status written =
+      obs::Tracer::Global().WriteChromeTrace(args.trace);
+  if (!written.ok()) {
+    std::fprintf(stderr, "writing --trace=%s failed: %s\n",
+                 args.trace.c_str(), written.ToString().c_str());
+    return false;
+  }
+  std::printf("trace written to %s (%zu spans); load it in Perfetto or "
+              "chrome://tracing\n",
+              args.trace.c_str(), obs::Tracer::Global().event_count());
+  return true;
 }
 
 BackendConfig BackendFromFlag(const std::string& flag,

@@ -21,14 +21,29 @@ struct Args {
   int threads = 0;        ///< 0 = bench default; EpochOptions::threads
   std::string backend;    ///< "" = bench default (memory); see --backend
   std::string out;        ///< --out=FILE; "" = bench default
+  std::string trace;      ///< --trace=FILE; Chrome trace-event JSON
+  /// --metrics-json=FILE; MetricsRegistry snapshot of the bench's
+  /// counters (the same numbers as the bench's JSON artifact).
+  std::string metrics_json;
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
-/// --backend=memory|durable|file; unrecognized `--*` arguments warn to
-/// stderr (a typo like --backnd=file must not silently run the default).
-/// `supports_out` declares whether the caller consumes --out (benches
-/// that don't must keep warning rather than silently ignoring it).
-Args ParseArgs(int argc, char** argv, bool supports_out = false);
+/// --backend=memory|durable|file, --trace=FILE; unrecognized `--*`
+/// arguments warn to stderr (a typo like --backnd=file must not silently
+/// run the default). `supports_out` / `supports_metrics_json` declare
+/// whether the caller consumes --out / --metrics-json (benches that
+/// don't must keep warning rather than silently ignoring them).
+Args ParseArgs(int argc, char** argv, bool supports_out = false,
+               bool supports_metrics_json = false);
+
+/// Enables the global tracer when `args.trace` is set; call once at the
+/// top of a bench main.
+void StartTraceIfRequested(const Args& args);
+
+/// Stops the tracer and writes the Chrome trace-event JSON to
+/// `args.trace` (no-op when unset). Returns false (after printing the
+/// error) when the file cannot be written.
+bool FinishTraceIfRequested(const Args& args);
 
 /// Resolves the --backend flag into a BackendConfig. Unknown names warn
 /// and fall back to memory. The file backend gets a unique directory

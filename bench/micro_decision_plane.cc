@@ -15,7 +15,6 @@
 // so CI can assert the counters without trusting wall clocks.
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "skute/common/hash.h"
 #include "skute/core/policy.h"
 #include "skute/core/store.h"
+#include "skute/obs/metrics_registry.h"
 #include "skute/topology/topology.h"
 
 namespace skute {
@@ -149,43 +149,39 @@ double ConsideredPerSec(uint64_t considered, double ms) {
   return ms > 0 ? static_cast<double>(considered) / (ms / 1000.0) : 0.0;
 }
 
-bool WriteBenchJson(const std::string& path,
-                    const std::vector<ScaleSpec>& scales,
-                    const std::vector<RunResult>& full,
-                    const std::vector<RunResult>& cached) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.is_open()) return false;
-  out << "{\n  \"bench\": \"micro_decision_plane\",\n  \"scales\": [\n";
+/// The BENCH_decision.json record as a MetricsRegistry: `scales.<i>.*`
+/// paths render as the historical top-level "scales" array.
+obs::MetricsRegistry BuildBenchRegistry(
+    const std::vector<ScaleSpec>& scales,
+    const std::vector<RunResult>& full,
+    const std::vector<RunResult>& cached) {
+  obs::MetricsRegistry reg;
+  reg.SetInfo("bench", "micro_decision_plane");
   for (size_t i = 0; i < scales.size(); ++i) {
     const RunResult& f = full[i];
     const RunResult& c = cached[i];
     const DecisionPlaneStats& d = c.decision;
-    out << "    {\n"
-        << "      \"servers\": " << f.online_servers << ",\n"
-        << "      \"partitions\": " << f.partitions << ",\n"
-        << "      \"epochs\": " << f.epochs << ",\n"
-        << "      \"full_propose_ms\": " << f.propose_ms << ",\n"
-        << "      \"cached_propose_ms\": " << c.propose_ms << ",\n"
-        << "      \"propose_speedup\": "
-        << (c.propose_ms > 0 ? f.propose_ms / c.propose_ms : 0.0) << ",\n"
-        << "      \"select_calls\": " << d.select_calls << ",\n"
-        << "      \"candidates_scored\": " << d.candidates_scored << ",\n"
-        << "      \"full_scan_selects\": " << d.full_scan_selects << ",\n"
-        << "      \"partitions_clean\": " << d.partitions_clean << ",\n"
-        << "      \"partitions_dirty\": " << d.partitions_dirty << ",\n"
-        << "      \"avail_cache_hits\": " << d.avail_cache_hits << ",\n"
-        << "      \"avail_cache_misses\": " << d.avail_cache_misses << ",\n"
-        << "      \"identical\": "
-        << ((f.placement_version == c.placement_version &&
-             f.actions_applied == c.actions_applied &&
-             f.vnodes == c.vnodes && f.partitions == c.partitions)
-                ? "true"
-                : "false")
-        << "\n    }" << (i + 1 < scales.size() ? ",\n" : "\n");
+    const std::string p = "scales." + std::to_string(i) + ".";
+    reg.SetCounter(p + "servers", f.online_servers);
+    reg.SetCounter(p + "partitions", f.partitions);
+    reg.SetCounter(p + "epochs", static_cast<uint64_t>(f.epochs));
+    reg.SetGauge(p + "full_propose_ms", f.propose_ms);
+    reg.SetGauge(p + "cached_propose_ms", c.propose_ms);
+    reg.SetGauge(p + "propose_speedup",
+                 c.propose_ms > 0 ? f.propose_ms / c.propose_ms : 0.0);
+    reg.SetCounter(p + "select_calls", d.select_calls);
+    reg.SetCounter(p + "candidates_scored", d.candidates_scored);
+    reg.SetCounter(p + "full_scan_selects", d.full_scan_selects);
+    reg.SetCounter(p + "partitions_clean", d.partitions_clean);
+    reg.SetCounter(p + "partitions_dirty", d.partitions_dirty);
+    reg.SetCounter(p + "avail_cache_hits", d.avail_cache_hits);
+    reg.SetCounter(p + "avail_cache_misses", d.avail_cache_misses);
+    reg.SetFlag(p + "identical",
+                f.placement_version == c.placement_version &&
+                    f.actions_applied == c.actions_applied &&
+                    f.vnodes == c.vnodes && f.partitions == c.partitions);
   }
-  out << "  ]\n}\n";
-  out.flush();
-  return out.good();
+  return reg;
 }
 
 }  // namespace
@@ -194,7 +190,9 @@ bool WriteBenchJson(const std::string& path,
 int main(int argc, char** argv) {
   using namespace skute;
   const bench::Args args =
-      bench::ParseArgs(argc, argv, /*supports_out=*/true);
+      bench::ParseArgs(argc, argv, /*supports_out=*/true,
+                       /*supports_metrics_json=*/true);
+  bench::StartTraceIfRequested(args);
 
   bench::PrintHeader(
       "micro_decision_plane — candidate cache + dirty-partition skip",
@@ -274,11 +272,19 @@ int main(int argc, char** argv) {
                  "cached propose wall time within 1.25x of full recompute");
   }
 
+  const obs::MetricsRegistry registry =
+      BuildBenchRegistry(scales, full, cached);
   const std::string json_path =
       args.out.empty() ? "BENCH_decision.json" : args.out;
-  const bool json_ok = WriteBenchJson(json_path, scales, full, cached);
+  const bool json_ok = registry.WriteJson(json_path).ok();
   std::printf("%s %s\n", json_ok ? "wrote" : "FAILED to write",
               json_path.c_str());
+  if (!args.metrics_json.empty()) {
+    const bool extra_ok = registry.WriteJson(args.metrics_json).ok();
+    std::printf("%s %s\n", extra_ok ? "wrote" : "FAILED to write",
+                args.metrics_json.c_str());
+  }
 
+  bench::FinishTraceIfRequested(args);
   return checks.Summarize();
 }

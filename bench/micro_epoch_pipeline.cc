@@ -20,9 +20,7 @@
 // the working directory — or at --out=FILE — so the next PR can diff
 // the perf trajectory.
 
-#include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +29,8 @@
 #include "skute/common/hash.h"
 #include "skute/core/policy.h"
 #include "skute/core/store.h"
+#include "skute/obs/clock.h"
+#include "skute/obs/metrics_registry.h"
 #include "skute/topology/topology.h"
 
 namespace skute {
@@ -141,13 +141,11 @@ BenchResult RunPipeline(int threads, int epochs, uint64_t seed,
 
   for (Epoch e = 0; e < kWarmupEpochs; ++e) run_epoch(e);
 
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   for (Epoch e = 0; e < static_cast<Epoch>(epochs); ++e) {
     run_epoch(kWarmupEpochs + e);
   }
-  const auto elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+  const double elapsed = watch.ElapsedSec();
 
   BenchResult result;
   result.epochs_per_sec =
@@ -208,60 +206,51 @@ void PrintRun(const BenchResult& r) {
 
 /// Machine-readable run record so the repo's perf trajectory can be
 /// diffed PR to PR: epochs/sec, execute-stage throughput, and the
-/// per-stage wall-time split for both thread counts.
-bool WriteBenchJson(const std::string& path, int epochs,
-                    int parallel_threads, const BenchResult& base,
-                    const BenchResult& par) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.is_open()) return false;
-  const auto run = [&](const char* key, int threads, const BenchResult& r,
-                       bool last) {
-    out << "    \"" << key << "\": {\n"
-        << "      \"threads\": " << threads << ",\n"
-        << "      \"epochs_per_sec\": " << r.epochs_per_sec << ",\n"
-        << "      \"actions_applied\": " << r.actions_applied << ",\n"
-        << "      \"execute_actions_per_sec\": " << ExecuteActionsPerSec(r)
-        << ",\n"
-        << "      \"decision\": {\n"
-        << "        \"select_calls\": " << r.decision.select_calls << ",\n"
-        << "        \"candidates_scored\": " << r.decision.candidates_scored
-        << ",\n"
-        << "        \"full_scan_selects\": " << r.decision.full_scan_selects
-        << ",\n"
-        << "        \"partitions_clean\": " << r.decision.partitions_clean
-        << ",\n"
-        << "        \"partitions_dirty\": " << r.decision.partitions_dirty
-        << ",\n"
-        << "        \"avail_cache_hits\": " << r.decision.avail_cache_hits
-        << ",\n"
-        << "        \"avail_cache_misses\": "
-        << r.decision.avail_cache_misses << "\n      },\n"
-        << "      \"stage_total_ms\": {";
-    for (size_t i = 0; i < r.stage_timings.size(); ++i) {
-      const StageTiming& t = r.stage_timings[i];
-      out << (i == 0 ? "\n" : ",\n") << "        \"" << t.name
-          << "\": " << t.total_ms;
+/// per-stage wall-time split for both thread counts. Built through the
+/// MetricsRegistry exporter (dot paths nest into the historical
+/// BENCH_pipeline.json schema).
+obs::MetricsRegistry BuildBenchRegistry(int epochs, int parallel_threads,
+                                        const BenchResult& base,
+                                        const BenchResult& par) {
+  obs::MetricsRegistry reg;
+  reg.SetInfo("bench", "micro_epoch_pipeline");
+  reg.SetCounter("cluster_servers", 1000);
+  reg.SetCounter("measured_epochs", static_cast<uint64_t>(epochs));
+  const auto run = [&reg](const std::string& key, int threads,
+                          const BenchResult& r) {
+    const std::string p = "runs." + key + ".";
+    reg.SetCounter(p + "threads", static_cast<uint64_t>(threads));
+    reg.SetGauge(p + "epochs_per_sec", r.epochs_per_sec);
+    reg.SetCounter(p + "actions_applied", r.actions_applied);
+    reg.SetGauge(p + "execute_actions_per_sec", ExecuteActionsPerSec(r));
+    reg.SetCounter(p + "decision.select_calls", r.decision.select_calls);
+    reg.SetCounter(p + "decision.candidates_scored",
+                   r.decision.candidates_scored);
+    reg.SetCounter(p + "decision.full_scan_selects",
+                   r.decision.full_scan_selects);
+    reg.SetCounter(p + "decision.partitions_clean",
+                   r.decision.partitions_clean);
+    reg.SetCounter(p + "decision.partitions_dirty",
+                   r.decision.partitions_dirty);
+    reg.SetCounter(p + "decision.avail_cache_hits",
+                   r.decision.avail_cache_hits);
+    reg.SetCounter(p + "decision.avail_cache_misses",
+                   r.decision.avail_cache_misses);
+    for (const StageTiming& t : r.stage_timings) {
+      reg.SetGauge(p + "stage_total_ms." + t.name, t.total_ms);
     }
-    out << "\n      }\n    }" << (last ? "\n" : ",\n");
   };
-  out << "{\n  \"bench\": \"micro_epoch_pipeline\",\n"
-      << "  \"cluster_servers\": 1000,\n"
-      << "  \"measured_epochs\": " << epochs << ",\n"
-      << "  \"runs\": {\n";
-  run("base", 1, base, /*last=*/false);
-  run("parallel", parallel_threads, par, /*last=*/true);
-  out << "  },\n"
-      << "  \"epoch_speedup\": "
-      << (base.epochs_per_sec > 0 ? par.epochs_per_sec / base.epochs_per_sec
-                                  : 0.0)
-      << ",\n"
-      << "  \"execute_speedup\": "
-      << (ExecuteActionsPerSec(base) > 0
-              ? ExecuteActionsPerSec(par) / ExecuteActionsPerSec(base)
-              : 0.0)
-      << "\n}\n";
-  out.flush();
-  return out.good();
+  run("base", 1, base);
+  run("parallel", parallel_threads, par);
+  reg.SetGauge("epoch_speedup",
+               base.epochs_per_sec > 0
+                   ? par.epochs_per_sec / base.epochs_per_sec
+                   : 0.0);
+  reg.SetGauge("execute_speedup",
+               ExecuteActionsPerSec(base) > 0
+                   ? ExecuteActionsPerSec(par) / ExecuteActionsPerSec(base)
+                   : 0.0);
+  return reg;
 }
 
 }  // namespace
@@ -270,7 +259,9 @@ bool WriteBenchJson(const std::string& path, int epochs,
 int main(int argc, char** argv) {
   using namespace skute;
   const bench::Args args =
-      bench::ParseArgs(argc, argv, /*supports_out=*/true);
+      bench::ParseArgs(argc, argv, /*supports_out=*/true,
+                       /*supports_metrics_json=*/true);
+  bench::StartTraceIfRequested(args);
   const int epochs = args.epochs > 0 ? args.epochs : kDefaultMeasuredEpochs;
   const unsigned hw = std::thread::hardware_concurrency();
   const int parallel_threads =
@@ -328,12 +319,20 @@ int main(int argc, char** argv) {
 
   // Perf record for PR-to-PR diffing; a failed write (e.g. read-only
   // CWD) is reported but never fails the bench — the measurement stands.
+  const obs::MetricsRegistry registry =
+      BuildBenchRegistry(epochs, parallel_threads, base, par);
   const std::string json_path =
       args.out.empty() ? "BENCH_pipeline.json" : args.out;
-  const bool json_ok =
-      WriteBenchJson(json_path, epochs, parallel_threads, base, par);
+  const bool json_ok = registry.WriteJson(json_path).ok();
   std::printf("%s %s\n", json_ok ? "wrote" : "FAILED to write",
               json_path.c_str());
+  if (!args.metrics_json.empty()) {
+    const bool extra_ok = registry.WriteJson(args.metrics_json).ok();
+    std::printf("%s %s\n", extra_ok ? "wrote" : "FAILED to write",
+                args.metrics_json.c_str());
+  }
+
+  bench::FinishTraceIfRequested(args);
 
   bench::ShapeChecks checks;
   checks.Check("both runs made progress",

@@ -157,6 +157,7 @@ void PrintRun(const BenchResult& r, int epochs) {
 int main(int argc, char** argv) {
   using namespace skute;
   const bench::Args args = bench::ParseArgs(argc, argv);
+  bench::StartTraceIfRequested(args);
   const int epochs = args.epochs > 0 ? args.epochs : kDefaultMeasuredEpochs;
   const unsigned hw = std::thread::hardware_concurrency();
   const int parallel_threads =
@@ -216,5 +217,6 @@ int main(int argc, char** argv) {
     checks.Check("routing throughput improves with threads", speedup > 1.0,
                  "speedup " + bench::Fmt(speedup) + "x");
   }
+  bench::FinishTraceIfRequested(args);
   return checks.Summarize();
 }

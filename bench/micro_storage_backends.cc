@@ -217,7 +217,7 @@ void PrintRun(const BackendRun& r) {
 int main(int argc, char** argv) {
   using namespace skute;
   const bench::Args args = bench::ParseArgs(argc, argv);
-  (void)args;
+  bench::StartTraceIfRequested(args);
 
   const std::string tmp_root =
       (std::filesystem::temp_directory_path() /
@@ -291,6 +291,7 @@ int main(int argc, char** argv) {
                      std::to_string(kServers));
   }
 
+  bench::FinishTraceIfRequested(args);
   const int failures = checks.Summarize();
   std::error_code ec;
   std::filesystem::remove_all(tmp_root, ec);

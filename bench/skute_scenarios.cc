@@ -5,6 +5,7 @@
 //   skute_scenarios --run=NAME [--epochs=N] [--seed=S] [--sample=K]
 //                   [--csv] [--threads=T] [--backend=memory|durable|file]
 //                   [--placement=economic|static] [--out=FILE]
+//                   [--trace=FILE] [--metrics-json=FILE]
 //
 // Every registered scenario — the seven ported paper/ablation
 // experiments plus the composed ones — runs through the same
@@ -27,7 +28,8 @@ void PrintUsage() {
       "       skute_scenarios --run=NAME [--epochs=N] [--seed=S]\n"
       "                       [--sample=K] [--csv] [--threads=T]\n"
       "                       [--backend=memory|durable|file]\n"
-      "                       [--placement=economic|static] [--out=FILE]\n");
+      "                       [--placement=economic|static] [--out=FILE]\n"
+      "                       [--trace=FILE] [--metrics-json=FILE]\n");
 }
 
 void PrintList() {

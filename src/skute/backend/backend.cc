@@ -1,5 +1,6 @@
 #include "skute/backend/backend.h"
 
+#include "skute/obs/trace.h"
 #include "skute/storage/wal.h"
 
 namespace skute {
@@ -26,6 +27,7 @@ Result<BackendKind> ParseBackendKind(std::string_view name) {
 }
 
 std::string StorageBackend::ExportSnapshot() const {
+  obs::TraceSpan span("io", "snapshot.export");
   std::string out;
   uint64_t sequence = 0;
   // Full key-ordered dump: every live pair as one Put record. Count()
@@ -38,6 +40,7 @@ std::string StorageBackend::ExportSnapshot() const {
 }
 
 Status StorageBackend::ImportSnapshot(std::string_view bytes) {
+  obs::TraceSpan span("io", "snapshot.import", bytes.size());
   WalReader reader(bytes);
   for (;;) {
     auto record = reader.Next();

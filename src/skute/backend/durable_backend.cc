@@ -1,5 +1,6 @@
 #include "skute/backend/durable_backend.h"
 
+#include "skute/obs/trace.h"
 #include "skute/storage/wal.h"
 
 namespace skute {
@@ -39,6 +40,7 @@ std::string DurableBackend::ExportSnapshot() const {
 }
 
 Status DurableBackend::Flush() {
+  obs::TraceSpan span("io", "wal.fsync", unflushed_);
   io_.bytes_flushed += unflushed_;
   unflushed_ = 0;
   ++io_.fsyncs;
@@ -53,6 +55,7 @@ Status DurableBackend::Wipe() {
 }
 
 Result<size_t> DurableBackend::Recover(std::string_view log_bytes) {
+  obs::TraceSpan span("io", "wal.recover", log_bytes.size());
   // Recovered records are applied to the memtable without re-logging, so
   // from here on the local log no longer covers the whole history.
   checkpointed_ = true;

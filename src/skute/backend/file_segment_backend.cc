@@ -8,6 +8,7 @@
 #include <fstream>
 #include <vector>
 
+#include "skute/obs/trace.h"
 #include "skute/storage/wal.h"
 
 namespace skute {
@@ -90,6 +91,7 @@ size_t FileSegmentBackend::segment_count() const {
 }
 
 Status FileSegmentBackend::Recover() {
+  obs::TraceSpan span("io", "segment.recover");
   std::vector<uint32_t> ids;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
@@ -316,6 +318,7 @@ std::vector<std::pair<std::string, std::string>> FileSegmentBackend::Scan(
 }
 
 Status FileSegmentBackend::Flush() {
+  obs::TraceSpan span("io", "segment.fsync", unsynced_);
   if (active_ != nullptr) {
     // Appends already fflush'd (bytes_flushed counts them there); Flush
     // only adds the fsync.

@@ -1,10 +1,10 @@
 #include "skute/core/store.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "skute/common/hash.h"
 #include "skute/economy/availability.h"
+#include "skute/obs/clock.h"
 
 namespace skute {
 
@@ -394,12 +394,9 @@ void SkuteStore::SplitRealData(const Partition& lower,
 RouteResult SkuteStore::RouteQueryBatch(const QueryBatch& batch) {
   EpochContext ctx = MakeEpochContext(&policies());
   ctx.query_batch = &batch;
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   pipeline_.Run(EpochPhase::kRoute, ctx);
-  ctx.route_result.route_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  ctx.route_result.route_ms = watch.ElapsedMs();
   last_route_.Accumulate(ctx.route_result);
   return ctx.route_result;
 }

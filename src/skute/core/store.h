@@ -177,6 +177,7 @@ class SkuteStore {
   // --- Introspection ---------------------------------------------------------
 
   Cluster& cluster() { return *cluster_; }
+  const Cluster& cluster() const { return *cluster_; }
   RingCatalog& catalog() { return catalog_; }
   const RingCatalog& catalog() const { return catalog_; }
   VNodeRegistry& vnodes() { return vnodes_; }

@@ -1,5 +1,7 @@
 #include "skute/engine/epoch_context.h"
 
+#include "skute/obs/trace.h"
+
 namespace skute {
 
 const ShardPlan& EpochContext::Shards() {
@@ -17,22 +19,38 @@ const ShardPlan& EpochContext::Shards() {
   return *resolved_plan_;
 }
 
-void EpochContext::RunSharded(
-    const std::function<void(size_t, Rng*)>& fn) {
+void EpochContext::RunSharded(const std::function<void(size_t, Rng*)>& fn,
+                              const char* trace_label) {
   const ShardPlan& plan = Shards();
-  RunIndexed(plan.shard_count(), [&](size_t shard) {
-    Rng shard_rng = plan.ShardRng(shard);
-    fn(shard, &shard_rng);
-  });
+  RunIndexed(
+      plan.shard_count(),
+      [&](size_t shard) {
+        Rng shard_rng = plan.ShardRng(shard);
+        fn(shard, &shard_rng);
+      },
+      trace_label);
 }
 
 void EpochContext::RunIndexed(size_t count,
-                              const std::function<void(size_t)>& fn) {
+                              const std::function<void(size_t)>& fn,
+                              const char* trace_label) {
+  // Per-index spans land in the worker thread's own trace buffer, so the
+  // fan-out stays lock-free; with tracing disabled the fan-out runs the
+  // caller's fn untouched (one branch here, none per index).
+  std::function<void(size_t)> traced;
+  const std::function<void(size_t)>* run = &fn;
+  if (trace_label != nullptr && obs::Tracer::Enabled()) {
+    traced = [&fn, trace_label](size_t i) {
+      obs::TraceSpan span("shard", trace_label, static_cast<uint64_t>(i));
+      fn(i);
+    };
+    run = &traced;
+  }
   if (pool == nullptr || count <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) (*run)(i);
     return;
   }
-  pool->ParallelFor(count, fn);
+  pool->ParallelFor(count, *run);
 }
 
 }  // namespace skute

@@ -91,15 +91,19 @@ class EpochContext {
   /// Runs fn(shard, shard_rng) for every shard of Shards(), on the worker
   /// pool when present. Shard-to-thread assignment is nondeterministic;
   /// fn must only write shard-local state, merged by the caller in shard
-  /// order.
-  void RunSharded(const std::function<void(size_t, Rng*)>& fn);
+  /// order. `trace_label` (a string literal) names each shard's span when
+  /// tracing is enabled; nullptr records no spans.
+  void RunSharded(const std::function<void(size_t, Rng*)>& fn,
+                  const char* trace_label = nullptr);
 
   /// Runs fn(i) for every i in [0, count) on the worker pool when present
   /// (inline otherwise). The generic index fan-out for stages whose work
   /// units are not partition shards — the ExecuteStage's conflict groups.
   /// Index-to-thread assignment is nondeterministic; fn must only write
   /// index-local state, merged by the caller in index order.
-  void RunIndexed(size_t count, const std::function<void(size_t)>& fn);
+  /// `trace_label` as in RunSharded.
+  void RunIndexed(size_t count, const std::function<void(size_t)>& fn,
+                  const char* trace_label = nullptr);
 
  private:
   const ShardPlan* resolved_plan_ = nullptr;

@@ -1,8 +1,8 @@
 #include "skute/engine/epoch_pipeline.h"
 
-#include <chrono>
-
 #include "skute/engine/stages.h"
+#include "skute/obs/clock.h"
+#include "skute/obs/trace.h"
 
 namespace skute {
 
@@ -38,17 +38,20 @@ void EpochPipeline::Run(EpochPhase phase, EpochContext& ctx) {
   ctx.options = &options_;
   ctx.pool = PoolForRun();
   ctx.plan_cache = &plan_cache_;
+  const uint64_t epoch =
+      ctx.epoch != nullptr ? static_cast<uint64_t>(*ctx.epoch) : 0;
   for (size_t i = 0; i < stages_.size(); ++i) {
     if (stages_[i]->phase() != phase) continue;
-    const auto start = std::chrono::steady_clock::now();
-    stages_[i]->Run(ctx);
-    const double ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    const obs::StopWatch watch;
+    {
+      obs::TraceSpan span("stage", stages_[i]->name(), epoch);
+      stages_[i]->Run(ctx);
+    }
+    const double ms = watch.ElapsedMs();
     timings_[i].last_ms = ms;
     timings_[i].total_ms += ms;
     ++timings_[i].runs;
+    timings_[i].hist.Add(ms);
   }
 }
 

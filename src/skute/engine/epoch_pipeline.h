@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "skute/common/histogram.h"
 #include "skute/engine/epoch_context.h"
 #include "skute/engine/epoch_stage.h"
 #include "skute/engine/shard.h"
@@ -12,14 +13,18 @@
 namespace skute {
 
 /// Wall-time accounting of one pipeline stage (ROADMAP "pipeline-stage
-/// metrics"): last run plus lifetime totals, surfaced by
-/// MetricsCollector::WriteCsv and the micro benches.
+/// metrics"): last run, lifetime totals, and the full per-run
+/// distribution (p50/p95/max via `hist`) — surfaced by
+/// MetricsCollector::WriteCsv, the micro benches, and the obs
+/// MetricsRegistry adapters.
 struct StageTiming {
   const char* name = "";
   EpochPhase phase = EpochPhase::kBegin;
   double last_ms = 0.0;
   double total_ms = 0.0;
   uint64_t runs = 0;
+  /// Every per-run wall time, for percentile queries.
+  Histogram hist;
 };
 
 /// \brief The ordered stage list that IS the epoch lifecycle:

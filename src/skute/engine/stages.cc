@@ -5,6 +5,7 @@
 #include "skute/common/logging.h"
 #include "skute/core/decision_cache.h"
 #include "skute/economy/proximity.h"
+#include "skute/obs/trace.h"
 
 namespace skute {
 
@@ -46,7 +47,7 @@ void RouteStage::Run(EpochContext& ctx) {
       ComputePartitionRoute(ctx.cluster, ctx.vnodes, *p, count, mix,
                             &accum);
     }
-  });
+  }, "route.shard");
 
   // Serial merge in shard order, with capacity admission batched per
   // server: each server's capacity is debited by one ServeQueries call
@@ -134,7 +135,7 @@ void RecordBalancesStage::Run(EpochContext& ctx) {
         ctx.streak_flags[p->id()] = flags;
       }
     }
-  });
+  }, "balances.shard");
 
   for (size_t shard = 0; shard < plan.shard_count(); ++shard) {
     for (size_t ring = 0; ring < rings; ++ring) {
@@ -157,14 +158,14 @@ void ProposeActionsStage::Run(EpochContext& ctx) {
         *ctx.cluster, *ctx.catalog, *ctx.policies,
         ctx.streak_flags.empty() ? nullptr : &ctx.streak_flags,
         [&ctx](size_t count, const std::function<void(size_t)>& fn) {
-          ctx.RunIndexed(count, fn);
+          ctx.RunIndexed(count, fn, "propose.prepare");
         });
     std::vector<std::vector<Action>> per_shard(plan.shard_count());
     ctx.RunSharded([&](size_t shard, Rng* /*rng*/) {
       per_shard[shard] = ctx.policy->ProposeActionsForShard(
           *ctx.cluster, plan.shard(shard), *ctx.vnodes, *ctx.policies,
           *ctx.stats);
-    });
+    }, "propose.shard");
     ctx.policy->EndProposalEpoch();
     ctx.actions.clear();
     for (const std::vector<Action>& shard_actions : per_shard) {
@@ -184,8 +185,12 @@ void ExecuteStage::Run(EpochContext& ctx) {
   // Phase 1 (serial): shuffle + conflict grouping + vnode-id/store
   // pre-allocation. The plan is a pure function of the store's RNG
   // stream, never of the thread count.
-  const ExecutionPlan plan =
-      ctx.executor->Plan(std::move(ctx.actions), ctx.rng);
+  ExecutionPlan plan;
+  {
+    obs::TraceSpan span("exec", "execute.plan",
+                        static_cast<uint64_t>(ctx.actions.size()));
+    plan = ctx.executor->Plan(std::move(ctx.actions), ctx.rng);
+  }
   ctx.actions.clear();
 
   // Phase 2 (parallel): disjoint conflict groups apply concurrently —
@@ -195,12 +200,16 @@ void ExecuteStage::Run(EpochContext& ctx) {
   ctx.RunIndexed(plan.groups.size(), [&](size_t g) {
     results[g] = ctx.executor->ApplyGroup(plan, g, *ctx.policies,
                                           *ctx.epoch);
-  });
+  }, "execute.group");
 
   // Phase 3 (serial): merge counters and deferred vnode-registry
   // mutations in group order, then the residual serial group.
-  *ctx.last_stats = ctx.executor->Commit(plan, std::move(results),
-                                         *ctx.policies, *ctx.epoch);
+  {
+    obs::TraceSpan span("exec", "execute.commit",
+                        static_cast<uint64_t>(plan.groups.size()));
+    *ctx.last_stats = ctx.executor->Commit(plan, std::move(results),
+                                           *ctx.policies, *ctx.epoch);
+  }
   if (ctx.last_stats->applied() > 0) ++*ctx.placement_version;
 }
 

@@ -1,0 +1,123 @@
+#include "skute/obs/adapters.h"
+
+#include "skute/core/policy.h"
+#include "skute/core/store.h"
+
+namespace skute::obs {
+
+namespace {
+
+std::string Key(const std::string& prefix, const char* field) {
+  return prefix.empty() ? field : prefix + "." + field;
+}
+
+}  // namespace
+
+void RegisterIoStats(MetricsRegistry* reg, const std::string& prefix,
+                     const IoStats& io) {
+  reg->SetCounter(Key(prefix, "puts"), io.puts);
+  reg->SetCounter(Key(prefix, "gets"), io.gets);
+  reg->SetCounter(Key(prefix, "deletes"), io.deletes);
+  reg->SetCounter(Key(prefix, "scans"), io.scans);
+  reg->SetCounter(Key(prefix, "ops"), io.ops());
+  reg->SetCounter(Key(prefix, "log_bytes_written"), io.log_bytes_written);
+  reg->SetCounter(Key(prefix, "bytes_flushed"), io.bytes_flushed);
+  reg->SetCounter(Key(prefix, "bytes_read"), io.bytes_read);
+  reg->SetCounter(Key(prefix, "fsyncs"), io.fsyncs);
+  reg->SetCounter(Key(prefix, "snapshot_bytes_out"), io.snapshot_bytes_out);
+  reg->SetCounter(Key(prefix, "snapshot_bytes_in"), io.snapshot_bytes_in);
+}
+
+void RegisterExecutorStats(MetricsRegistry* reg, const std::string& prefix,
+                           const ExecutorStats& exec) {
+  reg->SetCounter(Key(prefix, "replications"), exec.replications);
+  reg->SetCounter(Key(prefix, "migrations"), exec.migrations);
+  reg->SetCounter(Key(prefix, "suicides"), exec.suicides);
+  reg->SetCounter(Key(prefix, "applied"), exec.applied());
+  reg->SetCounter(Key(prefix, "blocked_bandwidth"), exec.blocked_bandwidth);
+  reg->SetCounter(Key(prefix, "blocked_storage"), exec.blocked_storage);
+  reg->SetCounter(Key(prefix, "aborted_stale"), exec.aborted_stale);
+  reg->SetCounter(Key(prefix, "bytes_replicated"), exec.bytes_replicated);
+  reg->SetCounter(Key(prefix, "bytes_migrated"), exec.bytes_migrated);
+  reg->SetCounter(Key(prefix, "snapshot_bytes"), exec.snapshot_bytes);
+}
+
+void RegisterCommStats(MetricsRegistry* reg, const std::string& prefix,
+                       const CommStats& comm) {
+  reg->SetCounter(Key(prefix, "board_msgs"), comm.board_msgs);
+  reg->SetCounter(Key(prefix, "query_msgs"), comm.query_msgs);
+  reg->SetCounter(Key(prefix, "consistency_msgs"), comm.consistency_msgs);
+  reg->SetCounter(Key(prefix, "consistency_bytes"), comm.consistency_bytes);
+  reg->SetCounter(Key(prefix, "transfer_msgs"), comm.transfer_msgs);
+  reg->SetCounter(Key(prefix, "transfer_bytes"), comm.transfer_bytes);
+  reg->SetCounter(Key(prefix, "control_msgs"), comm.control_msgs);
+  reg->SetCounter(Key(prefix, "total_msgs"), comm.TotalMsgs());
+}
+
+void RegisterDecisionStats(MetricsRegistry* reg, const std::string& prefix,
+                           const DecisionPlaneStats& decision) {
+  reg->SetCounter(Key(prefix, "epochs_prepared"), decision.epochs_prepared);
+  reg->SetCounter(Key(prefix, "select_calls"), decision.select_calls);
+  reg->SetCounter(Key(prefix, "candidates_scored"),
+                  decision.candidates_scored);
+  reg->SetCounter(Key(prefix, "full_scan_selects"),
+                  decision.full_scan_selects);
+  reg->SetCounter(Key(prefix, "partitions_clean"),
+                  decision.partitions_clean);
+  reg->SetCounter(Key(prefix, "partitions_dirty"),
+                  decision.partitions_dirty);
+  reg->SetCounter(Key(prefix, "avail_cache_hits"),
+                  decision.avail_cache_hits);
+  reg->SetCounter(Key(prefix, "avail_cache_misses"),
+                  decision.avail_cache_misses);
+}
+
+void RegisterRouteResult(MetricsRegistry* reg, const std::string& prefix,
+                         const RouteResult& route) {
+  reg->SetCounter(Key(prefix, "requested"), route.requested);
+  reg->SetCounter(Key(prefix, "routed"), route.routed);
+  reg->SetCounter(Key(prefix, "lost"), route.lost);
+  reg->SetGauge(Key(prefix, "route_ms"), route.route_ms);
+}
+
+void RegisterStageTimings(MetricsRegistry* reg, const std::string& prefix,
+                          const std::vector<StageTiming>& timings) {
+  for (const StageTiming& t : timings) {
+    const std::string stage =
+        prefix.empty() ? t.name : prefix + "." + t.name;
+    reg->SetGauge(stage + ".last_ms", t.last_ms);
+    reg->SetGauge(stage + ".total_ms", t.total_ms);
+    reg->SetCounter(stage + ".runs", t.runs);
+    reg->SetGauge(stage + ".p50_ms", t.hist.Percentile(50));
+    reg->SetGauge(stage + ".p95_ms", t.hist.Percentile(95));
+    reg->SetGauge(stage + ".max_ms", t.hist.empty() ? 0.0 : t.hist.max());
+  }
+}
+
+void RegisterStoreSnapshot(MetricsRegistry* reg, const std::string& prefix,
+                           const SkuteStore& store) {
+  const auto key = [&prefix](const char* field) {
+    return prefix.empty() ? std::string(field) : prefix + "." + field;
+  };
+  reg->SetCounter(key("epoch"), static_cast<uint64_t>(store.epoch()));
+  reg->SetCounter(key("placement_version"), store.placement_version());
+  reg->SetCounter(key("lost_partitions"), store.lost_partitions());
+  reg->SetCounter(key("insert_failures"), store.insert_failures());
+  reg->SetCounter(key("partitions"),
+                  static_cast<uint64_t>(store.catalog().total_partitions()));
+  reg->SetCounter(key("vnodes"),
+                  static_cast<uint64_t>(store.catalog().total_vnodes()));
+  RegisterIoStats(reg, key("io"), store.io_stats());
+  RegisterExecutorStats(reg, key("exec"), store.last_epoch_stats());
+  RegisterCommStats(reg, key("comm_epoch"), store.comm_this_epoch());
+  RegisterCommStats(reg, key("comm_total"), store.comm_total());
+  RegisterRouteResult(reg, key("route"), store.last_route());
+  RegisterStageTimings(reg, key("stage"),
+                       store.epoch_pipeline().stage_timings());
+  if (const auto* econ = dynamic_cast<const EconomicPolicy*>(
+          &store.placement_policy())) {
+    RegisterDecisionStats(reg, key("decision"), econ->decision_stats());
+  }
+}
+
+}  // namespace skute::obs

@@ -1,0 +1,56 @@
+#ifndef SKUTE_OBS_ADAPTERS_H_
+#define SKUTE_OBS_ADAPTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "skute/backend/io_stats.h"
+#include "skute/core/comm_stats.h"
+#include "skute/core/decision_cache.h"
+#include "skute/core/executor.h"
+#include "skute/core/query_routing.h"
+#include "skute/engine/epoch_pipeline.h"
+#include "skute/obs/metrics_registry.h"
+
+namespace skute {
+class SkuteStore;
+}
+
+namespace skute::obs {
+
+/// \brief Adapters registering the tree's scattered stat structs into a
+/// MetricsRegistry under a common prefix (`prefix + ".field"`; empty
+/// prefix = bare field names). Each adapter is a faithful field-for-field
+/// projection — the round-trip tests assert every field lands.
+
+void RegisterIoStats(MetricsRegistry* reg, const std::string& prefix,
+                     const IoStats& io);
+
+void RegisterExecutorStats(MetricsRegistry* reg, const std::string& prefix,
+                           const ExecutorStats& exec);
+
+void RegisterCommStats(MetricsRegistry* reg, const std::string& prefix,
+                       const CommStats& comm);
+
+void RegisterDecisionStats(MetricsRegistry* reg, const std::string& prefix,
+                           const DecisionPlaneStats& decision);
+
+void RegisterRouteResult(MetricsRegistry* reg, const std::string& prefix,
+                         const RouteResult& route);
+
+/// Per-stage wall time: `<prefix>.<stage>.{last_ms,total_ms,runs}` plus
+/// the per-run distribution `{p50_ms,p95_ms,max_ms}` — histograms
+/// replacing the last-run scalars the CSV carries.
+void RegisterStageTimings(MetricsRegistry* reg, const std::string& prefix,
+                          const std::vector<StageTiming>& timings);
+
+/// Everything one store exposes, in one call: io, executor, comm
+/// (epoch + lifetime), route, decision-plane counters (when the policy
+/// is economic) and stage timings — the scenario runner's
+/// `--metrics-json` payload.
+void RegisterStoreSnapshot(MetricsRegistry* reg, const std::string& prefix,
+                           const SkuteStore& store);
+
+}  // namespace skute::obs
+
+#endif  // SKUTE_OBS_ADAPTERS_H_

@@ -1,0 +1,50 @@
+#ifndef SKUTE_OBS_CLOCK_H_
+#define SKUTE_OBS_CLOCK_H_
+
+#include <chrono>
+
+namespace skute::obs {
+
+/// \brief The one clock every timer in the tree reads.
+///
+/// All wall-time measurement — pipeline stage timers, the route-stage
+/// timer, trace spans, bench elapsed times — goes through these helpers
+/// so the choice of clock is made exactly once. steady_clock is the only
+/// correct choice for durations: system_clock can jump (NTP slew, manual
+/// set) and would corrupt stage timings and trace spans mid-run.
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+inline TimePoint Now() { return Clock::now(); }
+
+/// Milliseconds between two time points (negative if b < a).
+inline double MsBetween(TimePoint a, TimePoint b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+inline double MsSince(TimePoint start) { return MsBetween(start, Now()); }
+
+/// Microseconds between two time points, for Chrome-trace timestamps.
+inline double UsBetween(TimePoint a, TimePoint b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// \brief Minimal elapsed-time helper: started at construction,
+/// `ElapsedMs()`/`ElapsedSec()` at any point. What the stage timers and
+/// benches use instead of hand-rolled now()/duration pairs.
+class StopWatch {
+ public:
+  StopWatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+  double ElapsedMs() const { return MsSince(start_); }
+  double ElapsedSec() const { return MsSince(start_) / 1000.0; }
+  TimePoint start() const { return start_; }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace skute::obs
+
+#endif  // SKUTE_OBS_CLOCK_H_

@@ -1,0 +1,93 @@
+#include "skute/obs/flight_recorder.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "skute/core/policy.h"
+#include "skute/core/store.h"
+
+namespace skute::obs {
+
+void FlightRecorder::Record(EpochFlightFrame frame) {
+  frames_.push_back(std::move(frame));
+  while (frames_.size() > capacity_) frames_.pop_front();
+}
+
+void FlightRecorder::RecordFrom(const SkuteStore& store, Epoch run_epoch) {
+  EpochFlightFrame frame;
+  frame.epoch = run_epoch;
+  frame.online_servers = store.cluster().online_count();
+  frame.placement_version = store.placement_version();
+  frame.queries_requested = store.last_route().requested;
+  frame.queries_routed = store.last_route().routed;
+  frame.queries_lost = store.last_route().lost;
+  frame.actions_proposed = store.comm_this_epoch().control_msgs;
+  frame.exec = store.last_epoch_stats();
+  if (const auto* econ = dynamic_cast<const EconomicPolicy*>(
+          &store.placement_policy())) {
+    frame.decision = econ->decision_stats();
+  }
+  for (const StageTiming& t : store.epoch_pipeline().stage_timings()) {
+    frame.stage_ms.emplace_back(t.name, t.last_ms);
+  }
+  Record(std::move(frame));
+}
+
+void FlightRecorder::Dump(std::ostream* out,
+                          const std::string& reason) const {
+  *out << "=== epoch flight recorder: last " << frames_.size()
+       << " epochs (" << reason << ") ===\n";
+  if (frames_.empty()) {
+    *out << "(no epochs recorded)\n";
+    return;
+  }
+
+  // Stage columns from the newest frame (all frames of one run share the
+  // pipeline's stage list).
+  const auto& stages = frames_.back().stage_ms;
+  *out << std::left << std::setw(7) << "epoch" << std::setw(8) << "online"
+       << std::setw(10) << "plc_ver";
+  for (const auto& [name, ms] : stages) {
+    *out << std::setw(12) << (name + std::string("_ms"));
+  }
+  *out << std::setw(9) << "props" << std::setw(15) << "rep/mig/sui"
+       << std::setw(13) << "blk bw/st" << std::setw(7) << "stale"
+       << std::setw(13) << "clean/dirty" << std::setw(22)
+       << "routed/req (lost)" << "\n";
+
+  for (const EpochFlightFrame& f : frames_) {
+    *out << std::left << std::setw(7) << f.epoch << std::setw(8)
+         << f.online_servers << std::setw(10) << f.placement_version;
+    for (const auto& [name, ms] : f.stage_ms) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(2) << ms;
+      *out << std::setw(12) << cell.str();
+    }
+    *out << std::setw(9) << f.actions_proposed;
+    *out << std::setw(15)
+         << (std::to_string(f.exec.replications) + "/" +
+             std::to_string(f.exec.migrations) + "/" +
+             std::to_string(f.exec.suicides));
+    *out << std::setw(13)
+         << (std::to_string(f.exec.blocked_bandwidth) + "/" +
+             std::to_string(f.exec.blocked_storage));
+    *out << std::setw(7) << f.exec.aborted_stale;
+    *out << std::setw(13)
+         << (std::to_string(f.decision.partitions_clean) + "/" +
+             std::to_string(f.decision.partitions_dirty));
+    *out << std::setw(22)
+         << (std::to_string(f.queries_routed) + "/" +
+             std::to_string(f.queries_requested) + " (" +
+             std::to_string(f.queries_lost) + ")");
+    *out << "\n";
+  }
+  const EpochFlightFrame& last = frames_.back();
+  *out << "decision plane (cumulative): " << last.decision.select_calls
+       << " selects, " << last.decision.candidates_scored
+       << " candidates scored, " << last.decision.full_scan_selects
+       << " full scans, avail cache " << last.decision.avail_cache_hits
+       << " hits / " << last.decision.avail_cache_misses << " misses\n";
+  *out << "=== end flight recorder ===\n";
+}
+
+}  // namespace skute::obs

@@ -1,0 +1,83 @@
+#ifndef SKUTE_OBS_FLIGHT_RECORDER_H_
+#define SKUTE_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "skute/common/units.h"
+#include "skute/core/decision_cache.h"
+#include "skute/core/executor.h"
+
+namespace skute {
+class SkuteStore;
+}
+
+namespace skute::obs {
+
+/// What the recorder keeps per epoch: the stage timeline, the
+/// decision-plane counters and the executor/routing outcomes — enough to
+/// reconstruct *why* the epoch did what it did from a dump alone.
+struct EpochFlightFrame {
+  Epoch epoch = 0;
+  size_t online_servers = 0;
+  uint64_t placement_version = 0;
+  /// Routing outcome of the epoch (requested/routed/lost).
+  uint64_t queries_requested = 0;
+  uint64_t queries_routed = 0;
+  uint64_t queries_lost = 0;
+  /// Proposals the decision plane emitted (comm control messages).
+  uint64_t actions_proposed = 0;
+  ExecutorStats exec;
+  DecisionPlaneStats decision;
+  /// (stage name, last-run ms), in pipeline registration order.
+  std::vector<std::pair<std::string, double>> stage_ms;
+};
+
+/// \brief Bounded ring of the last K epochs' flight frames, dumped when
+/// a scenario shape check fails or the runner hits an error — the black
+/// box that makes a red CI run diagnosable from its logs/artifacts
+/// alone.
+///
+/// Recording is cheap (struct copy into a deque, oldest frame evicted)
+/// and runs on the driver thread between epochs, so it needs no
+/// synchronization and cannot perturb the epoch pipeline.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 32;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends one frame, evicting the oldest past capacity.
+  void Record(EpochFlightFrame frame);
+
+  /// Captures a frame from the store's just-closed epoch. `run_epoch` is
+  /// the caller's clock (the scenario runner's step index), which can
+  /// differ from the store epoch after startup interleaving.
+  void RecordFrom(const SkuteStore& store, Epoch run_epoch);
+
+  size_t size() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return frames_.empty(); }
+
+  /// Oldest-first access.
+  const EpochFlightFrame& frame(size_t i) const { return frames_[i]; }
+
+  /// Renders the ring as a table, oldest epoch first, with `reason` in
+  /// the banner. Safe on an empty recorder (prints the banner only).
+  void Dump(std::ostream* out, const std::string& reason) const;
+
+  void Clear() { frames_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::deque<EpochFlightFrame> frames_;
+};
+
+}  // namespace skute::obs
+
+#endif  // SKUTE_OBS_FLIGHT_RECORDER_H_

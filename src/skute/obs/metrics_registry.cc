@@ -1,0 +1,304 @@
+#include "skute/obs/metrics_registry.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <functional>
+
+namespace skute::obs {
+
+namespace {
+
+/// True when `s` is a plain non-negative integer (an array index).
+bool IsIndexSegment(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+void WriteJsonString(std::ostream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        *out << c;
+    }
+  }
+  *out << '"';
+}
+
+void WriteJsonDouble(std::ostream* out, double v) {
+  // Default stream formatting (6 significant digits), matching the
+  // hand-rolled bench writers this exporter replaced; non-finite values
+  // are not valid JSON and export as 0.
+  *out << (std::isfinite(v) ? v : 0.0);
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::Upsert(const std::string& name,
+                                                Kind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    entry.kind = kind;
+    return entry;
+  }
+  index_.emplace(name, entries_.size());
+  entries_.emplace_back();
+  entries_.back().name = name;
+  entries_.back().kind = kind;
+  return entries_.back();
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                                    Kind kind) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const Entry& entry = entries_[it->second];
+  return entry.kind == kind ? &entry : nullptr;
+}
+
+void MetricsRegistry::SetCounter(const std::string& name, uint64_t value) {
+  Upsert(name, Kind::kCounter).u64 = value;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  auto it = index_.find(name);
+  if (it != index_.end() && entries_[it->second].kind == Kind::kCounter) {
+    entries_[it->second].u64 += delta;
+    return;
+  }
+  SetCounter(name, delta);
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  Upsert(name, Kind::kGauge).dbl = value;
+}
+
+void MetricsRegistry::SetFlag(const std::string& name, bool value) {
+  Upsert(name, Kind::kFlag).flag = value;
+}
+
+void MetricsRegistry::SetInfo(const std::string& name, std::string value) {
+  Upsert(name, Kind::kInfo).text = std::move(value);
+}
+
+void MetricsRegistry::Observe(const std::string& name, double sample) {
+  histogram(name).Add(sample);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end() && entries_[it->second].kind == Kind::kHistogram) {
+    return entries_[it->second].hist;
+  }
+  return Upsert(name, Kind::kHistogram).hist;
+}
+
+const uint64_t* MetricsRegistry::counter(const std::string& name) const {
+  const Entry* e = Find(name, Kind::kCounter);
+  return e != nullptr ? &e->u64 : nullptr;
+}
+
+const double* MetricsRegistry::gauge(const std::string& name) const {
+  const Entry* e = Find(name, Kind::kGauge);
+  return e != nullptr ? &e->dbl : nullptr;
+}
+
+const bool* MetricsRegistry::flag(const std::string& name) const {
+  const Entry* e = Find(name, Kind::kFlag);
+  return e != nullptr ? &e->flag : nullptr;
+}
+
+const std::string* MetricsRegistry::info(const std::string& name) const {
+  const Entry* e = Find(name, Kind::kInfo);
+  return e != nullptr ? &e->text : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const Entry* e = Find(name, Kind::kHistogram);
+  return e != nullptr ? &e->hist : nullptr;
+}
+
+void MetricsRegistry::Clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+// --- JSON export -------------------------------------------------------------
+
+namespace {
+
+/// The path tree the exporter renders: children in insertion order,
+/// leaves pointing at registry entries.
+struct Node {
+  std::vector<std::pair<std::string, Node>> children;
+  const void* leaf = nullptr;  // const Entry*, opaque here
+
+  Node* Child(const std::string& segment) {
+    for (auto& [name, node] : children) {
+      if (name == segment) return &node;
+    }
+    children.emplace_back(segment, Node{});
+    return &children.back().second;
+  }
+
+  /// An all-index child set, contiguous from 0, renders as a JSON array.
+  bool IsArray() const {
+    if (children.empty() || leaf != nullptr) return false;
+    std::vector<bool> seen(children.size(), false);
+    for (const auto& [name, node] : children) {
+      if (!IsIndexSegment(name)) return false;
+      const size_t idx = std::stoul(name);
+      if (idx >= seen.size() || seen[idx]) return false;
+      seen[idx] = true;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream* out) const {
+  Node root;
+  for (const Entry& entry : entries_) {
+    Node* node = &root;
+    size_t begin = 0;
+    while (begin <= entry.name.size()) {
+      const size_t dot = entry.name.find('.', begin);
+      const std::string segment =
+          entry.name.substr(begin, dot == std::string::npos
+                                       ? std::string::npos
+                                       : dot - begin);
+      node = node->Child(segment);
+      if (dot == std::string::npos) break;
+      begin = dot + 1;
+    }
+    node->leaf = &entry;
+  }
+
+  // Recursive pretty-printer, 2-space indent.
+  const std::function<void(const Node&, int)> emit = [&](const Node& node,
+                                                         int depth) {
+    const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+    const std::string inner(static_cast<size_t>(depth + 1) * 2, ' ');
+    if (node.leaf != nullptr) {
+      const Entry& entry = *static_cast<const Entry*>(node.leaf);
+      switch (entry.kind) {
+        case Kind::kCounter:
+          *out << entry.u64;
+          break;
+        case Kind::kGauge:
+          WriteJsonDouble(out, entry.dbl);
+          break;
+        case Kind::kFlag:
+          *out << (entry.flag ? "true" : "false");
+          break;
+        case Kind::kInfo:
+          WriteJsonString(out, entry.text);
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = entry.hist;
+          *out << "{\"count\": " << h.count() << ", \"mean\": ";
+          WriteJsonDouble(out, h.mean());
+          *out << ", \"p50\": ";
+          WriteJsonDouble(out, h.Percentile(50));
+          *out << ", \"p95\": ";
+          WriteJsonDouble(out, h.Percentile(95));
+          *out << ", \"p99\": ";
+          WriteJsonDouble(out, h.Percentile(99));
+          *out << ", \"max\": ";
+          WriteJsonDouble(out, h.max());
+          *out << "}";
+          break;
+        }
+      }
+      return;
+    }
+    if (node.IsArray()) {
+      // Render children in index order regardless of insertion order.
+      std::vector<const Node*> ordered(node.children.size(), nullptr);
+      for (const auto& [name, child] : node.children) {
+        ordered[std::stoul(name)] = &child;
+      }
+      *out << "[\n";
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        *out << inner;
+        emit(*ordered[i], depth + 1);
+        *out << (i + 1 < ordered.size() ? ",\n" : "\n");
+      }
+      *out << pad << "]";
+      return;
+    }
+    *out << "{\n";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      *out << inner;
+      WriteJsonString(out, node.children[i].first);
+      *out << ": ";
+      emit(node.children[i].second, depth + 1);
+      *out << (i + 1 < node.children.size() ? ",\n" : "\n");
+    }
+    *out << pad << "}";
+  };
+
+  emit(root, 0);
+  *out << "\n";
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  if (path.empty()) {
+    return Status::InvalidArgument("metrics output path is empty");
+  }
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  WriteJson(static_cast<std::ostream*>(&out));
+  out.flush();
+  if (!out.good()) {
+    return Status::Unavailable("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::WriteText(std::ostream* out) const {
+  for (const Entry& entry : entries_) {
+    *out << entry.name << ' ';
+    switch (entry.kind) {
+      case Kind::kCounter:
+        *out << entry.u64;
+        break;
+      case Kind::kGauge:
+        *out << entry.dbl;
+        break;
+      case Kind::kFlag:
+        *out << (entry.flag ? "true" : "false");
+        break;
+      case Kind::kInfo:
+        *out << entry.text;
+        break;
+      case Kind::kHistogram:
+        *out << entry.hist.ToString();
+        break;
+    }
+    *out << '\n';
+  }
+}
+
+}  // namespace skute::obs

@@ -1,0 +1,99 @@
+#ifndef SKUTE_OBS_METRICS_REGISTRY_H_
+#define SKUTE_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "skute/common/histogram.h"
+#include "skute/common/status.h"
+
+namespace skute::obs {
+
+/// \brief The unified metrics namespace: counters, gauges, flags, info
+/// strings and histograms under dot-separated path names, with one
+/// JSON/text snapshot exporter.
+///
+/// This replaces the hand-assembled JSON in the benches and gives the
+/// scattered stat structs (IoStats, ExecutorStats, DecisionPlaneStats,
+/// CommStats, route counters — see obs/adapters.h) one place to land.
+/// Names are hierarchical paths: `"runs.base.epochs_per_sec"` exports as
+/// `{"runs": {"base": {"epochs_per_sec": ...}}}`. A path segment that is
+/// a non-negative integer indexes an array: `"scales.0.servers"` exports
+/// as `{"scales": [{"servers": ...}]}` when the indices are contiguous
+/// from 0.
+///
+/// Insertion order is preserved in the export, so a registry filled in
+/// the old writer's order produces a byte-comparable schema. The
+/// registry is not thread-safe: fill it from one thread (the merge/
+/// report points, where all the source stats already live).
+class MetricsRegistry {
+ public:
+  /// Monotonic integer metric. Set* overwrites, Add* accumulates.
+  void SetCounter(const std::string& name, uint64_t value);
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  /// Point-in-time double metric.
+  void SetGauge(const std::string& name, double value);
+
+  /// Boolean metric (exports as JSON true/false).
+  void SetFlag(const std::string& name, bool value);
+
+  /// Non-numeric metadata (bench name, backend kind, scenario name).
+  void SetInfo(const std::string& name, std::string value);
+
+  /// Adds `sample` to the named histogram (created on first use).
+  void Observe(const std::string& name, double sample);
+
+  /// The named histogram, created on first use — for bulk merges of an
+  /// existing common/histogram.
+  Histogram& histogram(const std::string& name);
+
+  // Lookups (nullptr when absent or of a different kind) — what the
+  // round-trip tests and programmatic consumers read.
+  const uint64_t* counter(const std::string& name) const;
+  const double* gauge(const std::string& name) const;
+  const bool* flag(const std::string& name) const;
+  const std::string* info(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear();
+
+  /// Writes the snapshot as nested JSON (see class comment). Histograms
+  /// export as {"count","mean","p50","p95","p99","max"} objects.
+  void WriteJson(std::ostream* out) const;
+
+  /// File variant; errors on empty/unwritable paths.
+  Status WriteJson(const std::string& path) const;
+
+  /// Flat `name value` lines, one metric per line (histograms as their
+  /// summary string) — the quick-look format.
+  void WriteText(std::ostream* out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kFlag, kInfo, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    uint64_t u64 = 0;
+    double dbl = 0.0;
+    bool flag = false;
+    std::string text;
+    Histogram hist;
+  };
+
+  Entry& Upsert(const std::string& name, Kind kind);
+  const Entry* Find(const std::string& name, Kind kind) const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace skute::obs
+
+#endif  // SKUTE_OBS_METRICS_REGISTRY_H_

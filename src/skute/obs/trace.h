@@ -1,0 +1,162 @@
+#ifndef SKUTE_OBS_TRACE_H_
+#define SKUTE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "skute/common/status.h"
+#include "skute/obs/clock.h"
+
+namespace skute::obs {
+
+/// One completed span as recorded on the hot path: two time points and
+/// three pointers/ints. Names and categories are `const char*` because
+/// every call site passes a string literal (or a stage's static name);
+/// nothing is copied or allocated while tracing.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  TimePoint start{};
+  TimePoint end{};
+  /// Optional numeric payload (shard index, conflict group, epoch),
+  /// exported as args:{"i": arg}.
+  uint64_t arg = 0;
+  bool has_arg = false;
+  /// Filled at merge time from the owning thread buffer.
+  uint32_t tid = 0;
+};
+
+/// \brief Low-overhead span tracer with Chrome trace-event JSON export.
+///
+/// Design constraints (the determinism + overhead contract):
+///  - *Disabled* tracing costs exactly one relaxed atomic load + branch
+///    per span — no clock read, no allocation, no lock.
+///  - *Enabled* tracing appends to a thread-local buffer: no locks on
+///    the hot path (the only mutex is taken once per thread, on that
+///    thread's first-ever span). Tracing never feeds back into any
+///    computation, so enabling it cannot perturb `threads=1 ≡ threads=N`
+///    bit-for-bit determinism (proven by tests/obs/trace_determinism).
+///  - Buffers are merged *deterministically from the recorded data*:
+///    events are sorted by (start, longest-first, tid, name), so the
+///    export order is a pure function of the timestamps, never of which
+///    OS thread drained which shard.
+///
+/// Start/Stop/Write must be called from quiescent points (between runs /
+/// after the worker pool joined its ParallelFor) — exactly where the
+/// scenario runner and benches call them. The WorkerPool's end-of-job
+/// synchronization makes all worker-recorded spans visible to the
+/// merging thread.
+class Tracer {
+ public:
+  /// The process-wide tracer every TraceSpan records into. Instrumented
+  /// code deep in the tree (storage backends, the worker fan-outs) needs
+  /// no plumbed handle — the same idiom as Chrome's TRACE_EVENT.
+  static Tracer& Global();
+
+  /// The one-branch hot-path gate.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears all recorded spans, re-anchors the time origin and enables
+  /// recording.
+  void Start();
+
+  /// Disables recording (spans already open still record on close; they
+  /// are simply part of the session).
+  void Stop();
+
+  bool enabled() const { return Enabled(); }
+
+  /// Records one completed span into the calling thread's buffer.
+  /// Callers must have checked Enabled() (TraceSpan does).
+  void Record(const TraceEvent& event);
+
+  /// All recorded spans, merged and deterministically ordered
+  /// (start-time ascending; ties: longer span first — a parent sorts
+  /// before the children it encloses — then tid, then name).
+  std::vector<TraceEvent> MergedEvents() const;
+
+  /// Total spans recorded this session.
+  size_t event_count() const;
+
+  /// Writes the session as Chrome trace-event JSON ("traceEvents"
+  /// format), loadable in chrome://tracing and Perfetto.
+  void WriteChromeTrace(std::ostream* out) const;
+
+  /// File variant; errors on empty/unwritable paths.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Implementation detail, public only for the thread_local cache in
+  /// trace.cc: one thread's span buffer, owned by the tracer for the
+  /// process lifetime.
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+ private:
+  Tracer() = default;
+
+  /// Registers the calling thread's buffer (first span of this thread).
+  ThreadBuffer* RegisterThread();
+
+  static std::atomic<bool> enabled_;
+
+  TimePoint origin_{};
+  mutable std::mutex mu_;  // guards buffers_ registration/merge
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// \brief RAII span: times from construction to destruction and records
+/// into Tracer::Global(). When tracing is disabled the constructor is a
+/// single branch and the destructor another.
+///
+/// \code
+///   obs::TraceSpan span("stage", "propose_actions", epoch);
+/// \endcode
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (!Tracer::Enabled()) return;
+    Open(category, name);
+  }
+  TraceSpan(const char* category, const char* name, uint64_t arg) {
+    if (!Tracer::Enabled()) return;
+    Open(category, name);
+    event_.arg = arg;
+    event_.has_arg = true;
+  }
+
+  ~TraceSpan() {
+    if (!live_) return;
+    event_.end = Now();
+    Tracer::Global().Record(event_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Open(const char* category, const char* name) {
+    live_ = true;
+    event_.category = category;
+    event_.name = name;
+    event_.start = Now();
+  }
+
+  bool live_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace skute::obs
+
+#endif  // SKUTE_OBS_TRACE_H_

@@ -154,11 +154,18 @@ int AblationEconomyVsStaticMain(const RunOverrides& overrides) {
                     "this experiment prints a comparison table, not a "
                     "metrics CSV");
   }
+  if (!overrides.metrics_json.empty()) {
+    WarnIgnoredFlag("--metrics-json",
+                    "this experiment compares two runs; there is no "
+                    "single store to snapshot");
+  }
 
   // Overrides with a placement override stripped: both arms force their
-  // own PlacementKind.
+  // own PlacementKind. (--trace needs no stripping: the runner records
+  // both arms into one timeline.)
   RunOverrides arm = overrides;
   arm.placement.clear();
+  arm.metrics_json.clear();
   std::printf("running economy...\n");
   const PolicyRunResult economy =
       RunOnePolicy(PlacementKind::kEconomic, arm, epochs, failure_epoch);
@@ -324,9 +331,15 @@ int AblationParamsMain(const RunOverrides& overrides) {
                     "this experiment prints sweep tables, not a metrics "
                     "CSV");
   }
+  if (!overrides.metrics_json.empty()) {
+    WarnIgnoredFlag("--metrics-json",
+                    "the sweep runs many simulations; there is no single "
+                    "store to snapshot");
+  }
   // seed/backend/threads apply to every run of the sweep uniformly.
   RunOverrides arm = overrides;
   arm.placement.clear();
+  arm.metrics_json.clear();
   auto sweep_config = [&arm] {
     SimConfig config = MidConfig(arm.seed);
     ApplyOverrides(&config, arm, "ablation_params");

@@ -11,6 +11,8 @@
 #include <string>
 
 #include "skute/common/table.h"
+#include "skute/obs/adapters.h"
+#include "skute/obs/metrics_registry.h"
 #include "skute/scenario/catalog.h"
 #include "skute/scenario/report.h"
 #include "skute/workload/geo.h"
@@ -694,6 +696,22 @@ int OverheadAnalysisMain(const RunOverrides& overrides) {
       return 1;
     }
     std::printf("full CSV written to %s\n", overrides.out.c_str());
+  }
+  if (!overrides.metrics_json.empty()) {
+    obs::MetricsRegistry registry;
+    registry.SetInfo("scenario", "overhead_analysis");
+    registry.SetCounter(
+        "epochs_run", static_cast<uint64_t>(sim.metrics().series().size()));
+    obs::RegisterStoreSnapshot(&registry, "store", sim.store());
+    const Status written = registry.WriteJson(overrides.metrics_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing --metrics-json=%s failed: %s\n",
+                   overrides.metrics_json.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n",
+                overrides.metrics_json.c_str());
   }
 
   ShapeChecks checks;

@@ -1,7 +1,12 @@
 #include "skute/scenario/runner.h"
 
 #include <cstdio>
+#include <iostream>
 
+#include "skute/obs/adapters.h"
+#include "skute/obs/flight_recorder.h"
+#include "skute/obs/metrics_registry.h"
+#include "skute/obs/trace.h"
 #include "skute/scenario/registry.h"
 #include "skute/scenario/report.h"
 
@@ -42,8 +47,19 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
     spec.before_run(ScenarioContext{sim, overrides, epochs});
   }
 
+  // The flight recorder snapshots every epoch's stage timeline and
+  // decision/executor counters; the ring is only rendered when something
+  // goes wrong below, so a green run pays one struct copy per epoch.
+  obs::FlightRecorder recorder;
+  const auto dump_flight = [&](const std::string& reason) {
+    std::ostream* sink =
+        options.flight_dump != nullptr ? options.flight_dump : &std::cerr;
+    recorder.Dump(sink, reason);
+  };
+
   for (int e = 0; e < epochs; ++e) {
     sim.Step();
+    recorder.RecordFrom(sim.store(), sim.run_epoch());
     if (spec.stop_when && spec.stop_when(sim)) break;
   }
   const auto& series = sim.metrics().series();
@@ -69,6 +85,25 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
     }
     if (options.print) {
       std::printf("full CSV written to %s\n", overrides.out.c_str());
+    }
+  }
+  if (!overrides.metrics_json.empty()) {
+    obs::MetricsRegistry registry;
+    registry.SetInfo("scenario", spec.name);
+    registry.SetCounter("epochs_run",
+                        static_cast<uint64_t>(series.size()));
+    obs::RegisterStoreSnapshot(&registry, "store", sim.store());
+    const Status written = registry.WriteJson(overrides.metrics_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing --metrics-json=%s failed: %s\n",
+                   overrides.metrics_json.c_str(),
+                   written.ToString().c_str());
+      outcome.status = written;
+      return outcome;
+    }
+    if (options.print) {
+      std::printf("metrics snapshot written to %s\n",
+                  overrides.metrics_json.c_str());
     }
   }
 
@@ -98,16 +133,43 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
   if (options.print && !spec.checks.empty()) {
     (void)printer.Summarize();
   }
+  if (outcome.failed_checks > 0) {
+    dump_flight(std::to_string(outcome.failed_checks) +
+                " shape check(s) failed in " + spec.name);
+  }
   return outcome;
 }
 
 int ScenarioRunner::RunMain(const ScenarioSpec& spec,
                             const RunOverrides& overrides) {
   PrintHeader(spec.title, spec.claim);
-  if (spec.custom_main) return spec.custom_main(overrides);
-  const Outcome outcome = Execute(spec, overrides);
-  if (!outcome.status.ok()) return 1;
-  return outcome.failed_checks;
+  const bool tracing = !overrides.trace.empty();
+  if (tracing) obs::Tracer::Global().Start();
+
+  int code = 0;
+  if (spec.custom_main) {
+    code = spec.custom_main(overrides);
+  } else {
+    const Outcome outcome = Execute(spec, overrides);
+    code = !outcome.status.ok() ? 1 : outcome.failed_checks;
+  }
+
+  if (tracing) {
+    obs::Tracer::Global().Stop();
+    const Status written =
+        obs::Tracer::Global().WriteChromeTrace(overrides.trace);
+    if (!written.ok()) {
+      std::fprintf(stderr, "writing --trace=%s failed: %s\n",
+                   overrides.trace.c_str(), written.ToString().c_str());
+      if (code == 0) code = 1;
+    } else {
+      std::printf(
+          "trace written to %s (%zu spans); load it in Perfetto or "
+          "chrome://tracing\n",
+          overrides.trace.c_str(), obs::Tracer::Global().event_count());
+    }
+  }
+  return code;
 }
 
 int RunRegisteredScenario(const std::string& name, int argc, char** argv) {

@@ -22,6 +22,9 @@ class ScenarioRunner {
     /// When set, the full (unsampled) metrics CSV is also streamed here
     /// — the golden tests capture it for bit-identical comparison.
     std::ostream* csv_capture = nullptr;
+    /// Where the epoch flight recorder dumps when a shape check fails;
+    /// nullptr = stderr. Tests capture the dump through this.
+    std::ostream* flight_dump = nullptr;
   };
 
   struct Outcome {
@@ -42,7 +45,9 @@ class ScenarioRunner {
 
   /// main() body for a scenario: banner + Execute (or the spec's
   /// custom_main). Returns the process exit code: the number of failed
-  /// shape checks, or 1 on initialization failure.
+  /// shape checks, or 1 on initialization failure. Handles --trace here
+  /// (around the whole run, custom mains included) so every scenario
+  /// gets span capture without opting in.
   static int RunMain(const ScenarioSpec& spec,
                      const RunOverrides& overrides);
 };

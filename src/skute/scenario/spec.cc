@@ -39,6 +39,10 @@ RunOverrides ParseOverrides(int argc, char** argv,
       o.placement = arg + 12;
     } else if (HasPrefix(arg, "--out=")) {
       o.out = arg + 6;
+    } else if (HasPrefix(arg, "--trace=")) {
+      o.trace = arg + 8;
+    } else if (HasPrefix(arg, "--metrics-json=")) {
+      o.metrics_json = arg + 15;
     } else if (HasPrefix(arg, "--")) {
       bool known = false;
       for (const std::string& exact : extra_exact) {

@@ -29,14 +29,21 @@ struct RunOverrides {
   std::string backend;    ///< "" = spec default; see --backend
   std::string placement;  ///< "" = spec default; "economic" | "static"
   std::string out;        ///< "" = stdout; --out=FILE writes the full CSV
+  /// "" = off; --trace=FILE records spans for the whole invocation and
+  /// writes Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+  std::string trace;
+  /// "" = off; --metrics-json=FILE writes the end-of-run MetricsRegistry
+  /// snapshot (store counters, stage-time percentiles, routing totals).
+  std::string metrics_json;
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
-/// --backend=memory|durable|file, --placement=economic|static and
-/// --out=FILE. Unrecognized `--*` arguments warn to stderr (a typo like
-/// --backnd=file must not silently run the default). `extra_exact` /
-/// `extra_prefix` name additional flags the caller consumes itself
-/// (e.g. skute_scenarios' --list / --run=).
+/// --backend=memory|durable|file, --placement=economic|static,
+/// --out=FILE, --trace=FILE and --metrics-json=FILE. Unrecognized `--*`
+/// arguments warn to stderr (a typo like --backnd=file must not silently
+/// run the default). `extra_exact` / `extra_prefix` name additional
+/// flags the caller consumes itself (e.g. skute_scenarios' --list /
+/// --run=).
 RunOverrides ParseOverrides(
     int argc, char** argv,
     const std::vector<std::string>& extra_exact = {},

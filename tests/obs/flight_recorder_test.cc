@@ -1,0 +1,149 @@
+// The epoch flight recorder: the ring stays bounded, the dump renders
+// what was recorded, and the scenario runner dumps it when a shape
+// check fails.
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "skute/obs/flight_recorder.h"
+#include "skute/scenario/runner.h"
+#include "skute/scenario/spec.h"
+
+namespace skute::obs {
+namespace {
+
+EpochFlightFrame Frame(Epoch epoch) {
+  EpochFlightFrame frame;
+  frame.epoch = epoch;
+  frame.online_servers = 10;
+  frame.placement_version = 100 + epoch;
+  frame.queries_requested = 50;
+  frame.queries_routed = 49;
+  frame.queries_lost = 1;
+  frame.actions_proposed = 2;
+  frame.exec.replications = 1;
+  frame.exec.migrations = 2;
+  frame.exec.suicides = 3;
+  frame.decision.partitions_clean = 7;
+  frame.decision.partitions_dirty = 1;
+  frame.decision.select_calls = 4;
+  frame.stage_ms.emplace_back("route_queries", 1.25);
+  frame.stage_ms.emplace_back("execute", 0.5);
+  return frame;
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestPastCapacity) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_TRUE(recorder.empty());
+  for (Epoch e = 0; e < 10; ++e) recorder.Record(Frame(e));
+  EXPECT_EQ(recorder.size(), 4u);
+  // Oldest-first: epochs 6..9 survive.
+  EXPECT_EQ(recorder.frame(0).epoch, 6u);
+  EXPECT_EQ(recorder.frame(3).epoch, 9u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.empty());
+}
+
+TEST(FlightRecorderTest, ZeroCapacityClampsToOne) {
+  FlightRecorder recorder(0);
+  EXPECT_EQ(recorder.capacity(), 1u);
+  recorder.Record(Frame(1));
+  recorder.Record(Frame(2));
+  EXPECT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.frame(0).epoch, 2u);
+}
+
+TEST(FlightRecorderTest, DumpRendersFramesAndReason) {
+  FlightRecorder recorder(8);
+  recorder.Record(Frame(3));
+  recorder.Record(Frame(4));
+  std::ostringstream out;
+  recorder.Dump(&out, "test reason");
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("epoch flight recorder: last 2 epochs"),
+            std::string::npos);
+  EXPECT_NE(dump.find("test reason"), std::string::npos);
+  // Stage columns come from the recorded stage list.
+  EXPECT_NE(dump.find("route_queries_ms"), std::string::npos);
+  EXPECT_NE(dump.find("execute_ms"), std::string::npos);
+  // Executor triple and routing outcome of a frame.
+  EXPECT_NE(dump.find("1/2/3"), std::string::npos);
+  EXPECT_NE(dump.find("49/50 (1)"), std::string::npos);
+  // Cumulative decision-plane line from the newest frame.
+  EXPECT_NE(dump.find("decision plane (cumulative): 4 selects"),
+            std::string::npos);
+  EXPECT_NE(dump.find("=== end flight recorder ==="), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpOnEmptyRecorderIsSafe) {
+  FlightRecorder recorder;
+  std::ostringstream out;
+  recorder.Dump(&out, "nothing yet");
+  EXPECT_NE(out.str().find("nothing yet"), std::string::npos);
+  EXPECT_NE(out.str().find("(no epochs recorded)"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RunnerDumpsWhenAShapeCheckFails) {
+  scenario::ScenarioSpec spec;
+  spec.name = "flight_dump_test";
+  spec.title = "test";
+  spec.claim = "none";
+  spec.description = "test";
+  spec.config = [] { return SimConfig::Tiny(); };
+  spec.default_epochs = 6;
+  spec.checks.push_back(
+      {"always_fails", [](const scenario::ScenarioContext&) {
+         return scenario::ShapeCheckResult{false, "forced failure"};
+       }});
+
+  scenario::RunOverrides overrides;
+  overrides.seed = 7;
+  std::ostringstream dump;
+  scenario::ScenarioRunner::Options options;
+  options.print = false;
+  options.flight_dump = &dump;
+  const auto outcome =
+      scenario::ScenarioRunner::Execute(spec, overrides, options);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.failed_checks, 1);
+  const std::string text = dump.str();
+  EXPECT_NE(text.find("1 shape check(s) failed in flight_dump_test"),
+            std::string::npos);
+  // The ring held every epoch of this short run; the real pipeline's
+  // stage columns are present.
+  EXPECT_NE(text.find("last 6 epochs"), std::string::npos);
+  EXPECT_NE(text.find("route_queries_ms"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RunnerStaysQuietWhenChecksPass) {
+  scenario::ScenarioSpec spec;
+  spec.name = "flight_quiet_test";
+  spec.title = "test";
+  spec.claim = "none";
+  spec.description = "test";
+  spec.config = [] { return SimConfig::Tiny(); };
+  spec.default_epochs = 3;
+  spec.checks.push_back(
+      {"always_passes", [](const scenario::ScenarioContext&) {
+         return scenario::ShapeCheckResult{true, "ok"};
+       }});
+
+  scenario::RunOverrides overrides;
+  overrides.seed = 7;
+  std::ostringstream dump;
+  scenario::ScenarioRunner::Options options;
+  options.print = false;
+  options.flight_dump = &dump;
+  const auto outcome =
+      scenario::ScenarioRunner::Execute(spec, overrides, options);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.failed_checks, 0);
+  EXPECT_TRUE(dump.str().empty());
+}
+
+}  // namespace
+}  // namespace skute::obs

@@ -1,0 +1,284 @@
+// The unified metrics namespace: kind round-trips, the dot-path ->
+// nested-JSON renderer (including the contiguous-numeric-index array
+// rule the bench schemas rely on), and the adapters that project the
+// tree's scattered stat structs into one registry.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "skute/obs/adapters.h"
+#include "skute/obs/metrics_registry.h"
+#include "testutil/temp_dir.h"
+
+namespace skute::obs {
+namespace {
+
+TEST(MetricsRegistryTest, KindsRoundTripThroughLookups) {
+  MetricsRegistry reg;
+  reg.SetCounter("c", 41);
+  reg.AddCounter("c", 1);
+  reg.SetGauge("g", 2.5);
+  reg.SetFlag("f", true);
+  reg.SetInfo("i", "hello");
+  reg.Observe("h", 1.0);
+  reg.Observe("h", 3.0);
+
+  ASSERT_NE(reg.counter("c"), nullptr);
+  EXPECT_EQ(*reg.counter("c"), 42u);
+  ASSERT_NE(reg.gauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(*reg.gauge("g"), 2.5);
+  ASSERT_NE(reg.flag("f"), nullptr);
+  EXPECT_TRUE(*reg.flag("f"));
+  ASSERT_NE(reg.info("i"), nullptr);
+  EXPECT_EQ(*reg.info("i"), "hello");
+  ASSERT_NE(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 2u);
+
+  // Lookups are kind-checked: the wrong accessor returns nullptr
+  // instead of reinterpreting the slot.
+  EXPECT_EQ(reg.gauge("c"), nullptr);
+  EXPECT_EQ(reg.counter("g"), nullptr);
+  EXPECT_EQ(reg.counter("missing"), nullptr);
+
+  EXPECT_EQ(reg.size(), 5u);
+  reg.Clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("c"), nullptr);
+}
+
+TEST(MetricsRegistryTest, AddCounterCreatesAndAccumulates) {
+  MetricsRegistry reg;
+  reg.AddCounter("hits", 3);  // created at 0, then += 3
+  reg.AddCounter("hits", 4);
+  ASSERT_NE(reg.counter("hits"), nullptr);
+  EXPECT_EQ(*reg.counter("hits"), 7u);
+  // Set* overwrites whatever accumulated.
+  reg.SetCounter("hits", 1);
+  EXPECT_EQ(*reg.counter("hits"), 1u);
+}
+
+TEST(MetricsRegistryTest, DotPathsExportAsNestedJson) {
+  MetricsRegistry reg;
+  reg.SetInfo("bench", "demo");
+  reg.SetCounter("runs.base.epochs", 10);
+  reg.SetGauge("runs.base.epochs_per_sec", 123.456);
+  reg.SetCounter("runs.parallel.epochs", 10);
+  reg.SetFlag("identical", true);
+  std::ostringstream out;
+  reg.WriteJson(&out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"bench\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"base\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"parallel\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"identical\": true"), std::string::npos);
+  // Insertion order is preserved: "bench" renders before "runs".
+  EXPECT_LT(json.find("\"bench\""), json.find("\"runs\""));
+}
+
+TEST(MetricsRegistryTest, ContiguousNumericSegmentsRenderAsArray) {
+  MetricsRegistry reg;
+  reg.SetCounter("scales.0.servers", 100);
+  reg.SetGauge("scales.0.propose_ms", 1.5);
+  reg.SetCounter("scales.1.servers", 200);
+  reg.SetGauge("scales.1.propose_ms", 2.5);
+  std::ostringstream out;
+  reg.WriteJson(&out);
+  const std::string json = out.str();
+  // The historical bench schema: "scales" is a JSON array of objects,
+  // not an object keyed by "0"/"1".
+  EXPECT_NE(json.find("\"scales\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"servers\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"servers\": 200"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramsExportAsSummaryObjects) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.Observe("stage.route_queries_ms", static_cast<double>(i));
+  }
+  std::ostringstream out;
+  reg.WriteJson(&out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"route_queries_ms\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  for (const char* key : {"\"mean\"", "\"p50\"", "\"p95\"", "\"p99\"",
+                          "\"max\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(MetricsRegistryTest, WriteTextEmitsOneLinePerMetric) {
+  MetricsRegistry reg;
+  reg.SetCounter("a.b", 7);
+  reg.SetGauge("a.c", 1.25);
+  reg.SetInfo("name", "x");
+  std::ostringstream out;
+  reg.WriteText(&out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a.b"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("a.c"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonToFileAndPathErrors) {
+  MetricsRegistry reg;
+  reg.SetCounter("x", 1);
+  testutil::ScopedTempDir tmp("metrics_export");
+  const std::string path = tmp.Sub("metrics.json");
+  ASSERT_TRUE(reg.WriteJson(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"x\": 1"), std::string::npos);
+
+  EXPECT_TRUE(reg.WriteJson("").IsInvalidArgument());
+  EXPECT_TRUE(reg.WriteJson("/nonexistent_dir_skute/m.json")
+                  .IsUnavailable());
+}
+
+// Adapter round-trips: fill each stat struct with distinct values and
+// assert every field lands under the prefix. A field added to a struct
+// but not its adapter shows up here as a missing metric.
+
+TEST(MetricsAdapterTest, IoStatsRoundTrip) {
+  IoStats io;
+  io.puts = 1;
+  io.gets = 2;
+  io.deletes = 3;
+  io.scans = 4;
+  io.log_bytes_written = 5;
+  io.bytes_flushed = 6;
+  io.bytes_read = 7;
+  io.fsyncs = 8;
+  io.snapshot_bytes_out = 9;
+  io.snapshot_bytes_in = 10;
+  MetricsRegistry reg;
+  RegisterIoStats(&reg, "io", io);
+  EXPECT_EQ(*reg.counter("io.puts"), 1u);
+  EXPECT_EQ(*reg.counter("io.gets"), 2u);
+  EXPECT_EQ(*reg.counter("io.deletes"), 3u);
+  EXPECT_EQ(*reg.counter("io.scans"), 4u);
+  EXPECT_EQ(*reg.counter("io.ops"), io.ops());
+  EXPECT_EQ(*reg.counter("io.log_bytes_written"), 5u);
+  EXPECT_EQ(*reg.counter("io.bytes_flushed"), 6u);
+  EXPECT_EQ(*reg.counter("io.bytes_read"), 7u);
+  EXPECT_EQ(*reg.counter("io.fsyncs"), 8u);
+  EXPECT_EQ(*reg.counter("io.snapshot_bytes_out"), 9u);
+  EXPECT_EQ(*reg.counter("io.snapshot_bytes_in"), 10u);
+}
+
+TEST(MetricsAdapterTest, ExecutorStatsRoundTrip) {
+  ExecutorStats exec;
+  exec.replications = 11;
+  exec.migrations = 12;
+  exec.suicides = 13;
+  exec.blocked_bandwidth = 14;
+  exec.blocked_storage = 15;
+  exec.aborted_stale = 16;
+  exec.bytes_replicated = 17;
+  exec.bytes_migrated = 18;
+  exec.snapshot_bytes = 19;
+  MetricsRegistry reg;
+  RegisterExecutorStats(&reg, "exec", exec);
+  EXPECT_EQ(*reg.counter("exec.replications"), 11u);
+  EXPECT_EQ(*reg.counter("exec.migrations"), 12u);
+  EXPECT_EQ(*reg.counter("exec.suicides"), 13u);
+  EXPECT_EQ(*reg.counter("exec.applied"), exec.applied());
+  EXPECT_EQ(*reg.counter("exec.blocked_bandwidth"), 14u);
+  EXPECT_EQ(*reg.counter("exec.blocked_storage"), 15u);
+  EXPECT_EQ(*reg.counter("exec.aborted_stale"), 16u);
+  EXPECT_EQ(*reg.counter("exec.bytes_replicated"), 17u);
+  EXPECT_EQ(*reg.counter("exec.bytes_migrated"), 18u);
+  EXPECT_EQ(*reg.counter("exec.snapshot_bytes"), 19u);
+}
+
+TEST(MetricsAdapterTest, CommStatsRoundTrip) {
+  CommStats comm;
+  comm.board_msgs = 21;
+  comm.query_msgs = 22;
+  comm.consistency_msgs = 23;
+  comm.consistency_bytes = 24;
+  comm.transfer_msgs = 25;
+  comm.transfer_bytes = 26;
+  comm.control_msgs = 27;
+  MetricsRegistry reg;
+  RegisterCommStats(&reg, "comm", comm);
+  EXPECT_EQ(*reg.counter("comm.board_msgs"), 21u);
+  EXPECT_EQ(*reg.counter("comm.query_msgs"), 22u);
+  EXPECT_EQ(*reg.counter("comm.consistency_msgs"), 23u);
+  EXPECT_EQ(*reg.counter("comm.consistency_bytes"), 24u);
+  EXPECT_EQ(*reg.counter("comm.transfer_msgs"), 25u);
+  EXPECT_EQ(*reg.counter("comm.transfer_bytes"), 26u);
+  EXPECT_EQ(*reg.counter("comm.control_msgs"), 27u);
+  EXPECT_EQ(*reg.counter("comm.total_msgs"), comm.TotalMsgs());
+}
+
+TEST(MetricsAdapterTest, DecisionStatsRoundTrip) {
+  DecisionPlaneStats d;
+  d.epochs_prepared = 31;
+  d.select_calls = 32;
+  d.candidates_scored = 33;
+  d.full_scan_selects = 34;
+  d.partitions_clean = 35;
+  d.partitions_dirty = 36;
+  d.avail_cache_hits = 37;
+  d.avail_cache_misses = 38;
+  MetricsRegistry reg;
+  RegisterDecisionStats(&reg, "decision", d);
+  EXPECT_EQ(*reg.counter("decision.epochs_prepared"), 31u);
+  EXPECT_EQ(*reg.counter("decision.select_calls"), 32u);
+  EXPECT_EQ(*reg.counter("decision.candidates_scored"), 33u);
+  EXPECT_EQ(*reg.counter("decision.full_scan_selects"), 34u);
+  EXPECT_EQ(*reg.counter("decision.partitions_clean"), 35u);
+  EXPECT_EQ(*reg.counter("decision.partitions_dirty"), 36u);
+  EXPECT_EQ(*reg.counter("decision.avail_cache_hits"), 37u);
+  EXPECT_EQ(*reg.counter("decision.avail_cache_misses"), 38u);
+}
+
+TEST(MetricsAdapterTest, RouteResultAndStageTimingsRoundTrip) {
+  RouteResult route;
+  route.requested = 41;
+  route.routed = 40;
+  route.lost = 1;
+  route.route_ms = 0.75;
+  MetricsRegistry reg;
+  RegisterRouteResult(&reg, "route", route);
+  EXPECT_EQ(*reg.counter("route.requested"), 41u);
+  EXPECT_EQ(*reg.counter("route.routed"), 40u);
+  EXPECT_EQ(*reg.counter("route.lost"), 1u);
+  EXPECT_DOUBLE_EQ(*reg.gauge("route.route_ms"), 0.75);
+
+  StageTiming timing;
+  timing.name = "execute";
+  timing.last_ms = 2.0;
+  timing.total_ms = 10.0;
+  timing.runs = 5;
+  for (double ms : {1.0, 2.0, 3.0, 2.0, 2.0}) timing.hist.Add(ms);
+  RegisterStageTimings(&reg, "stage", {timing});
+  EXPECT_DOUBLE_EQ(*reg.gauge("stage.execute.last_ms"), 2.0);
+  EXPECT_DOUBLE_EQ(*reg.gauge("stage.execute.total_ms"), 10.0);
+  EXPECT_EQ(*reg.counter("stage.execute.runs"), 5u);
+  ASSERT_NE(reg.gauge("stage.execute.p50_ms"), nullptr);
+  ASSERT_NE(reg.gauge("stage.execute.p95_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(*reg.gauge("stage.execute.max_ms"), 3.0);
+}
+
+TEST(MetricsAdapterTest, EmptyPrefixRegistersBareNames) {
+  RouteResult route;
+  route.requested = 5;
+  MetricsRegistry reg;
+  RegisterRouteResult(&reg, "", route);
+  ASSERT_NE(reg.counter("requested"), nullptr);
+  EXPECT_EQ(*reg.counter("requested"), 5u);
+}
+
+}  // namespace
+}  // namespace skute::obs

@@ -13,47 +13,13 @@
 #include "skute/scenario/catalog.h"
 #include "skute/scenario/registry.h"
 #include "skute/scenario/runner.h"
+#include "testutil/csv_mask.h"
 #include "testutil/temp_dir.h"
 
 namespace skute::scenario {
 namespace {
 
-// Zeroes the wall-clock measurement columns (route_ms, stage_*_ms) of a
-// metrics CSV: they are timings of this run's execution, different
-// between any two runs of even the same binary. Every other column is
-// simulation output and must match bit for bit.
-std::string MaskTimingColumns(const std::string& csv) {
-  std::istringstream lines(csv);
-  std::string line;
-  std::vector<size_t> timing_cols;
-  std::string result;
-  bool header = true;
-  while (std::getline(lines, line)) {
-    std::vector<std::string> fields;
-    std::string field;
-    std::istringstream split(line);
-    while (std::getline(split, field, ',')) fields.push_back(field);
-    if (header) {
-      for (size_t i = 0; i < fields.size(); ++i) {
-        if (fields[i] == "route_ms" ||
-            fields[i].rfind("stage_", 0) == 0) {
-          timing_cols.push_back(i);
-        }
-      }
-      header = false;
-    } else {
-      for (size_t col : timing_cols) {
-        if (col < fields.size()) fields[col] = "0";
-      }
-    }
-    for (size_t i = 0; i < fields.size(); ++i) {
-      if (i > 0) result += ',';
-      result += fields[i];
-    }
-    result += '\n';
-  }
-  return result;
-}
+using testutil::MaskTimingColumns;
 
 // argv helper: gtest owns argv[0].
 std::vector<char*> Argv(std::vector<std::string>& args) {
@@ -132,9 +98,11 @@ TEST(ScenarioRegistryTest, BuiltinCatalogHasPortedAndComposedScenarios) {
 
 TEST(RunOverridesTest, ParseRoundTripsEveryFlag) {
   std::vector<std::string> args = {
-      "--epochs=77",       "--seed=123",       "--sample=4",
-      "--csv",             "--threads=3",      "--backend=durable",
-      "--placement=static", "--out=/tmp/x.csv"};
+      "--epochs=77",        "--seed=123",
+      "--sample=4",         "--csv",
+      "--threads=3",        "--backend=durable",
+      "--placement=static", "--out=/tmp/x.csv",
+      "--trace=/tmp/t.json", "--metrics-json=/tmp/m.json"};
   auto argv = Argv(args);
   const RunOverrides o =
       ParseOverrides(static_cast<int>(argv.size()), argv.data());
@@ -146,6 +114,8 @@ TEST(RunOverridesTest, ParseRoundTripsEveryFlag) {
   EXPECT_EQ(o.backend, "durable");
   EXPECT_EQ(o.placement, "static");
   EXPECT_EQ(o.out, "/tmp/x.csv");
+  EXPECT_EQ(o.trace, "/tmp/t.json");
+  EXPECT_EQ(o.metrics_json, "/tmp/m.json");
 }
 
 TEST(RunOverridesTest, DefaultsMatchTheLegacyBenchDefaults) {
@@ -161,6 +131,8 @@ TEST(RunOverridesTest, DefaultsMatchTheLegacyBenchDefaults) {
   EXPECT_TRUE(o.backend.empty());
   EXPECT_TRUE(o.placement.empty());
   EXPECT_TRUE(o.out.empty());
+  EXPECT_TRUE(o.trace.empty());
+  EXPECT_TRUE(o.metrics_json.empty());
 }
 
 TEST(RunOverridesTest, ApplyOverridesLandsOnTheConfig) {

@@ -1,0 +1,50 @@
+#ifndef SKUTE_TESTS_TESTUTIL_CSV_MASK_H_
+#define SKUTE_TESTS_TESTUTIL_CSV_MASK_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace skute::testutil {
+
+/// Zeroes the wall-clock measurement columns (route_ms, stage_*_ms) of a
+/// metrics CSV: they are timings of this run's execution, different
+/// between any two runs of even the same binary. Every other column is
+/// simulation output and must match bit for bit — the golden and
+/// determinism tests compare masked CSVs with EXPECT_EQ.
+inline std::string MaskTimingColumns(const std::string& csv) {
+  std::istringstream lines(csv);
+  std::string line;
+  std::vector<size_t> timing_cols;
+  std::string result;
+  bool header = true;
+  while (std::getline(lines, line)) {
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream split(line);
+    while (std::getline(split, field, ',')) fields.push_back(field);
+    if (header) {
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] == "route_ms" ||
+            fields[i].rfind("stage_", 0) == 0) {
+          timing_cols.push_back(i);
+        }
+      }
+      header = false;
+    } else {
+      for (size_t col : timing_cols) {
+        if (col < fields.size()) fields[col] = "0";
+      }
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) result += ',';
+      result += fields[i];
+    }
+    result += '\n';
+  }
+  return result;
+}
+
+}  // namespace skute::testutil
+
+#endif  // SKUTE_TESTS_TESTUTIL_CSV_MASK_H_
