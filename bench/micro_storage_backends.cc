@@ -1,13 +1,16 @@
 // Storage-backend microbench: ops/sec, recovery time and I/O counters
-// for each pluggable backend (memory, durable/WAL, file-segment), plus a
-// 1000-server snapshot-streaming transfer workload over ReplicaDataMap —
+// for each pluggable backend (memory, durable/WAL, file-segment, mmap),
+// a 1000-server snapshot-streaming transfer workload over
+// ReplicaDataMap, the group-commit fsync rate of the I/O offload pool,
+// and the delta-vs-snapshot byte split of incremental log shipping —
 // the persistence cost the placement economy's transfer accounting is
 // measured against.
 //
-//   ./build/bench/micro_storage_backends [--seed=S]
+//   ./build/bench/micro_storage_backends [--seed=S] [--out=FILE]
 //
-// The file backend writes under a unique directory in the system temp
-// dir, removed at exit.
+// Writes BENCH_storage.json (MetricsRegistry snapshot) unless --out
+// overrides the path. The file backends write under a unique directory
+// in the system temp dir, removed at exit.
 
 #include <unistd.h>
 
@@ -22,6 +25,9 @@
 #include "skute/backend/factory.h"
 #include "skute/backend/file_segment_backend.h"
 #include "skute/backend/memory_backend.h"
+#include "skute/backend/mmap_segment_backend.h"
+#include "skute/io/io_pool.h"
+#include "skute/obs/metrics_registry.h"
 #include "skute/storage/replica_store.h"
 
 namespace skute {
@@ -31,6 +37,8 @@ constexpr int kOps = 20000;
 constexpr int kServers = 1000;
 constexpr int kRecordsPerPartition = 32;
 constexpr int kTransfers = 1500;
+constexpr int kDeltaRounds = 3;
+constexpr int kDeltaRecordsPerRound = 4;
 
 double Secs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -90,7 +98,7 @@ BackendRun RunSingleBackend(const BackendConfig& config,
 
   // Recovery: rebuild the same state in a fresh instance through each
   // backend's native path — snapshot import (memory), log replay
-  // (durable), reopen-with-replay (file-segment).
+  // (durable), reopen-with-replay (file-segment and mmap).
   switch (config.kind) {
     case BackendKind::kMemory: {
       const std::string snapshot = backend->ExportSnapshot();
@@ -122,6 +130,17 @@ BackendRun RunSingleBackend(const BackendConfig& config,
       }
       break;
     }
+    case BackendKind::kMmap: {
+      backend.reset();
+      start = std::chrono::steady_clock::now();
+      auto reopened = MmapSegmentBackend::Open(
+          config.data_dir + "/p0", config.segment_bytes);
+      run.recovery_sec = Secs(start);
+      if (reopened.ok()) {
+        run.recovered = (*reopened)->Count();
+      }
+      break;
+    }
   }
   (void)tmp_root;
   return run;
@@ -131,6 +150,7 @@ struct TransferRun {
   std::string name;
   double transfers_sec = 0;
   uint64_t streamed_bytes = 0;
+  uint64_t delta_transfers = 0;  // transfers that went incremental
   size_t intact = 0;  // partitions fully present at their final holder
 };
 
@@ -164,16 +184,20 @@ TransferRun RunTransferWorkload(const BackendConfig& config) {
     const int src = holder[pid];
     const int dst = (src + 1 + t % (kServers - 1)) % kServers;
     if (t % 2 == 0) {
-      auto bytes = data.For(static_cast<uint32_t>(dst))
+      auto moved = data.For(static_cast<uint32_t>(dst))
                        .CopyFrom(data.For(static_cast<uint32_t>(src)),
                                  static_cast<uint64_t>(pid));
-      if (bytes.ok()) streamed += *bytes;
+      if (moved.ok()) {
+        streamed += moved->bytes;
+        if (moved->delta) ++run.delta_transfers;
+      }
     } else {
-      auto bytes = data.For(static_cast<uint32_t>(dst))
+      auto moved = data.For(static_cast<uint32_t>(dst))
                        .MoveFrom(&data.For(static_cast<uint32_t>(src)),
                                  static_cast<uint64_t>(pid));
-      if (bytes.ok()) {
-        streamed += *bytes;
+      if (moved.ok()) {
+        streamed += moved->bytes;
+        if (moved->delta) ++run.delta_transfers;
         holder[pid] = dst;
       }
     }
@@ -189,6 +213,125 @@ TransferRun RunTransferWorkload(const BackendConfig& config) {
     if (backend != nullptr &&
         backend->Count() == static_cast<size_t>(kRecordsPerPartition)) {
       ++run.intact;
+    }
+  }
+  return run;
+}
+
+struct GroupCommitRun {
+  std::string name;
+  uint64_t solo_fsyncs = 0;     ///< fsync-per-write durability
+  uint64_t grouped_fsyncs = 0;  ///< pool-coalesced, drained per batch
+  uint64_t group_commits = 0;
+  uint64_t coalesced = 0;
+};
+
+/// The same write stream under two durability disciplines: one fsync per
+/// write vs. the offload pool's group commit (all of a batch's flush
+/// submissions for one backend collapse into one fsync at the drain).
+GroupCommitRun RunGroupCommit(BackendConfig config,
+                              const std::string& dir) {
+  GroupCommitRun run;
+  run.name = BackendKindName(config.kind);
+  constexpr int kParts = 8;
+  constexpr int kWrites = 4000;
+  constexpr int kBatch = 200;  // drain cadence — one simulated epoch
+  const std::string value(128, 'g');
+
+  auto make_backends = [&](const BackendConfig& c, IoPool* pool)
+      -> std::vector<std::unique_ptr<StorageBackend>> {
+    BackendFactory factory(c);
+    if (pool != nullptr) factory.AttachIoPool(pool, /*watermark=*/0);
+    std::vector<std::unique_ptr<StorageBackend>> backends;
+    for (int p = 0; p < kParts; ++p) {
+      auto b = factory.Create(static_cast<uint64_t>(p));
+      if (b.ok()) backends.push_back(std::move(b).value());
+    }
+    return backends;
+  };
+
+  {
+    BackendConfig solo = config;
+    solo.data_dir = dir + "/solo";
+    auto backends = make_backends(solo, nullptr);
+    for (int i = 0; i < kWrites; ++i) {
+      StorageBackend* b = backends[static_cast<size_t>(i % kParts)].get();
+      (void)b->Put(Key(i), value);
+      (void)b->Flush();
+    }
+    for (const auto& b : backends) run.solo_fsyncs += b->io().fsyncs;
+  }
+  {
+    BackendConfig grouped = config;
+    grouped.data_dir = dir + "/grouped";
+    IoPool pool(2);
+    auto backends = make_backends(grouped, &pool);
+    for (int i = 0; i < kWrites; ++i) {
+      (void)backends[static_cast<size_t>(i % kParts)]->Put(Key(i), value);
+      if ((i + 1) % kBatch == 0) (void)pool.Drain();
+    }
+    (void)pool.Drain();
+    for (const auto& b : backends) {
+      run.grouped_fsyncs += b->io().fsyncs;
+      run.group_commits += b->io().group_commits;
+      run.coalesced += b->io().coalesced_fsyncs;
+    }
+  }
+  return run;
+}
+
+struct DeltaRun {
+  uint64_t snapshot_transfers = 0;
+  uint64_t delta_transfers = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t delta_bytes = 0;
+};
+
+/// Incremental log shipping at the 1000-server transfer scale: every
+/// partition is cold-copied to a standby once (full snapshot), then
+/// re-synced after each of kDeltaRounds small write batches — the
+/// re-syncs ship only the log suffix.
+DeltaRun RunDeltaWorkload() {
+  DeltaRun run;
+  BackendConfig config;
+  config.kind = BackendKind::kDurable;
+  const BackendFactory base(config);
+  ReplicaDataMap data(
+      [&base](uint32_t server) { return base.ForServer(server); });
+
+  const std::string value(64, 'd');
+  for (int p = 0; p < kServers; ++p) {
+    StorageBackend* primary =
+        data.For(static_cast<uint32_t>(p))
+            .OpenOrCreate(static_cast<uint64_t>(p));
+    for (int r = 0; r < kRecordsPerPartition; ++r) {
+      (void)primary->Put(Key(r), value);
+    }
+  }
+
+  for (int round = 0; round <= kDeltaRounds; ++round) {
+    for (int p = 0; p < kServers; ++p) {
+      if (round > 0) {
+        StorageBackend* primary = data.For(static_cast<uint32_t>(p))
+                                      .Find(static_cast<uint64_t>(p));
+        const int first =
+            kRecordsPerPartition + (round - 1) * kDeltaRecordsPerRound;
+        for (int r = 0; r < kDeltaRecordsPerRound; ++r) {
+          (void)primary->Put(Key(first + r), value);
+        }
+      }
+      const int standby = (p + 1) % kServers;
+      auto shipped = data.For(static_cast<uint32_t>(standby))
+                         .CopyFrom(data.For(static_cast<uint32_t>(p)),
+                                   static_cast<uint64_t>(p));
+      if (!shipped.ok()) continue;
+      if (shipped->delta) {
+        ++run.delta_transfers;
+        run.delta_bytes += shipped->bytes;
+      } else {
+        ++run.snapshot_transfers;
+        run.snapshot_bytes += shipped->bytes;
+      }
     }
   }
   return run;
@@ -211,12 +354,56 @@ void PrintRun(const BackendRun& r) {
       static_cast<unsigned long long>(r.io.snapshot_bytes_out));
 }
 
+obs::MetricsRegistry BuildBenchRegistry(
+    const std::vector<BackendRun>& runs,
+    const std::vector<TransferRun>& transfers,
+    const std::vector<GroupCommitRun>& commits, const DeltaRun& delta) {
+  obs::MetricsRegistry reg;
+  reg.SetInfo("bench.name", "micro_storage_backends");
+  for (const BackendRun& r : runs) {
+    const std::string base = "backends." + r.name + ".";
+    reg.SetGauge(base + "put_ops_sec", r.put_ops_sec);
+    reg.SetGauge(base + "get_ops_sec", r.get_ops_sec);
+    reg.SetGauge(base + "delete_ops_sec", r.delete_ops_sec);
+    reg.SetGauge(base + "recovery_sec", r.recovery_sec);
+    reg.SetCounter(base + "recovered", r.recovered);
+    reg.SetCounter(base + "log_bytes_written", r.io.log_bytes_written);
+    reg.SetCounter(base + "bytes_flushed", r.io.bytes_flushed);
+    reg.SetCounter(base + "bytes_read", r.io.bytes_read);
+    reg.SetCounter(base + "fsyncs", r.io.fsyncs);
+  }
+  for (const TransferRun& t : transfers) {
+    const std::string base = "transfer." + t.name + ".";
+    reg.SetGauge(base + "transfers_sec", t.transfers_sec);
+    reg.SetCounter(base + "streamed_bytes", t.streamed_bytes);
+    reg.SetCounter(base + "delta_transfers", t.delta_transfers);
+    reg.SetCounter(base + "intact", t.intact);
+  }
+  for (const GroupCommitRun& g : commits) {
+    const std::string base = "group_commit." + g.name + ".";
+    reg.SetCounter(base + "solo_fsyncs", g.solo_fsyncs);
+    reg.SetCounter(base + "grouped_fsyncs", g.grouped_fsyncs);
+    reg.SetCounter(base + "group_commits", g.group_commits);
+    reg.SetCounter(base + "coalesced_fsyncs", g.coalesced);
+  }
+  reg.SetCounter("delta_shipping.snapshot_transfers",
+                 delta.snapshot_transfers);
+  reg.SetCounter("delta_shipping.delta_transfers", delta.delta_transfers);
+  reg.SetCounter("delta_shipping.snapshot_bytes", delta.snapshot_bytes);
+  reg.SetCounter("delta_shipping.delta_bytes", delta.delta_bytes);
+  reg.SetFlag("delta_shipping.delta_smaller",
+              delta.delta_bytes < delta.snapshot_bytes);
+  return reg;
+}
+
 }  // namespace
 }  // namespace skute
 
 int main(int argc, char** argv) {
   using namespace skute;
-  const bench::Args args = bench::ParseArgs(argc, argv);
+  const bench::Args args =
+      bench::ParseArgs(argc, argv, /*supports_out=*/true,
+                       /*supports_metrics_json=*/true);
   bench::StartTraceIfRequested(args);
 
   const std::string tmp_root =
@@ -232,11 +419,13 @@ int main(int argc, char** argv) {
   std::printf("single-backend workload: %d puts/gets, %d deletes, "
               "then native recovery\n", kOps, kOps / 4);
 
-  std::vector<BackendConfig> configs(3);
+  std::vector<BackendConfig> configs(4);
   configs[0].kind = BackendKind::kMemory;
   configs[1].kind = BackendKind::kDurable;
   configs[2].kind = BackendKind::kFileSegment;
   configs[2].data_dir = tmp_root + "/single";
+  configs[3].kind = BackendKind::kMmap;
+  configs[3].data_dir = tmp_root + "/single_mmap";
 
   bench::PrintSection("ops/sec + recovery per backend");
   std::vector<BackendRun> runs;
@@ -252,14 +441,46 @@ int main(int argc, char** argv) {
   for (BackendConfig config : configs) {
     if (config.kind == BackendKind::kFileSegment) {
       config.data_dir = tmp_root + "/cluster";
+    } else if (config.kind == BackendKind::kMmap) {
+      config.data_dir = tmp_root + "/cluster_mmap";
     }
     transfers.push_back(RunTransferWorkload(config));
     const TransferRun& t = transfers.back();
-    std::printf("%-8s %9.0f transfers/s  streamed %llu B  intact %zu/%d\n",
+    std::printf("%-8s %9.0f transfers/s  streamed %llu B  "
+                "(%llu delta)  intact %zu/%d\n",
                 t.name.c_str(), t.transfers_sec,
                 static_cast<unsigned long long>(t.streamed_bytes),
+                static_cast<unsigned long long>(t.delta_transfers),
                 t.intact, kServers);
   }
+
+  bench::PrintSection("group-commit fsync rate (I/O offload pool)");
+  std::vector<GroupCommitRun> commits;
+  for (const BackendConfig& config : configs) {
+    if (config.kind == BackendKind::kMemory) continue;
+    BackendConfig c = config;
+    if (!c.data_dir.empty()) c.data_dir += "_gc";
+    commits.push_back(
+        RunGroupCommit(c, tmp_root + "/gc_" + BackendKindName(c.kind)));
+    const GroupCommitRun& g = commits.back();
+    std::printf("%-8s fsyncs %6llu solo -> %5llu grouped  "
+                "(%llu group commits absorbed %llu)\n",
+                g.name.c_str(),
+                static_cast<unsigned long long>(g.solo_fsyncs),
+                static_cast<unsigned long long>(g.grouped_fsyncs),
+                static_cast<unsigned long long>(g.group_commits),
+                static_cast<unsigned long long>(g.coalesced));
+  }
+
+  bench::PrintSection("delta vs snapshot replication (log shipping)");
+  const DeltaRun delta = RunDeltaWorkload();
+  std::printf(
+      "%d cold copies: %llu B   %d delta rounds x %d servers: %llu B "
+      "(%llu delta transfers)\n",
+      kServers, static_cast<unsigned long long>(delta.snapshot_bytes),
+      kDeltaRounds, kServers,
+      static_cast<unsigned long long>(delta.delta_bytes),
+      static_cast<unsigned long long>(delta.delta_transfers));
 
   bench::ShapeChecks checks;
   const size_t expected = static_cast<size_t>(kOps - kOps / 4);
@@ -281,6 +502,9 @@ int main(int argc, char** argv) {
                runs[2].io.log_bytes_written > 0 &&
                    runs[2].io.bytes_flushed >= runs[2].io.log_bytes_written,
                "append -> fflush per record");
+  checks.Check("mmap backend reads through the map",
+               runs[3].io.bytes_read > 0,
+               std::to_string(runs[3].io.bytes_read) + " bytes");
   for (const TransferRun& t : transfers) {
     checks.Check(t.name + ": transfers streamed real snapshot bytes",
                  t.streamed_bytes > 0,
@@ -289,6 +513,40 @@ int main(int argc, char** argv) {
                  t.intact == static_cast<size_t>(kServers),
                  std::to_string(t.intact) + "/" +
                      std::to_string(kServers));
+  }
+  for (const GroupCommitRun& g : commits) {
+    checks.Check(g.name + ": group commit reduces the fsync rate",
+                 g.grouped_fsyncs < g.solo_fsyncs && g.coalesced > 0,
+                 std::to_string(g.solo_fsyncs) + " -> " +
+                     std::to_string(g.grouped_fsyncs) + " (" +
+                     std::to_string(g.coalesced) + " absorbed)");
+  }
+  checks.Check("cold copies ship full snapshots",
+               delta.snapshot_transfers ==
+                   static_cast<uint64_t>(kServers) &&
+                   delta.snapshot_bytes > 0,
+               std::to_string(delta.snapshot_transfers) + " snapshots");
+  checks.Check("warm re-syncs ship incremental deltas",
+               delta.delta_transfers ==
+                   static_cast<uint64_t>(kDeltaRounds * kServers),
+               std::to_string(delta.delta_transfers) + " deltas");
+  checks.Check("deltas move fewer bytes than snapshots",
+               delta.delta_bytes > 0 &&
+                   delta.delta_bytes < delta.snapshot_bytes,
+               std::to_string(delta.delta_bytes) + " < " +
+                   std::to_string(delta.snapshot_bytes));
+
+  const obs::MetricsRegistry registry =
+      BuildBenchRegistry(runs, transfers, commits, delta);
+  const std::string json_path =
+      args.out.empty() ? "BENCH_storage.json" : args.out;
+  const bool json_ok = registry.WriteJson(json_path).ok();
+  std::printf("%s %s\n", json_ok ? "wrote" : "FAILED to write",
+              json_path.c_str());
+  if (!args.metrics_json.empty()) {
+    const bool extra_ok = registry.WriteJson(args.metrics_json).ok();
+    std::printf("%s %s\n", extra_ok ? "wrote" : "FAILED to write",
+                args.metrics_json.c_str());
   }
 
   bench::FinishTraceIfRequested(args);

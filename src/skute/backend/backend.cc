@@ -1,9 +1,49 @@
 #include "skute/backend/backend.h"
 
+#include <atomic>
+
+#include "skute/io/io_pool.h"
 #include "skute/obs/trace.h"
 #include "skute/storage/wal.h"
 
 namespace skute {
+
+namespace {
+
+/// Process-wide sync-token allocator. Allocation order is racy across
+/// threads, so tokens are nondeterministic values — the API contract
+/// (backend.h) is that only token *equality* may influence results.
+uint64_t NextSyncToken() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Shared replay loop behind ImportSnapshot and ImportDelta: applies the
+/// intact prefix, reports consumed bytes, kInternal on a damaged record.
+Status ReplayFrames(StorageBackend* backend, std::string_view bytes,
+                    uint64_t* consumed) {
+  WalReader reader(bytes);
+  for (;;) {
+    auto record = reader.Next();
+    if (!record.ok()) {
+      *consumed = reader.offset();
+      if (record.status().IsNotFound()) return Status::OK();  // clean end
+      return Status::Internal("corrupt stream: intact prefix applied");
+    }
+    switch (record->op) {
+      case WalOp::kPut:
+        SKUTE_RETURN_IF_ERROR(backend->Put(record->key, record->value));
+        break;
+      case WalOp::kDelete: {
+        const Status st = backend->Delete(record->key);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 const char* BackendKindName(BackendKind kind) {
   switch (kind) {
@@ -13,6 +53,8 @@ const char* BackendKindName(BackendKind kind) {
       return "durable";
     case BackendKind::kFileSegment:
       return "file";
+    case BackendKind::kMmap:
+      return "mmap";
   }
   return "unknown";
 }
@@ -23,7 +65,27 @@ Result<BackendKind> ParseBackendKind(std::string_view name) {
   if (name == "file" || name == "file-segment" || name == "segment") {
     return BackendKind::kFileSegment;
   }
+  if (name == "mmap") return BackendKind::kMmap;
   return Status::InvalidArgument("unknown backend: " + std::string(name));
+}
+
+StorageBackend::StorageBackend() : sync_token_(NextSyncToken()) {}
+
+StorageBackend::~StorageBackend() {
+  if (io_pool_ != nullptr) io_pool_->Forget(this);
+}
+
+void StorageBackend::AttachIoPool(IoPool* pool, uint64_t flush_watermark) {
+  if (io_pool_ != nullptr && io_pool_ != pool) io_pool_->Forget(this);
+  io_pool_ = pool;
+  flush_watermark_ = flush_watermark;
+}
+
+bool StorageBackend::MaybeSubmitFlush() {
+  if (io_pool_ == nullptr) return false;
+  if (UnflushedBytes() < flush_watermark_) return false;
+  io_pool_->SubmitFlush(this);
+  return true;
 }
 
 std::string StorageBackend::ExportSnapshot() const {
@@ -41,25 +103,28 @@ std::string StorageBackend::ExportSnapshot() const {
 
 Status StorageBackend::ImportSnapshot(std::string_view bytes) {
   obs::TraceSpan span("io", "snapshot.import", bytes.size());
-  WalReader reader(bytes);
-  for (;;) {
-    auto record = reader.Next();
-    if (!record.ok()) {
-      io_.snapshot_bytes_in += reader.offset();
-      if (record.status().IsNotFound()) return Status::OK();  // clean end
-      return Status::Internal("corrupt snapshot: intact prefix applied");
-    }
-    switch (record->op) {
-      case WalOp::kPut:
-        SKUTE_RETURN_IF_ERROR(Put(record->key, record->value));
-        break;
-      case WalOp::kDelete: {
-        const Status st = Delete(record->key);
-        if (!st.ok() && !st.IsNotFound()) return st;
-        break;
-      }
-    }
+  uint64_t consumed = 0;
+  const Status st = ReplayFrames(this, bytes, &consumed);
+  io_.snapshot_bytes_in += consumed;
+  if (st.IsInternal()) {
+    return Status::Internal("corrupt snapshot: intact prefix applied");
   }
+  return st;
+}
+
+Result<std::string> StorageBackend::ExportDelta(uint64_t) const {
+  return Status::Unavailable("backend does not support delta export");
+}
+
+Status StorageBackend::ImportDelta(std::string_view bytes) {
+  obs::TraceSpan span("io", "delta.import", bytes.size());
+  uint64_t consumed = 0;
+  const Status st = ReplayFrames(this, bytes, &consumed);
+  io_.delta_bytes_in += consumed;
+  if (st.IsInternal()) {
+    return Status::Internal("corrupt delta: intact prefix applied");
+  }
+  return st;
 }
 
 }  // namespace skute

@@ -12,6 +12,8 @@
 
 namespace skute {
 
+class IoPool;
+
 /// \brief The storage engine behind one partition replica.
 ///
 /// ReplicaStore holds one backend per hosted partition; the factory picks
@@ -31,7 +33,8 @@ namespace skute {
 ///    simply leave the log/flush/fsync counters at zero.
 class StorageBackend {
  public:
-  virtual ~StorageBackend() = default;
+  StorageBackend();
+  virtual ~StorageBackend();
 
   virtual BackendKind kind() const = 0;
 
@@ -64,11 +67,90 @@ class StorageBackend {
   /// The backend stays usable (empty) afterwards.
   virtual Status Wipe() = 0;
 
+  /// Compacts the backend's shippable log / on-disk history once the live
+  /// state is safely persisted (WAL backends truncate their log; others
+  /// no-op). The durability stage calls this every checkpoint_interval
+  /// epochs.
+  virtual void Checkpoint() {}
+
+  // --- async durability plane ----------------------------------------------
+
+  /// Bytes written since the last flush/fsync — what the durability stage
+  /// sweeps into the IoPool at epoch end. Volatile backends report 0.
+  virtual uint64_t UnflushedBytes() const { return 0; }
+
+  /// Attaches the I/O offload pool. A backend with a pool stops fsyncing
+  /// inline past `flush_watermark` unflushed bytes and submits to the
+  /// pool instead (coalescing into group commits at the next drain).
+  /// Detached automatically on destruction.
+  void AttachIoPool(IoPool* pool, uint64_t flush_watermark);
+
+  /// Called by the IoPool when a drain covered this backend's pending
+  /// flush requests with one fsync: `coalesced` is how many requests were
+  /// absorbed beyond the first.
+  void NoteGroupCommit(uint64_t coalesced) {
+    ++io_.group_commits;
+    io_.coalesced_fsyncs += coalesced;
+  }
+
+  // --- incremental replication (delta shipping) ----------------------------
+
+  /// Where a replica's bytes last came from: the source backend's sync
+  /// token plus the source's delta sequence at import time. ReplicaStore
+  /// records this after a successful transfer, so the next CopyFrom from
+  /// the same source can ship only the records since `source_seq`.
+  struct SyncOrigin {
+    uint64_t source_token = 0;  ///< 0 = never synced / origin unknown
+    uint64_t source_seq = 0;
+  };
+
+  /// Process-unique identity of this backend instance (never 0). Token
+  /// values are allocation-ordered and therefore nondeterministic across
+  /// runs — they must never be exported into results; only *equality*
+  /// is meaningful, and equality outcomes are deterministic.
+  uint64_t sync_token() const { return sync_token_; }
+
+  const SyncOrigin& sync_origin() const { return sync_origin_; }
+  void set_sync_origin(const SyncOrigin& origin) { sync_origin_ = origin; }
+
+  /// True when this backend can produce incremental deltas (a durable log
+  /// with monotonic sequences). Pairs that both support it replicate via
+  /// ExportDelta instead of full snapshots.
+  virtual bool SupportsDeltaExport() const { return false; }
+
+  /// Monotonic high-water mark of this backend's mutation log. Survives
+  /// checkpoints (checkpointing truncates the log, not the numbering).
+  virtual uint64_t DeltaSequence() const { return 0; }
+
+  /// WAL-framed records with sequence > `since`. Unavailable when the
+  /// log no longer reaches back to `since` (checkpoint truncated it) or
+  /// `since` is ahead of this backend — callers fall back to a full
+  /// snapshot. Counted in delta_bytes_out.
+  virtual Result<std::string> ExportDelta(uint64_t since) const;
+
+  /// Replays a delta over the current state (same framing and damage
+  /// contract as ImportSnapshot; counted in delta_bytes_in). Deltas are
+  /// idempotent: puts upsert, deletes of missing keys are tolerated.
+  virtual Status ImportDelta(std::string_view bytes);
+
   const IoStats& io() const { return io_; }
 
  protected:
+  /// True when the watermark says it's time to hand the accumulated
+  /// unflushed bytes to the pool; implementations call this after
+  /// metering a write and skip their inline fsync when it returns true.
+  bool MaybeSubmitFlush();
+
+  IoPool* io_pool() const { return io_pool_; }
+
   /// Reads (Get/Scan) are const but still metered.
   mutable IoStats io_;
+
+ private:
+  IoPool* io_pool_ = nullptr;
+  uint64_t flush_watermark_ = 0;
+  uint64_t sync_token_ = 0;
+  SyncOrigin sync_origin_;
 };
 
 }  // namespace skute

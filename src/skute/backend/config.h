@@ -14,13 +14,14 @@ enum class BackendKind : uint8_t {
   kMemory = 0,       ///< skiplist memtable only (the seed behaviour)
   kDurable = 1,      ///< WAL-then-apply over the memtable (in-memory log)
   kFileSegment = 2,  ///< append-only segment files on the real filesystem
+  kMmap = 3,         ///< file segments with an mmap'd read path
 };
 
-/// "memory" / "durable" / "file".
+/// "memory" / "durable" / "file" / "mmap".
 const char* BackendKindName(BackendKind kind);
 
 /// Parses a backend name as accepted by the benches' --backend flag
-/// ("memory", "durable", "file" or "file-segment").
+/// ("memory", "durable", "file" or "file-segment", "mmap").
 Result<BackendKind> ParseBackendKind(std::string_view name);
 
 /// \brief Per-server storage-backend selection, threaded through
@@ -29,17 +30,24 @@ Result<BackendKind> ParseBackendKind(std::string_view name);
 struct BackendConfig {
   BackendKind kind = BackendKind::kMemory;
 
-  /// Root directory for kFileSegment state (required for that kind;
-  /// ignored otherwise). The factory nests `s<server>/p<partition>/`
+  /// Root directory for kFileSegment/kMmap state (required for those
+  /// kinds; ignored otherwise). The factory nests `s<server>/p<partition>/`
   /// underneath it.
   std::string data_dir;
 
-  /// kFileSegment: the active segment rotates once it grows past this.
+  /// kFileSegment/kMmap: the active segment rotates once it grows past
+  /// this.
   uint64_t segment_bytes = 4 * 1024 * 1024;
 
-  /// kFileSegment: fsync after every append (durability over throughput).
-  /// When false, appends are flushed to the OS but only Flush() syncs.
+  /// kFileSegment/kMmap: fsync after every append (durability over
+  /// throughput). When false, appends are flushed to the OS but only
+  /// Flush() syncs.
   bool fsync_every_append = false;
+
+  /// kFileSegment/kMmap: segment compaction triggers on rotation once
+  /// dead bytes exceed this fraction of on-disk bytes (0 disables; needs
+  /// an attached IoPool — compaction runs as a background drain job).
+  double compact_dead_ratio = 0.0;
 };
 
 }  // namespace skute

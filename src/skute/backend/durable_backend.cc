@@ -10,7 +10,9 @@ Status DurableBackend::Put(std::string_view key, std::string_view value) {
   const size_t record = EncodedWalRecordSize(key, value);
   io_.log_bytes_written += record;
   unflushed_ += record;
-  return store_.Put(key, value);
+  const Status st = store_.Put(key, value);
+  MaybeSubmitFlush();
+  return st;
 }
 
 Status DurableBackend::Delete(std::string_view key) {
@@ -21,7 +23,9 @@ Status DurableBackend::Delete(std::string_view key) {
   const size_t record = EncodedWalRecordSize(key, {});
   io_.log_bytes_written += record;
   unflushed_ += record;
-  return store_.Delete(key);
+  const Status st = store_.Delete(key);
+  MaybeSubmitFlush();
+  return st;
 }
 
 std::string DurableBackend::ExportSnapshot() const {
@@ -51,6 +55,9 @@ Status DurableBackend::Wipe() {
   store_ = DurableKvStore();
   unflushed_ = 0;
   checkpointed_ = false;
+  base_seq_ = 0;
+  delta_disabled_ = false;
+  set_sync_origin(SyncOrigin{});
   return Status::OK();
 }
 
@@ -59,13 +66,60 @@ Result<size_t> DurableBackend::Recover(std::string_view log_bytes) {
   // Recovered records are applied to the memtable without re-logging, so
   // from here on the local log no longer covers the whole history.
   checkpointed_ = true;
-  return store_.Recover(log_bytes);
+  if (store_.last_sequence() != 0) {
+    // Interleaving unlogged records into a live log breaks the
+    // local→global sequence mapping deltas rely on.
+    delta_disabled_ = true;
+  }
+  Result<size_t> applied = store_.Recover(log_bytes);
+  if (applied.ok()) base_seq_ += *applied;
+  return applied;
 }
 
 void DurableBackend::Checkpoint() {
+  obs::TraceSpan span("io", "wal.checkpoint", store_.log().size());
+  base_seq_ += store_.last_sequence();
   store_.Checkpoint();
   unflushed_ = 0;
   checkpointed_ = true;
+}
+
+bool DurableBackend::SupportsDeltaExport() const {
+  return !delta_disabled_;
+}
+
+Result<std::string> DurableBackend::ExportDelta(uint64_t since) const {
+  if (delta_disabled_) {
+    return Status::Unavailable("sequence history broken by recover");
+  }
+  const uint64_t seq = DeltaSequence();
+  if (since > seq) {
+    return Status::Unavailable("destination is ahead of this source");
+  }
+  if (since < base_seq_) {
+    return Status::Unavailable("checkpoint truncated the requested range");
+  }
+  if (since == seq) return std::string();  // nothing to ship
+  // Records are framed and ordered in the log; find the byte offset of
+  // the first record past `since` and ship the suffix verbatim.
+  const uint64_t local_since = since - base_seq_;
+  WalReader reader(store_.log());
+  size_t start = 0;
+  for (;;) {
+    const size_t before = reader.offset();
+    auto record = reader.Next();
+    if (!record.ok()) {
+      return Status::Internal("log damaged while slicing delta");
+    }
+    if (record->sequence > local_since) {
+      start = before;
+      break;
+    }
+  }
+  std::string out = store_.log().substr(start);
+  io_.delta_bytes_out += out.size();
+  obs::TraceSpan span("io", "delta.export", out.size());
+  return out;
 }
 
 }  // namespace skute

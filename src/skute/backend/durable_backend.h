@@ -55,6 +55,26 @@ class DurableBackend : public StorageBackend {
 
   Status Wipe() override;
 
+  uint64_t UnflushedBytes() const override { return unflushed_; }
+
+  // --- incremental log shipping --------------------------------------------
+
+  /// The WAL gives this backend a real mutation log, so replication can
+  /// ship only the records a destination is missing.
+  bool SupportsDeltaExport() const override;
+
+  /// Global (checkpoint-surviving) sequence: WalWriter numbering restarts
+  /// at every Checkpoint, so the backend carries the cumulative base.
+  uint64_t DeltaSequence() const override {
+    return base_seq_ + store_.last_sequence();
+  }
+
+  /// The log suffix with global sequence > `since`, verbatim (the records
+  /// are already WAL-framed and in order). Unavailable when `since`
+  /// predates the last checkpoint (the log no longer reaches back) or is
+  /// ahead of this backend.
+  Result<std::string> ExportDelta(uint64_t since) const override;
+
   // --- Durability-specific surface (bench + recovery tests) ---------------
 
   /// The serialized log since the last Checkpoint.
@@ -66,7 +86,10 @@ class DurableBackend : public StorageBackend {
   Result<size_t> Recover(std::string_view log_bytes);
 
   /// Drops the log (after the memtable has been persisted elsewhere).
-  void Checkpoint();
+  void Checkpoint() override;
+
+  /// Global sequence at the last Checkpoint — deltas reach back to here.
+  uint64_t checkpoint_sequence() const { return base_seq_; }
 
  private:
   DurableKvStore store_;
@@ -75,6 +98,12 @@ class DurableBackend : public StorageBackend {
   /// Set once Checkpoint()/Recover() ran: the log no longer covers the
   /// whole history.
   bool checkpointed_ = false;
+  /// Global sequence of local WAL sequence 0 (advanced by Checkpoint and
+  /// Recover so DeltaSequence never moves backwards).
+  uint64_t base_seq_ = 0;
+  /// Recover over a non-empty log breaks the local→global sequence
+  /// mapping; delta export shuts off until Wipe resets the history.
+  bool delta_disabled_ = false;
 };
 
 }  // namespace skute

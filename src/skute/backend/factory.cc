@@ -5,18 +5,20 @@
 #include "skute/backend/durable_backend.h"
 #include "skute/backend/file_segment_backend.h"
 #include "skute/backend/memory_backend.h"
+#include "skute/backend/mmap_segment_backend.h"
 
 namespace skute {
 
 Result<std::unique_ptr<StorageBackend>> BackendFactory::Create(
     uint64_t partition_id) const {
+  std::unique_ptr<StorageBackend> backend;
   switch (config_.kind) {
     case BackendKind::kMemory:
-      return std::unique_ptr<StorageBackend>(
-          std::make_unique<MemoryBackend>(partition_id));
+      backend = std::make_unique<MemoryBackend>(partition_id);
+      break;
     case BackendKind::kDurable:
-      return std::unique_ptr<StorageBackend>(
-          std::make_unique<DurableBackend>(partition_id));
+      backend = std::make_unique<DurableBackend>(partition_id);
+      break;
     case BackendKind::kFileSegment: {
       if (config_.data_dir.empty()) {
         return Status::InvalidArgument(
@@ -25,24 +27,47 @@ Result<std::unique_ptr<StorageBackend>> BackendFactory::Create(
       const std::string dir =
           config_.data_dir + "/p" + std::to_string(partition_id);
       SKUTE_ASSIGN_OR_RETURN(
-          std::unique_ptr<FileSegmentBackend> backend,
+          std::unique_ptr<FileSegmentBackend> file_backend,
           FileSegmentBackend::Open(dir, config_.segment_bytes,
                                    config_.fsync_every_append));
-      return std::unique_ptr<StorageBackend>(std::move(backend));
+      file_backend->ConfigureCompaction(config_.compact_dead_ratio);
+      backend = std::move(file_backend);
+      break;
+    }
+    case BackendKind::kMmap: {
+      if (config_.data_dir.empty()) {
+        return Status::InvalidArgument("mmap backend needs a data_dir");
+      }
+      const std::string dir =
+          config_.data_dir + "/p" + std::to_string(partition_id);
+      SKUTE_ASSIGN_OR_RETURN(
+          std::unique_ptr<MmapSegmentBackend> mmap_backend,
+          MmapSegmentBackend::Open(dir, config_.segment_bytes,
+                                   config_.fsync_every_append));
+      mmap_backend->ConfigureCompaction(config_.compact_dead_ratio);
+      backend = std::move(mmap_backend);
+      break;
     }
   }
-  return Status::InvalidArgument("unknown backend kind");
+  if (backend == nullptr) {
+    return Status::InvalidArgument("unknown backend kind");
+  }
+  if (io_pool_ != nullptr) {
+    backend->AttachIoPool(io_pool_, flush_watermark_);
+  }
+  return backend;
 }
 
 BackendFactory BackendFactory::ForServer(uint32_t server_id) const {
-  BackendConfig scoped = config_;
+  BackendFactory scoped(*this);
   // A forgotten data_dir stays empty (rejected by Create) rather than
   // becoming the absolute path "/s<id>" at the filesystem root.
-  if (scoped.kind == BackendKind::kFileSegment &&
-      !scoped.data_dir.empty()) {
-    scoped.data_dir += "/s" + std::to_string(server_id);
+  if ((scoped.config_.kind == BackendKind::kFileSegment ||
+       scoped.config_.kind == BackendKind::kMmap) &&
+      !scoped.config_.data_dir.empty()) {
+    scoped.config_.data_dir += "/s" + std::to_string(server_id);
   }
-  return BackendFactory(std::move(scoped));
+  return scoped;
 }
 
 }  // namespace skute

@@ -31,10 +31,23 @@ class BackendFactory {
   /// one subtree per server, so per-server ReplicaStores never collide.
   BackendFactory ForServer(uint32_t server_id) const;
 
+  /// Every backend this factory creates gets the I/O offload pool
+  /// attached with this flush watermark (0 = submit on every write once
+  /// attached). Copies (ForServer) inherit the attachment, so one call
+  /// on the cluster-wide factory covers the fleet.
+  void AttachIoPool(IoPool* pool, uint64_t flush_watermark) {
+    io_pool_ = pool;
+    flush_watermark_ = flush_watermark;
+  }
+
+  IoPool* io_pool() const { return io_pool_; }
+
   const BackendConfig& config() const { return config_; }
 
  private:
   BackendConfig config_;
+  IoPool* io_pool_ = nullptr;
+  uint64_t flush_watermark_ = 0;
 };
 
 }  // namespace skute

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <vector>
 
+#include "skute/io/io_pool.h"
 #include "skute/obs/trace.h"
 #include "skute/storage/wal.h"
 
@@ -121,6 +122,7 @@ Status FileSegmentBackend::Recover() {
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
     io_.bytes_read += bytes.size();
+    disk_bytes_ += bytes.size();
     last_segment_size = bytes.size();
     WalReader reader(bytes);
     for (;;) {
@@ -222,17 +224,45 @@ Status FileSegmentBackend::AppendRecord(WalOpByte op_tag,
   io_.log_bytes_written += record.size();
   io_.bytes_flushed += record.size();
   unsynced_ += record.size();
+  disk_bytes_ += record.size();
   if (fsync_every_append_) {
     ::fsync(fileno(active_));
     ++io_.fsyncs;
     unsynced_ = 0;
+  } else {
+    MaybeSubmitFlush();
   }
 
   active_size_ += record.size();
   if (active_size_ >= segment_bytes_) {
     SKUTE_RETURN_IF_ERROR(OpenActive(active_id_ + 1, 0));
+    MaybeScheduleCompaction();
   }
   return Status::OK();
+}
+
+uint64_t FileSegmentBackend::LiveFrameBytes() const {
+  // entry_bytes is key+value; every live record would additionally carry
+  // one frame of WAL overhead after a perfect rewrite.
+  return live_bytes_ +
+         static_cast<uint64_t>(index_.size()) * EncodedWalRecordSize({}, {});
+}
+
+void FileSegmentBackend::MaybeScheduleCompaction() {
+  if (compact_dead_ratio_ <= 0.0 || io_pool() == nullptr) return;
+  if (compaction_scheduled_) return;
+  if (disk_bytes_ == 0) return;
+  const uint64_t live = LiveFrameBytes();
+  const uint64_t dead = disk_bytes_ > live ? disk_bytes_ - live : 0;
+  if (static_cast<double>(dead) <
+      compact_dead_ratio_ * static_cast<double>(disk_bytes_)) {
+    return;
+  }
+  compaction_scheduled_ = true;
+  io_pool()->Submit(this, [this] {
+    compaction_scheduled_ = false;
+    (void)Compact();
+  });
 }
 
 Status FileSegmentBackend::Put(std::string_view key, std::string_view value) {
@@ -330,14 +360,147 @@ Status FileSegmentBackend::Flush() {
   return Status::OK();
 }
 
+Status FileSegmentBackend::Compact() {
+  obs::TraceSpan span("io", "segment.compact", disk_bytes_);
+  std::vector<uint32_t> old_ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    uint32_t id = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &id)) {
+      old_ids.push_back(id);
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list backend dir " + dir_ + ": " +
+                            ec.message());
+  }
+  if (old_ids.empty()) return Status::OK();
+  std::sort(old_ids.begin(), old_ids.end());
+
+  // The active segment is among the rewritten ones; close its handle.
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+
+  // Phase 1: rewrite the live set (key order) into fresh segments with
+  // ids above every existing one, fsyncing each before moving on. Until
+  // phase 2 deletes anything, a crash leaves replay correct: the new
+  // segments hold only live puts with the highest ids, so replaying them
+  // after the full old history reproduces the same state.
+  const uint32_t new_base = old_ids.back() + 1;
+  uint32_t out_id = new_base;
+  uint64_t out_size = 0;
+  uint64_t written = 0;
+  std::FILE* out = nullptr;
+  std::map<std::string, ValueLoc, std::less<>> new_index;
+  Status failure = Status::OK();
+  const auto close_out = [&] {
+    if (out == nullptr) return;
+    std::fflush(out);
+    ::fsync(fileno(out));
+    ++io_.fsyncs;
+    std::fclose(out);
+    out = nullptr;
+  };
+  for (const auto& [key, loc] : index_) {
+    auto value = ReadValue(loc);
+    if (!value.ok()) {
+      failure = value.status();
+      break;
+    }
+    if (out == nullptr) {
+      out = std::fopen(SegmentPath(out_id).c_str(), "wb");
+      if (out == nullptr) {
+        failure = Status::Internal("cannot open compaction segment " +
+                                   SegmentPath(out_id));
+        break;
+      }
+      out_size = 0;
+    }
+    std::string record;
+    EncodeWalRecord(&record, WalOp::kPut, ++sequence_, key, *value);
+    ValueLoc new_loc;
+    new_loc.segment = out_id;
+    new_loc.offset = out_size + WalRecordValueOffset(key);
+    new_loc.length = static_cast<uint32_t>(value->size());
+    new_loc.entry_bytes =
+        static_cast<uint32_t>(key.size() + value->size());
+    if (std::fwrite(record.data(), 1, record.size(), out) != record.size()) {
+      failure = Status::Internal("short write during compaction");
+      break;
+    }
+    out_size += record.size();
+    written += record.size();
+    new_index.emplace(key, new_loc);
+    if (out_size >= segment_bytes_) {
+      close_out();
+      ++out_id;
+    }
+  }
+  close_out();
+  if (!failure.ok()) {
+    // Abort: the old segments are untouched and remain the truth. Remove
+    // whatever partial rewrite landed (safe either way — partial new
+    // segments replay to a subset of the live set *after* the history
+    // they came from) and resume appends above everything.
+    for (uint32_t id = new_base; id <= out_id; ++id) {
+      fs::remove(SegmentPath(id), ec);
+    }
+    (void)OpenActive(out_id + 1, 0);
+    return failure;
+  }
+
+  if (crash_point_ == CompactCrashPoint::kAfterRewrite) {
+    // Injected kill: rewrite durable, nothing deleted. The in-memory
+    // object is dead; tests reopen the directory.
+    crash_point_ = CompactCrashPoint::kNone;
+    return Status::Internal("injected crash: after rewrite");
+  }
+
+  // Phase 2: delete old segments in ASCENDING id order. If we die midway,
+  // a put record can never survive a later delete record that covered it
+  // (the put's segment is always removed first), so replaying the
+  // remaining segments stays correct in every crash window.
+  bool first_deleted = false;
+  for (const uint32_t id : old_ids) {
+    fs::remove(SegmentPath(id), ec);
+    if (!first_deleted &&
+        crash_point_ == CompactCrashPoint::kMidDelete) {
+      crash_point_ = CompactCrashPoint::kNone;
+      return Status::Internal("injected crash: mid delete");
+    }
+    first_deleted = true;
+  }
+
+  DropReadCache();
+  index_ = std::move(new_index);
+  disk_bytes_ = written;
+  io_.bytes_flushed += written;
+  io_.compaction_bytes += written;
+  ++io_.compactions;
+  unsynced_ = 0;  // every new segment was fsynced as it closed
+  // Fresh active segment above the compacted ids. out_id is the id after
+  // the last *closed* rewrite segment (or new_base when nothing was
+  // written); either way it is unused.
+  return OpenActive(out_size > 0 && out_size < segment_bytes_ ? out_id + 1
+                                                              : out_id,
+                    0);
+}
+
+void FileSegmentBackend::DropReadCache() const {
+  reader_.close();
+  reader_.clear();
+  reader_valid_ = false;
+}
+
 Status FileSegmentBackend::Wipe() {
   if (active_ != nullptr) {
     std::fclose(active_);
     active_ = nullptr;
   }
-  reader_.close();
-  reader_.clear();
-  reader_valid_ = false;  // its file is about to be deleted
+  DropReadCache();  // the files are about to be deleted
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     uint32_t id = 0;
@@ -350,6 +513,9 @@ Status FileSegmentBackend::Wipe() {
   sequence_ = 0;
   records_recovered_ = 0;
   corrupt_tail_ = false;
+  disk_bytes_ = 0;
+  compaction_scheduled_ = false;
+  set_sync_origin(SyncOrigin{});
   return OpenActive(0, 0);
 }
 

@@ -54,6 +54,39 @@ class FileSegmentBackend : public StorageBackend {
   /// Deletes every segment file; the backend stays usable (empty).
   Status Wipe() override;
 
+  uint64_t UnflushedBytes() const override { return unsynced_; }
+
+  // --- Compaction ----------------------------------------------------------
+
+  /// Rewrites the live set into fresh segments above every existing id,
+  /// fsyncs them, then deletes the old segments in ascending id order.
+  /// Crash-safe without a manifest: replaying whatever segments remain
+  /// after a crash anywhere in that sequence reproduces the live set
+  /// (ascending deletion means a put record can never outlive the later
+  /// delete that covered it). New appends land in a fresh active segment
+  /// above the compacted ids.
+  Status Compact();
+
+  /// Enables rotation-triggered compaction: once the active segment
+  /// rotates and dead bytes exceed `dead_ratio` of on-disk bytes, a
+  /// compaction job is queued on the attached IoPool (no pool, no
+  /// trigger — Compact() stays available directly).
+  void ConfigureCompaction(double dead_ratio) { compact_dead_ratio_ = dead_ratio; }
+
+  /// Total bytes of segment files on disk (live + dead records).
+  uint64_t DiskBytes() const { return disk_bytes_; }
+
+  /// Crash-injection seam for the recovery tests: Compact() aborts at the
+  /// given point, leaving the on-disk state exactly as a kill there would.
+  enum class CompactCrashPoint {
+    kNone,
+    kAfterRewrite,   ///< new segments written+fsynced, nothing deleted
+    kMidDelete,      ///< one old segment deleted, the rest still present
+  };
+  void InjectCompactionCrashForTest(CompactCrashPoint point) {
+    crash_point_ = point;
+  }
+
   // --- Recovery / layout introspection ------------------------------------
 
   const std::string& dir() const { return dir_; }
@@ -66,7 +99,7 @@ class FileSegmentBackend : public StorageBackend {
   /// On-disk path of segment `id` (for tests that damage files).
   std::string SegmentPath(uint32_t id) const;
 
- private:
+ protected:
   struct ValueLoc {
     uint32_t segment = 0;
     uint64_t offset = 0;  // of the value bytes within the segment
@@ -74,24 +107,37 @@ class FileSegmentBackend : public StorageBackend {
     uint32_t entry_bytes = 0;  // key+value size, for live_bytes_ accounting
   };
 
+  FileSegmentBackend(std::string dir, uint64_t segment_bytes, bool fsync);
+
+  /// Reads `loc` back from disk (through the cached read handle). The
+  /// mmap backend overrides this with a mapped read.
+  virtual Result<std::string> ReadValue(const ValueLoc& loc) const;
+
+  /// Invalidates cached read state (handles, mappings) — called whenever
+  /// segment files are deleted out from under readers (Wipe, Compact).
+  virtual void DropReadCache() const;
+
+  /// Replays all segments in `dir_`; called by Open().
+  Status Recover();
+
+ private:
   // WalOp is uint8_t-backed; a local alias avoids including wal.h here
   // (the implementation includes it).
   using WalOpByte = uint8_t;
 
-  FileSegmentBackend(std::string dir, uint64_t segment_bytes, bool fsync);
-
-  /// Replays all segments in `dir_`; called by Open().
-  Status Recover();
   /// Opens (appending) the active segment write handle.
   Status OpenActive(uint32_t id, uint64_t size);
   /// Appends one framed record and maintains rotation/IoStats.
   Status AppendRecord(WalOpByte op_tag, std::string_view key,
                       std::string_view value, ValueLoc* loc);
-  /// Reads `loc` back from disk (through the cached read handle).
-  Result<std::string> ReadValue(const ValueLoc& loc) const;
   /// An open read handle for `segment`; one handle is cached so scans
   /// and snapshot exports don't pay an open/close per value.
   std::ifstream* ReaderFor(uint32_t segment) const;
+  /// Rotation hook: queue a compaction job when the dead ratio crossed
+  /// the configured threshold and an IoPool is attached.
+  void MaybeScheduleCompaction();
+  /// Framed bytes the live set would occupy after a perfect rewrite.
+  uint64_t LiveFrameBytes() const;
 
   std::string dir_;
   uint64_t segment_bytes_;
@@ -105,6 +151,11 @@ class FileSegmentBackend : public StorageBackend {
   uint32_t active_id_ = 0;
   uint64_t active_size_ = 0;
   uint64_t unsynced_ = 0;
+  uint64_t disk_bytes_ = 0;
+
+  double compact_dead_ratio_ = 0.0;
+  bool compaction_scheduled_ = false;
+  CompactCrashPoint crash_point_ = CompactCrashPoint::kNone;
 
   mutable std::ifstream reader_;
   mutable uint32_t reader_segment_ = 0;

@@ -32,6 +32,24 @@ struct IoStats {
   uint64_t snapshot_bytes_out = 0;
   uint64_t snapshot_bytes_in = 0;
 
+  /// Incremental log-shipping volume: bytes moved by ExportDelta instead
+  /// of a full snapshot (the replication traffic delta shipping saves is
+  /// snapshot_bytes vs delta_bytes).
+  uint64_t delta_bytes_out = 0;
+  uint64_t delta_bytes_in = 0;
+
+  /// Group commit: a drain that covered >= 1 pending flush request with a
+  /// single fsync counts one group_commit; the requests it absorbed beyond
+  /// the first are coalesced_fsyncs (fsyncs the inline path would have
+  /// issued but the IoPool did not).
+  uint64_t group_commits = 0;
+  uint64_t coalesced_fsyncs = 0;
+
+  /// Live bytes rewritten by background segment compaction — the
+  /// maintenance I/O the economy can price against transfer cost.
+  uint64_t compaction_bytes = 0;
+  uint64_t compactions = 0;
+
   uint64_t ops() const { return puts + gets + deletes + scans; }
 
   void Accumulate(const IoStats& other) {
@@ -45,6 +63,12 @@ struct IoStats {
     fsyncs += other.fsyncs;
     snapshot_bytes_out += other.snapshot_bytes_out;
     snapshot_bytes_in += other.snapshot_bytes_in;
+    delta_bytes_out += other.delta_bytes_out;
+    delta_bytes_in += other.delta_bytes_in;
+    group_commits += other.group_commits;
+    coalesced_fsyncs += other.coalesced_fsyncs;
+    compaction_bytes += other.compaction_bytes;
+    compactions += other.compactions;
   }
 
   void Clear() { *this = IoStats{}; }

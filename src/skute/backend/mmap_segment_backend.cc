@@ -1,0 +1,87 @@
+#include "skute/backend/mmap_segment_backend.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <utility>
+
+namespace skute {
+
+namespace fs = std::filesystem;
+
+MmapSegmentBackend::MmapSegmentBackend(std::string dir,
+                                       uint64_t segment_bytes, bool fsync)
+    : FileSegmentBackend(std::move(dir), segment_bytes, fsync) {}
+
+MmapSegmentBackend::~MmapSegmentBackend() {
+  MmapSegmentBackend::DropReadCache();
+}
+
+Result<std::unique_ptr<MmapSegmentBackend>> MmapSegmentBackend::Open(
+    std::string dir, uint64_t segment_bytes, bool fsync_every_append) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("mmap backend needs a data dir");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create backend dir " + dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<MmapSegmentBackend> backend(new MmapSegmentBackend(
+      std::move(dir), segment_bytes, fsync_every_append));
+  SKUTE_RETURN_IF_ERROR(backend->Recover());
+  return backend;
+}
+
+const MmapSegmentBackend::Mapping* MmapSegmentBackend::MapFor(
+    uint32_t segment, uint64_t end) const {
+  auto it = maps_.find(segment);
+  if (it != maps_.end()) {
+    if (it->second.size >= end) return &it->second;
+    // The active segment grew past the mapping; drop and remap.
+    ::munmap(it->second.data, it->second.size);
+    maps_.erase(it);
+  }
+  const int fd = ::open(SegmentPath(segment).c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0 ||
+      static_cast<uint64_t>(st.st_size) < end) {
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) return nullptr;
+  Mapping& mapping = maps_[segment];
+  mapping.data = static_cast<char*>(data);
+  mapping.size = size;
+  return &mapping;
+}
+
+Result<std::string> MmapSegmentBackend::ReadValue(const ValueLoc& loc) const {
+  if (loc.length == 0) return std::string();
+  const Mapping* mapping = MapFor(loc.segment, loc.offset + loc.length);
+  if (mapping == nullptr) {
+    // Unmappable (racing rotation, empty file): the stream path still
+    // satisfies the read.
+    return FileSegmentBackend::ReadValue(loc);
+  }
+  io_.bytes_read += loc.length;
+  return std::string(mapping->data + loc.offset, loc.length);
+}
+
+void MmapSegmentBackend::DropReadCache() const {
+  for (auto& [segment, mapping] : maps_) {
+    ::munmap(mapping.data, mapping.size);
+  }
+  maps_.clear();
+  FileSegmentBackend::DropReadCache();
+}
+
+}  // namespace skute

@@ -1,0 +1,57 @@
+#ifndef SKUTE_BACKEND_MMAP_SEGMENT_BACKEND_H_
+#define SKUTE_BACKEND_MMAP_SEGMENT_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "skute/backend/file_segment_backend.h"
+
+namespace skute {
+
+/// \brief FileSegmentBackend with an mmap read path: the write side is
+/// identical (appends, rotation, recovery, compaction all inherited),
+/// but Get/Scan read value bytes out of per-segment read-only mappings
+/// instead of seek+read through a stream handle.
+///
+/// The active segment grows underneath its mapping (appends fflush
+/// before the index learns the new offsets), so a lookup past the mapped
+/// size remaps the segment at its current length. Mappings are dropped
+/// whenever segment files are deleted (Wipe, compaction) and on
+/// destruction. Reads fall back to the stream path when a mapping cannot
+/// be established (e.g. an empty file cannot be mapped).
+class MmapSegmentBackend : public FileSegmentBackend {
+ public:
+  /// Creates `dir` (recursively) if needed and replays existing segments.
+  static Result<std::unique_ptr<MmapSegmentBackend>> Open(
+      std::string dir, uint64_t segment_bytes = 4 * 1024 * 1024,
+      bool fsync_every_append = false);
+
+  ~MmapSegmentBackend() override;
+
+  BackendKind kind() const override { return BackendKind::kMmap; }
+
+ protected:
+  MmapSegmentBackend(std::string dir, uint64_t segment_bytes, bool fsync);
+
+  Result<std::string> ReadValue(const ValueLoc& loc) const override;
+  void DropReadCache() const override;
+
+ private:
+  struct Mapping {
+    char* data = nullptr;
+    size_t size = 0;
+  };
+
+  /// A mapping of `segment` covering at least [0, end); remaps when the
+  /// segment grew past the cached size. nullptr when the file cannot be
+  /// mapped (missing, shorter than `end`, or empty).
+  const Mapping* MapFor(uint32_t segment, uint64_t end) const;
+
+  mutable std::unordered_map<uint32_t, Mapping> maps_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_BACKEND_MMAP_SEGMENT_BACKEND_H_

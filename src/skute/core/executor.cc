@@ -20,34 +20,35 @@ void ExecutorStats::Accumulate(const ExecutorStats& other) {
   bytes_replicated += other.bytes_replicated;
   bytes_migrated += other.bytes_migrated;
   snapshot_bytes += other.snapshot_bytes;
+  delta_bytes += other.delta_bytes;
 }
 
-uint64_t ActionExecutor::CopyRealData(ServerId from, ServerId to,
-                                      PartitionId pid) {
-  if (replica_data_ == nullptr) return 0;
+TransferResult ActionExecutor::CopyRealData(ServerId from, ServerId to,
+                                            PartitionId pid) {
+  if (replica_data_ == nullptr) return {};
   ReplicaStore* src = replica_data_->Find(from);
   if (src == nullptr || src->Find(pid) == nullptr) {
-    return 0;  // synthetic partition: sizes only, nothing to copy
+    return {};  // synthetic partition: sizes only, nothing to copy
   }
   // The planner pre-created every transfer target's store; Find (a pure
   // lookup) keeps this path safe on a worker thread.
   ReplicaStore* dst = replica_data_->Find(to);
-  if (dst == nullptr) return 0;
+  if (dst == nullptr) return {};
   auto streamed = dst->CopyFrom(*src, pid);
-  return streamed.ok() ? *streamed : 0;
+  return streamed.ok() ? *streamed : TransferResult{};
 }
 
-uint64_t ActionExecutor::MoveRealData(ServerId from, ServerId to,
-                                      PartitionId pid) {
-  if (replica_data_ == nullptr) return 0;
+TransferResult ActionExecutor::MoveRealData(ServerId from, ServerId to,
+                                            PartitionId pid) {
+  if (replica_data_ == nullptr) return {};
   ReplicaStore* src = replica_data_->Find(from);
   if (src == nullptr || src->Find(pid) == nullptr) {
-    return 0;
+    return {};
   }
   ReplicaStore* dst = replica_data_->Find(to);
-  if (dst == nullptr) return 0;
+  if (dst == nullptr) return {};
   auto streamed = dst->MoveFrom(src, pid);
-  return streamed.ok() ? *streamed : 0;
+  return streamed.ok() ? *streamed : TransferResult{};
 }
 
 void ActionExecutor::DropRealData(ServerId server, PartitionId pid) {
@@ -96,7 +97,9 @@ ActionExecutor::Outcome ActionExecutor::ApplyReplicate(
   (void)p->AddReplica(a.target, vid, epoch);
   out->creates.push_back(
       PendingVNodeCreate{vid, p->id(), p->ring(), a.target, epoch});
-  out->stats.snapshot_bytes += CopyRealData(source->id(), a.target, p->id());
+  const TransferResult copied = CopyRealData(source->id(), a.target, p->id());
+  (copied.delta ? out->stats.delta_bytes : out->stats.snapshot_bytes) +=
+      copied.bytes;
 
   ++out->stats.replications;
   out->stats.bytes_replicated += bytes;
@@ -139,7 +142,9 @@ ActionExecutor::Outcome ActionExecutor::ApplyMigrate(
   (void)p->AddReplica(a.target, v->id, epoch);
   v->server = a.target;
   v->balance.Reset();
-  out->stats.snapshot_bytes += MoveRealData(a.source, a.target, p->id());
+  const TransferResult moved = MoveRealData(a.source, a.target, p->id());
+  (moved.delta ? out->stats.delta_bytes : out->stats.snapshot_bytes) +=
+      moved.bytes;
 
   ++out->stats.migrations;
   out->stats.bytes_migrated += bytes;

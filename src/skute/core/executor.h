@@ -29,10 +29,15 @@ struct ExecutorStats {
   uint64_t aborted_stale = 0;
   uint64_t bytes_replicated = 0;
   uint64_t bytes_migrated = 0;
-  /// Snapshot bytes actually streamed between storage backends for the
-  /// epoch's transfers (0 when real data is off or for in-memory moves) —
-  /// the persistence-layer cost behind the catalog's logical byte counts.
+  /// Full-snapshot bytes actually streamed between storage backends for
+  /// the epoch's transfers (0 when real data is off or for in-memory
+  /// moves) — the persistence-layer cost behind the catalog's logical
+  /// byte counts.
   uint64_t snapshot_bytes = 0;
+  /// Incremental-delta bytes streamed instead of full snapshots (warm
+  /// destinations synced from the same source backend). snapshot_bytes +
+  /// delta_bytes is the epoch's total transfer traffic.
+  uint64_t delta_bytes = 0;
 
   uint64_t applied() const { return replications + migrations + suicides; }
 
@@ -184,11 +189,12 @@ class ActionExecutor {
                        const std::vector<RingPolicy>& policies,
                        ExecGroupResult* out);
 
-  /// Copy/Move return the snapshot bytes streamed (0 when nothing real
-  /// was transferred). Worker-safe: they only Find stores (the planner
-  /// pre-created every transfer target's store).
-  uint64_t CopyRealData(ServerId from, ServerId to, PartitionId pid);
-  uint64_t MoveRealData(ServerId from, ServerId to, PartitionId pid);
+  /// Copy/Move return what was streamed ({0, false} when nothing real
+  /// was transferred) and whether it went as a delta. Worker-safe: they
+  /// only Find stores (the planner pre-created every transfer target's
+  /// store).
+  TransferResult CopyRealData(ServerId from, ServerId to, PartitionId pid);
+  TransferResult MoveRealData(ServerId from, ServerId to, PartitionId pid);
   void DropRealData(ServerId server, PartitionId pid);
 
   Cluster* cluster_;

@@ -4,6 +4,7 @@
 
 #include "skute/common/hash.h"
 #include "skute/economy/availability.h"
+#include "skute/io/io_pool.h"
 #include "skute/obs/clock.h"
 
 namespace skute {
@@ -13,6 +14,9 @@ SkuteStore::SkuteStore(Cluster* cluster, const SkuteOptions& options)
       options_(options),
       vnodes_(options.decision.balance_window),
       policy_(std::make_unique<EconomicPolicy>(options.decision)),
+      io_pool_(options.durability.io_threads > 0
+                   ? std::make_unique<IoPool>(options.durability.io_threads)
+                   : nullptr),
       executor_(cluster, &catalog_, &vnodes_,
                 options.track_real_data ? &replica_data_ : nullptr),
       rng_(options.seed),
@@ -23,10 +27,18 @@ SkuteStore::SkuteStore(Cluster* cluster, const SkuteOptions& options)
       [this](uint32_t id) { return FactoryForServer(id); });
 }
 
+// Out-of-line so ~IoPool (and its final drain) instantiates here, where
+// the type is complete; replica_data_ is destroyed first (reverse
+// declaration order), so no backend outlives the pool.
+SkuteStore::~SkuteStore() = default;
+
 BackendFactory SkuteStore::FactoryForServer(ServerId id) const {
   const Server* s = cluster_->server(id);
-  const BackendFactory factory(s != nullptr ? s->backend()
-                                            : BackendConfig{});
+  BackendFactory factory(s != nullptr ? s->backend() : BackendConfig{});
+  if (io_pool_ != nullptr) {
+    factory.AttachIoPool(io_pool_.get(),
+                         options_.durability.flush_watermark);
+  }
   return factory.ForServer(id);
 }
 
@@ -176,21 +188,33 @@ Status SkuteStore::ApplyUpsert(RingId ring, uint64_t key_hash,
   }
   (void)p->UpsertObject(key_hash, size_bytes);
 
+  const bool materialize = value != nullptr && options_.track_real_data;
+  const bool ship_logs = materialize && options_.durability.log_shipping;
   size_t live_replicas = 0;
+  size_t copies_written = 0;
   for (const ReplicaInfo& r : p->replicas()) {
     const Server* s = cluster_->server(r.server);
     if (s == nullptr || !s->online()) continue;
     ++live_replicas;
-    if (value != nullptr && options_.track_real_data) {
+    // Log shipping: only the primary (first live replica) takes the bytes
+    // now; secondaries catch up from its log at the epoch's durability
+    // point. Otherwise the write fans out to every live replica eagerly.
+    if (materialize && (!ship_logs || copies_written == 0)) {
       (void)replica_data_.For(r.server)
           .OpenOrCreate(p->id())
           ->Put(key, *value);
+      ++copies_written;
     }
   }
-  // Consistency fan-out: the write reaches every live replica.
+  if (ship_logs && copies_written > 0) dirty_partitions_.insert(p->id());
+  // Consistency fan-out: every live replica hears about the write; the
+  // bytes travel to every copy written *now* (all of them, or just the
+  // primary under log shipping — the deferred sync traffic is accounted
+  // by the durability stage when it actually moves).
   comm_epoch_.consistency_msgs += live_replicas;
   comm_epoch_.consistency_bytes +=
-      static_cast<uint64_t>(size_bytes) * live_replicas;
+      static_cast<uint64_t>(size_bytes) *
+      (ship_logs ? copies_written : live_replicas);
 
   stats_[p->id()].write_bytes += size_bytes;
   MaybeSplit(p);
@@ -208,6 +232,17 @@ Status SkuteStore::Put(RingId ring, std::string_view key,
 Status SkuteStore::PutSynthetic(RingId ring, uint64_t key_hash,
                                 uint32_t size_bytes) {
   return ApplyUpsert(ring, key_hash, size_bytes, {}, nullptr);
+}
+
+Status SkuteStore::PutSized(RingId ring, std::string_view key,
+                            uint32_t value_bytes) {
+  // Deterministic filler derived from the key, so repeated runs (and
+  // replicas) hold byte-identical values.
+  const std::string v(
+      value_bytes, static_cast<char>('a' + (Hash64(key) % 26)));
+  return ApplyUpsert(ring, Hash64(key),
+                     static_cast<uint32_t>(key.size()) + value_bytes, key,
+                     &v);
 }
 
 Result<std::string> SkuteStore::Get(RingId ring, std::string_view key) {
@@ -443,6 +478,10 @@ EpochContext SkuteStore::MakeEpochContext(
   ctx.last_stats = &last_stats_;
   ctx.last_route = &last_route_;
   ctx.placement_version = &placement_version_;
+  ctx.replica_data = options_.track_real_data ? &replica_data_ : nullptr;
+  ctx.io_pool = io_pool_.get();
+  ctx.durability = &options_.durability;
+  ctx.dirty_partitions = &dirty_partitions_;
   return ctx;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "skute/cluster/cluster.h"
@@ -20,6 +21,7 @@
 #include "skute/core/vnode.h"
 #include "skute/economy/proximity.h"
 #include "skute/engine/epoch_pipeline.h"
+#include "skute/io/durability_options.h"
 #include "skute/ring/catalog.h"
 #include "skute/storage/replica_store.h"
 
@@ -39,6 +41,9 @@ struct SkuteOptions {
   /// Maintain real key-value bytes in per-server ReplicaStores when values
   /// are provided (examples/tests); synthetic puts never materialize data.
   bool track_real_data = true;
+  /// Async durability plane: I/O offload pool, group-committed flushes,
+  /// periodic checkpoints, log shipping. Defaults keep it all off.
+  DurabilityOptions durability;
 };
 
 /// A tenant: a named application owning one ring per SLA level.
@@ -81,6 +86,7 @@ struct RingReport {
 class SkuteStore {
  public:
   SkuteStore(Cluster* cluster, const SkuteOptions& options);
+  ~SkuteStore();
 
   SkuteStore(const SkuteStore&) = delete;
   SkuteStore& operator=(const SkuteStore&) = delete;
@@ -118,6 +124,13 @@ class SkuteStore {
 
   /// Deletes a key from the catalog and all replicas.
   Status Delete(RingId ring, std::string_view key);
+
+  /// Put with a materialized synthetic value of `value_bytes` bytes: the
+  /// real-data sibling of PutSynthetic. What the simulator's --real-data
+  /// mode drives, so durable/file backends see genuine write traffic
+  /// (WAL appends, flush watermarks, shippable deltas) without callers
+  /// inventing payloads.
+  Status PutSized(RingId ring, std::string_view key, uint32_t value_bytes);
 
   // --- Data plane (synthetic, simulator) ----------------------------------
 
@@ -224,6 +237,13 @@ class SkuteStore {
   /// benches can price placement against real persistence cost.
   IoStats io_stats() const { return replica_data_.AggregateIo(); }
 
+  /// The I/O offload pool (nullptr when durability.io_threads == 0).
+  IoPool* io_pool() { return io_pool_.get(); }
+
+  /// Partitions whose primary took log-shipped writes since the last
+  /// durability-stage sync (empty unless durability.log_shipping).
+  size_t dirty_partition_count() const { return dirty_partitions_.size(); }
+
   /// The policies vector the decision passes run against (rebuilt lazily).
   const std::vector<RingPolicy>& policies();
 
@@ -260,6 +280,9 @@ class SkuteStore {
   RingCatalog catalog_;
   VNodeRegistry vnodes_;
   std::unique_ptr<PlacementPolicy> policy_;
+  /// Declared before replica_data_: backends Forget() themselves from the
+  /// pool in their destructors, so the pool must outlive every backend.
+  std::unique_ptr<IoPool> io_pool_;
   ReplicaDataMap replica_data_;
   ActionExecutor executor_;
   Rng rng_;
@@ -271,6 +294,10 @@ class SkuteStore {
 
   Epoch epoch_ = 0;
   PartitionStatsMap stats_;
+  /// Log-shipping bookkeeping: partitions whose primary absorbed writes
+  /// that secondaries have not seen yet (synced + cleared by the
+  /// durability stage each epoch).
+  std::unordered_set<PartitionId> dirty_partitions_;
   std::vector<uint64_t> ring_queries_epoch_;
   std::vector<double> ring_spend_epoch_;
   std::vector<double> ring_spend_total_;

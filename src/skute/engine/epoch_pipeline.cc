@@ -13,6 +13,7 @@ EpochPipeline::EpochPipeline(const EpochOptions& options)
   AddStage(std::make_unique<RecordBalancesStage>());
   AddStage(std::make_unique<ProposeActionsStage>());
   AddStage(std::make_unique<ExecuteStage>());
+  AddStage(std::make_unique<DurabilityStage>());
   AddStage(std::make_unique<AccountingStage>());
 }
 

@@ -1,0 +1,116 @@
+#include "skute/io/io_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "skute/backend/backend.h"
+#include "skute/engine/worker_pool.h"
+#include "skute/obs/trace.h"
+
+namespace skute {
+
+IoPool::IoPool(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+IoPool::~IoPool() { (void)Drain(); }
+
+void IoPool::SubmitFlush(StorageBackend* backend) {
+  if (backend == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& count = pending_[backend];
+  if (count == 0) order_.push_back(backend);
+  ++count;
+}
+
+void IoPool::Submit(StorageBackend* owner, std::function<void()> job) {
+  if (!job) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.push_back(Job{owner, std::move(job)});
+}
+
+void IoPool::Forget(StorageBackend* backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.erase(backend) != 0) {
+    order_.erase(std::remove(order_.begin(), order_.end(), backend),
+                 order_.end());
+  }
+  jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                             [backend](const Job& job) {
+                               return job.owner == backend;
+                             }),
+              jobs_.end());
+}
+
+size_t IoPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.size() + jobs_.size();
+}
+
+IoPool::DrainStats IoPool::Drain() {
+  // Snapshot under the lock, execute outside it: a flush or compaction
+  // may itself re-submit (compaction triggers on rotation), and that
+  // intent belongs to the *next* drain.
+  std::vector<StorageBackend*> dirty;
+  std::vector<uint64_t> counts;
+  std::vector<Job> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty.swap(order_);
+    counts.reserve(dirty.size());
+    for (StorageBackend* backend : dirty) counts.push_back(pending_[backend]);
+    pending_.clear();
+    jobs.swap(jobs_);
+  }
+
+  DrainStats stats;
+  stats.flushed_backends = dirty.size();
+  for (uint64_t count : counts) stats.coalesced += count - 1;
+  stats.jobs = jobs.size();
+  if (dirty.empty() && jobs.empty()) return stats;
+
+  obs::TraceSpan span("io", "io_pool.drain");
+  if (pool_ == nullptr && threads_ > 1) {
+    pool_ = std::make_unique<WorkerPool>(threads_);
+  }
+
+  // Phase 1: one fsync per dirty backend, however many requests it
+  // absorbed — the group commit.
+  const auto flush_one = [&](size_t i) {
+    (void)dirty[i]->Flush();
+    dirty[i]->NoteGroupCommit(counts[i] - 1);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(dirty.size(), flush_one);
+  } else {
+    for (size_t i = 0; i < dirty.size(); ++i) flush_one(i);
+  }
+
+  // Phase 2 (after the flush barrier): background jobs. Jobs for one
+  // owner must not run concurrently with each other; the worklist is
+  // deduplicated by owner into sequential chains.
+  if (jobs.empty()) return stats;
+  const auto run_job = [&](size_t i) { jobs[i].fn(); };
+  if (pool_ != nullptr) {
+    // Group jobs by owner: distinct owners in parallel, same owner serial.
+    std::vector<std::vector<size_t>> chains;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      bool chained = false;
+      for (std::vector<size_t>& chain : chains) {
+        if (jobs[chain.front()].owner != nullptr &&
+            jobs[chain.front()].owner == jobs[i].owner) {
+          chain.push_back(i);
+          chained = true;
+          break;
+        }
+      }
+      if (!chained) chains.push_back({i});
+    }
+    pool_->ParallelFor(chains.size(), [&](size_t c) {
+      for (size_t i : chains[c]) run_job(i);
+    });
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  }
+  return stats;
+}
+
+}  // namespace skute

@@ -1,0 +1,103 @@
+#ifndef SKUTE_IO_IO_POOL_H_
+#define SKUTE_IO_IO_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace skute {
+
+class StorageBackend;
+class WorkerPool;
+
+/// \brief The I/O offload plane: backends hand their blocking work
+/// (fsyncs, segment compaction) to a bounded pool instead of paying for
+/// it inline on whatever epoch worker touched them.
+///
+/// The pool is *deferred*, not fire-and-forget: submissions only record
+/// intent under a mutex, and all recorded work executes at `Drain()` —
+/// the epoch pipeline's durability quiesce point. That shape is what
+/// keeps `threads=1 ≡ threads=N` bit-for-bit: which epoch worker submits
+/// first is racy, but the set of dirty backends per epoch is a pure
+/// function of the bytes written, the fsyncs happen at one deterministic
+/// point, and every counter lands in per-backend IoStats (no cross-
+/// backend contention, order-independent sums).
+///
+/// Group commit falls out of the coalescing: N flush requests against one
+/// backend between drains become one fsync. The backend's IoStats records
+/// `group_commits += 1` and `coalesced_fsyncs += N - 1` per drained
+/// backend (see StorageBackend::NoteGroupCommit).
+///
+/// Thread safety: SubmitFlush/Submit/Forget may be called from epoch
+/// workers concurrently. Drain must run at a quiesce point (no epoch
+/// worker running, the pipeline's end-of-epoch durability stage); it fans
+/// the flushes and then the background jobs over the pool's own worker
+/// threads with a barrier between the two phases, so a backend is never
+/// flushed and compacted concurrently.
+class IoPool {
+ public:
+  /// `threads` is the I/O parallelism at drain time; <= 1 degrades to a
+  /// serial drain on the calling thread (still deferred, still grouped).
+  explicit IoPool(int threads);
+  ~IoPool();
+
+  IoPool(const IoPool&) = delete;
+  IoPool& operator=(const IoPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Records that `backend` wants an fsync. Repeated submissions before
+  /// the next Drain coalesce (that's the group commit). The caller must
+  /// guarantee the backend outlives the next Drain or calls Forget.
+  void SubmitFlush(StorageBackend* backend);
+
+  /// Queues a background job (compaction) owned by `owner`. Jobs run in
+  /// Drain's second phase, after every flush completed. One job per
+  /// owner is the intended discipline (backends guard with a
+  /// scheduled flag); duplicates for one owner run back to back.
+  void Submit(StorageBackend* owner, std::function<void()> job);
+
+  /// Drops every pending flush and job belonging to `backend` — called
+  /// from backend destruction (executors retire backends mid-epoch; the
+  /// pool must never drain a dangling pointer).
+  void Forget(StorageBackend* backend);
+
+  struct DrainStats {
+    uint64_t flushed_backends = 0;  ///< fsyncs issued this drain
+    uint64_t coalesced = 0;         ///< flush requests absorbed beyond the first
+    uint64_t jobs = 0;              ///< background jobs executed
+  };
+
+  /// Executes all pending work: phase 1 flushes every dirty backend (one
+  /// fsync each, pool-parallel), phase 2 runs the background jobs.
+  /// Returns what it did. Must be called from a quiesce point.
+  DrainStats Drain();
+
+  /// Pending work snapshot (flushes + jobs), for tests.
+  size_t pending() const;
+
+ private:
+  struct Job {
+    StorageBackend* owner = nullptr;
+    std::function<void()> fn;
+  };
+
+  const int threads_;
+  std::unique_ptr<WorkerPool> pool_;  // created lazily when threads_ > 1
+
+  mutable std::mutex mu_;
+  /// Dirty set. order_ is the fan-out worklist (insertion order — racy
+  /// across submitting threads, but flush results are per-backend and
+  /// order-independent, so determinism is unaffected); pending_ holds
+  /// the coalesced request counts.
+  std::vector<StorageBackend*> order_;
+  std::unordered_map<StorageBackend*, uint64_t> pending_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_IO_IO_POOL_H_

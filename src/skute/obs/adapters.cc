@@ -26,6 +26,12 @@ void RegisterIoStats(MetricsRegistry* reg, const std::string& prefix,
   reg->SetCounter(Key(prefix, "fsyncs"), io.fsyncs);
   reg->SetCounter(Key(prefix, "snapshot_bytes_out"), io.snapshot_bytes_out);
   reg->SetCounter(Key(prefix, "snapshot_bytes_in"), io.snapshot_bytes_in);
+  reg->SetCounter(Key(prefix, "delta_bytes_out"), io.delta_bytes_out);
+  reg->SetCounter(Key(prefix, "delta_bytes_in"), io.delta_bytes_in);
+  reg->SetCounter(Key(prefix, "group_commits"), io.group_commits);
+  reg->SetCounter(Key(prefix, "coalesced_fsyncs"), io.coalesced_fsyncs);
+  reg->SetCounter(Key(prefix, "compactions"), io.compactions);
+  reg->SetCounter(Key(prefix, "compaction_bytes"), io.compaction_bytes);
 }
 
 void RegisterExecutorStats(MetricsRegistry* reg, const std::string& prefix,
@@ -40,6 +46,7 @@ void RegisterExecutorStats(MetricsRegistry* reg, const std::string& prefix,
   reg->SetCounter(Key(prefix, "bytes_replicated"), exec.bytes_replicated);
   reg->SetCounter(Key(prefix, "bytes_migrated"), exec.bytes_migrated);
   reg->SetCounter(Key(prefix, "snapshot_bytes"), exec.snapshot_bytes);
+  reg->SetCounter(Key(prefix, "delta_bytes"), exec.delta_bytes);
 }
 
 void RegisterCommStats(MetricsRegistry* reg, const std::string& prefix,

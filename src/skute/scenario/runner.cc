@@ -42,7 +42,17 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
   if (auto schedule = spec.rate.Build()) {
     sim.SetRateSchedule(std::move(schedule));
   }
-  if (spec.inserts.has_value()) sim.EnableInserts(*spec.inserts);
+  if (overrides.real_data > 0) {
+    // Real-data mode: keep the scenario's insert shape (or a default one
+    // when it defines none) but make every insert carry a real value, so
+    // backends — and through them the durability plane — see the bytes.
+    InsertWorkloadOptions inserts =
+        spec.inserts.value_or(InsertWorkloadOptions{});
+    inserts.real_value_bytes = overrides.real_data;
+    sim.EnableInserts(inserts);
+  } else if (spec.inserts.has_value()) {
+    sim.EnableInserts(*spec.inserts);
+  }
   if (spec.before_run && options.print) {
     spec.before_run(ScenarioContext{sim, overrides, epochs});
   }

@@ -43,6 +43,12 @@ RunOverrides ParseOverrides(int argc, char** argv,
       o.trace = arg + 8;
     } else if (HasPrefix(arg, "--metrics-json=")) {
       o.metrics_json = arg + 15;
+    } else if (HasPrefix(arg, "--real-data=")) {
+      o.real_data = static_cast<uint32_t>(std::atoi(arg + 12));
+    } else if (HasPrefix(arg, "--io-threads=")) {
+      o.io_threads = std::atoi(arg + 13);
+    } else if (std::strcmp(arg, "--log-shipping") == 0) {
+      o.log_shipping = true;
     } else if (HasPrefix(arg, "--")) {
       bool known = false;
       for (const std::string& exact : extra_exact) {
@@ -107,6 +113,15 @@ void ApplyOverrides(SimConfig* config, const RunOverrides& overrides,
   }
   if (overrides.threads > 0) {
     config->store.epoch.threads = overrides.threads;
+  }
+  if (overrides.real_data > 0) {
+    config->store.track_real_data = true;
+  }
+  if (overrides.io_threads >= 0) {
+    config->store.durability.io_threads = overrides.io_threads;
+  }
+  if (overrides.log_shipping) {
+    config->store.durability.log_shipping = true;
   }
   if (!overrides.placement.empty()) {
     if (overrides.placement == "economic") {

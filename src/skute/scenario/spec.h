@@ -35,11 +35,23 @@ struct RunOverrides {
   /// "" = off; --metrics-json=FILE writes the end-of-run MetricsRegistry
   /// snapshot (store counters, stage-time percentiles, routing totals).
   std::string metrics_json;
+  /// 0 = off; --real-data=BYTES turns on track_real_data and makes the
+  /// insert workload carry real values of BYTES each (enabling a default
+  /// insert workload when the scenario has none), so writes actually
+  /// flow through the storage backends and the durability plane.
+  uint32_t real_data = 0;
+  /// -1 = spec default; --io-threads=N sizes the store's background
+  /// I/O offload pool (0 disables it).
+  int io_threads = -1;
+  /// --log-shipping: write real values to the primary replica only and
+  /// let the durability stage ship WAL deltas to the secondaries.
+  bool log_shipping = false;
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
 /// --backend=memory|durable|file, --placement=economic|static,
-/// --out=FILE, --trace=FILE and --metrics-json=FILE. Unrecognized `--*`
+/// --out=FILE, --trace=FILE, --metrics-json=FILE, --real-data=BYTES,
+/// --io-threads=N and --log-shipping. Unrecognized `--*`
 /// arguments warn to stderr (a typo like --backnd=file must not silently
 /// run the default). `extra_exact` / `extra_prefix` name additional
 /// flags the caller consumes itself (e.g. skute_scenarios' --list /

@@ -109,9 +109,12 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
       "migrations",     "suicides",        "exec_blocked_bandwidth",
       "exec_blocked_storage",              "exec_aborted_stale",
       "msgs_total",
-      "transfer_bytes", "snapshot_bytes",  "io_ops",
+      "transfer_bytes", "snapshot_bytes",  "delta_bytes",
+      "io_ops",
       "io_log_bytes",   "io_flushed_bytes",
-      "io_read_bytes",  "io_fsyncs"};
+      "io_read_bytes",  "io_fsyncs",       "io_group_commits",
+      "io_coalesced_fsyncs",               "io_compaction_bytes",
+      "io_delta_bytes"};
   for (const auto& [stage, ms] : series_.front().stage_ms) {
     header.push_back("stage_" + stage + "_ms");
   }
@@ -153,11 +156,16 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
         .Field(s.comm.TotalMsgs())
         .Field(s.comm.transfer_bytes)
         .Field(s.exec.snapshot_bytes)
+        .Field(s.exec.delta_bytes)
         .Field(s.io.ops())
         .Field(s.io.log_bytes_written)
         .Field(s.io.bytes_flushed)
         .Field(s.io.bytes_read)
-        .Field(s.io.fsyncs);
+        .Field(s.io.fsyncs)
+        .Field(s.io.group_commits)
+        .Field(s.io.coalesced_fsyncs)
+        .Field(s.io.compaction_bytes)
+        .Field(s.io.delta_bytes_out);
     const size_t stages = series_.front().stage_ms.size();
     for (size_t i = 0; i < stages; ++i) {
       csv.Field(i < s.stage_ms.size() ? s.stage_ms[i].second : 0.0);

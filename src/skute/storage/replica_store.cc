@@ -60,20 +60,47 @@ void ReplicaStore::Clear() {
   stores_.clear();
 }
 
-Result<uint64_t> ReplicaStore::CopyFrom(const ReplicaStore& src,
-                                        uint64_t partition_id) {
+/// Ships a delta when the destination's last sync came from this exact
+/// source backend instance and the source's log still reaches back to
+/// that point. Returns false when the pair must fall back to a snapshot.
+bool ReplicaStore::TryShipDelta(const StorageBackend& from,
+                                StorageBackend* dst,
+                                TransferResult* result) {
+  if (!from.SupportsDeltaExport()) return false;
+  if (dst->sync_origin().source_token != from.sync_token()) return false;
+  auto delta = from.ExportDelta(dst->sync_origin().source_seq);
+  if (!delta.ok()) return false;  // truncated/ahead: snapshot fallback
+  if (!dst->ImportDelta(*delta).ok()) return false;
+  dst->set_sync_origin(StorageBackend::SyncOrigin{
+      from.sync_token(), from.DeltaSequence()});
+  result->bytes = delta->size();
+  result->delta = true;
+  return true;
+}
+
+Result<TransferResult> ReplicaStore::CopyFrom(const ReplicaStore& src,
+                                              uint64_t partition_id) {
   const StorageBackend* from = src.Find(partition_id);
   if (from == nullptr) {
     return Status::NotFound("source does not host the partition");
   }
+  StorageBackend* dst = OpenOrCreate(partition_id);
+  TransferResult result;
+  if (TryShipDelta(*from, dst, &result)) return result;
+  // Full snapshot. A warm destination is wiped first: replication means
+  // "make the destination this replica", and replaying a snapshot over
+  // diverged state could leave stray keys behind.
   const std::string snapshot = from->ExportSnapshot();
-  SKUTE_RETURN_IF_ERROR(
-      OpenOrCreate(partition_id)->ImportSnapshot(snapshot));
-  return static_cast<uint64_t>(snapshot.size());
+  if (dst->Count() > 0) (void)dst->Wipe();
+  SKUTE_RETURN_IF_ERROR(dst->ImportSnapshot(snapshot));
+  dst->set_sync_origin(StorageBackend::SyncOrigin{
+      from->sync_token(), from->DeltaSequence()});
+  result.bytes = snapshot.size();
+  return result;
 }
 
-Result<uint64_t> ReplicaStore::MoveFrom(ReplicaStore* src,
-                                        uint64_t partition_id) {
+Result<TransferResult> ReplicaStore::MoveFrom(ReplicaStore* src,
+                                              uint64_t partition_id) {
   if (src == this) {
     return Status::InvalidArgument("cannot move a partition onto itself");
   }
@@ -90,18 +117,37 @@ Result<uint64_t> ReplicaStore::MoveFrom(ReplicaStore* src,
     if (Find(partition_id) != nullptr) (void)Drop(partition_id);
     stores_[partition_id] = std::move(it->second);
     src->stores_.erase(it);
-    return uint64_t{0};
+    return TransferResult{};
   }
-  // General path: snapshot-stream, then drop the source replica. The
-  // destination's backend may be a different kind than the source's.
+  // General path: ship (delta when the destination is warm from this
+  // same source, full snapshot otherwise), then drop the source replica.
+  // The destination's backend may be a different kind than the source's.
+  TransferResult result;
+  StorageBackend* warm_dst = Find(partition_id);
+  if (warm_dst != nullptr &&
+      TryShipDelta(*it->second, warm_dst, &result)) {
+    (void)it->second->Wipe();
+    src->Retire(it->second.get());
+    src->stores_.erase(it);
+    return result;
+  }
   const std::string snapshot = it->second->ExportSnapshot();
-  if (Find(partition_id) != nullptr) (void)Drop(partition_id);
-  SKUTE_RETURN_IF_ERROR(
-      OpenOrCreate(partition_id)->ImportSnapshot(snapshot));
+  const StorageBackend::SyncOrigin origin{it->second->sync_token(),
+                                          it->second->DeltaSequence()};
+  if (warm_dst != nullptr) (void)Drop(partition_id);
+  StorageBackend* dst = OpenOrCreate(partition_id);
+  SKUTE_RETURN_IF_ERROR(dst->ImportSnapshot(snapshot));
+  dst->set_sync_origin(origin);
   (void)it->second->Wipe();
   src->Retire(it->second.get());
   src->stores_.erase(it);
-  return static_cast<uint64_t>(snapshot.size());
+  result.bytes = snapshot.size();
+  return result;
+}
+
+void ReplicaStore::ForEachBackend(
+    const std::function<void(StorageBackend*)>& fn) {
+  for (auto& [id, store] : stores_) fn(store.get());
 }
 
 uint64_t ReplicaStore::TotalBytes() const {
@@ -127,6 +173,11 @@ ReplicaStore& ReplicaDataMap::For(uint32_t server) {
              .first;
   }
   return it->second;
+}
+
+void ReplicaDataMap::ForEachBackend(
+    const std::function<void(StorageBackend*)>& fn) {
+  for (auto& [server, store] : map_) store.ForEachBackend(fn);
 }
 
 ReplicaStore* ReplicaDataMap::Find(uint32_t server) {

@@ -12,6 +12,14 @@
 
 namespace skute {
 
+/// What one replication/migration transfer actually moved: the bytes
+/// that crossed the "wire" and whether they were an incremental delta
+/// (log records since the destination's sync point) or a full snapshot.
+struct TransferResult {
+  uint64_t bytes = 0;
+  bool delta = false;
+};
+
 /// \brief All real-data partition replicas hosted by one server: a map of
 /// partition id -> StorageBackend, created by the server's BackendFactory.
 ///
@@ -46,16 +54,25 @@ class ReplicaStore {
   /// when not hosted.
   Status Drop(uint64_t partition_id);
 
-  /// Replication: streams `partition_id`'s snapshot from `src` into this
-  /// store; returns the snapshot bytes shipped.
-  Result<uint64_t> CopyFrom(const ReplicaStore& src, uint64_t partition_id);
+  /// Replication: ships `partition_id` from `src` into this store. When
+  /// the destination replica was last synced from this same source
+  /// backend and the source keeps a delta-capable log, only the records
+  /// since that sync point cross the wire; otherwise (cold destination,
+  /// cross-backend pair, log truncated by a checkpoint) a full snapshot
+  /// does — a warm destination is wiped first so the copy is exact.
+  Result<TransferResult> CopyFrom(const ReplicaStore& src,
+                                  uint64_t partition_id);
 
-  /// Migration: moves `partition_id` from `src` into this store; returns
-  /// the snapshot bytes shipped (0 for the in-memory fast path).
-  Result<uint64_t> MoveFrom(ReplicaStore* src, uint64_t partition_id);
+  /// Migration: moves `partition_id` from `src` into this store (delta
+  /// upgrade as in CopyFrom; 0 bytes for the in-memory handoff path).
+  Result<TransferResult> MoveFrom(ReplicaStore* src, uint64_t partition_id);
 
   size_t partition_count() const { return stores_.size(); }
   uint64_t TotalBytes() const;
+
+  /// Visits every hosted backend (unspecified order — callers must only
+  /// perform per-backend work, e.g. the durability stage's flush sweep).
+  void ForEachBackend(const std::function<void(StorageBackend*)>& fn);
 
   /// Lifetime I/O counters: every hosted backend plus everything retired
   /// by Drop/MoveFrom/Clear — dropping a replica never un-counts the I/O
@@ -71,6 +88,11 @@ class ReplicaStore {
  private:
   /// Folds a backend's counters into retired_io_ before it is destroyed.
   void Retire(StorageBackend* backend);
+
+  /// Attempts the incremental path of CopyFrom/MoveFrom; false means the
+  /// caller must ship a full snapshot.
+  static bool TryShipDelta(const StorageBackend& from, StorageBackend* dst,
+                           TransferResult* result);
 
   std::unordered_map<uint64_t, std::unique_ptr<StorageBackend>> stores_;
   BackendFactory factory_;
@@ -97,6 +119,9 @@ class ReplicaDataMap {
 
   /// The server's ReplicaStore, created on first use.
   ReplicaStore& For(uint32_t server);
+
+  /// Visits every backend of every server (unspecified order).
+  void ForEachBackend(const std::function<void(StorageBackend*)>& fn);
 
   ReplicaStore* Find(uint32_t server);
   const ReplicaStore* Find(uint32_t server) const;

@@ -1,5 +1,7 @@
 #include "skute/workload/insertgen.h"
 
+#include <string>
+
 namespace skute {
 
 uint64_t SampleHashInRange(const KeyRange& range, Rng* rng) {
@@ -43,10 +45,22 @@ InsertGenerator::EpochResult InsertGenerator::GenerateEpoch(
     const size_t idx = snap.sampler.Sample(&rng_);
     const uint64_t hash = SampleHashInRange(snap.ranges[idx], &rng_);
     ++result.attempted;
-    const Status st =
-        store->PutSynthetic(snap.id, hash, options_.object_bytes);
+    Status st;
+    if (options_.real_value_bytes > 0) {
+      // Real mode: a unique key per insert so the value lands in a
+      // backend. The key's own hash decides the partition (PutSized
+      // routes by Hash64(key)), so the Pareto skew sampled above only
+      // seeds key uniqueness here, not placement.
+      const std::string key =
+          "ins-" + std::to_string(hash) + "-" + std::to_string(++real_seq_);
+      st = store->PutSized(snap.id, key, options_.real_value_bytes);
+    } else {
+      st = store->PutSynthetic(snap.id, hash, options_.object_bytes);
+    }
     if (st.ok()) {
-      result.bytes_accepted += options_.object_bytes;
+      result.bytes_accepted += options_.real_value_bytes > 0
+                                   ? options_.real_value_bytes
+                                   : options_.object_bytes;
     } else {
       ++result.failed;
     }

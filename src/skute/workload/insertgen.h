@@ -14,6 +14,13 @@ namespace skute {
 struct InsertWorkloadOptions {
   uint64_t inserts_per_epoch = 2000;
   uint32_t object_bytes = 500 * kKB;
+  /// When nonzero, inserts carry real values of this many bytes (via
+  /// SkuteStore::PutSized) instead of synthetic size-only records. Real
+  /// values flow through the storage backends, which is what exercises
+  /// the durability plane (WAL appends, group commit, log shipping);
+  /// synthetic inserts only move accounting counters. The store must be
+  /// built with track_real_data = true for the bytes to materialize.
+  uint32_t real_value_bytes = 0;
 };
 
 /// Uniform random key hash inside a key range (handles wrapping arcs).
@@ -44,6 +51,7 @@ class InsertGenerator {
  private:
   InsertWorkloadOptions options_;
   Rng rng_;
+  uint64_t real_seq_ = 0;  // unique suffix for real-mode keys
 };
 
 /// Result of a synthetic bulk load.

@@ -1,7 +1,8 @@
 // Parameterized conformance suite: every StorageBackend implementation
 // must expose identical Put/Get/Delete/Scan/snapshot semantics, so the
 // data plane (ReplicaStore, executor transfers, splits) can treat the
-// backend as opaque. Instantiated for memory, durable and file-segment.
+// backend as opaque. Instantiated for memory, durable, file-segment and
+// mmap.
 
 #include <filesystem>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "skute/backend/factory.h"
 #include "skute/backend/file_segment_backend.h"
 #include "skute/backend/memory_backend.h"
+#include "skute/backend/mmap_segment_backend.h"
 #include "skute/storage/replica_store.h"
 #include "testutil/temp_dir.h"
 
@@ -140,7 +142,7 @@ TEST_P(BackendConformanceTest, SnapshotRoundTripSameKind) {
 
 TEST_P(BackendConformanceTest, SnapshotImportsIntoEveryOtherKind) {
   // The wire format is backend-agnostic: a snapshot taken here must
-  // land intact on each of the three kinds (cross-backend transfers).
+  // land intact on each of the four kinds (cross-backend transfers).
   auto src = Make();
   ASSERT_TRUE(src->Put("k1", "v1").ok());
   ASSERT_TRUE(src->Put("k2", "v2").ok());
@@ -153,6 +155,9 @@ TEST_P(BackendConformanceTest, SnapshotImportsIntoEveryOtherKind) {
   auto file = FileSegmentBackend::Open(tmp.Sub("file"));
   ASSERT_TRUE(file.ok());
   others.push_back(std::move(file).value());
+  auto mapped = MmapSegmentBackend::Open(tmp.Sub("mmap"));
+  ASSERT_TRUE(mapped.ok());
+  others.push_back(std::move(mapped).value());
 
   for (auto& dst : others) {
     ASSERT_TRUE(dst->ImportSnapshot(snapshot).ok())
@@ -199,15 +204,40 @@ TEST_P(BackendConformanceTest, PersistentBackendsMeterTheirLog) {
     EXPECT_GT(io.log_bytes_written, 0u);
     EXPECT_GE(io.fsyncs, 1u);
   }
-  if (GetParam() == BackendKind::kFileSegment) {
+  if (GetParam() == BackendKind::kFileSegment ||
+      GetParam() == BackendKind::kMmap) {
     EXPECT_GT(io.bytes_flushed, 0u);
+  }
+}
+
+TEST_P(BackendConformanceTest, SurvivesReopenWhenPersistent) {
+  // The two on-disk kinds must recover their state through the factory's
+  // recovery path; the volatile kinds start empty by definition, so this
+  // only asserts the persistent half of the contract.
+  BackendConfig config;
+  config.kind = GetParam();
+  config.data_dir = tmp_.Sub("reopen");
+  config.segment_bytes = 64 * 1024;
+  {
+    auto b = BackendFactory(config).Create(/*partition_id=*/1);
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*b)->Put("persist", "me").ok());
+    ASSERT_TRUE((*b)->Flush().ok());
+  }
+  auto b = BackendFactory(config).Create(/*partition_id=*/1);
+  ASSERT_TRUE(b.ok());
+  if (GetParam() == BackendKind::kFileSegment ||
+      GetParam() == BackendKind::kMmap) {
+    EXPECT_EQ(*(*b)->Get("persist"), "me");
+  } else {
+    EXPECT_TRUE((*b)->Get("persist").status().IsNotFound());
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformanceTest,
     ::testing::Values(BackendKind::kMemory, BackendKind::kDurable,
-                      BackendKind::kFileSegment),
+                      BackendKind::kFileSegment, BackendKind::kMmap),
     [](const ::testing::TestParamInfo<BackendKind>& info) {
       return std::string(BackendKindName(info.param));
     });
@@ -229,7 +259,7 @@ TEST(ReplicaStoreCrossBackendTest, CopyAndMoveAcrossHeterogeneousBackends) {
   // memory -> file replication.
   auto copied = file_server.CopyFrom(mem_server, 5);
   ASSERT_TRUE(copied.ok());
-  EXPECT_GT(*copied, 0u);
+  EXPECT_GT(copied->bytes, 0u);
   ASSERT_NE(file_server.Find(5), nullptr);
   EXPECT_EQ(file_server.Find(5)->kind(), BackendKind::kFileSegment);
   EXPECT_EQ(*file_server.Find(5)->Get("k"), "v");
@@ -238,7 +268,7 @@ TEST(ReplicaStoreCrossBackendTest, CopyAndMoveAcrossHeterogeneousBackends) {
   ReplicaStore other_mem;
   auto moved = other_mem.MoveFrom(&file_server, 5);
   ASSERT_TRUE(moved.ok());
-  EXPECT_GT(*moved, 0u);  // heterogeneous moves stream the snapshot
+  EXPECT_GT(moved->bytes, 0u);  // heterogeneous moves stream the snapshot
   EXPECT_EQ(file_server.Find(5), nullptr);
   EXPECT_EQ(*other_mem.Find(5)->Get("k"), "v");
 }

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "skute/backend/file_segment_backend.h"
+#include "skute/io/io_pool.h"
 #include "testutil/temp_dir.h"
 
 namespace skute {
@@ -195,6 +196,121 @@ TEST(FileSegmentBackendTest, WipeRemovesAllFiles) {
 TEST(FileSegmentBackendTest, OpenRejectsEmptyDir) {
   auto backend = FileSegmentBackend::Open("");
   EXPECT_FALSE(backend.ok());
+}
+
+// --- compaction crash-safety -------------------------------------------------
+// Compact() rewrites the live set into fresh segments, fsyncs them, then
+// deletes the old ones in ascending id order. A kill anywhere in that
+// sequence must leave a directory whose replay reproduces the live set.
+
+// The live set a compaction-crash test expects to survive: 16 keys with
+// the first 8 deleted and key-9 overwritten.
+void LoadCompactionFixture(FileSegmentBackend* b) {
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        b->Put("key-" + std::to_string(i), std::string(40, 'v')).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(b->Delete("key-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(b->Put("key-9", "overwritten").ok());
+}
+
+void ExpectCompactionFixture(FileSegmentBackend* b) {
+  EXPECT_EQ(b->Count(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(b->Get("key-" + std::to_string(i)).status().IsNotFound())
+        << "key-" << i;
+  }
+  EXPECT_EQ(*b->Get("key-9"), "overwritten");
+  EXPECT_EQ(*b->Get("key-15"), std::string(40, 'v'));
+}
+
+TEST(FileSegmentBackendTest, CrashAfterCompactionRewriteRecoversLiveSet) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("crash_rewrite");
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/256);
+    LoadCompactionFixture(b.get());
+    b->InjectCompactionCrashForTest(
+        FileSegmentBackend::CompactCrashPoint::kAfterRewrite);
+    // New segments written + fsynced, every old segment still present.
+    EXPECT_FALSE(b->Compact().ok());
+  }  // "kill": the process state is gone, only the directory remains
+  auto b = MustOpen(dir, 256);
+  ExpectCompactionFixture(b.get());
+  // The recovered backend compacts cleanly afterwards.
+  ASSERT_TRUE(b->Compact().ok());
+  ExpectCompactionFixture(b.get());
+  EXPECT_GT(b->io().compaction_bytes, 0u);
+}
+
+TEST(FileSegmentBackendTest, CrashMidCompactionDeleteRecoversLiveSet) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("crash_delete");
+  {
+    auto b = MustOpen(dir, /*segment_bytes=*/256);
+    LoadCompactionFixture(b.get());
+    b->InjectCompactionCrashForTest(
+        FileSegmentBackend::CompactCrashPoint::kMidDelete);
+    // One old segment deleted, the rest (old + new) still on disk.
+    EXPECT_FALSE(b->Compact().ok());
+  }
+  auto b = MustOpen(dir, 256);
+  ExpectCompactionFixture(b.get());
+}
+
+TEST(FileSegmentBackendTest, RotationQueuesCompactionOnTheIoPool) {
+  testutil::ScopedTempDir tmp;
+  IoPool pool(/*threads=*/1);
+  auto b = MustOpen(tmp.Sub("auto"), /*segment_bytes=*/256);
+  b->AttachIoPool(&pool, /*flush_watermark=*/1 << 20);
+  b->ConfigureCompaction(/*dead_ratio=*/0.3);
+  // Overwrite one key until rotations accumulate mostly-dead segments.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(b->Put("hot", std::string(48, 'a' + (i % 26))).ok());
+  }
+  const uint64_t before = b->DiskBytes();
+  (void)pool.Drain();  // runs the queued compaction job
+  EXPECT_GT(b->io().compactions, 0u);
+  EXPECT_LT(b->DiskBytes(), before);
+  EXPECT_EQ(*b->Get("hot"), std::string(48, 'a' + (63 % 26)));
+}
+
+TEST(FileSegmentBackendTest, TornTailMidGroupCommitRecoversCommittedPrefix) {
+  testutil::ScopedTempDir tmp;
+  const std::string dir = tmp.Sub("group_crash");
+  std::string active;
+  uint64_t committed_size = 0;
+  {
+    IoPool pool(/*threads=*/1);
+    auto b = MustOpen(dir, /*segment_bytes=*/1 << 20);
+    b->AttachIoPool(&pool, /*flush_watermark=*/0);  // submit every write
+    ASSERT_TRUE(b->Put("a", "1").ok());
+    ASSERT_TRUE(b->Put("b", "2").ok());
+    (void)pool.Drain();  // group commit: two appends, one fsync
+    EXPECT_EQ(b->io().fsyncs, 1u);
+    EXPECT_EQ(b->io().group_commits, 1u);
+    EXPECT_EQ(b->io().coalesced_fsyncs, 1u);
+    active = b->SegmentPath(0);
+    committed_size = FileSize(active);
+    // Writes after the commit point, never drained: a crash window.
+    ASSERT_TRUE(b->Put("c", "3").ok());
+    ASSERT_TRUE(b->Put("d", "4").ok());
+  }
+  // The kill tears the last (uncommitted) record in half.
+  TruncateFile(active, FileSize(active) - 3);
+
+  auto b = MustOpen(dir, 1 << 20);
+  EXPECT_TRUE(b->recovered_corrupt_tail());
+  // Everything through the group commit survives; of the uncommitted
+  // tail, the intact prefix ("c") is recovered and the torn record is
+  // dropped — never anything before the commit point.
+  EXPECT_GE(FileSize(active), committed_size);
+  EXPECT_EQ(*b->Get("a"), "1");
+  EXPECT_EQ(*b->Get("b"), "2");
+  EXPECT_EQ(*b->Get("c"), "3");
+  EXPECT_TRUE(b->Get("d").status().IsNotFound());
 }
 
 }  // namespace

@@ -33,11 +33,12 @@ TEST(EpochPipelineTest, DefaultStageOrder) {
   EXPECT_STREQ(route[0], "route_queries");
 
   const std::vector<const char*> end = pipeline.StageNames(EpochPhase::kEnd);
-  ASSERT_EQ(end.size(), 4u);
+  ASSERT_EQ(end.size(), 5u);
   EXPECT_STREQ(end[0], "record_balances");
   EXPECT_STREQ(end[1], "propose_actions");
   EXPECT_STREQ(end[2], "execute");
-  EXPECT_STREQ(end[3], "accounting");
+  EXPECT_STREQ(end[3], "durability");
+  EXPECT_STREQ(end[4], "accounting");
 }
 
 /// A stage that appends its name to a shared trace when run.
@@ -66,9 +67,9 @@ TEST(EpochPipelineTest, AddedStagesRunAfterDefaultsInOrder) {
       "custom_b", EpochPhase::kEnd, &trace));
 
   const std::vector<const char*> end = pipeline.StageNames(EpochPhase::kEnd);
-  ASSERT_EQ(end.size(), 6u);
-  EXPECT_STREQ(end[4], "custom_a");
-  EXPECT_STREQ(end[5], "custom_b");
+  ASSERT_EQ(end.size(), 7u);
+  EXPECT_STREQ(end[5], "custom_a");
+  EXPECT_STREQ(end[6], "custom_b");
 }
 
 // --- The store delegates to the pipeline ------------------------------------
@@ -140,7 +141,7 @@ TEST(EpochPipelineTest, StageTimersRecordEveryRun) {
 
   const std::vector<StageTiming>& timings =
       store.epoch_pipeline().stage_timings();
-  ASSERT_EQ(timings.size(), 6u);
+  ASSERT_EQ(timings.size(), 7u);
   for (const StageTiming& t : timings) {
     EXPECT_EQ(t.runs, 3u) << t.name;
     EXPECT_GE(t.total_ms, t.last_ms) << t.name;

@@ -1,0 +1,165 @@
+// IoPool contract: deferred submission, group-commit coalescing at
+// Drain, flush-before-jobs phasing, Forget safety, and the determinism
+// property the epoch pipeline depends on (per-backend counters identical
+// whatever the pool's parallelism).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "skute/backend/durable_backend.h"
+#include "skute/backend/file_segment_backend.h"
+#include "skute/io/io_pool.h"
+#include "testutil/temp_dir.h"
+
+namespace skute {
+namespace {
+
+TEST(IoPoolTest, SubmissionsDeferUntilDrain) {
+  IoPool pool(1);
+  DurableBackend b;
+  ASSERT_TRUE(b.Put("k", "v").ok());
+  pool.SubmitFlush(&b);
+  EXPECT_EQ(pool.pending(), 1u);
+  EXPECT_GT(b.UnflushedBytes(), 0u);  // nothing flushed yet
+  EXPECT_EQ(b.io().fsyncs, 0u);
+
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flushed_backends, 1u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(b.UnflushedBytes(), 0u);
+  EXPECT_EQ(b.io().fsyncs, 1u);
+}
+
+TEST(IoPoolTest, RepeatedFlushesCoalesceIntoOneGroupCommit) {
+  IoPool pool(1);
+  DurableBackend b;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(b.Put("k" + std::to_string(i), "v").ok());
+    pool.SubmitFlush(&b);
+  }
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flushed_backends, 1u);  // one fsync for five requests
+  EXPECT_EQ(stats.coalesced, 4u);
+  EXPECT_EQ(b.io().fsyncs, 1u);
+  EXPECT_EQ(b.io().group_commits, 1u);
+  EXPECT_EQ(b.io().coalesced_fsyncs, 4u);
+}
+
+TEST(IoPoolTest, AttachedBackendSubmitsPastTheWatermark) {
+  IoPool pool(1);
+  DurableBackend b;
+  b.AttachIoPool(&pool, /*flush_watermark=*/64);
+  // Below the watermark: the backend accumulates, nothing submitted.
+  ASSERT_TRUE(b.Put("s", "x").ok());
+  EXPECT_EQ(pool.pending(), 0u);
+  // One large write crosses it: the backend hands itself to the pool
+  // instead of fsyncing inline.
+  ASSERT_TRUE(b.Put("big", std::string(128, 'y')).ok());
+  EXPECT_EQ(pool.pending(), 1u);
+  EXPECT_EQ(b.io().fsyncs, 0u);
+  (void)pool.Drain();
+  EXPECT_EQ(b.io().fsyncs, 1u);
+  EXPECT_EQ(b.UnflushedBytes(), 0u);
+}
+
+TEST(IoPoolTest, JobsRunAfterEveryFlush) {
+  // Phase contract: a compaction job must never run concurrently with —
+  // or before — its owner's flush. With threads=1 the drain is serial,
+  // so observing the flush's effect inside the job is deterministic.
+  testutil::ScopedTempDir tmp;
+  IoPool pool(1);
+  auto backend = FileSegmentBackend::Open(tmp.Sub("b"), 1 << 20);
+  ASSERT_TRUE(backend.ok());
+  FileSegmentBackend* b = backend->get();
+  ASSERT_TRUE(b->Put("k", "v").ok());
+  pool.SubmitFlush(b);
+  bool flushed_when_job_ran = false;
+  pool.Submit(b, [&] { flushed_when_job_ran = b->UnflushedBytes() == 0; });
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.jobs, 1u);
+  EXPECT_TRUE(flushed_when_job_ran);
+}
+
+TEST(IoPoolTest, ForgetDropsPendingWorkForThatBackendOnly) {
+  IoPool pool(1);
+  DurableBackend keep, gone;
+  ASSERT_TRUE(keep.Put("k", "v").ok());
+  ASSERT_TRUE(gone.Put("k", "v").ok());
+  pool.SubmitFlush(&keep);
+  pool.SubmitFlush(&gone);
+  bool job_ran = false;
+  pool.Submit(&gone, [&] { job_ran = true; });
+  ASSERT_EQ(pool.pending(), 3u);
+
+  pool.Forget(&gone);
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flushed_backends, 1u);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_FALSE(job_ran);
+  EXPECT_EQ(keep.io().fsyncs, 1u);
+  EXPECT_EQ(gone.io().fsyncs, 0u);
+}
+
+TEST(IoPoolTest, BackendDetachesItselfOnDestruction) {
+  IoPool pool(1);
+  {
+    DurableBackend b;
+    b.AttachIoPool(&pool, 0);
+    ASSERT_TRUE(b.Put("k", "v").ok());  // watermark 0: submits immediately
+    EXPECT_EQ(pool.pending(), 1u);
+  }  // ~StorageBackend must Forget, or Drain would touch a dangling pointer
+  EXPECT_EQ(pool.pending(), 0u);
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flushed_backends, 0u);
+}
+
+TEST(IoPoolTest, PerBackendCountersIdenticalAcrossPoolParallelism) {
+  // The determinism contract: drain results are per-backend and
+  // order-independent, so threads=1 and threads=4 must land bit-identical
+  // IoStats on every backend.
+  constexpr int kBackends = 8;
+  constexpr int kWrites = 12;
+  auto run = [](int threads) {
+    std::vector<uint64_t> out;
+    IoPool pool(threads);
+    std::vector<std::unique_ptr<DurableBackend>> backends;
+    for (int i = 0; i < kBackends; ++i) {
+      backends.push_back(std::make_unique<DurableBackend>());
+      backends.back()->AttachIoPool(&pool, 0);
+    }
+    for (int w = 0; w < kWrites; ++w) {
+      for (int i = 0; i < kBackends; ++i) {
+        EXPECT_TRUE(backends[i]
+                        ->Put("k" + std::to_string(w),
+                              std::string(16 + i, 'z'))
+                        .ok());
+      }
+      if (w % 4 == 3) (void)pool.Drain();
+    }
+    (void)pool.Drain();
+    for (const auto& b : backends) {
+      out.push_back(b->io().fsyncs);
+      out.push_back(b->io().group_commits);
+      out.push_back(b->io().coalesced_fsyncs);
+      out.push_back(b->io().log_bytes_written);
+      out.push_back(b->UnflushedBytes());
+    }
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(IoPoolTest, DrainWithNothingPendingIsANoOp) {
+  IoPool pool(4);
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flushed_backends, 0u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.jobs, 0u);
+}
+
+}  // namespace
+}  // namespace skute

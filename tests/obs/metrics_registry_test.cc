@@ -160,6 +160,12 @@ TEST(MetricsAdapterTest, IoStatsRoundTrip) {
   io.fsyncs = 8;
   io.snapshot_bytes_out = 9;
   io.snapshot_bytes_in = 10;
+  io.delta_bytes_out = 31;
+  io.delta_bytes_in = 32;
+  io.group_commits = 33;
+  io.coalesced_fsyncs = 34;
+  io.compactions = 35;
+  io.compaction_bytes = 36;
   MetricsRegistry reg;
   RegisterIoStats(&reg, "io", io);
   EXPECT_EQ(*reg.counter("io.puts"), 1u);
@@ -173,6 +179,12 @@ TEST(MetricsAdapterTest, IoStatsRoundTrip) {
   EXPECT_EQ(*reg.counter("io.fsyncs"), 8u);
   EXPECT_EQ(*reg.counter("io.snapshot_bytes_out"), 9u);
   EXPECT_EQ(*reg.counter("io.snapshot_bytes_in"), 10u);
+  EXPECT_EQ(*reg.counter("io.delta_bytes_out"), 31u);
+  EXPECT_EQ(*reg.counter("io.delta_bytes_in"), 32u);
+  EXPECT_EQ(*reg.counter("io.group_commits"), 33u);
+  EXPECT_EQ(*reg.counter("io.coalesced_fsyncs"), 34u);
+  EXPECT_EQ(*reg.counter("io.compactions"), 35u);
+  EXPECT_EQ(*reg.counter("io.compaction_bytes"), 36u);
 }
 
 TEST(MetricsAdapterTest, ExecutorStatsRoundTrip) {
@@ -186,6 +198,7 @@ TEST(MetricsAdapterTest, ExecutorStatsRoundTrip) {
   exec.bytes_replicated = 17;
   exec.bytes_migrated = 18;
   exec.snapshot_bytes = 19;
+  exec.delta_bytes = 20;
   MetricsRegistry reg;
   RegisterExecutorStats(&reg, "exec", exec);
   EXPECT_EQ(*reg.counter("exec.replications"), 11u);
@@ -198,6 +211,7 @@ TEST(MetricsAdapterTest, ExecutorStatsRoundTrip) {
   EXPECT_EQ(*reg.counter("exec.bytes_replicated"), 17u);
   EXPECT_EQ(*reg.counter("exec.bytes_migrated"), 18u);
   EXPECT_EQ(*reg.counter("exec.snapshot_bytes"), 19u);
+  EXPECT_EQ(*reg.counter("exec.delta_bytes"), 20u);
 }
 
 TEST(MetricsAdapterTest, CommStatsRoundTrip) {

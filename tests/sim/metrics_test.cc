@@ -127,6 +127,14 @@ TEST_F(MetricsTest, CsvRowPerSnapshotAndStableColumns) {
   EXPECT_NE(csv.find("exec_blocked_bandwidth"), std::string::npos);
   EXPECT_NE(csv.find("exec_blocked_storage"), std::string::npos);
   EXPECT_NE(csv.find("exec_aborted_stale"), std::string::npos);
+  // Durability-plane columns: transfer byte split plus the I/O offload
+  // counters the async durability plane reports per epoch.
+  EXPECT_NE(csv.find("snapshot_bytes"), std::string::npos);
+  EXPECT_NE(csv.find("delta_bytes"), std::string::npos);
+  EXPECT_NE(csv.find("io_group_commits"), std::string::npos);
+  EXPECT_NE(csv.find("io_coalesced_fsyncs"), std::string::npos);
+  EXPECT_NE(csv.find("io_compaction_bytes"), std::string::npos);
+  EXPECT_NE(csv.find("io_delta_bytes"), std::string::npos);
   // Every row has the same number of commas as the header.
   std::istringstream lines(csv);
   std::string line;

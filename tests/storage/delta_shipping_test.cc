@@ -1,0 +1,173 @@
+// Delta-shipping replication: a warm destination re-synced from the same
+// source backend receives only the log records it is missing; everything
+// else (cold destination, checkpoint-truncated log, broken sequence
+// mapping after Recover, cross-source re-sync) falls back to a full
+// snapshot.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "skute/backend/config.h"
+#include "skute/backend/durable_backend.h"
+#include "skute/backend/factory.h"
+#include "skute/storage/replica_store.h"
+
+namespace skute {
+namespace {
+
+BackendFactory DurableFactory() {
+  BackendConfig config;
+  config.kind = BackendKind::kDurable;
+  return BackendFactory(config);
+}
+
+class DeltaShippingTest : public ::testing::Test {
+ protected:
+  DeltaShippingTest() : src_(DurableFactory()), dst_(DurableFactory()) {}
+
+  void SeedSource(int records) {
+    StorageBackend* b = src_.OpenOrCreate(kPid);
+    for (int i = 0; i < records; ++i) {
+      ASSERT_TRUE(
+          b->Put("seed-" + std::to_string(i), std::string(64, 's')).ok());
+    }
+  }
+
+  static constexpr uint64_t kPid = 7;
+  ReplicaStore src_;
+  ReplicaStore dst_;
+};
+
+TEST_F(DeltaShippingTest, WarmResyncShipsOnlyTheDelta) {
+  SeedSource(32);
+  auto cold = dst_.CopyFrom(src_, kPid);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->delta);  // cold destination: full snapshot
+  EXPECT_GT(cold->bytes, 0u);
+
+  // A few appends later, the warm destination needs only those records.
+  StorageBackend* from = src_.Find(kPid);
+  ASSERT_TRUE(from->Put("new-1", "n1").ok());
+  ASSERT_TRUE(from->Put("new-2", "n2").ok());
+  auto warm = dst_.CopyFrom(src_, kPid);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->delta);
+  EXPECT_GT(warm->bytes, 0u);
+  EXPECT_LT(warm->bytes, cold->bytes);  // 2 records vs 32
+
+  StorageBackend* to = dst_.Find(kPid);
+  EXPECT_EQ(to->Count(), 34u);
+  EXPECT_EQ(*to->Get("new-2"), "n2");
+  EXPECT_EQ(from->io().delta_bytes_out, warm->bytes);
+  EXPECT_EQ(to->io().delta_bytes_in, warm->bytes);
+}
+
+TEST_F(DeltaShippingTest, DeltaCarriesDeletes) {
+  SeedSource(8);
+  ASSERT_TRUE(dst_.CopyFrom(src_, kPid).ok());
+  ASSERT_TRUE(src_.Find(kPid)->Delete("seed-3").ok());
+  auto warm = dst_.CopyFrom(src_, kPid);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->delta);
+  EXPECT_TRUE(dst_.Find(kPid)->Get("seed-3").status().IsNotFound());
+  EXPECT_EQ(dst_.Find(kPid)->Count(), 7u);
+}
+
+TEST_F(DeltaShippingTest, UpToDateDestinationShipsAnEmptyDelta) {
+  SeedSource(4);
+  ASSERT_TRUE(dst_.CopyFrom(src_, kPid).ok());
+  auto again = dst_.CopyFrom(src_, kPid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->delta);
+  EXPECT_EQ(again->bytes, 0u);  // nothing since the sync point
+  EXPECT_EQ(dst_.Find(kPid)->Count(), 4u);
+}
+
+TEST_F(DeltaShippingTest, CheckpointForcesSnapshotFallback) {
+  SeedSource(16);
+  ASSERT_TRUE(dst_.CopyFrom(src_, kPid).ok());
+  // An append the destination never saw, then a checkpoint that truncates
+  // it out of the log: the destination's sync point now predates what the
+  // log reaches back to, so the re-sync must snapshot.
+  StorageBackend* from = src_.Find(kPid);
+  ASSERT_TRUE(from->Put("pre-ckpt", "x").ok());
+  from->Checkpoint();
+  ASSERT_TRUE(from->Put("post-ckpt", "p").ok());
+  auto resync = dst_.CopyFrom(src_, kPid);
+  ASSERT_TRUE(resync.ok());
+  EXPECT_FALSE(resync->delta);
+  StorageBackend* to = dst_.Find(kPid);
+  EXPECT_EQ(to->Count(), 18u);
+  EXPECT_EQ(*to->Get("pre-ckpt"), "x");
+  EXPECT_EQ(*to->Get("post-ckpt"), "p");
+
+  // But the fallback re-arms the warm path: the next append ships a delta
+  // (the sync origin was refreshed to the post-checkpoint sequence).
+  ASSERT_TRUE(from->Put("post-ckpt-2", "q").ok());
+  auto warm = dst_.CopyFrom(src_, kPid);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->delta);
+  EXPECT_EQ(*dst_.Find(kPid)->Get("post-ckpt-2"), "q");
+}
+
+TEST_F(DeltaShippingTest, RecoverDisablesDeltaExport) {
+  // Recover() replays a foreign log over live state, which breaks the
+  // local-to-global sequence mapping — the backend must refuse deltas
+  // rather than ship records under wrong sequence numbers.
+  DurableBackend source;
+  ASSERT_TRUE(source.Put("a", "1").ok());
+  const std::string log = source.log();
+  DurableBackend other;
+  ASSERT_TRUE(other.Put("b", "2").ok());  // non-empty: mapping breaks
+  ASSERT_TRUE(other.Recover(log).ok());
+  EXPECT_FALSE(other.SupportsDeltaExport());
+  EXPECT_FALSE(other.ExportDelta(0).ok());
+}
+
+TEST_F(DeltaShippingTest, DifferentSourceForcesSnapshot) {
+  // A destination warm from source A re-synced from source B must not
+  // apply B's delta (the sequence spaces are unrelated).
+  SeedSource(8);
+  ASSERT_TRUE(dst_.CopyFrom(src_, kPid).ok());
+
+  ReplicaStore src_b(DurableFactory());
+  StorageBackend* b = src_b.OpenOrCreate(kPid);
+  ASSERT_TRUE(b->Put("only-b", "bb").ok());
+  auto from_b = dst_.CopyFrom(src_b, kPid);
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_FALSE(from_b->delta);
+  // The warm destination was wiped first: replication means "become this
+  // replica", so none of A's keys may survive.
+  StorageBackend* to = dst_.Find(kPid);
+  EXPECT_EQ(to->Count(), 1u);
+  EXPECT_EQ(*to->Get("only-b"), "bb");
+  EXPECT_TRUE(to->Get("seed-0").status().IsNotFound());
+}
+
+TEST_F(DeltaShippingTest, MoveFromWarmDestinationShipsDelta) {
+  SeedSource(16);
+  ASSERT_TRUE(dst_.CopyFrom(src_, kPid).ok());
+  ASSERT_TRUE(src_.Find(kPid)->Put("moved", "m").ok());
+  auto moved = dst_.MoveFrom(&src_, kPid);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_TRUE(moved->delta);
+  EXPECT_GT(moved->bytes, 0u);
+  EXPECT_EQ(src_.Find(kPid), nullptr);  // migration retires the source
+  EXPECT_EQ(*dst_.Find(kPid)->Get("moved"), "m");
+  EXPECT_EQ(dst_.Find(kPid)->Count(), 17u);
+}
+
+TEST_F(DeltaShippingTest, MemoryBackendsNeverShipDeltas) {
+  ReplicaStore mem_src, mem_dst;
+  ASSERT_TRUE(mem_src.OpenOrCreate(kPid)->Put("k", "v").ok());
+  ASSERT_TRUE(mem_dst.CopyFrom(mem_src, kPid).ok());
+  ASSERT_TRUE(mem_src.Find(kPid)->Put("k2", "v2").ok());
+  auto resync = mem_dst.CopyFrom(mem_src, kPid);
+  ASSERT_TRUE(resync.ok());
+  EXPECT_FALSE(resync->delta);  // no log, no delta — snapshot every time
+  EXPECT_EQ(mem_dst.Find(kPid)->Count(), 2u);
+}
+
+}  // namespace
+}  // namespace skute

@@ -117,7 +117,7 @@ TEST(ReplicaStoreTest, CopyFromOtherServer) {
   ASSERT_TRUE(src.OpenOrCreate(3)->Put("k", "v").ok());
   auto streamed = dst.CopyFrom(src, 3);
   ASSERT_TRUE(streamed.ok());
-  EXPECT_GT(*streamed, 0u);  // snapshot bytes crossed the "wire"
+  EXPECT_GT(streamed->bytes, 0u);  // snapshot bytes crossed the "wire"
   ASSERT_NE(dst.Find(3), nullptr);
   EXPECT_EQ(*dst.Find(3)->Get("k"), "v");
   // Source keeps its copy (replication, not migration).
