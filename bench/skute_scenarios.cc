@@ -6,6 +6,7 @@
 //                   [--csv] [--threads=T] [--backend=memory|durable|file]
 //                   [--placement=economic|static] [--out=FILE]
 //                   [--trace=FILE] [--metrics-json=FILE]
+//                   [--serve[=PORT]] [--net-clients=N]
 //
 // Every registered scenario — the seven ported paper/ablation
 // experiments plus the composed ones — runs through the same
@@ -29,7 +30,8 @@ void PrintUsage() {
       "                       [--sample=K] [--csv] [--threads=T]\n"
       "                       [--backend=memory|durable|file]\n"
       "                       [--placement=economic|static] [--out=FILE]\n"
-      "                       [--trace=FILE] [--metrics-json=FILE]\n");
+      "                       [--trace=FILE] [--metrics-json=FILE]\n"
+      "                       [--serve[=PORT]] [--net-clients=N]\n");
 }
 
 void PrintList() {

@@ -1,0 +1,53 @@
+#ifndef SKUTE_CORE_NET_STATS_H_
+#define SKUTE_CORE_NET_STATS_H_
+
+#include <cstdint>
+
+namespace skute {
+
+/// \brief Service-plane accounting: what the wire protocol and the
+/// connection acceptor (skute/net) did, counted at the real call sites.
+/// Lives in core (like CommStats) so the store can own a per-epoch and a
+/// lifetime instance without depending on the net plane; the metrics CSV
+/// surfaces the per-epoch one as the net_* columns.
+struct NetStats {
+  /// Connections the acceptor took in.
+  uint64_t conns_accepted = 0;
+  /// Connections turned away at the connection budget (shed-on-overload).
+  uint64_t conns_shed = 0;
+  /// Connections closed (peer hangup, QUIT, drain).
+  uint64_t conns_closed = 0;
+  /// Raw socket traffic.
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  /// Commands dispatched through the store (GET/PUT/DELETE/STATS/QUIT).
+  uint64_t ops = 0;
+  /// Subset answered successfully (VALUE/STORED/DELETED/STATS/BYE).
+  uint64_t ops_ok = 0;
+  /// Subset answered NOT_FOUND (a miss is a served answer, not an error).
+  uint64_t ops_not_found = 0;
+  /// Subset answered ERROR (store-level failure: saturation, lost
+  /// partition, bad ring...).
+  uint64_t ops_error = 0;
+  /// Frames the parser rejected (malformed verb, torn/oversized frame).
+  uint64_t protocol_errors = 0;
+
+  void Clear() { *this = NetStats(); }
+
+  void Accumulate(const NetStats& other) {
+    conns_accepted += other.conns_accepted;
+    conns_shed += other.conns_shed;
+    conns_closed += other.conns_closed;
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+    ops += other.ops;
+    ops_ok += other.ops_ok;
+    ops_not_found += other.ops_not_found;
+    ops_error += other.ops_error;
+    protocol_errors += other.protocol_errors;
+  }
+};
+
+}  // namespace skute
+
+#endif  // SKUTE_CORE_NET_STATS_H_

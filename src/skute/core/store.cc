@@ -245,18 +245,14 @@ Status SkuteStore::PutSized(RingId ring, std::string_view key,
                      &v);
 }
 
-Result<std::string> SkuteStore::Get(RingId ring, std::string_view key) {
-  const uint64_t h = Hash64(key);
-  Partition* p = catalog_.FindPartition(ring, h);
-  if (p == nullptr) return Status::NotFound("unknown ring");
-  if (!p->FindObject(h).ok()) return Status::NotFound("key not found");
-
+Server* SkuteStore::BestLiveReplica(const Partition& p, RingId ring,
+                                    VNodeId* vnode_out) {
   // Replica choice: best proximity, then least loaded this epoch.
   const ClientMix* mix = MixOf(ring);
   Server* best = nullptr;
   VNodeId best_vnode = kInvalidVNode;
   double best_score = 0.0;
-  for (const ReplicaInfo& r : p->replicas()) {
+  for (const ReplicaInfo& r : p.replicas()) {
     Server* s = cluster_->server(r.server);
     if (s == nullptr || !s->online()) continue;
     const double g =
@@ -270,6 +266,18 @@ Result<std::string> SkuteStore::Get(RingId ring, std::string_view key) {
       best_score = score;
     }
   }
+  *vnode_out = best_vnode;
+  return best;
+}
+
+Result<std::string> SkuteStore::Get(RingId ring, std::string_view key) {
+  const uint64_t h = Hash64(key);
+  Partition* p = catalog_.FindPartition(ring, h);
+  if (p == nullptr) return Status::NotFound("unknown ring");
+  if (!p->FindObject(h).ok()) return Status::NotFound("key not found");
+
+  VNodeId best_vnode = kInvalidVNode;
+  Server* best = BestLiveReplica(*p, ring, &best_vnode);
   if (best == nullptr) return Status::Unavailable("all replicas offline");
 
   VirtualNode* v = vnodes_.Find(best_vnode);
@@ -282,6 +290,49 @@ Result<std::string> SkuteStore::Get(RingId ring, std::string_view key) {
   }
   if (v != nullptr) ++v->queries_served;
 
+  if (options_.track_real_data) {
+    const ReplicaStore* rs = replica_data_.Find(best->id());
+    const StorageBackend* store =
+        rs == nullptr ? nullptr : rs->Find(p->id());
+    if (store != nullptr) {
+      auto value = store->Get(key);
+      if (value.ok()) return value;
+    }
+  }
+  return Status::FailedPrecondition(
+      "object exists but value is synthetic (size-only)");
+}
+
+Result<std::string> SkuteStore::ServeGet(RingId ring,
+                                         std::string_view key) {
+  const uint64_t h = Hash64(key);
+  Partition* p = catalog_.FindPartition(ring, h);
+  if (p == nullptr) return Status::NotFound("unknown ring");
+
+  // The routing contract: every live request is requested; it becomes
+  // routed (capacity debited) or lost, exactly like a synthetic batch
+  // query. This happens before the object lookup — a replica answers a
+  // miss with work, so the miss consumes routed capacity too.
+  ++last_route_.requested;
+  VNodeId best_vnode = kInvalidVNode;
+  Server* best = BestLiveReplica(*p, ring, &best_vnode);
+  if (best == nullptr) {
+    ++last_route_.lost;
+    return Status::Unavailable("all replicas offline");
+  }
+  ++last_route_.routed;
+
+  VirtualNode* v = vnodes_.Find(best_vnode);
+  if (v != nullptr) ++v->queries_routed;
+  ++ring_queries_epoch_[ring];
+  ++comm_epoch_.query_msgs;
+  stats_[p->id()].queries += 1;
+  if (best->ServeQueries(1) == 0) {
+    return Status::ResourceExhausted("replica server saturated");
+  }
+  if (v != nullptr) ++v->queries_served;
+
+  if (!p->FindObject(h).ok()) return Status::NotFound("key not found");
   if (options_.track_real_data) {
     const ReplicaStore* rs = replica_data_.Find(best->id());
     const StorageBackend* store =
@@ -475,6 +526,8 @@ EpochContext SkuteStore::MakeEpochContext(
   ctx.ring_spend_total = &ring_spend_total_;
   ctx.comm_epoch = &comm_epoch_;
   ctx.comm_total = &comm_total_;
+  ctx.net_epoch = &net_epoch_;
+  ctx.net_total = &net_total_;
   ctx.last_stats = &last_stats_;
   ctx.last_route = &last_route_;
   ctx.placement_version = &placement_version_;
@@ -493,6 +546,11 @@ void SkuteStore::BeginEpoch() {
 ExecutorStats SkuteStore::EndEpoch() {
   EpochContext ctx = MakeEpochContext(&policies());
   pipeline_.Run(EpochPhase::kEnd, ctx);
+  // The service plane's between-epochs serve window: live connections
+  // get pumped here, after the epoch's stages but before the caller
+  // snapshots metrics — so every served op lands in the epoch whose
+  // capacity it debited. A no-op unless a NetService registered itself.
+  pipeline_.RunServeWindow();
   return last_stats_;
 }
 

@@ -14,6 +14,7 @@
 #include "skute/common/result.h"
 #include "skute/core/comm_stats.h"
 #include "skute/core/decision.h"
+#include "skute/core/net_stats.h"
 #include "skute/core/executor.h"
 #include "skute/core/policy.h"
 #include "skute/core/query_routing.h"
@@ -125,6 +126,16 @@ class SkuteStore {
   /// Deletes a key from the catalog and all replicas.
   Status Delete(RingId ring, std::string_view key);
 
+  /// The service plane's single-key read: Get plus the routing contract
+  /// the synthetic batch path keeps. Every live-traffic request counts
+  /// as requested in last_route(); replica selection debits the chosen
+  /// server's ServeQueries capacity *before* the object lookup (a miss
+  /// still consumed a routed query, exactly like a synthetic query whose
+  /// key hash matches no object), and a partition with zero live
+  /// replicas counts as lost. This is what makes served wire ops visible
+  /// to the availability economics alongside RouteQueryBatch traffic.
+  Result<std::string> ServeGet(RingId ring, std::string_view key);
+
   /// Put with a materialized synthetic value of `value_bytes` bytes: the
   /// real-data sibling of PutSynthetic. What the simulator's --real-data
   /// mode drives, so durable/file backends see genuine write traffic
@@ -223,6 +234,19 @@ class SkuteStore {
   const CommStats& comm_this_epoch() const { return comm_epoch_; }
   const CommStats& comm_total() const { return comm_total_; }
 
+  /// Service-plane counters of the current/just-closed epoch (what the
+  /// skute/net acceptor and dispatcher did in this epoch's serve
+  /// windows; all-zero without a server attached).
+  const NetStats& net_this_epoch() const { return net_epoch_; }
+  /// Lifetime service-plane totals including the open epoch.
+  NetStats net_lifetime() const {
+    NetStats total = net_total_;
+    total.Accumulate(net_epoch_);
+    return total;
+  }
+  /// The sink the net plane's acceptor/dispatcher write into.
+  NetStats* mutable_net_stats() { return &net_epoch_; }
+
   /// The client geo-distribution of a ring (nullptr = uniform).
   const ClientMix* client_mix(RingId ring) const { return MixOf(ring); }
 
@@ -265,6 +289,10 @@ class SkuteStore {
 
   Status ApplyUpsert(RingId ring, uint64_t key_hash, uint32_t size_bytes,
                      std::string_view key, const std::string* value);
+  /// Best live replica of `p` for a single-key read: proximity-weighted,
+  /// then least-loaded this epoch (the Get/ServeGet selection rule).
+  Server* BestLiveReplica(const Partition& p, RingId ring,
+                          VNodeId* vnode_out);
   Status ReserveOnReplicas(Partition* p, int64_t delta);
   void MaybeSplit(Partition* p);
   void PlaceSiblingReplicas(Partition* parent, Partition* sibling);
@@ -307,6 +335,8 @@ class SkuteStore {
   RouteResult last_route_;
   CommStats comm_epoch_;
   CommStats comm_total_;
+  NetStats net_epoch_;
+  NetStats net_total_;
   uint64_t placement_version_ = 0;
 };
 

@@ -9,6 +9,7 @@
 #include "skute/common/random.h"
 #include "skute/core/comm_stats.h"
 #include "skute/core/decision.h"
+#include "skute/core/net_stats.h"
 #include "skute/core/executor.h"
 #include "skute/core/policy.h"
 #include "skute/core/query_routing.h"
@@ -64,6 +65,11 @@ class EpochContext {
   std::vector<double>* ring_spend_total = nullptr;
   CommStats* comm_epoch = nullptr;
   CommStats* comm_total = nullptr;
+  /// Service-plane counters (skute/net); rolled into net_total and
+  /// cleared by PublishPricesStage. Always non-null when built by the
+  /// store — the counters just stay zero with no server attached.
+  NetStats* net_epoch = nullptr;
+  NetStats* net_total = nullptr;
   ExecutorStats* last_stats = nullptr;
   /// The store's per-epoch routing totals (cleared by PublishPricesStage,
   /// accumulated by the store after each RouteStage run).

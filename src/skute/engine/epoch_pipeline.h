@@ -1,7 +1,9 @@
 #ifndef SKUTE_ENGINE_EPOCH_PIPELINE_H_
 #define SKUTE_ENGINE_EPOCH_PIPELINE_H_
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "skute/common/histogram.h"
@@ -63,6 +65,23 @@ class EpochPipeline {
     return timings_;
   }
 
+  /// Registers the service plane's between-epochs serve window: the data
+  /// plane (skute/net) pumps live connections here while the epoch engine
+  /// runs underneath as the control plane. SkuteStore::EndEpoch invokes
+  /// it once after the kEnd stages — before the caller snapshots metrics,
+  /// so served ops land in the epoch they debited capacity from. Unset
+  /// (the default) is a no-op: runs without a server stay bit-identical.
+  void SetServeWindow(std::function<void()> fn) {
+    serve_window_ = std::move(fn);
+  }
+
+  /// Runs the registered serve window, if any.
+  void RunServeWindow() {
+    if (serve_window_) serve_window_();
+  }
+
+  bool has_serve_window() const { return static_cast<bool>(serve_window_); }
+
   /// The cross-epoch shard-plan cache Run() wires into every context.
   const ShardPlanCache& shard_plan_cache() const { return plan_cache_; }
 
@@ -76,6 +95,7 @@ class EpochPipeline {
   std::vector<StageTiming> timings_;  // parallel to stages_
   ShardPlanCache plan_cache_;
   std::unique_ptr<WorkerPool> pool_;  // lazily created, reused per epoch
+  std::function<void()> serve_window_;  // service plane's data-plane pump
 };
 
 }  // namespace skute

@@ -23,6 +23,13 @@ void PublishPricesStage::Run(EpochContext& ctx) {
             0.0);
   ctx.comm_epoch->Clear();
   ctx.comm_epoch->board_msgs += ctx.cluster->online_count();
+  if (ctx.net_epoch != nullptr) {
+    // Service-plane counters roll into the lifetime totals at the epoch
+    // boundary, mirroring how the metrics CSV reads comm_epoch: the
+    // per-epoch struct covers exactly one epoch's serve windows.
+    if (ctx.net_total != nullptr) ctx.net_total->Accumulate(*ctx.net_epoch);
+    ctx.net_epoch->Clear();
+  }
   if (ctx.last_route != nullptr) *ctx.last_route = RouteResult();
 }
 

@@ -1,0 +1,198 @@
+#include "skute/net/acceptor.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "skute/common/logging.h"
+
+namespace skute {
+namespace net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Acceptor::Acceptor(Options options, Dispatcher* dispatcher, NetStats* stats)
+    : options_(std::move(options)), dispatcher_(dispatcher), stats_(stats) {}
+
+Acceptor::~Acceptor() {
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status Acceptor::Listen() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("acceptor already listening");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Unavailable(std::string("bind: ") + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    Status st =
+        Status::Unavailable(std::string("listen: ") + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return Status::Unavailable("fcntl(O_NONBLOCK) failed");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return Status::Unavailable("getsockname failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void Acceptor::Shed(int fd) {
+  // Over budget: answer loudly, close immediately, count it. A silent
+  // queue would hide the overload from both the client and the metrics.
+  std::string reply;
+  EncodeError(Status::ResourceExhausted("connection budget exhausted"),
+              &reply);
+  ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);  // best effort
+  ::close(fd);
+  stats_->conns_shed++;
+  SKUTE_LOG(kWarning) << "net: shed connection (budget "
+                      << options_.max_connections << " live "
+                      << conns_.size() << ")";
+}
+
+void Acceptor::AcceptReady() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN/EWOULDBLOCK or transient accept error: done
+    }
+    if (conns_.size() >= options_.max_connections) {
+      Shed(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    stats_->conns_accepted++;
+    conns_.push_back(std::make_unique<Connection>(fd, options_.limits));
+  }
+}
+
+int Acceptor::Pump(int timeout_ms) {
+  // Reap up front: a drained connection whose output was already empty
+  // raises no poll event, so the post-poll sweep alone would miss it.
+  auto finished = [](const std::unique_ptr<Connection>& c) {
+    return c->finished();
+  };
+  size_t before = conns_.size();
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(), finished),
+               conns_.end());
+  stats_->conns_closed += before - conns_.size();
+
+  if (listen_fd_ < 0 && conns_.empty()) return 0;
+
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  size_t listen_slot = SIZE_MAX;
+  if (listen_fd_ >= 0) {
+    listen_slot = fds.size();
+    fds.push_back({listen_fd_, POLLIN, 0});
+  }
+  size_t conn_base = fds.size();
+  for (const auto& conn : conns_) {
+    short events = POLLIN;
+    if (conn->wants_write()) events |= POLLOUT;
+    fds.push_back({conn->fd(), events, 0});
+  }
+
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  if (listen_slot != SIZE_MAX && (fds[listen_slot].revents & POLLIN)) {
+    AcceptReady();
+  }
+  // conns_ may have grown during accept; only the polled prefix has
+  // revents to act on.
+  size_t polled = fds.size() - conn_base;
+  for (size_t i = 0; i < polled; ++i) {
+    short revents = fds[conn_base + i].revents;
+    if (revents == 0) continue;
+    Connection* conn = conns_[i].get();
+    if (revents & (POLLIN | POLLHUP | POLLERR)) {
+      conn->OnReadable(dispatcher_, stats_);
+    } else if (revents & POLLOUT) {
+      conn->OnWritable(stats_);
+    }
+  }
+
+  before = conns_.size();
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(), finished),
+               conns_.end());
+  stats_->conns_closed += before - conns_.size();
+  return ready;
+}
+
+void Acceptor::Drain(int deadline_ms) {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& conn : conns_) conn->StartDrain();
+  // Pump until every output buffer is flushed or the deadline passes.
+  // Rounds poll with a short timeout, so the deadline is approximate.
+  int spent_ms = 0;
+  const int round_ms = 10;
+  while (!conns_.empty() && spent_ms < deadline_ms) {
+    Pump(round_ms);
+    spent_ms += round_ms;
+  }
+  if (!conns_.empty()) {
+    SKUTE_LOG(kWarning) << "net: drain deadline hit with " << conns_.size()
+                        << " connections still open";
+    stats_->conns_closed += conns_.size();
+    conns_.clear();
+  }
+}
+
+}  // namespace net
+}  // namespace skute

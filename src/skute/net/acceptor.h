@@ -1,0 +1,74 @@
+#ifndef SKUTE_NET_ACCEPTOR_H_
+#define SKUTE_NET_ACCEPTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skute/common/status.h"
+#include "skute/core/net_stats.h"
+#include "skute/net/connection.h"
+
+namespace skute {
+namespace net {
+
+/// \brief Non-blocking connection acceptor over a listen socket.
+///
+/// Single-threaded by design: the owner pumps it from the serve window
+/// between epochs (or from a test loop). One Pump() round polls the
+/// listen socket plus every live connection once, accepts within the
+/// connection budget — turning excess clients away loudly rather than
+/// queueing them — and drives each ready connection's
+/// read→parse→dispatch→write machine.
+class Acceptor {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;  ///< 0 picks an ephemeral port; see port() after Listen
+    int backlog = 64;
+    /// Live-connection budget. Connections beyond it are shed with an
+    /// ERROR line and an immediate close (counted in NetStats).
+    size_t max_connections = 64;
+    FrameParser::Limits limits;
+  };
+
+  Acceptor(Options options, Dispatcher* dispatcher, NetStats* stats);
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Opens, binds, and listens. On success port() is the bound port.
+  Status Listen();
+
+  /// One poll round: accept new clients, service ready connections,
+  /// reap finished ones. Returns the number of fds that had activity
+  /// (0 means an idle round). `timeout_ms` 0 makes the round
+  /// non-blocking; > 0 sleeps in poll(2) awaiting activity.
+  int Pump(int timeout_ms);
+
+  /// Graceful shutdown: stop accepting, let every connection flush its
+  /// output, then close. Gives up (and hard-closes) after
+  /// `deadline_ms` of pumping.
+  void Drain(int deadline_ms);
+
+  int port() const { return port_; }
+  size_t live_connections() const { return conns_.size(); }
+  bool listening() const { return listen_fd_ >= 0; }
+
+ private:
+  void AcceptReady();
+  void Shed(int fd);
+
+  Options options_;
+  Dispatcher* dispatcher_;
+  NetStats* stats_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace net
+}  // namespace skute
+
+#endif  // SKUTE_NET_ACCEPTOR_H_

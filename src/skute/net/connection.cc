@@ -1,0 +1,80 @@
+#include "skute/net/connection.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace skute {
+namespace net {
+
+Connection::Connection(int fd, FrameParser::Limits limits)
+    : fd_(fd), parser_(limits) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::finished() const {
+  if (error_) return true;
+  if (peer_closed_ && out_.empty()) return true;
+  return draining_ && out_.empty();
+}
+
+void Connection::OnReadable(Dispatcher* dispatcher, NetStats* stats) {
+  if (draining_ || error_) return;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats->bytes_in += static_cast<uint64_t>(n);
+      parser_.Append(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    error_ = true;
+    return;
+  }
+
+  Command cmd;
+  Status status;
+  while (true) {
+    FrameParser::Outcome outcome = parser_.Next(&cmd, &status);
+    if (outcome == FrameParser::Outcome::kNeedMore) break;
+    if (outcome == FrameParser::Outcome::kError) {
+      // A malformed frame gets a typed ERROR reply; the parser has
+      // already resynchronised, so the stream keeps flowing.
+      stats->protocol_errors++;
+      EncodeError(status, &out_);
+      continue;
+    }
+    if (!dispatcher->Dispatch(cmd, &out_, stats)) {
+      draining_ = true;  // QUIT: close once the BYE is flushed
+      break;
+    }
+  }
+
+  OnWritable(stats);
+}
+
+void Connection::OnWritable(NetStats* stats) {
+  while (!out_.empty()) {
+    ssize_t n = ::send(fd_, out_.data(), out_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      stats->bytes_out += static_cast<uint64_t>(n);
+      out_.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    error_ = true;
+    return;
+  }
+}
+
+}  // namespace net
+}  // namespace skute

@@ -1,0 +1,70 @@
+#ifndef SKUTE_NET_CONNECTION_H_
+#define SKUTE_NET_CONNECTION_H_
+
+#include <string>
+
+#include "skute/core/net_stats.h"
+#include "skute/net/protocol.h"
+
+namespace skute {
+namespace net {
+
+/// \brief Where a connection's parsed commands go. The acceptor is
+/// transport only; the store-facing dispatcher (see service.h) maps
+/// commands onto the query plane and encodes the reply.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Handles one command, appending the wire reply to *out. Returns
+  /// false when the connection should close once the reply is flushed
+  /// (QUIT). Accounting for the op goes into *stats.
+  virtual bool Dispatch(const Command& cmd, std::string* out,
+                        NetStats* stats) = 0;
+};
+
+/// \brief One accepted client socket: read → parse → dispatch → write.
+///
+/// The socket is non-blocking; OnReadable/OnWritable are driven by the
+/// acceptor's poll loop and never block. Replies queue in an output
+/// buffer so pipelined commands and short writes both work. The
+/// connection owns its fd and closes it on destruction.
+class Connection {
+ public:
+  Connection(int fd, FrameParser::Limits limits);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Drains the socket's receive buffer through the parser, dispatching
+  /// every complete command. Protocol errors are answered with an ERROR
+  /// line (and counted) without closing the stream.
+  void OnReadable(Dispatcher* dispatcher, NetStats* stats);
+
+  /// Flushes as much of the output buffer as the socket will take.
+  void OnWritable(NetStats* stats);
+
+  /// Stops reading; the connection finishes once the output buffer is
+  /// flushed (graceful drain).
+  void StartDrain() { draining_ = true; }
+
+  int fd() const { return fd_; }
+  bool wants_write() const { return !out_.empty(); }
+  /// True once the connection should be destroyed: peer closed, fatal
+  /// socket error, or drain/QUIT with the output flushed.
+  bool finished() const;
+
+ private:
+  int fd_;
+  FrameParser parser_;
+  std::string out_;
+  bool draining_ = false;   ///< stop reading; close after flush
+  bool peer_closed_ = false;
+  bool error_ = false;
+};
+
+}  // namespace net
+}  // namespace skute
+
+#endif  // SKUTE_NET_CONNECTION_H_

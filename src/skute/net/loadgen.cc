@@ -1,0 +1,264 @@
+#include "skute/net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "skute/common/random.h"
+
+namespace skute {
+namespace net {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal buffered reader over a blocking socket: CRLF lines and
+/// fixed-size payloads. Returns false on EOF, timeout, or error.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t crlf = buf_.find("\r\n");
+      if (crlf != std::string::npos) {
+        line->assign(buf_, 0, crlf);
+        buf_.erase(0, crlf + 2);
+        return true;
+      }
+      if (!Fill()) return false;
+    }
+  }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    while (buf_.size() < n) {
+      if (!Fill()) return false;
+    }
+    out->assign(buf_, 0, n);
+    buf_.erase(0, n);
+    return true;
+  }
+
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    while (true) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        bytes_received_ += static_cast<uint64_t>(n);
+        buf_.append(chunk, static_cast<size_t>(n));
+        return true;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF, timeout, or error
+    }
+  }
+
+  int fd_;
+  std::string buf_;
+  uint64_t bytes_received_ = 0;
+};
+
+bool SendAll(int fd, const std::string& data, uint64_t* bytes_sent) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  *bytes_sent += data.size();
+  return true;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+struct LoadGen::ClientState {
+  int index = 0;
+  uint64_t seed = 0;
+  LoadGenReport report;
+};
+
+LoadGen::LoadGen(Options options) : options_(std::move(options)) {
+  if (options_.clients < 1) options_.clients = 1;
+  if (options_.keyspace == 0) options_.keyspace = 1;
+  if (options_.rings.empty()) options_.rings = {0};
+}
+
+LoadGen::~LoadGen() {
+  if (started_ && !joined_) {
+    RequestStop();
+    (void)Join();
+  }
+}
+
+Status LoadGen::Start() {
+  if (started_) return Status::FailedPrecondition("loadgen already started");
+  started_ = true;
+  states_.reserve(static_cast<size_t>(options_.clients));
+  threads_.reserve(static_cast<size_t>(options_.clients));
+  for (int i = 0; i < options_.clients; ++i) {
+    auto state = std::make_unique<ClientState>();
+    state->index = i;
+    state->seed = options_.seed + static_cast<uint64_t>(i) * 0x9e3779b9ull;
+    states_.push_back(std::move(state));
+  }
+  for (auto& state : states_) {
+    threads_.emplace_back([this, s = state.get()] { RunClient(s); });
+  }
+  return Status::OK();
+}
+
+LoadGenReport LoadGen::Join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  LoadGenReport merged;
+  for (const auto& state : states_) {
+    const LoadGenReport& r = state->report;
+    merged.ops += r.ops;
+    merged.ok += r.ok;
+    merged.not_found += r.not_found;
+    merged.errors += r.errors;
+    merged.transport_errors += r.transport_errors;
+    merged.bytes_sent += r.bytes_sent;
+    merged.bytes_received += r.bytes_received;
+    merged.seconds = std::max(merged.seconds, r.seconds);
+    merged.latency_ms.Merge(r.latency_ms);
+  }
+  return merged;
+}
+
+void LoadGen::RunClient(ClientState* state) {
+  LoadGenReport& report = state->report;
+  Rng rng(state->seed);
+
+  int fd = -1;
+  // The server may still be binding when clients spin up: retry briefly.
+  for (int attempt = 0; attempt < 50 && fd < 0; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0) {
+      ::close(fd);
+      fd = -1;
+      ::usleep(20 * 1000);
+    }
+  }
+  if (fd < 0) {
+    report.transport_errors++;
+    finished_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  timeval tv;
+  tv.tv_sec = options_.recv_timeout_ms / 1000;
+  tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  LineReader reader(fd);
+  const double start = NowSeconds();
+  uint64_t ops_done = 0;
+  std::string request;
+  std::string line;
+  std::string payload;
+
+  while (!stop_.load(std::memory_order_relaxed) &&
+         (options_.max_ops_per_client == 0 ||
+          ops_done < options_.max_ops_per_client)) {
+    const uint64_t key_idx = rng.Zipf(options_.keyspace, options_.zipf_s);
+    const RingId ring =
+        options_.rings[static_cast<size_t>(ops_done) %
+                       options_.rings.size()];
+    const std::string key = "lg:" + std::to_string(key_idx);
+    const bool is_put = rng.Bernoulli(options_.put_fraction);
+
+    request.clear();
+    if (is_put) {
+      const std::string value(
+          options_.value_bytes,
+          static_cast<char>('a' + static_cast<char>(key_idx % 26)));
+      request += "PUT " + std::to_string(ring) + " " + key + " " +
+                 std::to_string(value.size()) + "\r\n";
+      request += value;
+      request += "\r\n";
+    } else {
+      request += "GET " + std::to_string(ring) + " " + key + "\r\n";
+    }
+
+    const double op_start = NowSeconds();
+    if (!SendAll(fd, request, &report.bytes_sent)) {
+      report.transport_errors++;
+      break;
+    }
+    if (!reader.ReadLine(&line)) {
+      report.transport_errors++;
+      break;
+    }
+    bool transport_ok = true;
+    if (StartsWith(line, "VALUE ")) {
+      // "VALUE <key> <n>" — consume the payload and the END line.
+      size_t space = line.rfind(' ');
+      size_t nbytes =
+          space == std::string::npos
+              ? 0
+              : static_cast<size_t>(strtoull(line.c_str() + space + 1,
+                                             nullptr, 10));
+      transport_ok = reader.ReadBytes(nbytes + 2, &payload) &&
+                     reader.ReadLine(&line);
+      if (transport_ok) report.ok++;
+    } else if (StartsWith(line, "STORED") || StartsWith(line, "DELETED")) {
+      report.ok++;
+    } else if (StartsWith(line, "NOT_FOUND")) {
+      report.not_found++;
+    } else {
+      report.errors++;  // ERROR ... (or anything unexpected)
+    }
+    if (!transport_ok) {
+      report.transport_errors++;
+      break;
+    }
+    report.ops++;
+    ops_done++;
+    report.latency_ms.Add((NowSeconds() - op_start) * 1000.0);
+  }
+
+  // Polite goodbye; best effort (the server may already be draining).
+  (void)SendAll(fd, "QUIT\r\n", &report.bytes_sent);
+  (void)reader.ReadLine(&line);
+  report.bytes_received = reader.bytes_received();
+  report.seconds = NowSeconds() - start;
+  ::close(fd);
+  finished_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace net
+}  // namespace skute

@@ -1,0 +1,105 @@
+#ifndef SKUTE_NET_LOADGEN_H_
+#define SKUTE_NET_LOADGEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "skute/common/histogram.h"
+#include "skute/common/status.h"
+#include "skute/ring/partition.h"
+
+namespace skute {
+namespace net {
+
+/// \brief Aggregate outcome of one load-generator run.
+struct LoadGenReport {
+  uint64_t ops = 0;
+  uint64_t ok = 0;          ///< VALUE/STORED/DELETED replies
+  uint64_t not_found = 0;   ///< NOT_FOUND replies (expected misses)
+  uint64_t errors = 0;      ///< ERROR replies (server-side refusals)
+  uint64_t transport_errors = 0;  ///< connect/send/recv failures
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  double seconds = 0.0;     ///< wall time from first to last op
+  Histogram latency_ms;     ///< per-op round-trip latency
+
+  double OpsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+  }
+};
+
+/// \brief Closed-loop load generator against a live NetService.
+///
+/// N client threads each open one blocking connection and issue a
+/// GET/PUT mix over a zipfian-sampled keyspace, one op in flight per
+/// client (closed loop: the server's between-epochs serve cadence sets
+/// the pace). Threads share nothing but the stop flag and a finished
+/// counter; per-thread reports merge after Join, so the loadgen is
+/// TSan-clean by construction.
+class LoadGen {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    int clients = 4;
+    uint64_t seed = 42;
+    /// Operation mix: fraction of PUTs (the rest are GETs).
+    double put_fraction = 0.2;
+    /// Keys are "lg:<i>" for i in [0, keyspace), zipf-sampled.
+    uint64_t keyspace = 1000;
+    /// Zipf skew; 0 = uniform.
+    double zipf_s = 0.99;
+    uint32_t value_bytes = 64;
+    /// Ring indices to spread ops across (round-robin per op).
+    std::vector<RingId> rings = {0};
+    /// Per-client op budget; 0 = run until RequestStop().
+    uint64_t max_ops_per_client = 0;
+    /// Blocking-socket receive timeout (a wedged server fails the
+    /// client op instead of hanging the thread).
+    int recv_timeout_ms = 5000;
+  };
+
+  explicit LoadGen(Options options);
+  ~LoadGen();
+
+  LoadGen(const LoadGen&) = delete;
+  LoadGen& operator=(const LoadGen&) = delete;
+
+  /// Spawns the client threads. Call once.
+  Status Start();
+
+  /// Asks every client to finish its in-flight op and disconnect.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True once every client thread has run to completion. The server
+  /// loop polls this while pumping serve windows, because a closed-loop
+  /// client can only finish if the server keeps answering.
+  bool Finished() const {
+    return finished_.load(std::memory_order_acquire) ==
+           static_cast<int>(threads_.size());
+  }
+
+  /// Joins all threads and merges the per-client reports.
+  LoadGenReport Join();
+
+ private:
+  struct ClientState;
+  void RunClient(ClientState* state);
+
+  Options options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> finished_{0};
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<ClientState>> states_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace net
+}  // namespace skute
+
+#endif  // SKUTE_NET_LOADGEN_H_

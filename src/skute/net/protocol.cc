@@ -1,0 +1,292 @@
+#include "skute/net/protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace skute {
+namespace net {
+
+namespace {
+
+/// Splits `line` on single spaces into at most `max_tokens` pieces.
+/// Returns the token count, or 0 if the line is empty or has leading,
+/// trailing, or doubled spaces (the grammar is exactly one space
+/// between tokens — anything else is malformed).
+int Tokenize(std::string_view line, std::string_view* tokens,
+             int max_tokens) {
+  if (line.empty()) return 0;
+  int count = 0;
+  size_t start = 0;
+  while (count < max_tokens) {
+    size_t space = line.find(' ', start);
+    std::string_view token = (space == std::string_view::npos)
+                                 ? line.substr(start)
+                                 : line.substr(start, space - start);
+    if (token.empty()) return 0;  // leading/doubled/trailing space
+    tokens[count++] = token;
+    if (space == std::string_view::npos) return count;
+    start = space + 1;
+  }
+  return 0;  // more tokens than any command takes
+}
+
+/// Strict decimal parse: digits only, bounded, no sign.
+bool ParseU64(std::string_view token, uint64_t max, uint64_t* out) {
+  if (token.empty() || token.size() > 19) return false;
+  uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (v > max) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string_view VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kGet:
+      return "GET";
+    case Verb::kPut:
+      return "PUT";
+    case Verb::kDelete:
+      return "DEL";
+    case Verb::kStats:
+      return "STATS";
+    case Verb::kQuit:
+      return "QUIT";
+  }
+  return "?";
+}
+
+void FrameParser::Append(std::string_view bytes) {
+  Compact();
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void FrameParser::Compact() {
+  // Drop the already-consumed prefix once it dominates the buffer, so a
+  // long-lived pipelining connection doesn't grow the buffer unboundedly.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+FrameParser::Outcome FrameParser::Next(Command* out, Status* error) {
+  while (true) {
+    const size_t available = buffer_.size() - consumed_;
+    switch (state_) {
+      case State::kLine: {
+        size_t crlf = buffer_.find("\r\n", consumed_);
+        if (crlf == std::string::npos) {
+          if (available > limits_.max_line_bytes) {
+            // No terminator within the budget: reject the frame and
+            // swallow the rest of the line as it arrives.
+            state_ = State::kDiscardLine;
+            discard_seen_cr_ = !buffer_.empty() && buffer_.back() == '\r';
+            consumed_ = buffer_.size();
+            *error = Status::ResourceExhausted(
+                "command line exceeds max_line_bytes");
+            return Outcome::kError;
+          }
+          return Outcome::kNeedMore;
+        }
+        std::string_view line(buffer_.data() + consumed_, crlf - consumed_);
+        consumed_ = crlf + 2;  // past the CRLF: resynced whatever happens
+        if (line.size() > limits_.max_line_bytes) {
+          *error = Status::ResourceExhausted(
+              "command line exceeds max_line_bytes");
+          return Outcome::kError;
+        }
+        Result<Command> parsed = ParseLine(line);
+        if (!parsed.ok()) {
+          *error = parsed.status();
+          return Outcome::kError;
+        }
+        if (state_ == State::kValue) continue;  // PUT: payload next
+        *out = std::move(parsed).value();
+        return Outcome::kCommand;
+      }
+
+      case State::kValue: {
+        if (available < value_needed_ + 2) return Outcome::kNeedMore;
+        std::string_view payload(buffer_.data() + consumed_, value_needed_);
+        std::string_view tail(buffer_.data() + consumed_ + value_needed_, 2);
+        consumed_ += value_needed_ + 2;
+        state_ = State::kLine;
+        if (tail != "\r\n") {
+          *error = Status::InvalidArgument(
+              "PUT payload not CRLF-terminated");
+          return Outcome::kError;
+        }
+        pending_.value.assign(payload.data(), payload.size());
+        *out = std::move(pending_);
+        pending_ = Command();
+        return Outcome::kCommand;
+      }
+
+      case State::kDiscardLine: {
+        // Swallow bytes until the CRLF that ends the oversized line,
+        // tracking a CR torn across reads.
+        for (size_t i = consumed_; i < buffer_.size(); ++i) {
+          if (discard_seen_cr_ && buffer_[i] == '\n') {
+            consumed_ = i + 1;
+            discard_seen_cr_ = false;
+            state_ = State::kLine;
+            break;
+          }
+          discard_seen_cr_ = (buffer_[i] == '\r');
+        }
+        if (state_ == State::kDiscardLine) {
+          consumed_ = buffer_.size();
+          return Outcome::kNeedMore;
+        }
+        continue;
+      }
+
+      case State::kDiscardValue: {
+        size_t drop = std::min(available, value_needed_);
+        consumed_ += drop;
+        value_needed_ -= drop;
+        if (value_needed_ > 0) return Outcome::kNeedMore;
+        state_ = State::kLine;
+        continue;
+      }
+    }
+  }
+}
+
+Result<Command> FrameParser::ParseLine(std::string_view line) {
+  std::string_view tokens[4];
+  int n = Tokenize(line, tokens, 4);
+  if (n == 0) return Status::InvalidArgument("malformed command line");
+
+  Command cmd;
+  if (tokens[0] == "GET" || tokens[0] == "DEL") {
+    cmd.verb = tokens[0] == "GET" ? Verb::kGet : Verb::kDelete;
+    if (n != 3) {
+      return Status::InvalidArgument("usage: GET|DEL <ring> <key>");
+    }
+    uint64_t ring = 0;
+    if (!ParseU64(tokens[1], 0xFFFFFFFFu, &ring)) {
+      return Status::InvalidArgument("bad ring index");
+    }
+    cmd.ring = static_cast<RingId>(ring);
+    cmd.key.assign(tokens[2].data(), tokens[2].size());
+    return cmd;
+  }
+  if (tokens[0] == "PUT") {
+    if (n != 4) {
+      return Status::InvalidArgument("usage: PUT <ring> <key> <nbytes>");
+    }
+    uint64_t ring = 0;
+    if (!ParseU64(tokens[1], 0xFFFFFFFFu, &ring)) {
+      return Status::InvalidArgument("bad ring index");
+    }
+    uint64_t nbytes = 0;
+    if (!ParseU64(tokens[3], UINT64_MAX, &nbytes)) {
+      return Status::InvalidArgument("bad payload size");
+    }
+    if (nbytes > limits_.max_value_bytes) {
+      // The size token itself parsed, so the payload length is known:
+      // reject now and silently swallow payload + CRLF as it arrives.
+      state_ = State::kDiscardValue;
+      value_needed_ = static_cast<size_t>(nbytes) + 2;
+      return Status::ResourceExhausted(
+          "PUT payload exceeds max_value_bytes");
+    }
+    cmd.verb = Verb::kPut;
+    cmd.ring = static_cast<RingId>(ring);
+    cmd.key.assign(tokens[2].data(), tokens[2].size());
+    pending_ = std::move(cmd);
+    state_ = State::kValue;
+    value_needed_ = static_cast<size_t>(nbytes);
+    return pending_;  // placeholder; Next() emits after the payload
+  }
+  if (tokens[0] == "STATS" || tokens[0] == "QUIT") {
+    if (n != 1) {
+      return Status::InvalidArgument("trailing arguments");
+    }
+    cmd.verb = tokens[0] == "STATS" ? Verb::kStats : Verb::kQuit;
+    return cmd;
+  }
+  return Status::InvalidArgument("unknown verb");
+}
+
+void EncodeValue(std::string_view key, std::string_view data,
+                 std::string* out) {
+  out->append("VALUE ");
+  out->append(key.data(), key.size());
+  char size_buf[32];
+  int len = std::snprintf(size_buf, sizeof(size_buf), " %zu\r\n",
+                          data.size());
+  out->append(size_buf, static_cast<size_t>(len));
+  out->append(data.data(), data.size());
+  out->append("\r\nEND\r\n");
+}
+
+void EncodeStored(std::string* out) { out->append("STORED\r\n"); }
+void EncodeDeleted(std::string* out) { out->append("DELETED\r\n"); }
+void EncodeNotFound(std::string* out) { out->append("NOT_FOUND\r\n"); }
+void EncodeBye(std::string* out) { out->append("BYE\r\n"); }
+
+void EncodeStatLine(std::string_view name, uint64_t value,
+                    std::string* out) {
+  out->append("STAT ");
+  out->append(name.data(), name.size());
+  char buf[32];
+  int len = std::snprintf(buf, sizeof(buf), " %llu\r\n",
+                          static_cast<unsigned long long>(value));
+  out->append(buf, static_cast<size_t>(len));
+}
+
+void EncodeEnd(std::string* out) { out->append("END\r\n"); }
+
+void EncodeError(const Status& status, std::string* out) {
+  out->append("ERROR ");
+  std::string_view token = StatusCodeToken(status.code());
+  out->append(token.data(), token.size());
+  if (!status.message().empty()) {
+    out->push_back(' ');
+    // Responses are line-framed: squash any CR/LF in the message.
+    for (char c : status.message()) {
+      out->push_back((c == '\r' || c == '\n') ? ' ' : c);
+    }
+  }
+  out->append("\r\n");
+}
+
+std::string_view StatusCodeToken(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "ok";
+    case Status::Code::kNotFound:
+      return "not_found";
+    case Status::Code::kAlreadyExists:
+      return "already_exists";
+    case Status::Code::kInvalidArgument:
+      return "invalid_argument";
+    case Status::Code::kResourceExhausted:
+      return "resource_exhausted";
+    case Status::Code::kUnavailable:
+      return "unavailable";
+    case Status::Code::kFailedPrecondition:
+      return "failed_precondition";
+    case Status::Code::kOutOfRange:
+      return "out_of_range";
+    case Status::Code::kAborted:
+      return "aborted";
+    case Status::Code::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace net
+}  // namespace skute

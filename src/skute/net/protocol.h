@@ -1,0 +1,148 @@
+#ifndef SKUTE_NET_PROTOCOL_H_
+#define SKUTE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "skute/common/result.h"
+#include "skute/common/status.h"
+#include "skute/ring/partition.h"
+
+namespace skute {
+namespace net {
+
+/// \brief The SkuteStore text wire protocol (memcached-flavoured).
+///
+/// Requests are CRLF-terminated lines; PUT carries a value payload after
+/// its command line. All commands name a replica ring by index so a
+/// client can exercise differentiated availability classes directly:
+///
+///   GET <ring> <key>\r\n
+///     -> VALUE <key> <nbytes>\r\n<nbytes bytes>\r\nEND\r\n
+///     -> NOT_FOUND\r\n
+///     -> ERROR <code> <message>\r\n
+///   PUT <ring> <key> <nbytes>\r\n<nbytes bytes>\r\n
+///     -> STORED\r\n | ERROR <code> <message>\r\n
+///   DEL <ring> <key>\r\n
+///     -> DELETED\r\n | NOT_FOUND\r\n | ERROR <code> <message>\r\n
+///   STATS\r\n
+///     -> STAT <name> <value>\r\n ... END\r\n
+///   QUIT\r\n
+///     -> BYE\r\n (then the server closes the connection)
+///
+/// The parser below is incremental: feed it whatever the socket
+/// delivered — half a line, three pipelined commands, a command line
+/// with its payload torn across reads — and pull complete commands out
+/// as they become available. Malformed input yields a typed Status and
+/// the parser resynchronises at the next CRLF instead of wedging the
+/// connection.
+
+/// Command verbs the protocol understands.
+enum class Verb : uint8_t {
+  kGet,
+  kPut,
+  kDelete,
+  kStats,
+  kQuit,
+};
+
+/// Short name of a verb, e.g. "GET" (for spans and logs).
+std::string_view VerbName(Verb verb);
+
+/// One parsed request frame.
+struct Command {
+  Verb verb = Verb::kGet;
+  RingId ring = 0;
+  std::string key;
+  std::string value;  ///< PUT payload; empty otherwise.
+};
+
+/// \brief Incremental frame parser over a byte stream.
+///
+/// Owns a reassembly buffer; Append() takes raw socket bytes and Next()
+/// yields at most one command per call. Oversized or malformed frames
+/// produce an error exactly once and then switch the parser into a
+/// discard state that swallows the rest of the bad frame, so one broken
+/// client command cannot desynchronise the stream.
+class FrameParser {
+ public:
+  /// Frame-size guards. Oversized input is a protocol error, not an
+  /// allocation: the parser discards without buffering past the limit.
+  struct Limits {
+    size_t max_line_bytes = 1024;
+    size_t max_value_bytes = 1 << 20;  ///< 1 MiB PUT payload cap.
+  };
+
+  /// What Next() produced.
+  enum class Outcome : uint8_t {
+    kCommand,   ///< *out holds a complete command.
+    kNeedMore,  ///< the buffer holds no complete frame; feed more bytes.
+    kError,     ///< *error holds a typed protocol error; stream resynced.
+  };
+
+  FrameParser() = default;
+  explicit FrameParser(Limits limits) : limits_(limits) {}
+
+  /// Feeds raw bytes from the socket into the reassembly buffer.
+  void Append(std::string_view bytes);
+
+  /// Pulls the next complete command out of the buffer. Call in a loop
+  /// until it returns kNeedMore; pipelined input yields one command per
+  /// call. On kError the offending frame has been consumed (or will be
+  /// silently discarded as its remaining bytes arrive) and parsing
+  /// continues at the next frame boundary.
+  Outcome Next(Command* out, Status* error);
+
+  /// Bytes currently buffered awaiting a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  enum class State : uint8_t {
+    kLine,          ///< scanning for a CRLF-terminated command line
+    kValue,         ///< collecting a PUT payload of known size
+    kDiscardLine,   ///< oversized line: drop bytes until CRLF
+    kDiscardValue,  ///< oversized/with-error payload: drop nbytes + CRLF
+  };
+
+  /// Parses one complete command line (no CRLF). Returns the command or
+  /// a typed error; a PUT switches state to kValue first.
+  Result<Command> ParseLine(std::string_view line);
+
+  void Compact();
+
+  Limits limits_;
+  State state_ = State::kLine;
+  std::string buffer_;
+  size_t consumed_ = 0;       ///< prefix of buffer_ already handed out
+  Command pending_;           ///< PUT awaiting its payload
+  size_t value_needed_ = 0;   ///< payload bytes still to collect/discard
+  bool discard_seen_cr_ = false;
+};
+
+/// --- Response encoders (appended to the connection's write buffer) ---
+
+/// "VALUE <key> <n>\r\n<data>\r\nEND\r\n"
+void EncodeValue(std::string_view key, std::string_view data,
+                 std::string* out);
+void EncodeStored(std::string* out);
+void EncodeDeleted(std::string* out);
+void EncodeNotFound(std::string* out);
+void EncodeBye(std::string* out);
+/// "STAT <name> <value>\r\n" — finish a STATS reply with EncodeEnd().
+void EncodeStatLine(std::string_view name, uint64_t value, std::string* out);
+void EncodeEnd(std::string* out);
+/// "ERROR <code> <message>\r\n" with a lowercase snake_case code token
+/// derived from the Status code (e.g. "resource_exhausted").
+void EncodeError(const Status& status, std::string* out);
+
+/// The lowercase token EncodeError writes for a given code.
+std::string_view StatusCodeToken(Status::Code code);
+
+}  // namespace net
+}  // namespace skute
+
+#endif  // SKUTE_NET_PROTOCOL_H_

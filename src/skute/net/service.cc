@@ -1,0 +1,116 @@
+#include "skute/net/service.h"
+
+#include "skute/common/logging.h"
+#include "skute/obs/trace.h"
+
+namespace skute {
+namespace net {
+
+bool StoreDispatcher::Dispatch(const Command& cmd, std::string* out,
+                               NetStats* stats) {
+  stats->ops++;
+  switch (cmd.verb) {
+    case Verb::kGet: {
+      obs::TraceSpan span("net", "GET");
+      Result<std::string> value = store_->ServeGet(cmd.ring, cmd.key);
+      if (value.ok()) {
+        EncodeValue(cmd.key, *value, out);
+        stats->ops_ok++;
+      } else if (value.status().IsNotFound()) {
+        EncodeNotFound(out);
+        stats->ops_not_found++;
+      } else {
+        EncodeError(value.status(), out);
+        stats->ops_error++;
+      }
+      return true;
+    }
+    case Verb::kPut: {
+      obs::TraceSpan span("net", "PUT");
+      Status st = store_->Put(cmd.ring, cmd.key, cmd.value);
+      if (st.ok()) {
+        EncodeStored(out);
+        stats->ops_ok++;
+      } else {
+        EncodeError(st, out);
+        stats->ops_error++;
+      }
+      return true;
+    }
+    case Verb::kDelete: {
+      obs::TraceSpan span("net", "DEL");
+      Status st = store_->Delete(cmd.ring, cmd.key);
+      if (st.ok()) {
+        EncodeDeleted(out);
+        stats->ops_ok++;
+      } else if (st.IsNotFound()) {
+        EncodeNotFound(out);
+        stats->ops_not_found++;
+      } else {
+        EncodeError(st, out);
+        stats->ops_error++;
+      }
+      return true;
+    }
+    case Verb::kStats: {
+      obs::TraceSpan span("net", "STATS");
+      const NetStats net = store_->net_lifetime();
+      EncodeStatLine("epoch", store_->epoch(), out);
+      EncodeStatLine("net_ops", net.ops, out);
+      EncodeStatLine("net_ops_ok", net.ops_ok, out);
+      EncodeStatLine("net_ops_not_found", net.ops_not_found, out);
+      EncodeStatLine("net_ops_error", net.ops_error, out);
+      EncodeStatLine("net_protocol_errors", net.protocol_errors, out);
+      EncodeStatLine("net_conns_accepted", net.conns_accepted, out);
+      EncodeStatLine("net_conns_shed", net.conns_shed, out);
+      EncodeStatLine("lost_partitions", store_->lost_partitions(), out);
+      EncodeEnd(out);
+      stats->ops_ok++;
+      return true;
+    }
+    case Verb::kQuit:
+      EncodeBye(out);
+      stats->ops_ok++;
+      return false;
+  }
+  return true;
+}
+
+NetService::NetService(SkuteStore* store, Options options)
+    : store_(store),
+      options_(std::move(options)),
+      dispatcher_(store),
+      acceptor_(options_.acceptor, &dispatcher_,
+                store->mutable_net_stats()) {}
+
+NetService::~NetService() {
+  if (started_) Shutdown();
+}
+
+Status NetService::Start() {
+  if (started_) return Status::FailedPrecondition("service already started");
+  SKUTE_RETURN_IF_ERROR(acceptor_.Listen());
+  store_->epoch_pipeline().SetServeWindow([this] { ServeWindow(); });
+  started_ = true;
+  SKUTE_LOG(kInfo) << "net: serving on " << options_.acceptor.bind_address
+                   << ":" << acceptor_.port() << " (budget "
+                   << options_.acceptor.max_connections << " connections)";
+  return Status::OK();
+}
+
+void NetService::ServeWindow() {
+  obs::TraceSpan span("net", "serve_window");
+  for (int round = 0; round < options_.max_pump_rounds; ++round) {
+    if (acceptor_.Pump(/*timeout_ms=*/0) == 0) break;
+  }
+}
+
+void NetService::Shutdown(int drain_deadline_ms) {
+  if (!started_) return;
+  store_->epoch_pipeline().SetServeWindow({});
+  acceptor_.Drain(drain_deadline_ms);
+  started_ = false;
+}
+
+}  // namespace net
+}  // namespace skute

@@ -1,0 +1,82 @@
+#ifndef SKUTE_NET_SERVICE_H_
+#define SKUTE_NET_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "skute/common/status.h"
+#include "skute/core/store.h"
+#include "skute/net/acceptor.h"
+
+namespace skute {
+namespace net {
+
+/// \brief Maps wire commands onto SkuteStore's query plane and encodes
+/// the reply. GET goes through ServeGet (debiting the same ServeQueries
+/// capacity and routing counters the synthetic path uses), PUT/DEL
+/// through Put/Delete, STATS renders a counter snapshot.
+class StoreDispatcher : public Dispatcher {
+ public:
+  explicit StoreDispatcher(SkuteStore* store) : store_(store) {}
+
+  bool Dispatch(const Command& cmd, std::string* out,
+                NetStats* stats) override;
+
+ private:
+  SkuteStore* store_;
+};
+
+/// \brief The service plane over one SkuteStore: listen socket, wire
+/// protocol, and the between-epochs serve window.
+///
+/// Start() binds the acceptor and registers the window on the store's
+/// EpochPipeline; from then on every SkuteStore::EndEpoch pumps live
+/// connections after the epoch's stages run — the epoch engine is the
+/// control plane, this is the data plane in the gaps. Everything is
+/// single-threaded inside the epoch loop's thread, so serving adds no
+/// synchronization to the engine and the threads=1 ≡ threads=N
+/// determinism contract is untouched.
+class NetService {
+ public:
+  struct Options {
+    Acceptor::Options acceptor;
+    /// Serve-window bound: the window pumps until an idle poll round or
+    /// this many rounds, whichever first, so a chatty client cannot
+    /// stall the epoch loop indefinitely.
+    int max_pump_rounds = 64;
+  };
+
+  NetService(SkuteStore* store, Options options);
+  ~NetService();
+
+  NetService(const NetService&) = delete;
+  NetService& operator=(const NetService&) = delete;
+
+  /// Binds the listen socket and registers the serve window with the
+  /// store's epoch pipeline. After this, port() is live.
+  Status Start();
+
+  /// One serve window: pump the acceptor until an idle round (bounded).
+  /// Called from the pipeline after each EndEpoch; also callable
+  /// directly (tests, post-run drain of in-flight client traffic).
+  void ServeWindow();
+
+  /// Graceful shutdown: deregister the serve window, stop accepting,
+  /// flush every connection's pending output, close.
+  void Shutdown(int drain_deadline_ms = 1000);
+
+  int port() const { return acceptor_.port(); }
+  size_t live_connections() const { return acceptor_.live_connections(); }
+
+ private:
+  SkuteStore* store_;
+  Options options_;
+  StoreDispatcher dispatcher_;
+  Acceptor acceptor_;
+  bool started_ = false;
+};
+
+}  // namespace net
+}  // namespace skute
+
+#endif  // SKUTE_NET_SERVICE_H_

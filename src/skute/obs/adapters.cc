@@ -79,6 +79,20 @@ void RegisterDecisionStats(MetricsRegistry* reg, const std::string& prefix,
                   decision.avail_cache_misses);
 }
 
+void RegisterNetStats(MetricsRegistry* reg, const std::string& prefix,
+                      const NetStats& net) {
+  reg->SetCounter(Key(prefix, "conns_accepted"), net.conns_accepted);
+  reg->SetCounter(Key(prefix, "conns_shed"), net.conns_shed);
+  reg->SetCounter(Key(prefix, "conns_closed"), net.conns_closed);
+  reg->SetCounter(Key(prefix, "bytes_in"), net.bytes_in);
+  reg->SetCounter(Key(prefix, "bytes_out"), net.bytes_out);
+  reg->SetCounter(Key(prefix, "ops"), net.ops);
+  reg->SetCounter(Key(prefix, "ops_ok"), net.ops_ok);
+  reg->SetCounter(Key(prefix, "ops_not_found"), net.ops_not_found);
+  reg->SetCounter(Key(prefix, "ops_error"), net.ops_error);
+  reg->SetCounter(Key(prefix, "protocol_errors"), net.protocol_errors);
+}
+
 void RegisterRouteResult(MetricsRegistry* reg, const std::string& prefix,
                          const RouteResult& route) {
   reg->SetCounter(Key(prefix, "requested"), route.requested);
@@ -118,6 +132,7 @@ void RegisterStoreSnapshot(MetricsRegistry* reg, const std::string& prefix,
   RegisterExecutorStats(reg, key("exec"), store.last_epoch_stats());
   RegisterCommStats(reg, key("comm_epoch"), store.comm_this_epoch());
   RegisterCommStats(reg, key("comm_total"), store.comm_total());
+  RegisterNetStats(reg, key("net"), store.net_lifetime());
   RegisterRouteResult(reg, key("route"), store.last_route());
   RegisterStageTimings(reg, key("stage"),
                        store.epoch_pipeline().stage_timings());

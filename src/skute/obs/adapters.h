@@ -7,6 +7,7 @@
 #include "skute/backend/io_stats.h"
 #include "skute/core/comm_stats.h"
 #include "skute/core/decision_cache.h"
+#include "skute/core/net_stats.h"
 #include "skute/core/executor.h"
 #include "skute/core/query_routing.h"
 #include "skute/engine/epoch_pipeline.h"
@@ -34,6 +35,9 @@ void RegisterCommStats(MetricsRegistry* reg, const std::string& prefix,
 
 void RegisterDecisionStats(MetricsRegistry* reg, const std::string& prefix,
                            const DecisionPlaneStats& decision);
+
+void RegisterNetStats(MetricsRegistry* reg, const std::string& prefix,
+                      const NetStats& net);
 
 void RegisterRouteResult(MetricsRegistry* reg, const std::string& prefix,
                          const RouteResult& route);

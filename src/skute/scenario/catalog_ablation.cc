@@ -159,6 +159,11 @@ int AblationEconomyVsStaticMain(const RunOverrides& overrides) {
                     "this experiment compares two runs; there is no "
                     "single store to snapshot");
   }
+  if (overrides.serve_port >= 0 || overrides.net_clients > 0) {
+    WarnIgnoredFlag("--serve/--net-clients",
+                    "this experiment runs comparison arms in-process; "
+                    "there is no single store to serve");
+  }
 
   // Overrides with a placement override stripped: both arms force their
   // own PlacementKind. (--trace needs no stripping: the runner records
@@ -335,6 +340,11 @@ int AblationParamsMain(const RunOverrides& overrides) {
     WarnIgnoredFlag("--metrics-json",
                     "the sweep runs many simulations; there is no single "
                     "store to snapshot");
+  }
+  if (overrides.serve_port >= 0 || overrides.net_clients > 0) {
+    WarnIgnoredFlag("--serve/--net-clients",
+                    "the sweep runs many simulations; there is no single "
+                    "store to serve");
   }
   // seed/backend/threads apply to every run of the sweep uniformly.
   RunOverrides arm = overrides;

@@ -3,6 +3,12 @@
 #include <cstdio>
 #include <iostream>
 
+#include <unistd.h>
+
+#include <memory>
+
+#include "skute/net/loadgen.h"
+#include "skute/net/service.h"
 #include "skute/obs/adapters.h"
 #include "skute/obs/flight_recorder.h"
 #include "skute/obs/metrics_registry.h"
@@ -57,6 +63,47 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
     spec.before_run(ScenarioContext{sim, overrides, epochs});
   }
 
+  // Service plane: bind the acceptor and register the between-epochs
+  // serve window before the first Step, so live connections get pumped
+  // from the very first EndEpoch. The optional in-process loadgen makes
+  // `--serve --net-clients=N` a self-contained live-traffic run.
+  std::unique_ptr<net::NetService> service;
+  std::unique_ptr<net::LoadGen> loadgen;
+  if (overrides.serve_port >= 0) {
+    net::NetService::Options net_options;
+    net_options.acceptor.port = overrides.serve_port;
+    service = std::make_unique<net::NetService>(&sim.store(), net_options);
+    const Status started = service->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "--serve failed: %s\n",
+                   started.ToString().c_str());
+      outcome.status = started;
+      return outcome;
+    }
+    if (options.print) {
+      std::printf("service plane listening on 127.0.0.1:%d\n",
+                  service->port());
+    }
+    if (overrides.net_clients > 0) {
+      net::LoadGen::Options lg;
+      lg.port = service->port();
+      lg.clients = overrides.net_clients;
+      lg.seed = overrides.seed;
+      lg.rings.clear();
+      const size_t rings = sim.store().catalog().ring_count();
+      for (RingId r = 0; r < rings; ++r) lg.rings.push_back(r);
+      loadgen = std::make_unique<net::LoadGen>(lg);
+      const Status lg_started = loadgen->Start();
+      if (!lg_started.ok()) {
+        outcome.status = lg_started;
+        return outcome;
+      }
+    }
+  } else if (overrides.net_clients > 0) {
+    std::fprintf(stderr,
+                 "warning: --net-clients needs --serve; no load generated\n");
+  }
+
   // The flight recorder snapshots every epoch's stage timeline and
   // decision/executor counters; the ring is only rendered when something
   // goes wrong below, so a green run pays one struct copy per epoch.
@@ -74,6 +121,46 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
   }
   const auto& series = sim.metrics().series();
   outcome.epochs_run = static_cast<int>(series.size());
+
+  // Wind the service plane down before reporting: stop the clients,
+  // keep pumping serve windows until their in-flight ops are answered
+  // (closed-loop clients can only finish if the server keeps serving),
+  // then drain the acceptor so every response is flushed.
+  net::LoadGenReport lg_report;
+  if (loadgen != nullptr) {
+    loadgen->RequestStop();
+    for (int i = 0; i < 5000 && !loadgen->Finished(); ++i) {
+      service->ServeWindow();
+      ::usleep(1000);
+    }
+    lg_report = loadgen->Join();
+  }
+  if (service != nullptr) {
+    service->Shutdown();
+    if (options.print) {
+      const NetStats net = sim.store().net_lifetime();
+      std::printf(
+          "service plane: %llu ops served (%llu ok, %llu not_found, "
+          "%llu error), %llu protocol errors, %llu conns (%llu shed)\n",
+          static_cast<unsigned long long>(net.ops),
+          static_cast<unsigned long long>(net.ops_ok),
+          static_cast<unsigned long long>(net.ops_not_found),
+          static_cast<unsigned long long>(net.ops_error),
+          static_cast<unsigned long long>(net.protocol_errors),
+          static_cast<unsigned long long>(net.conns_accepted),
+          static_cast<unsigned long long>(net.conns_shed));
+      if (loadgen != nullptr) {
+        std::printf(
+            "loadgen: %llu ops at %.0f ops/sec, latency p50=%.2fms "
+            "p95=%.2fms p99=%.2fms (%llu transport errors)\n",
+            static_cast<unsigned long long>(lg_report.ops),
+            lg_report.OpsPerSec(), lg_report.latency_ms.Percentile(50),
+            lg_report.latency_ms.Percentile(95),
+            lg_report.latency_ms.Percentile(99),
+            static_cast<unsigned long long>(lg_report.transport_errors));
+      }
+    }
+  }
 
   if (options.print) {
     PrintSection("series (CSV, sampled)");
@@ -103,6 +190,19 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
     registry.SetCounter("epochs_run",
                         static_cast<uint64_t>(series.size()));
     obs::RegisterStoreSnapshot(&registry, "store", sim.store());
+    if (loadgen != nullptr) {
+      registry.SetCounter("loadgen.clients",
+                          static_cast<uint64_t>(overrides.net_clients));
+      registry.SetCounter("loadgen.ops", lg_report.ops);
+      registry.SetCounter("loadgen.ok", lg_report.ok);
+      registry.SetCounter("loadgen.not_found", lg_report.not_found);
+      registry.SetCounter("loadgen.errors", lg_report.errors);
+      registry.SetCounter("loadgen.transport_errors",
+                          lg_report.transport_errors);
+      registry.SetGauge("loadgen.seconds", lg_report.seconds);
+      registry.SetGauge("loadgen.ops_per_sec", lg_report.OpsPerSec());
+      registry.histogram("loadgen.latency_ms").Merge(lg_report.latency_ms);
+    }
     const Status written = registry.WriteJson(overrides.metrics_json);
     if (!written.ok()) {
       std::fprintf(stderr, "writing --metrics-json=%s failed: %s\n",

@@ -49,6 +49,12 @@ RunOverrides ParseOverrides(int argc, char** argv,
       o.io_threads = std::atoi(arg + 13);
     } else if (std::strcmp(arg, "--log-shipping") == 0) {
       o.log_shipping = true;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      o.serve_port = 0;  // ephemeral port, printed at startup
+    } else if (HasPrefix(arg, "--serve=")) {
+      o.serve_port = std::atoi(arg + 8);
+    } else if (HasPrefix(arg, "--net-clients=")) {
+      o.net_clients = std::atoi(arg + 14);
     } else if (HasPrefix(arg, "--")) {
       bool known = false;
       for (const std::string& exact : extra_exact) {
@@ -115,6 +121,11 @@ void ApplyOverrides(SimConfig* config, const RunOverrides& overrides,
     config->store.epoch.threads = overrides.threads;
   }
   if (overrides.real_data > 0) {
+    config->store.track_real_data = true;
+  }
+  if (overrides.serve_port >= 0) {
+    // Wire PUTs must round-trip real bytes; without real-data tracking
+    // every served GET would answer "synthetic" even for live writes.
     config->store.track_real_data = true;
   }
   if (overrides.io_threads >= 0) {

@@ -46,12 +46,22 @@ struct RunOverrides {
   /// --log-shipping: write real values to the primary replica only and
   /// let the durability stage ship WAL deltas to the secondaries.
   bool log_shipping = false;
+  /// -1 = no service plane; --serve=PORT starts a NetService on
+  /// 127.0.0.1:PORT (0 picks an ephemeral port, printed at startup) and
+  /// pumps live connections in the between-epochs serve window. Implies
+  /// track_real_data so wire PUTs round-trip real bytes.
+  int serve_port = -1;
+  /// 0 = no built-in clients; --net-clients=N runs an in-process
+  /// LoadGen with N closed-loop client threads against the served port
+  /// for the whole run (requires --serve).
+  int net_clients = 0;
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
 /// --backend=memory|durable|file, --placement=economic|static,
 /// --out=FILE, --trace=FILE, --metrics-json=FILE, --real-data=BYTES,
-/// --io-threads=N and --log-shipping. Unrecognized `--*`
+/// --io-threads=N, --log-shipping, --serve[=PORT] and
+/// --net-clients=N. Unrecognized `--*`
 /// arguments warn to stderr (a typo like --backnd=file must not silently
 /// run the default). `extra_exact` / `extra_prefix` name additional
 /// flags the caller consumes itself (e.g. skute_scenarios' --list /

@@ -28,6 +28,7 @@ void MetricsCollector::Snapshot(SkuteStore* store, const Cluster& cluster,
   snap.route_ms = store->last_route().route_ms;
   snap.exec = store->last_epoch_stats();
   snap.comm = store->comm_this_epoch();
+  snap.net = store->net_this_epoch();
   snap.io = store->io_stats();
   for (const StageTiming& t : store->epoch_pipeline().stage_timings()) {
     snap.stage_ms.emplace_back(t.name, t.last_ms);
@@ -114,7 +115,10 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
       "io_log_bytes",   "io_flushed_bytes",
       "io_read_bytes",  "io_fsyncs",       "io_group_commits",
       "io_coalesced_fsyncs",               "io_compaction_bytes",
-      "io_delta_bytes"};
+      "io_delta_bytes",
+      "net_ops",        "net_ops_error",   "net_protocol_errors",
+      "net_bytes_in",   "net_bytes_out",   "net_conns",
+      "net_shed"};
   for (const auto& [stage, ms] : series_.front().stage_ms) {
     header.push_back("stage_" + stage + "_ms");
   }
@@ -165,7 +169,14 @@ void MetricsCollector::WriteCsv(std::ostream* out) const {
         .Field(s.io.group_commits)
         .Field(s.io.coalesced_fsyncs)
         .Field(s.io.compaction_bytes)
-        .Field(s.io.delta_bytes_out);
+        .Field(s.io.delta_bytes_out)
+        .Field(s.net.ops)
+        .Field(s.net.ops_error)
+        .Field(s.net.protocol_errors)
+        .Field(s.net.bytes_in)
+        .Field(s.net.bytes_out)
+        .Field(s.net.conns_accepted)
+        .Field(s.net.conns_shed);
     const size_t stages = series_.front().stage_ms.size();
     for (size_t i = 0; i < stages; ++i) {
       csv.Field(i < s.stage_ms.size() ? s.stage_ms[i].second : 0.0);

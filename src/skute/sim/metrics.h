@@ -60,6 +60,10 @@ struct EpochSnapshot {
   // Communication overhead of the epoch (future-work analysis).
   CommStats comm;
 
+  /// Service-plane activity of the epoch (skute/net serve windows;
+  /// all-zero when no server is attached).
+  NetStats net;
+
   /// Storage-backend I/O aggregated over every server (cumulative since
   /// start; zeroes when real-data tracking is off). The persistence cost
   /// the placement economy is priced against.

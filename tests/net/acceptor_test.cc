@@ -1,0 +1,281 @@
+// Acceptor behaviour over real loopback sockets: accept → serve → drain,
+// connection-budget shed accounting, and graceful shutdown with queued
+// responses flushed before the close. The client sockets live in the
+// test thread and interleave non-blocking reads with Pump() rounds, so
+// everything runs single-threaded and deterministically.
+
+#include "skute/net/acceptor.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "skute/net/protocol.h"
+
+namespace skute {
+namespace net {
+namespace {
+
+// A store-free dispatcher backed by a map, so these tests exercise the
+// transport in isolation (service_plane coverage of StoreDispatcher
+// lives in interleave_test.cc).
+class MapDispatcher : public Dispatcher {
+ public:
+  bool Dispatch(const Command& cmd, std::string* out,
+                NetStats* stats) override {
+    stats->ops++;
+    switch (cmd.verb) {
+      case Verb::kGet: {
+        auto it = data_.find(cmd.key);
+        if (it == data_.end()) {
+          stats->ops_not_found++;
+          EncodeNotFound(out);
+        } else {
+          stats->ops_ok++;
+          EncodeValue(cmd.key, it->second, out);
+        }
+        return true;
+      }
+      case Verb::kPut:
+        data_[cmd.key] = cmd.value;
+        stats->ops_ok++;
+        EncodeStored(out);
+        return true;
+      case Verb::kDelete:
+        if (data_.erase(cmd.key) > 0) {
+          stats->ops_ok++;
+          EncodeDeleted(out);
+        } else {
+          stats->ops_not_found++;
+          EncodeNotFound(out);
+        }
+        return true;
+      case Verb::kStats:
+        EncodeStatLine("keys", data_.size(), out);
+        EncodeEnd(out);
+        stats->ops_ok++;
+        return true;
+      case Verb::kQuit:
+        stats->ops_ok++;
+        EncodeBye(out);
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> data_;
+};
+
+// Blocking connect to the loopback acceptor, then non-blocking so reads
+// can interleave with Pump() rounds in this one thread.
+int ConnectClient(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+void SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ::usleep(1000);
+      continue;
+    }
+    FAIL() << "send failed: " << strerror(errno);
+  }
+}
+
+// Pumps the acceptor and reads the client socket until `min_bytes`
+// arrived (or EOF, when `min_bytes` is 0 wait for EOF). Bounded by
+// rounds so a broken server fails the test instead of hanging it.
+std::string PumpAndRead(Acceptor* acceptor, int fd, size_t min_bytes,
+                        bool* saw_eof = nullptr) {
+  std::string got;
+  bool eof = false;
+  for (int round = 0; round < 2000; ++round) {
+    if (acceptor != nullptr) acceptor->Pump(0);
+    char buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) got.append(buf, static_cast<size_t>(n));
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (min_bytes > 0 && got.size() >= min_bytes) break;
+    ::usleep(1000);
+  }
+  if (saw_eof != nullptr) *saw_eof = eof;
+  return got;
+}
+
+class AcceptorTest : public ::testing::Test {
+ protected:
+  void Start(size_t max_connections = 8) {
+    Acceptor::Options options;
+    options.max_connections = max_connections;
+    acceptor_ =
+        std::make_unique<Acceptor>(options, &dispatcher_, &stats_);
+    ASSERT_TRUE(acceptor_->Listen().ok());
+    ASSERT_GT(acceptor_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (acceptor_ != nullptr) acceptor_->Drain(200);
+  }
+
+  MapDispatcher dispatcher_;
+  NetStats stats_;
+  std::unique_ptr<Acceptor> acceptor_;
+};
+
+TEST_F(AcceptorTest, AcceptsServesAndAnswersInOrder) {
+  Start();
+  int fd = ConnectClient(acceptor_->port());
+  SendAll(fd,
+          "PUT 0 a 3\r\nfoo\r\n"
+          "PUT 0 b 3\r\nbar\r\n"
+          "GET 0 a\r\n"
+          "DEL 0 a\r\n"
+          "GET 0 a\r\n");
+  const std::string want =
+      "STORED\r\nSTORED\r\nVALUE a 3\r\nfoo\r\nEND\r\nDELETED\r\n"
+      "NOT_FOUND\r\n";
+  const std::string got = PumpAndRead(acceptor_.get(), fd, want.size());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(stats_.conns_accepted, 1u);
+  EXPECT_EQ(stats_.ops, 5u);
+  EXPECT_EQ(stats_.ops_ok, 4u);
+  EXPECT_EQ(stats_.ops_not_found, 1u);
+  EXPECT_GT(stats_.bytes_in, 0u);
+  EXPECT_GT(stats_.bytes_out, 0u);
+  EXPECT_EQ(acceptor_->live_connections(), 1u);
+  ::close(fd);
+}
+
+TEST_F(AcceptorTest, ProtocolErrorAnswersAndKeepsServing) {
+  Start();
+  int fd = ConnectClient(acceptor_->port());
+  SendAll(fd, "FROB 0 x\r\nPUT 0 k 2\r\nok\r\nGET 0 k\r\n");
+  const std::string want =
+      "ERROR invalid_argument unknown verb\r\n"
+      "STORED\r\n"
+      "VALUE k 2\r\nok\r\nEND\r\n";
+  const std::string got = PumpAndRead(acceptor_.get(), fd, want.size());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(stats_.protocol_errors, 1u);
+  EXPECT_EQ(stats_.ops, 2u);  // the malformed frame never became an op
+  ::close(fd);
+}
+
+TEST_F(AcceptorTest, ShedsBeyondConnectionBudgetLoudly) {
+  Start(/*max_connections=*/1);
+  int kept = ConnectClient(acceptor_->port());
+  // Pump so the first client is accepted before the second arrives.
+  for (int i = 0; i < 50 && acceptor_->live_connections() == 0; ++i) {
+    acceptor_->Pump(0);
+    ::usleep(1000);
+  }
+  ASSERT_EQ(acceptor_->live_connections(), 1u);
+
+  int shed = ConnectClient(acceptor_->port());
+  bool shed_eof = false;
+  const std::string shed_reply =
+      PumpAndRead(acceptor_.get(), shed, 0, &shed_eof);
+  EXPECT_TRUE(shed_eof);
+  EXPECT_EQ(shed_reply,
+            "ERROR resource_exhausted connection budget exhausted\r\n");
+  EXPECT_EQ(stats_.conns_shed, 1u);
+  EXPECT_EQ(stats_.conns_accepted, 1u);
+  EXPECT_EQ(acceptor_->live_connections(), 1u);
+
+  // The kept connection still serves.
+  SendAll(kept, "GET 0 missing\r\n");
+  EXPECT_EQ(PumpAndRead(acceptor_.get(), kept, 1), "NOT_FOUND\r\n");
+  ::close(kept);
+  ::close(shed);
+}
+
+TEST_F(AcceptorTest, QuitFlushesByeThenCloses) {
+  Start();
+  int fd = ConnectClient(acceptor_->port());
+  SendAll(fd, "PUT 0 k 1\r\nx\r\nQUIT\r\n");
+  bool eof = false;
+  const std::string got = PumpAndRead(acceptor_.get(), fd, 0, &eof);
+  EXPECT_EQ(got, "STORED\r\nBYE\r\n");
+  EXPECT_TRUE(eof);
+  // The connection was reaped once the BYE hit the wire.
+  for (int i = 0; i < 50 && acceptor_->live_connections() > 0; ++i) {
+    acceptor_->Pump(0);
+  }
+  EXPECT_EQ(acceptor_->live_connections(), 0u);
+  EXPECT_EQ(stats_.conns_closed, 1u);
+  ::close(fd);
+}
+
+TEST_F(AcceptorTest, DrainFlushesQueuedResponsesThenCloses) {
+  Start();
+  int fd = ConnectClient(acceptor_->port());
+  // Pipeline a burst; pump until every command has been ingested and
+  // its response queued (ops counts dispatches, not flushes).
+  const int kOps = 50;
+  std::string burst;
+  std::string want;
+  for (int i = 0; i < kOps; ++i) {
+    burst += "PUT 0 key" + std::to_string(i) + " 2\r\nv" +
+             std::to_string(i % 10) + "\r\n";
+    want += "STORED\r\n";
+  }
+  SendAll(fd, burst);
+  for (int i = 0; i < 2000 && stats_.ops < static_cast<uint64_t>(kOps);
+       ++i) {
+    acceptor_->Pump(0);
+    ::usleep(1000);
+  }
+  ASSERT_EQ(stats_.ops, static_cast<uint64_t>(kOps));
+
+  // Graceful shutdown: every queued response reaches the client, then
+  // the connection closes cleanly.
+  acceptor_->Drain(1000);
+  EXPECT_FALSE(acceptor_->listening());
+  EXPECT_EQ(acceptor_->live_connections(), 0u);
+  bool eof = false;
+  const std::string got = PumpAndRead(nullptr, fd, 0, &eof);
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(stats_.conns_closed, 1u);
+  ::close(fd);
+}
+
+TEST_F(AcceptorTest, ListenTwiceIsFailedPrecondition) {
+  Start();
+  EXPECT_TRUE(acceptor_->Listen().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace skute

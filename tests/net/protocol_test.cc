@@ -1,0 +1,286 @@
+// FrameParser robustness: partial-read reassembly, pipelining, torn and
+// oversized frames, malformed input. The contract under test is that
+// every byte stream — however it is sliced by the transport — yields the
+// same command sequence, and that a broken frame produces one typed
+// error and then resynchronises instead of wedging the stream.
+
+#include "skute/net/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skute {
+namespace net {
+namespace {
+
+struct ParsedStream {
+  std::vector<Command> commands;
+  std::vector<Status> errors;
+};
+
+// Pulls everything currently available out of the parser.
+ParsedStream DrainParser(FrameParser* parser) {
+  ParsedStream out;
+  while (true) {
+    Command cmd;
+    Status error;
+    const FrameParser::Outcome outcome = parser->Next(&cmd, &error);
+    if (outcome == FrameParser::Outcome::kNeedMore) break;
+    if (outcome == FrameParser::Outcome::kCommand) {
+      out.commands.push_back(cmd);
+    } else {
+      out.errors.push_back(error);
+    }
+  }
+  return out;
+}
+
+// Feeds the stream `chunk` bytes at a time, draining after every feed.
+ParsedStream FeedChunked(FrameParser* parser, const std::string& stream,
+                         size_t chunk) {
+  ParsedStream all;
+  for (size_t i = 0; i < stream.size(); i += chunk) {
+    parser->Append(std::string_view(stream).substr(i, chunk));
+    ParsedStream part = DrainParser(parser);
+    all.commands.insert(all.commands.end(), part.commands.begin(),
+                        part.commands.end());
+    all.errors.insert(all.errors.end(), part.errors.begin(),
+                      part.errors.end());
+  }
+  return all;
+}
+
+TEST(FrameParserTest, ParsesOneCompleteGet) {
+  FrameParser parser;
+  parser.Append("GET 2 user:42\r\n");
+  const ParsedStream got = DrainParser(&parser);
+  ASSERT_EQ(got.commands.size(), 1u);
+  EXPECT_TRUE(got.errors.empty());
+  EXPECT_EQ(got.commands[0].verb, Verb::kGet);
+  EXPECT_EQ(got.commands[0].ring, 2u);
+  EXPECT_EQ(got.commands[0].key, "user:42");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(FrameParserTest, ByteAtATimeEqualsOneShot) {
+  const std::string stream =
+      "GET 0 alpha\r\n"
+      "PUT 1 beta 5\r\nhello\r\n"
+      "DEL 0 alpha\r\n"
+      "STATS\r\n"
+      "QUIT\r\n";
+  FrameParser one_shot;
+  one_shot.Append(stream);
+  const ParsedStream a = DrainParser(&one_shot);
+
+  FrameParser dribble;
+  const ParsedStream b = FeedChunked(&dribble, stream, 1);
+
+  ASSERT_EQ(a.commands.size(), 5u);
+  ASSERT_EQ(b.commands.size(), 5u);
+  EXPECT_TRUE(a.errors.empty());
+  EXPECT_TRUE(b.errors.empty());
+  for (size_t i = 0; i < a.commands.size(); ++i) {
+    EXPECT_EQ(a.commands[i].verb, b.commands[i].verb) << "command " << i;
+    EXPECT_EQ(a.commands[i].ring, b.commands[i].ring) << "command " << i;
+    EXPECT_EQ(a.commands[i].key, b.commands[i].key) << "command " << i;
+    EXPECT_EQ(a.commands[i].value, b.commands[i].value) << "command " << i;
+  }
+  EXPECT_EQ(a.commands[1].verb, Verb::kPut);
+  EXPECT_EQ(a.commands[1].value, "hello");
+  EXPECT_EQ(a.commands[4].verb, Verb::kQuit);
+}
+
+TEST(FrameParserTest, PipelinedCommandsYieldOnePerNext) {
+  FrameParser parser;
+  parser.Append("GET 0 a\r\nGET 0 b\r\nGET 0 c\r\n");
+  Command cmd;
+  Status error;
+  ASSERT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kCommand);
+  EXPECT_EQ(cmd.key, "a");
+  ASSERT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kCommand);
+  EXPECT_EQ(cmd.key, "b");
+  ASSERT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kCommand);
+  EXPECT_EQ(cmd.key, "c");
+  EXPECT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kNeedMore);
+}
+
+TEST(FrameParserTest, PutPayloadTornAcrossReads) {
+  FrameParser parser;
+  parser.Append("PUT 0 k 10\r\n");
+  Command cmd;
+  Status error;
+  // The command line alone is not a complete frame.
+  EXPECT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kNeedMore);
+  parser.Append("01234");
+  EXPECT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kNeedMore);
+  parser.Append("56789\r");
+  EXPECT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kNeedMore);
+  parser.Append("\n");
+  ASSERT_EQ(parser.Next(&cmd, &error), FrameParser::Outcome::kCommand);
+  EXPECT_EQ(cmd.verb, Verb::kPut);
+  EXPECT_EQ(cmd.value, "0123456789");
+}
+
+TEST(FrameParserTest, PutPayloadIsBinarySafe) {
+  // A payload containing CRLF must not terminate the frame early: the
+  // length prefix, not the bytes, delimits it.
+  FrameParser parser;
+  const std::string payload_with_nul("ab\r\ncd\0ef", 9);
+  parser.Append("PUT 3 bin 9\r\n");
+  parser.Append(payload_with_nul);
+  parser.Append("\r\nGET 0 after\r\n");
+  const ParsedStream got = DrainParser(&parser);
+  ASSERT_EQ(got.commands.size(), 2u);
+  EXPECT_TRUE(got.errors.empty());
+  EXPECT_EQ(got.commands[0].value, payload_with_nul);
+  EXPECT_EQ(got.commands[1].key, "after");
+}
+
+TEST(FrameParserTest, PutPayloadMissingCrlfIsTypedError) {
+  FrameParser parser;
+  parser.Append("PUT 0 k 3\r\nabcXXGET 0 next\r\n");
+  const ParsedStream got = DrainParser(&parser);
+  ASSERT_EQ(got.errors.size(), 1u);
+  EXPECT_TRUE(got.errors[0].IsInvalidArgument());
+  // The declared payload length plus the two tail bytes are consumed
+  // with the bad frame; parsing resumes right after them.
+  ASSERT_EQ(got.commands.size(), 1u);
+  EXPECT_EQ(got.commands[0].key, "next");
+}
+
+TEST(FrameParserTest, UnknownVerbIsTypedErrorAndStreamContinues) {
+  FrameParser parser;
+  parser.Append("FROB 0 x\r\nGET 1 ok\r\n");
+  const ParsedStream got = DrainParser(&parser);
+  ASSERT_EQ(got.errors.size(), 1u);
+  EXPECT_TRUE(got.errors[0].IsInvalidArgument());
+  ASSERT_EQ(got.commands.size(), 1u);
+  EXPECT_EQ(got.commands[0].key, "ok");
+  EXPECT_EQ(got.commands[0].ring, 1u);
+}
+
+TEST(FrameParserTest, MalformedLinesAreTypedErrors) {
+  const char* bad[] = {
+      "GET 0\r\n",            // missing key
+      "GET 0 a b\r\n",        // trailing token
+      "PUT 0 k\r\n",          // missing nbytes
+      "PUT 0 k ten\r\n",      // non-numeric nbytes
+      "GET  0 a\r\n",         // doubled space
+      " GET 0 a\r\n",         // leading space
+      "GET 0 a \r\n",         // trailing space
+      "GET 4294967296 a\r\n", // ring out of 32-bit range
+      "STATS now\r\n",        // STATS takes no arguments
+      "\r\n",                 // empty line
+  };
+  for (const char* line : bad) {
+    FrameParser parser;
+    parser.Append(line);
+    parser.Append("GET 0 recovered\r\n");
+    const ParsedStream got = DrainParser(&parser);
+    ASSERT_EQ(got.errors.size(), 1u) << "input: " << line;
+    EXPECT_TRUE(got.errors[0].IsInvalidArgument()) << "input: " << line;
+    ASSERT_EQ(got.commands.size(), 1u) << "input: " << line;
+    EXPECT_EQ(got.commands[0].key, "recovered") << "input: " << line;
+  }
+}
+
+TEST(FrameParserTest, OversizedLineIsDiscardedAndResyncs) {
+  FrameParser::Limits limits;
+  limits.max_line_bytes = 32;
+  FrameParser parser(limits);
+  const std::string long_line(500, 'x');
+  parser.Append("GET 0 " + long_line + "\r\nGET 0 ok\r\n");
+  const ParsedStream got = DrainParser(&parser);
+  ASSERT_EQ(got.errors.size(), 1u);
+  EXPECT_TRUE(got.errors[0].IsResourceExhausted());
+  ASSERT_EQ(got.commands.size(), 1u);
+  EXPECT_EQ(got.commands[0].key, "ok");
+}
+
+TEST(FrameParserTest, OversizedLineTornAcrossReadsNeverBuffersIt) {
+  // The oversized line arrives in small pieces, including a CR torn from
+  // its LF; the parser errors once, discards without buffering the bad
+  // frame, and parses the command after it.
+  FrameParser::Limits limits;
+  limits.max_line_bytes = 16;
+  FrameParser parser(limits);
+  std::string stream = "GET 0 ";
+  stream += std::string(200, 'y');
+  stream += "\r\nGET 0 ok\r\n";
+  const ParsedStream got = FeedChunked(&parser, stream, 7);
+  ASSERT_EQ(got.errors.size(), 1u);
+  EXPECT_TRUE(got.errors[0].IsResourceExhausted());
+  ASSERT_EQ(got.commands.size(), 1u);
+  EXPECT_EQ(got.commands[0].key, "ok");
+  // The discard state consumed the oversized frame as it arrived; once
+  // the stream is fully parsed nothing is left buffered.
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(FrameParserTest, OversizedPutValueIsDiscardedAndResyncs) {
+  FrameParser::Limits limits;
+  limits.max_value_bytes = 8;
+  FrameParser parser(limits);
+  std::string stream = "PUT 0 big 100\r\n";
+  stream += std::string(100, 'z');
+  stream += "\r\nGET 0 ok\r\n";
+  const ParsedStream got = FeedChunked(&parser, stream, 9);
+  ASSERT_EQ(got.errors.size(), 1u);
+  EXPECT_TRUE(got.errors[0].IsResourceExhausted());
+  ASSERT_EQ(got.commands.size(), 1u);
+  EXPECT_EQ(got.commands[0].key, "ok");
+}
+
+TEST(FrameParserTest, VerbNamesAndStatusTokens) {
+  EXPECT_EQ(VerbName(Verb::kGet), "GET");
+  EXPECT_EQ(VerbName(Verb::kPut), "PUT");
+  EXPECT_EQ(VerbName(Verb::kDelete), "DEL");
+  EXPECT_EQ(VerbName(Verb::kStats), "STATS");
+  EXPECT_EQ(VerbName(Verb::kQuit), "QUIT");
+  EXPECT_EQ(StatusCodeToken(Status::Code::kInvalidArgument),
+            "invalid_argument");
+  EXPECT_EQ(StatusCodeToken(Status::Code::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeToken(Status::Code::kUnavailable), "unavailable");
+}
+
+TEST(FrameParserTest, EncodersProduceExactWireBytes) {
+  std::string out;
+  EncodeValue("k", "abc", &out);
+  EXPECT_EQ(out, "VALUE k 3\r\nabc\r\nEND\r\n");
+  out.clear();
+  EncodeStored(&out);
+  EXPECT_EQ(out, "STORED\r\n");
+  out.clear();
+  EncodeDeleted(&out);
+  EXPECT_EQ(out, "DELETED\r\n");
+  out.clear();
+  EncodeNotFound(&out);
+  EXPECT_EQ(out, "NOT_FOUND\r\n");
+  out.clear();
+  EncodeBye(&out);
+  EXPECT_EQ(out, "BYE\r\n");
+  out.clear();
+  EncodeStatLine("net_ops", 42, &out);
+  EncodeEnd(&out);
+  EXPECT_EQ(out, "STAT net_ops 42\r\nEND\r\n");
+}
+
+TEST(FrameParserTest, EncodeErrorSquashesNewlinesInMessage) {
+  // An error message must never inject frame boundaries into the reply
+  // stream.
+  std::string out;
+  EncodeError(Status::InvalidArgument("bad\r\nframe"), &out);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.substr(out.size() - 2), "\r\n");
+  EXPECT_EQ(out.find('\r'), out.size() - 2);
+  EXPECT_EQ(out.find('\n'), out.size() - 1);
+  EXPECT_EQ(out.rfind("ERROR invalid_argument ", 0), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace skute
