@@ -6,18 +6,28 @@
 //                   [--csv] [--threads=T] [--backend=memory|durable|file]
 //                   [--placement=economic|static] [--out=FILE]
 //                   [--trace=FILE] [--metrics-json=FILE]
-//                   [--serve[=PORT]] [--net-clients=N]
+//                   [--serve[=PORT]] [--net-clients=N] [--fault=PLAN]
+//   skute_scenarios
+//       --sweep=scenario=A+B,seed=1..10,threads=1..4,fault=none+disk_flaky
+//                   [--sweep-out=FILE.csv] [--sweep-json=FILE.json]
+//                   [shared overrides: --epochs, --backend, --real-data,
+//                    --io-threads, ...]
 //
 // Every registered scenario — the seven ported paper/ablation
 // experiments plus the composed ones — runs through the same
 // ScenarioRunner lifecycle; a bench that used to be a ~200-line main()
-// is now a spec in src/skute/scenario/catalog_*.cc.
+// is now a spec in src/skute/scenario/catalog_*.cc. --sweep runs a
+// whole scenario × seed × threads × fault grid in one invocation and
+// exits nonzero unless every cell passed its shape checks and the
+// masked CSVs matched across thread counts.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "skute/chaos/fault_plan.h"
+#include "skute/chaos/sweep.h"
 #include "skute/scenario/registry.h"
 #include "skute/scenario/runner.h"
 
@@ -31,7 +41,17 @@ void PrintUsage() {
       "                       [--backend=memory|durable|file]\n"
       "                       [--placement=economic|static] [--out=FILE]\n"
       "                       [--trace=FILE] [--metrics-json=FILE]\n"
-      "                       [--serve[=PORT]] [--net-clients=N]\n");
+      "                       [--serve[=PORT]] [--net-clients=N]\n"
+      "                       [--fault=PLAN]\n"
+      "       skute_scenarios "
+      "--sweep=scenario=A+B,seed=1..10,threads=1..4,fault=P1+P2\n"
+      "                       [--sweep-out=FILE.csv] "
+      "[--sweep-json=FILE.json]\n"
+      "\nfault plans:");
+  for (const std::string& name : skute::chaos::FaultPlan::BuiltinNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
 }
 
 void PrintList() {
@@ -54,11 +74,20 @@ int main(int argc, char** argv) {
 
   bool list = false;
   std::string run;
+  std::string sweep;
+  std::string sweep_out;
+  std::string sweep_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) {
       list = true;
     } else if (std::strncmp(argv[i], "--run=", 6) == 0) {
       run = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--sweep=", 8) == 0) {
+      sweep = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--sweep-out=", 12) == 0) {
+      sweep_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--sweep-json=", 13) == 0) {
+      sweep_json = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage();
       return 0;
@@ -69,6 +98,27 @@ int main(int argc, char** argv) {
     PrintList();
     return 0;
   }
+
+  if (!sweep.empty()) {
+    const auto spec = skute::chaos::SweepSpec::Parse(sweep);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    skute::chaos::SweepOptions options;
+    options.base = skute::scenario::ParseOverrides(
+        argc, argv, {"--list", "--help"},
+        {"--run=", "--sweep=", "--sweep-out=", "--sweep-json="});
+    options.out_csv = sweep_out;
+    options.out_json = sweep_json;
+    const auto report = skute::chaos::RunSweep(*spec, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 2;
+    }
+    return report->all_passed() ? 0 : 1;
+  }
+
   if (run.empty()) {
     PrintUsage();
     std::printf("\n");

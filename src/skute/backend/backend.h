@@ -87,11 +87,16 @@ class StorageBackend {
 
   /// Called by the IoPool when a drain covered this backend's pending
   /// flush requests with one fsync: `coalesced` is how many requests were
-  /// absorbed beyond the first.
-  void NoteGroupCommit(uint64_t coalesced) {
+  /// absorbed beyond the first. Virtual so decorators (FaultyBackend)
+  /// can forward the accounting to the wrapped backend.
+  virtual void NoteGroupCommit(uint64_t coalesced) {
     ++io_.group_commits;
     io_.coalesced_fsyncs += coalesced;
   }
+
+  /// Meters emulated disk latency (chaos slow-disk fault) into this
+  /// backend's IoStats.
+  void NoteThrottle(uint64_t us) { io_.throttle_us += us; }
 
   // --- incremental replication (delta shipping) ----------------------------
 
@@ -133,7 +138,8 @@ class StorageBackend {
   /// idempotent: puts upsert, deletes of missing keys are tolerated.
   virtual Status ImportDelta(std::string_view bytes);
 
-  const IoStats& io() const { return io_; }
+  /// Virtual so decorators can surface the wrapped backend's counters.
+  virtual const IoStats& io() const { return io_; }
 
  protected:
   /// True when the watermark says it's time to hand the accumulated

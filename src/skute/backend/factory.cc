@@ -3,6 +3,7 @@
 #include <string>
 
 #include "skute/backend/durable_backend.h"
+#include "skute/backend/faulty_backend.h"
 #include "skute/backend/file_segment_backend.h"
 #include "skute/backend/memory_backend.h"
 #include "skute/backend/mmap_segment_backend.h"
@@ -52,6 +53,14 @@ Result<std::unique_ptr<StorageBackend>> BackendFactory::Create(
   if (backend == nullptr) {
     return Status::InvalidArgument("unknown backend kind");
   }
+  if (fault_state_ != nullptr) {
+    // The wrapper takes the pool attachment below, so every pool-driven
+    // flush crosses the injection point; the inner backend keeps no pool
+    // (its inline MaybeSubmitFlush stays dormant).
+    backend = std::make_unique<FaultyBackend>(
+        std::move(backend), fault_state_, chaos_counters_, server_id_,
+        partition_id);
+  }
   if (io_pool_ != nullptr) {
     backend->AttachIoPool(io_pool_, flush_watermark_);
   }
@@ -60,6 +69,7 @@ Result<std::unique_ptr<StorageBackend>> BackendFactory::Create(
 
 BackendFactory BackendFactory::ForServer(uint32_t server_id) const {
   BackendFactory scoped(*this);
+  scoped.server_id_ = server_id;
   // A forgotten data_dir stays empty (rejected by Create) rather than
   // becoming the absolute path "/s<id>" at the filesystem root.
   if ((scoped.config_.kind == BackendKind::kFileSegment ||

@@ -7,6 +7,7 @@
 
 #include "skute/backend/backend.h"
 #include "skute/backend/config.h"
+#include "skute/chaos/fault_state.h"
 
 namespace skute {
 
@@ -42,12 +43,29 @@ class BackendFactory {
 
   IoPool* io_pool() const { return io_pool_; }
 
+  /// Every backend this factory creates is wrapped in a FaultyBackend
+  /// reading the armed windows from `state` and tallying into
+  /// `counters`. The IoPool is attached to the wrapper (so pool-driven
+  /// flushes pass the injection point); the inner backend gets no pool.
+  /// Copies (ForServer) inherit the chaos attachment.
+  void EnableChaos(const chaos::StorageFaultState* state,
+                   chaos::ChaosCounters* counters) {
+    fault_state_ = state;
+    chaos_counters_ = counters;
+  }
+
+  bool chaos_enabled() const { return fault_state_ != nullptr; }
+
   const BackendConfig& config() const { return config_; }
 
  private:
   BackendConfig config_;
   IoPool* io_pool_ = nullptr;
   uint64_t flush_watermark_ = 0;
+  const chaos::StorageFaultState* fault_state_ = nullptr;
+  chaos::ChaosCounters* chaos_counters_ = nullptr;
+  /// Recorded by ForServer: the identity word chaos draws mix in.
+  uint32_t server_id_ = 0;
 };
 
 }  // namespace skute

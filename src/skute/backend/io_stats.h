@@ -50,6 +50,10 @@ struct IoStats {
   uint64_t compaction_bytes = 0;
   uint64_t compactions = 0;
 
+  /// Microseconds of emulated disk latency injected by the chaos plane's
+  /// slow-disk fault (zero outside chaos runs).
+  uint64_t throttle_us = 0;
+
   uint64_t ops() const { return puts + gets + deletes + scans; }
 
   void Accumulate(const IoStats& other) {
@@ -69,6 +73,7 @@ struct IoStats {
     coalesced_fsyncs += other.coalesced_fsyncs;
     compaction_bytes += other.compaction_bytes;
     compactions += other.compactions;
+    throttle_us += other.throttle_us;
   }
 
   void Clear() { *this = IoStats{}; }

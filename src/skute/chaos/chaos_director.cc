@@ -1,0 +1,59 @@
+#include "skute/chaos/chaos_director.h"
+
+#include "skute/obs/trace.h"
+
+namespace skute {
+namespace chaos {
+
+namespace {
+constexpr uint64_t kPartitionWord = 0x50415254ull;  // "PART"
+}  // namespace
+
+void ChaosDirector::Apply(const Fault& fault, Epoch epoch,
+                          Cluster* cluster) {
+  obs::TraceSpan span("chaos", FaultKindName(fault.kind), fault.per_mille);
+  switch (fault.kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kFsyncFail:
+      state_.fsync_salt.store(fault.salt, std::memory_order_relaxed);
+      state_.fsync_fail_pm.store(fault.per_mille,
+                                 std::memory_order_relaxed);
+      return;
+    case FaultKind::kTornTransfer:
+      state_.torn_salt.store(fault.salt, std::memory_order_relaxed);
+      state_.torn_pm.store(fault.per_mille, std::memory_order_relaxed);
+      return;
+    case FaultKind::kSlowDisk:
+      state_.slow_us.store(fault.per_mille == 0 ? 0 : fault.slow_us,
+                           std::memory_order_relaxed);
+      return;
+    case FaultKind::kNetPartition: {
+      const uint64_t seed = state_.seed.load(std::memory_order_relaxed);
+      for (ServerId id = 0; id < cluster->size(); ++id) {
+        Server* s = cluster->server(id);
+        if (s == nullptr || !s->online() || s->net_partitioned()) continue;
+        if (FaultFires(seed, epoch, fault.salt ^ kPartitionWord, id, 0,
+                       fault.per_mille)) {
+          s->set_net_partitioned(true);
+          counters_.partitions_applied.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+    case FaultKind::kHealPartition: {
+      for (ServerId id = 0; id < cluster->size(); ++id) {
+        Server* s = cluster->server(id);
+        if (s == nullptr || !s->net_partitioned()) continue;
+        s->set_net_partitioned(false);
+        counters_.partitions_healed.fetch_add(1,
+                                              std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace chaos
+}  // namespace skute

@@ -1,0 +1,51 @@
+#ifndef SKUTE_CHAOS_CHAOS_DIRECTOR_H_
+#define SKUTE_CHAOS_CHAOS_DIRECTOR_H_
+
+#include <cstdint>
+
+#include "skute/chaos/fault.h"
+#include "skute/chaos/fault_state.h"
+#include "skute/cluster/cluster.h"
+
+namespace skute {
+namespace chaos {
+
+/// \brief Owns the shared fault state and applies scheduled chaos
+/// events: arms/disarms the storage fault windows and cuts/heals net
+/// partitions on the cluster. Lives on the Simulation (created by
+/// EnableChaos) and is driven from the epoch thread only — Step
+/// publishes the epoch, ApplyEvent routes Kind::kChaos here.
+class ChaosDirector {
+ public:
+  explicit ChaosDirector(uint64_t seed) {
+    state_.seed.store(seed, std::memory_order_relaxed);
+  }
+
+  ChaosDirector(const ChaosDirector&) = delete;
+  ChaosDirector& operator=(const ChaosDirector&) = delete;
+
+  const StorageFaultState* state() const { return &state_; }
+  ChaosCounters* counters() { return &counters_; }
+
+  /// Publishes the run epoch every backend draw mixes in. Call at the
+  /// top of each Step, before any stage runs.
+  void BeginEpoch(Epoch epoch) {
+    state_.epoch.store(epoch, std::memory_order_relaxed);
+  }
+
+  /// Applies one chaos event at `epoch`: storage kinds update the armed
+  /// windows; partition kinds deterministically cut/heal servers on
+  /// `cluster` (a server is cut when the seeded draw fires).
+  void Apply(const Fault& fault, Epoch epoch, Cluster* cluster);
+
+  ChaosStats stats() const { return SnapshotCounters(counters_); }
+
+ private:
+  StorageFaultState state_;
+  ChaosCounters counters_;
+};
+
+}  // namespace chaos
+}  // namespace skute
+
+#endif  // SKUTE_CHAOS_CHAOS_DIRECTOR_H_

@@ -1,0 +1,25 @@
+#include "skute/chaos/fault.h"
+
+namespace skute {
+namespace chaos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kFsyncFail:
+      return "fsync_fail";
+    case FaultKind::kTornTransfer:
+      return "torn_transfer";
+    case FaultKind::kSlowDisk:
+      return "slow_disk";
+    case FaultKind::kNetPartition:
+      return "net_partition";
+    case FaultKind::kHealPartition:
+      return "heal_partition";
+  }
+  return "unknown";
+}
+
+}  // namespace chaos
+}  // namespace skute

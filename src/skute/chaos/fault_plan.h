@@ -1,0 +1,68 @@
+#ifndef SKUTE_CHAOS_FAULT_PLAN_H_
+#define SKUTE_CHAOS_FAULT_PLAN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skute/chaos/fault.h"
+#include "skute/common/result.h"
+#include "skute/sim/events.h"
+
+namespace skute {
+namespace chaos {
+
+/// One armed window of a plan: `fault` switches on at run-epoch `from`
+/// and off at `to` (0 = stays armed to the end of the run).
+struct FaultWindow {
+  Fault fault{};
+  Epoch from = 0;
+  Epoch to = 0;
+};
+
+/// \brief A named, typed schedule of faults — the unit the sweep driver
+/// and `--fault=<plan>` select. Storage/routing windows compile into
+/// `SimEvent::Chaos` entries on the scenario's event schedule; the
+/// net-plane knobs ride into the load generator's options.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Resolves a builtin plan by name; InvalidArgument (listing the
+  /// known names) otherwise. "none" is the empty plan.
+  static Result<FaultPlan> Named(std::string_view name);
+  static std::vector<std::string> BuiltinNames();
+
+  /// The plan's chaos events, ready for Simulation::ScheduleEvent. Arm
+  /// at `from`, disarm at `to` when set; windows past the run's end
+  /// simply never fire.
+  std::vector<SimEvent> Compile() const;
+
+  const std::string& name() const { return name_; }
+  bool empty() const {
+    return windows_.empty() && conn_reset_per_mille == 0 &&
+           client_stall_ms == 0;
+  }
+
+  /// Adds a window; the window's salt is derived from its index so
+  /// draws of co-armed windows stay independent.
+  void AddWindow(FaultWindow window);
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  // --- net-plane chaos (load generator) --------------------------------
+  /// Probability (per mille, per op) that a client deliberately resets
+  /// its connection mid-stream — exercising reconnect-with-backoff.
+  uint32_t conn_reset_per_mille = 0;
+  /// Occasional client stall between ops, milliseconds (exercises the
+  /// acceptor's idle-connection reaping).
+  uint32_t client_stall_ms = 0;
+
+ private:
+  std::string name_ = "none";
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace chaos
+}  // namespace skute
+
+#endif  // SKUTE_CHAOS_FAULT_PLAN_H_

@@ -1,0 +1,305 @@
+#include "skute/chaos/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "skute/chaos/fault_plan.h"
+#include "skute/obs/adapters.h"
+#include "skute/obs/metrics_registry.h"
+#include "skute/scenario/registry.h"
+#include "skute/scenario/runner.h"
+
+namespace skute {
+namespace chaos {
+
+namespace {
+
+std::vector<std::string> SplitOn(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) end = s.size();
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Expands one integer values segment: `lo..hi` or a `+`-list.
+Status ParseIntValues(const std::string& key, const std::string& value,
+                      std::vector<uint64_t>* out) {
+  out->clear();
+  const size_t dots = value.find("..");
+  if (dots != std::string::npos) {
+    char* end = nullptr;
+    const uint64_t lo = std::strtoull(value.c_str(), &end, 10);
+    const uint64_t hi = std::strtoull(value.c_str() + dots + 2, nullptr, 10);
+    if (end != value.c_str() + dots || hi < lo) {
+      return Status::InvalidArgument("--sweep: bad range '" + key + "=" +
+                                     value + "' (want lo..hi)");
+    }
+    for (uint64_t v = lo; v <= hi; ++v) out->push_back(v);
+    return Status::OK();
+  }
+  for (const std::string& item : SplitOn(value, '+')) {
+    if (item.empty()) {
+      return Status::InvalidArgument("--sweep: empty value in '" + key +
+                                     "=" + value + "'");
+    }
+    out->push_back(std::strtoull(item.c_str(), nullptr, 10));
+  }
+  return Status::OK();
+}
+
+/// Zeroes the wall-clock columns (route_ms, stage_*) of a metrics CSV so
+/// two runs of the same simulation compare bit for bit. Mirrors the
+/// tests' csv_mask helper — the sweep is a shipping tool and cannot
+/// reach into tests/.
+std::string MaskTimingColumns(const std::string& csv) {
+  std::istringstream lines(csv);
+  std::string line;
+  std::vector<size_t> timing_cols;
+  std::string result;
+  bool header = true;
+  while (std::getline(lines, line)) {
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream split(line);
+    while (std::getline(split, field, ',')) fields.push_back(field);
+    if (header) {
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] == "route_ms" || fields[i].rfind("stage_", 0) == 0) {
+          timing_cols.push_back(i);
+        }
+      }
+      header = false;
+    } else {
+      for (size_t col : timing_cols) {
+        if (col < fields.size()) fields[col] = "0";
+      }
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) result += ',';
+      result += fields[i];
+    }
+    result += '\n';
+  }
+  return result;
+}
+
+void AccumulateChaos(ChaosStats* total, const ChaosStats& cell) {
+  total->fsync_failures += cell.fsync_failures;
+  total->torn_transfers += cell.torn_transfers;
+  total->slow_flushes += cell.slow_flushes;
+  total->throttle_us += cell.throttle_us;
+  total->partitions_applied += cell.partitions_applied;
+  total->partitions_healed += cell.partitions_healed;
+}
+
+}  // namespace
+
+Result<SweepSpec> SweepSpec::Parse(std::string_view grammar) {
+  SweepSpec spec;
+  spec.seeds.clear();
+  spec.threads.clear();
+  spec.faults.clear();
+  for (const std::string& segment : SplitOn(grammar, ',')) {
+    if (segment.empty()) continue;
+    const size_t eq = segment.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--sweep: segment '" + segment +
+                                     "' is not key=values");
+    }
+    const std::string key = segment.substr(0, eq);
+    const std::string value = segment.substr(eq + 1);
+    if (key == "scenario") {
+      for (const std::string& name : SplitOn(value, '+')) {
+        if (!name.empty()) spec.scenarios.push_back(name);
+      }
+    } else if (key == "seed") {
+      SKUTE_RETURN_IF_ERROR(ParseIntValues(key, value, &spec.seeds));
+    } else if (key == "threads") {
+      std::vector<uint64_t> parsed;
+      SKUTE_RETURN_IF_ERROR(ParseIntValues(key, value, &parsed));
+      for (uint64_t t : parsed) {
+        if (t == 0 || t > 64) {
+          return Status::InvalidArgument(
+              "--sweep: threads must be in [1, 64]");
+        }
+        spec.threads.push_back(static_cast<int>(t));
+      }
+    } else if (key == "fault") {
+      for (const std::string& name : SplitOn(value, '+')) {
+        if (name.empty()) continue;
+        SKUTE_RETURN_IF_ERROR(FaultPlan::Named(name).status());
+        spec.faults.push_back(name);
+      }
+    } else {
+      return Status::InvalidArgument(
+          "--sweep: unknown key '" + key +
+          "' (want scenario|seed|threads|fault)");
+    }
+  }
+  if (spec.scenarios.empty()) {
+    return Status::InvalidArgument("--sweep: at least one scenario=... "
+                                   "is required");
+  }
+  if (spec.seeds.empty()) spec.seeds.push_back(42);
+  if (spec.threads.empty()) spec.threads.push_back(1);
+  if (spec.faults.empty()) spec.faults.emplace_back("none");
+  return spec;
+}
+
+Result<SweepReport> RunSweep(const SweepSpec& spec,
+                             const SweepOptions& options) {
+  scenario::RegisterBuiltinScenarios();
+  // Resolve (and vet) every scenario before burning any cell time.
+  std::vector<const scenario::ScenarioSpec*> specs;
+  for (const std::string& name : spec.scenarios) {
+    Result<const scenario::ScenarioSpec*> found =
+        scenario::ScenarioRegistry::Global().Find(name);
+    SKUTE_RETURN_IF_ERROR(found.status());
+    if ((*found)->custom_main) {
+      return Status::InvalidArgument(
+          "--sweep: scenario '" + name +
+          "' is a custom-main experiment and cannot be swept");
+    }
+    specs.push_back(*found);
+  }
+
+  SweepReport report;
+  report.cells.reserve(spec.cells());
+  // Baseline masked CSV per (scenario, seed, fault): the first thread
+  // count executed sets it, every other thread count must reproduce it
+  // bit for bit — determinism under chaos, checked inside the sweep.
+  std::map<std::tuple<std::string, uint64_t, std::string>, std::string>
+      baselines;
+
+  size_t index = 0;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    for (const std::string& fault : spec.faults) {
+      for (const uint64_t seed : spec.seeds) {
+        for (const int threads : spec.threads) {
+          SweepCell cell;
+          cell.scenario = spec.scenarios[s];
+          cell.fault = fault;
+          cell.seed = seed;
+          cell.threads = threads;
+
+          scenario::RunOverrides overrides = options.base;
+          overrides.seed = seed;
+          overrides.threads = threads;
+          overrides.fault = fault;
+          // A sweep owns reporting; per-cell outputs and the service
+          // plane (which would fight over one port) are disabled.
+          overrides.out.clear();
+          overrides.trace.clear();
+          overrides.metrics_json.clear();
+          overrides.serve_port = -1;
+          overrides.net_clients = 0;
+
+          std::ostringstream csv;
+          scenario::ScenarioRunner::Options run_options;
+          run_options.print = false;
+          run_options.csv_capture = &csv;
+          run_options.chaos_out = &cell.chaos;
+          const scenario::ScenarioRunner::Outcome outcome =
+              scenario::ScenarioRunner::Execute(*specs[s], overrides,
+                                                run_options);
+          cell.ran = outcome.status.ok();
+          cell.failed_checks = outcome.failed_checks;
+          cell.epochs_run = outcome.epochs_run;
+
+          if (cell.ran) {
+            const std::string masked = MaskTimingColumns(csv.str());
+            const auto key =
+                std::make_tuple(cell.scenario, seed, fault);
+            auto [it, inserted] = baselines.emplace(key, masked);
+            if (!inserted && it->second != masked) {
+              cell.csv_match = false;
+              ++report.csv_mismatches;
+            }
+          }
+          AccumulateChaos(&report.chaos_total, cell.chaos);
+          if (cell.pass()) ++report.passed;
+
+          ++index;
+          if (options.print) {
+            std::printf(
+                "[%3zu/%zu] %-22s fault=%-14s seed=%llu threads=%d  "
+                "%s (%d checks failed, %llu faults fired)%s\n",
+                index, spec.cells(), cell.scenario.c_str(), fault.c_str(),
+                static_cast<unsigned long long>(seed), threads,
+                cell.pass() ? "pass" : "FAIL", cell.failed_checks,
+                static_cast<unsigned long long>(cell.chaos.total_fired()),
+                cell.csv_match ? "" : " [csv mismatch]");
+          }
+          report.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+
+  if (!options.out_csv.empty()) {
+    std::ofstream out(options.out_csv, std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("--sweep-out: cannot write " +
+                                 options.out_csv);
+    }
+    out << "scenario,fault,seed,threads,ran,failed_checks,epochs_run,"
+           "csv_match,chaos_fired,fsync_failures,torn_transfers,"
+           "slow_flushes,throttle_us,partitions_applied,"
+           "partitions_healed\n";
+    for (const SweepCell& c : report.cells) {
+      out << c.scenario << ',' << c.fault << ',' << c.seed << ','
+          << c.threads << ',' << (c.ran ? 1 : 0) << ',' << c.failed_checks
+          << ',' << c.epochs_run << ',' << (c.csv_match ? 1 : 0) << ','
+          << c.chaos.total_fired() << ',' << c.chaos.fsync_failures << ','
+          << c.chaos.torn_transfers << ',' << c.chaos.slow_flushes << ','
+          << c.chaos.throttle_us << ',' << c.chaos.partitions_applied
+          << ',' << c.chaos.partitions_healed << '\n';
+    }
+  }
+
+  if (!options.out_json.empty()) {
+    obs::MetricsRegistry registry;
+    registry.SetInfo("sweep.grammar", "scenario x seed x threads x fault");
+    registry.SetCounter("sweep.cells",
+                        static_cast<uint64_t>(report.cells.size()));
+    registry.SetCounter("sweep.passed",
+                        static_cast<uint64_t>(report.passed));
+    registry.SetCounter(
+        "sweep.failed",
+        static_cast<uint64_t>(report.cells.size() - report.passed));
+    registry.SetCounter("sweep.csv_mismatches",
+                        static_cast<uint64_t>(report.csv_mismatches));
+    registry.SetCounter("sweep.scenarios",
+                        static_cast<uint64_t>(spec.scenarios.size()));
+    registry.SetCounter("sweep.seeds",
+                        static_cast<uint64_t>(spec.seeds.size()));
+    registry.SetCounter("sweep.threads",
+                        static_cast<uint64_t>(spec.threads.size()));
+    registry.SetCounter("sweep.faults",
+                        static_cast<uint64_t>(spec.faults.size()));
+    obs::RegisterChaosStats(&registry, "chaos", report.chaos_total);
+    SKUTE_RETURN_IF_ERROR(registry.WriteJson(options.out_json));
+  }
+
+  if (options.print) {
+    std::printf(
+        "sweep: %zu/%zu cells passed, %zu csv mismatches, "
+        "%llu faults fired total\n",
+        report.passed, report.cells.size(), report.csv_mismatches,
+        static_cast<unsigned long long>(report.chaos_total.total_fired()));
+  }
+  return report;
+}
+
+}  // namespace chaos
+}  // namespace skute

@@ -1,0 +1,95 @@
+#ifndef SKUTE_CHAOS_SWEEP_H_
+#define SKUTE_CHAOS_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "skute/chaos/fault_state.h"
+#include "skute/common/result.h"
+#include "skute/scenario/spec.h"
+
+namespace skute {
+namespace chaos {
+
+/// \brief The sweep grid: scenario × seed × threads × fault, parsed from
+/// the `--sweep=` grammar. One invocation runs every cell and reports
+/// aggregate robustness evidence — shape-check pass rate, cross-thread
+/// CSV determinism, and per-cell chaos counters.
+///
+/// Grammar (comma-separated `key=values` segments):
+///   scenario=a+b      `+`-separated scenario names (required)
+///   seed=1..10        integer range (`lo..hi`) or `+`-list
+///   threads=1..4      integer range or `+`-list
+///   fault=none+disk_flaky   `+`-separated builtin fault-plan names
+/// Omitted keys default to seed=42, threads=1, fault=none.
+struct SweepSpec {
+  std::vector<std::string> scenarios;
+  std::vector<uint64_t> seeds = {42};
+  std::vector<int> threads = {1};
+  std::vector<std::string> faults = {"none"};
+
+  /// Parses the `--sweep=` value. InvalidArgument on malformed
+  /// segments, unknown keys, empty scenario lists, or fault names that
+  /// do not resolve to a builtin plan.
+  static Result<SweepSpec> Parse(std::string_view grammar);
+
+  size_t cells() const {
+    return scenarios.size() * seeds.size() * threads.size() * faults.size();
+  }
+};
+
+/// One grid cell's outcome.
+struct SweepCell {
+  std::string scenario;
+  std::string fault;
+  uint64_t seed = 0;
+  int threads = 0;
+
+  bool ran = false;          ///< initialization succeeded
+  int failed_checks = 0;     ///< shape checks that did not hold
+  int epochs_run = 0;
+  ChaosStats chaos;          ///< what the fault plan actually fired
+  /// Masked metrics CSV identical to the threads=min cell of the same
+  /// (scenario, seed, fault) — the determinism invariant under chaos.
+  bool csv_match = true;
+
+  bool pass() const { return ran && failed_checks == 0 && csv_match; }
+};
+
+struct SweepOptions {
+  /// Per-cell base overrides (backend, real_data, io_threads, epochs...);
+  /// seed/threads/fault are replaced cell by cell, output/serve flags
+  /// are ignored (a sweep owns its own reporting).
+  scenario::RunOverrides base;
+  /// "" = off; aggregate per-cell CSV report.
+  std::string out_csv;
+  /// "" = off; aggregate MetricsRegistry JSON snapshot.
+  std::string out_json;
+  bool print = true;
+};
+
+struct SweepReport {
+  std::vector<SweepCell> cells;
+  size_t passed = 0;
+  size_t csv_mismatches = 0;
+  ChaosStats chaos_total;  ///< counters summed over every cell
+
+  bool all_passed() const {
+    return passed == cells.size() && csv_mismatches == 0;
+  }
+};
+
+/// Runs the whole grid in-process (print-free scenario executions with
+/// CSV capture), checks threads=1 ≡ threads=N per (scenario, seed,
+/// fault) group on timing-masked CSVs, and writes the aggregate
+/// reports. Errors only on grid-level problems (unknown scenario,
+/// unwritable report file); per-cell failures land in the report.
+Result<SweepReport> RunSweep(const SweepSpec& spec,
+                             const SweepOptions& options);
+
+}  // namespace chaos
+}  // namespace skute
+
+#endif  // SKUTE_CHAOS_SWEEP_H_

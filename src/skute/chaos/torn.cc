@@ -1,0 +1,25 @@
+#include "skute/chaos/torn.h"
+
+#include <algorithm>
+
+#include "skute/chaos/fault.h"
+
+namespace skute {
+namespace chaos {
+
+std::string TornTail(std::string_view bytes, size_t keep) {
+  keep = std::min(keep, bytes.size());
+  return std::string(bytes.substr(0, keep));
+}
+
+size_t TornKeepLength(uint64_t seed, uint64_t epoch, uint64_t salt,
+                      uint64_t a, uint64_t b, size_t full) {
+  if (full == 0) return 0;
+  // Second independent draw (salt rotated) so the tear point does not
+  // correlate with the fire/no-fire decision.
+  const uint64_t h = FaultHash(seed, epoch, salt ^ 0x7f4a7c15ull, a, b);
+  return static_cast<size_t>(h % full);
+}
+
+}  // namespace chaos
+}  // namespace skute

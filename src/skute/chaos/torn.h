@@ -1,0 +1,26 @@
+#ifndef SKUTE_CHAOS_TORN_H_
+#define SKUTE_CHAOS_TORN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace skute {
+namespace chaos {
+
+/// Returns `bytes` truncated to `keep` bytes — the canonical torn-write
+/// shape: an intact prefix with the tail simply missing, exactly what a
+/// crash mid-append leaves on disk.
+std::string TornTail(std::string_view bytes, size_t keep);
+
+/// Deterministic truncation point for a torn transfer of `full` bytes:
+/// somewhere in [0, full), never the complete payload. Returns 0 when
+/// `full` is 0.
+size_t TornKeepLength(uint64_t seed, uint64_t epoch, uint64_t salt,
+                      uint64_t a, uint64_t b, size_t full);
+
+}  // namespace chaos
+}  // namespace skute
+
+#endif  // SKUTE_CHAOS_TORN_H_

@@ -58,6 +58,14 @@ class Server {
   bool online() const { return online_; }
   void set_online(bool online) { online_ = online; }
 
+  /// Chaos net-partition flag: the server is alive (storage, durability,
+  /// transfers all work) but cut from the client routing plane — routing
+  /// treats its replicas as mix-unreachable until the partition heals.
+  bool net_partitioned() const { return net_partitioned_; }
+  void set_net_partitioned(bool partitioned) {
+    net_partitioned_ = partitioned;
+  }
+
   // --- Storage accounting -------------------------------------------------
 
   /// Reserves `bytes`; fails with kResourceExhausted when the capacity
@@ -138,6 +146,7 @@ class Server {
   BackendConfig backend_;
 
   bool online_ = true;
+  bool net_partitioned_ = false;
   uint64_t used_storage_ = 0;
 
   uint64_t replication_debt_ = 0;

@@ -35,7 +35,10 @@ TransferResult ActionExecutor::CopyRealData(ServerId from, ServerId to,
   ReplicaStore* dst = replica_data_->Find(to);
   if (dst == nullptr) return {};
   auto streamed = dst->CopyFrom(*src, pid);
-  return streamed.ok() ? *streamed : TransferResult{};
+  if (streamed.ok()) return *streamed;
+  TransferResult failed;
+  failed.failed = true;  // source fault / torn stream: action must block
+  return failed;
 }
 
 TransferResult ActionExecutor::MoveRealData(ServerId from, ServerId to,
@@ -48,7 +51,10 @@ TransferResult ActionExecutor::MoveRealData(ServerId from, ServerId to,
   ReplicaStore* dst = replica_data_->Find(to);
   if (dst == nullptr) return {};
   auto streamed = dst->MoveFrom(src, pid);
-  return streamed.ok() ? *streamed : TransferResult{};
+  if (streamed.ok()) return *streamed;
+  TransferResult failed;
+  failed.failed = true;
+  return failed;
 }
 
 void ActionExecutor::DropRealData(ServerId server, PartitionId pid) {
@@ -91,15 +97,27 @@ ActionExecutor::Outcome ActionExecutor::ApplyReplicate(
   source->ChargeReplication(bytes);
   target->ChargeReplication(bytes);
 
+  // Stream the real bytes BEFORE registering the replica: a faulted
+  // source (torn snapshot, failed import) must leave the catalog
+  // untouched — the action blocks and is re-proposed next epoch, it
+  // never yields a registered-but-corrupt replica. The partial
+  // destination data is dropped; both servers keep the bandwidth charge
+  // for the attempt, the storage reservation is returned.
+  const TransferResult copied = CopyRealData(source->id(), a.target, p->id());
+  if (copied.failed) {
+    DropRealData(a.target, p->id());
+    (void)target->ReleaseStorage(bytes);
+    return Outcome::kBlockedBandwidth;
+  }
+  (copied.delta ? out->stats.delta_bytes : out->stats.snapshot_bytes) +=
+      copied.bytes;
+
   // AddReplica cannot fail: HasReplicaOn was checked above. The vnode id
   // was pre-allocated by the planner; the registry insert is deferred to
   // the serial commit (nothing this epoch reads a vnode born this epoch).
   (void)p->AddReplica(a.target, vid, epoch);
   out->creates.push_back(
       PendingVNodeCreate{vid, p->id(), p->ring(), a.target, epoch});
-  const TransferResult copied = CopyRealData(source->id(), a.target, p->id());
-  (copied.delta ? out->stats.delta_bytes : out->stats.snapshot_bytes) +=
-      copied.bytes;
 
   ++out->stats.replications;
   out->stats.bytes_replicated += bytes;
@@ -134,15 +152,26 @@ ActionExecutor::Outcome ActionExecutor::ApplyMigrate(
   const uint64_t bytes = p->bytes();
   if (!target->ReserveStorage(bytes).ok()) return Outcome::kBlockedStorage;
 
-  (void)source->ReleaseStorage(bytes);
   source->ChargeMigration(bytes);
   target->ChargeMigration(bytes);
+
+  // Move the real bytes BEFORE touching the catalog: a faulted transfer
+  // leaves the source replica intact and authoritative (MoveFrom only
+  // wipes the source after a successful import), so the action simply
+  // blocks. Partial destination data is dropped; the bandwidth charge
+  // for the attempt stands, the reservation is returned.
+  const TransferResult moved = MoveRealData(a.source, a.target, p->id());
+  if (moved.failed) {
+    DropRealData(a.target, p->id());
+    (void)target->ReleaseStorage(bytes);
+    return Outcome::kBlockedBandwidth;
+  }
+  (void)source->ReleaseStorage(bytes);
 
   (void)p->RemoveReplica(a.source);
   (void)p->AddReplica(a.target, v->id, epoch);
   v->server = a.target;
   v->balance.Reset();
-  const TransferResult moved = MoveRealData(a.source, a.target, p->id());
   (moved.delta ? out->stats.delta_bytes : out->stats.snapshot_bytes) +=
       moved.bytes;
 

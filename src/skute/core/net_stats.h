@@ -17,6 +17,9 @@ struct NetStats {
   uint64_t conns_shed = 0;
   /// Connections closed (peer hangup, QUIT, drain).
   uint64_t conns_closed = 0;
+  /// Connections force-closed by the acceptor's idle deadline (a stalled
+  /// client must not pin a slot in the connection budget forever).
+  uint64_t conns_timed_out = 0;
   /// Raw socket traffic.
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
@@ -38,6 +41,7 @@ struct NetStats {
     conns_accepted += other.conns_accepted;
     conns_shed += other.conns_shed;
     conns_closed += other.conns_closed;
+    conns_timed_out += other.conns_timed_out;
     bytes_in += other.bytes_in;
     bytes_out += other.bytes_out;
     ops += other.ops;

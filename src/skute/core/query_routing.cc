@@ -71,8 +71,16 @@ void ComputePartitionRoute(Cluster* cluster, VNodeRegistry* vnodes,
   for (const ReplicaInfo& r : partition.replicas()) {
     Server* s = cluster->server(r.server);
     if (s == nullptr || !s->online()) continue;
+    // A chaos net-partition makes the replica mix-unreachable: weight 0,
+    // same as a client mix with no proximity to it. If every live
+    // replica is partitioned, the uniform fallback below still lands the
+    // queries (clients retry blindly) — the partition is degraded, not
+    // lost.
     const double g =
-        mix == nullptr ? 1.0 : NormalizedProximity(*mix, s->location());
+        s->net_partitioned()
+            ? 0.0
+            : (mix == nullptr ? 1.0
+                              : NormalizedProximity(*mix, s->location()));
     targets.push_back(Target{s, vnodes->Find(r.vnode), g});
   }
   if (targets.empty()) {  // no live replica: the queries are lost

@@ -39,6 +39,9 @@ BackendFactory SkuteStore::FactoryForServer(ServerId id) const {
     factory.AttachIoPool(io_pool_.get(),
                          options_.durability.flush_watermark);
   }
+  if (fault_state_ != nullptr) {
+    factory.EnableChaos(fault_state_, chaos_counters_);
+  }
   return factory.ForServer(id);
 }
 
@@ -255,8 +258,13 @@ Server* SkuteStore::BestLiveReplica(const Partition& p, RingId ring,
   for (const ReplicaInfo& r : p.replicas()) {
     Server* s = cluster_->server(r.server);
     if (s == nullptr || !s->online()) continue;
+    // Chaos net-partitions zero the proximity term (mix-unreachable);
+    // the replica only wins if no reachable one exists.
     const double g =
-        mix == nullptr ? 1.0 : NormalizedProximity(*mix, s->location());
+        s->net_partitioned()
+            ? 0.0
+            : (mix == nullptr ? 1.0
+                              : NormalizedProximity(*mix, s->location()));
     const double load =
         static_cast<double>(s->queries_served_this_epoch() + 1);
     const double score = g / load;

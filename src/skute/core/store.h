@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "skute/chaos/fault_state.h"
 #include "skute/cluster/cluster.h"
 #include "skute/common/random.h"
 #include "skute/common/result.h"
@@ -198,6 +199,17 @@ class SkuteStore {
   /// zero replicas are counted as lost.
   void HandleServerFailure(ServerId id);
 
+  /// Chaos plane: every storage backend created from now on is wrapped
+  /// in a FaultyBackend reading `state` / tallying into `counters`
+  /// (both must outlive the store). Call before any data lands — i.e.
+  /// before Initialize/AttachRing traffic — so the whole fleet is
+  /// wrapped; backends created earlier stay fault-free.
+  void EnableChaos(const chaos::StorageFaultState* state,
+                   chaos::ChaosCounters* counters) {
+    fault_state_ = state;
+    chaos_counters_ = counters;
+  }
+
   // --- Introspection ---------------------------------------------------------
 
   Cluster& cluster() { return *cluster_; }
@@ -305,6 +317,9 @@ class SkuteStore {
 
   Cluster* cluster_;
   SkuteOptions options_;
+  /// Chaos plane attachment (nullptr = no fault injection).
+  const chaos::StorageFaultState* fault_state_ = nullptr;
+  chaos::ChaosCounters* chaos_counters_ = nullptr;
   RingCatalog catalog_;
   VNodeRegistry vnodes_;
   std::unique_ptr<PlacementPolicy> policy_;

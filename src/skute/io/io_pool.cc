@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "skute/backend/backend.h"
+#include "skute/common/logging.h"
 #include "skute/engine/worker_pool.h"
 #include "skute/obs/trace.h"
 
@@ -73,9 +74,26 @@ IoPool::DrainStats IoPool::Drain() {
   }
 
   // Phase 1: one fsync per dirty backend, however many requests it
-  // absorbed — the group commit.
+  // absorbed — the group commit. A failed flush is retried up to
+  // kMaxFlushAttempts total tries; a backend that never succeeds is
+  // surfaced loudly and counted, never silently dropped (its unflushed
+  // bytes stay put, so the next durability sweep resubmits it).
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> failures{0};
   const auto flush_one = [&](size_t i) {
-    (void)dirty[i]->Flush();
+    Status st = dirty[i]->Flush();
+    int attempts = 1;
+    while (!st.ok() && attempts < kMaxFlushAttempts) {
+      retries.fetch_add(1, std::memory_order_relaxed);
+      st = dirty[i]->Flush();
+      ++attempts;
+    }
+    if (!st.ok()) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+      SKUTE_LOG(kError) << "io_pool: flush failed after " << attempts
+                        << " attempts: " << st.message();
+      return;
+    }
     dirty[i]->NoteGroupCommit(counts[i] - 1);
   };
   if (pool_ != nullptr) {
@@ -83,6 +101,12 @@ IoPool::DrainStats IoPool::Drain() {
   } else {
     for (size_t i = 0; i < dirty.size(); ++i) flush_one(i);
   }
+  stats.flush_retries = retries.load(std::memory_order_relaxed);
+  stats.failed_flushes = failures.load(std::memory_order_relaxed);
+  total_flush_retries_.fetch_add(stats.flush_retries,
+                                 std::memory_order_relaxed);
+  total_failed_flushes_.fetch_add(stats.failed_flushes,
+                                  std::memory_order_relaxed);
 
   // Phase 2 (after the flush barrier): background jobs. Jobs for one
   // owner must not run concurrently with each other; the worklist is

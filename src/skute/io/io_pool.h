@@ -1,6 +1,7 @@
 #ifndef SKUTE_IO_IO_POOL_H_
 #define SKUTE_IO_IO_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -69,7 +70,20 @@ class IoPool {
     uint64_t flushed_backends = 0;  ///< fsyncs issued this drain
     uint64_t coalesced = 0;         ///< flush requests absorbed beyond the first
     uint64_t jobs = 0;              ///< background jobs executed
+    /// Flush attempts repeated after a failure (bounded retry; a flaky
+    /// disk that recovers within kMaxFlushAttempts loses nothing).
+    uint64_t flush_retries = 0;
+    /// Backends whose flush still failed after every retry — surfaced
+    /// loudly (SKUTE_LOG kError) instead of silently dropping the sync.
+    /// The backend keeps its unflushed bytes and is resubmitted by the
+    /// next durability sweep, so data loss needs a crash *and* a disk
+    /// that never recovers.
+    uint64_t failed_flushes = 0;
   };
+
+  /// Attempts per backend flush before a drain gives up and counts a
+  /// failed_flush (1 initial try + retries).
+  static constexpr int kMaxFlushAttempts = 3;
 
   /// Executes all pending work: phase 1 flushes every dirty backend (one
   /// fsync each, pool-parallel), phase 2 runs the background jobs.
@@ -78,6 +92,14 @@ class IoPool {
 
   /// Pending work snapshot (flushes + jobs), for tests.
   size_t pending() const;
+
+  /// Lifetime totals of the retry path across every drain (metrics).
+  uint64_t total_failed_flushes() const {
+    return total_failed_flushes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_flush_retries() const {
+    return total_flush_retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Job {
@@ -96,6 +118,9 @@ class IoPool {
   std::vector<StorageBackend*> order_;
   std::unordered_map<StorageBackend*, uint64_t> pending_;
   std::vector<Job> jobs_;
+
+  std::atomic<uint64_t> total_failed_flushes_{0};
+  std::atomic<uint64_t> total_flush_retries_{0};
 };
 
 }  // namespace skute

@@ -119,6 +119,23 @@ void Acceptor::AcceptReady() {
 }
 
 int Acceptor::Pump(int timeout_ms) {
+  // Idle reaper first, so a timed-out connection leaves in this same
+  // round — poll alone would never wake for a silent peer.
+  if (options_.idle_timeout_ms > 0 && !conns_.empty()) {
+    const auto now = Connection::Clock::now();
+    for (auto& conn : conns_) {
+      if (conn->finished()) continue;
+      const int64_t idle = conn->IdleMs(now);
+      if (idle >= options_.idle_timeout_ms) {
+        stats_->conns_timed_out++;
+        SKUTE_LOG(kWarning) << "net: closing idle connection (idle " << idle
+                            << " ms, deadline " << options_.idle_timeout_ms
+                            << " ms)";
+        conn->ForceClose();
+      }
+    }
+  }
+
   // Reap up front: a drained connection whose output was already empty
   // raises no poll event, so the post-poll sweep alone would miss it.
   auto finished = [](const std::unique_ptr<Connection>& c) {

@@ -29,6 +29,10 @@ class Acceptor {
     /// Live-connection budget. Connections beyond it are shed with an
     /// ERROR line and an immediate close (counted in NetStats).
     size_t max_connections = 64;
+    /// Idle-connection deadline: a connection that moved no bytes in
+    /// either direction for this long is force-closed at the next Pump
+    /// and counted in NetStats.conns_timed_out. 0 disables the reaper.
+    int idle_timeout_ms = 0;
     FrameParser::Limits limits;
   };
 

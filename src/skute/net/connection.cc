@@ -26,6 +26,7 @@ void Connection::OnReadable(Dispatcher* dispatcher, NetStats* stats) {
   while (true) {
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
+      last_activity_ = Clock::now();
       stats->bytes_in += static_cast<uint64_t>(n);
       parser_.Append(std::string_view(buf, static_cast<size_t>(n)));
       continue;
@@ -65,6 +66,7 @@ void Connection::OnWritable(NetStats* stats) {
   while (!out_.empty()) {
     ssize_t n = ::send(fd_, out_.data(), out_.size(), MSG_NOSIGNAL);
     if (n > 0) {
+      last_activity_ = Clock::now();
       stats->bytes_out += static_cast<uint64_t>(n);
       out_.erase(0, static_cast<size_t>(n));
       continue;

@@ -1,6 +1,7 @@
 #ifndef SKUTE_NET_CONNECTION_H_
 #define SKUTE_NET_CONNECTION_H_
 
+#include <chrono>
 #include <string>
 
 #include "skute/core/net_stats.h"
@@ -49,6 +50,19 @@ class Connection {
   /// flushed (graceful drain).
   void StartDrain() { draining_ = true; }
 
+  using Clock = std::chrono::steady_clock;
+
+  /// Milliseconds since the last byte moved in either direction.
+  int64_t IdleMs(Clock::time_point now) const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now - last_activity_)
+        .count();
+  }
+
+  /// Marks the connection finished regardless of buffered output — the
+  /// acceptor's idle reaper (a stalled peer forfeits its pending reply).
+  void ForceClose() { error_ = true; }
+
   int fd() const { return fd_; }
   bool wants_write() const { return !out_.empty(); }
   /// True once the connection should be destroyed: peer closed, fatal
@@ -62,6 +76,7 @@ class Connection {
   bool draining_ = false;   ///< stop reading; close after flush
   bool peer_closed_ = false;
   bool error_ = false;
+  Clock::time_point last_activity_ = Clock::now();
 };
 
 }  // namespace net

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "skute/common/random.h"
 
@@ -92,6 +94,35 @@ bool StartsWith(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// One connect attempt; returns a configured socket fd, or -1.
+int ConnectOnce(const std::string& host, int port, int recv_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv;
+  tv.tv_sec = recv_timeout_ms / 1000;
+  tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Reconnect policy: a client survives this many consecutive failed
+/// attempts (each with capped exponential backoff) before its thread
+/// gives up for good.
+constexpr int kMaxReconnectAttempts = 8;
+constexpr uint64_t kBackoffBaseUs = 2000;    // first retry delay ceiling
+constexpr uint64_t kBackoffCapUs = 100000;   // per-attempt delay ceiling
+
 }  // namespace
 
 struct LoadGen::ClientState {
@@ -143,6 +174,8 @@ LoadGenReport LoadGen::Join() {
     merged.not_found += r.not_found;
     merged.errors += r.errors;
     merged.transport_errors += r.transport_errors;
+    merged.reconnects += r.reconnects;
+    merged.chaos_resets += r.chaos_resets;
     merged.bytes_sent += r.bytes_sent;
     merged.bytes_received += r.bytes_received;
     merged.seconds = std::max(merged.seconds, r.seconds);
@@ -158,42 +191,70 @@ void LoadGen::RunClient(ClientState* state) {
   int fd = -1;
   // The server may still be binding when clients spin up: retry briefly.
   for (int attempt = 0; attempt < 50 && fd < 0; ++attempt) {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) break;
-    sockaddr_in addr;
-    memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1 ||
-        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-            0) {
-      ::close(fd);
-      fd = -1;
-      ::usleep(20 * 1000);
-    }
+    fd = ConnectOnce(options_.host, options_.port, options_.recv_timeout_ms);
+    if (fd < 0) ::usleep(20 * 1000);
   }
   if (fd < 0) {
     report.transport_errors++;
     finished_.fetch_add(1, std::memory_order_release);
     return;
   }
-  timeval tv;
-  tv.tv_sec = options_.recv_timeout_ms / 1000;
-  tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-  LineReader reader(fd);
+  auto reader = std::make_unique<LineReader>(fd);
   const double start = NowSeconds();
   uint64_t ops_done = 0;
   std::string request;
   std::string line;
   std::string payload;
 
+  // Tears down the current connection, banking its receive counter.
+  const auto drop_connection = [&] {
+    report.bytes_received += reader->bytes_received();
+    reader.reset();
+    ::close(fd);
+    fd = -1;
+  };
+  // Capped exponential backoff with seeded jitter; false only when the
+  // attempt cap is exhausted (or stop was requested) — a transport error
+  // costs the client a pause, not its thread.
+  const auto reconnect = [&]() -> bool {
+    for (int attempt = 0; attempt < kMaxReconnectAttempts; ++attempt) {
+      const uint64_t ceil_us = std::min(
+          kBackoffBaseUs << std::min(attempt, 8), kBackoffCapUs);
+      // Uniform in [ceil/2, ceil] so synchronized clients fan back out.
+      const uint64_t sleep_us = ceil_us / 2 + rng.UniformInt(0, ceil_us / 2);
+      ::usleep(static_cast<useconds_t>(sleep_us));
+      if (stop_.load(std::memory_order_relaxed)) return false;
+      fd = ConnectOnce(options_.host, options_.port,
+                       options_.recv_timeout_ms);
+      if (fd >= 0) {
+        reader = std::make_unique<LineReader>(fd);
+        report.reconnects++;
+        return true;
+      }
+    }
+    return false;
+  };
+
   while (!stop_.load(std::memory_order_relaxed) &&
          (options_.max_ops_per_client == 0 ||
           ops_done < options_.max_ops_per_client)) {
+    if (fd < 0 && !reconnect()) break;
+
+    // Injected connection reset: cut our own socket mid-stream and take
+    // the reconnect path — the chaos client is its own adversary.
+    if (options_.chaos_reset_per_mille > 0 &&
+        rng.UniformInt(0, 999) < options_.chaos_reset_per_mille) {
+      report.chaos_resets++;
+      drop_connection();
+      continue;
+    }
+    // Injected stall: an unresponsive client the acceptor may reap.
+    if (options_.chaos_stall_ms > 0 &&
+        rng.UniformInt(0, 999) < options_.chaos_stall_per_mille) {
+      ::usleep(static_cast<useconds_t>(options_.chaos_stall_ms) * 1000);
+    }
+
     const uint64_t key_idx = rng.Zipf(options_.keyspace, options_.zipf_s);
     const RingId ring =
         options_.rings[static_cast<size_t>(ops_done) %
@@ -217,11 +278,13 @@ void LoadGen::RunClient(ClientState* state) {
     const double op_start = NowSeconds();
     if (!SendAll(fd, request, &report.bytes_sent)) {
       report.transport_errors++;
-      break;
+      drop_connection();
+      continue;
     }
-    if (!reader.ReadLine(&line)) {
+    if (!reader->ReadLine(&line)) {
       report.transport_errors++;
-      break;
+      drop_connection();
+      continue;
     }
     bool transport_ok = true;
     if (StartsWith(line, "VALUE ")) {
@@ -232,8 +295,8 @@ void LoadGen::RunClient(ClientState* state) {
               ? 0
               : static_cast<size_t>(strtoull(line.c_str() + space + 1,
                                              nullptr, 10));
-      transport_ok = reader.ReadBytes(nbytes + 2, &payload) &&
-                     reader.ReadLine(&line);
+      transport_ok = reader->ReadBytes(nbytes + 2, &payload) &&
+                     reader->ReadLine(&line);
       if (transport_ok) report.ok++;
     } else if (StartsWith(line, "STORED") || StartsWith(line, "DELETED")) {
       report.ok++;
@@ -244,19 +307,22 @@ void LoadGen::RunClient(ClientState* state) {
     }
     if (!transport_ok) {
       report.transport_errors++;
-      break;
+      drop_connection();
+      continue;
     }
     report.ops++;
     ops_done++;
     report.latency_ms.Add((NowSeconds() - op_start) * 1000.0);
   }
 
-  // Polite goodbye; best effort (the server may already be draining).
-  (void)SendAll(fd, "QUIT\r\n", &report.bytes_sent);
-  (void)reader.ReadLine(&line);
-  report.bytes_received = reader.bytes_received();
+  if (fd >= 0) {
+    // Polite goodbye; best effort (the server may already be draining).
+    (void)SendAll(fd, "QUIT\r\n", &report.bytes_sent);
+    (void)reader->ReadLine(&line);
+    report.bytes_received += reader->bytes_received();
+    ::close(fd);
+  }
   report.seconds = NowSeconds() - start;
-  ::close(fd);
   finished_.fetch_add(1, std::memory_order_release);
 }
 

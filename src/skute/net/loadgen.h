@@ -22,6 +22,11 @@ struct LoadGenReport {
   uint64_t not_found = 0;   ///< NOT_FOUND replies (expected misses)
   uint64_t errors = 0;      ///< ERROR replies (server-side refusals)
   uint64_t transport_errors = 0;  ///< connect/send/recv failures
+  /// Successful reconnects after a transport error or injected reset —
+  /// a client thread survives connection loss instead of dying with it.
+  uint64_t reconnects = 0;
+  /// Connections this client deliberately cut (chaos_reset_per_mille).
+  uint64_t chaos_resets = 0;
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
   double seconds = 0.0;     ///< wall time from first to last op
@@ -61,6 +66,17 @@ class LoadGen {
     /// Blocking-socket receive timeout (a wedged server fails the
     /// client op instead of hanging the thread).
     int recv_timeout_ms = 5000;
+
+    // --- chaos knobs (all off by default) ------------------------------
+    /// Per-op probability (per mille) that the client cuts its own
+    /// connection mid-stream — the connection-reset fault. The client
+    /// then exercises the reconnect-with-backoff path.
+    uint32_t chaos_reset_per_mille = 0;
+    /// Injected client stall: with probability chaos_stall_per_mille
+    /// per op, sleep chaos_stall_ms before sending (stalled-client
+    /// fault; pairs with the acceptor's idle timeout).
+    uint32_t chaos_stall_ms = 0;
+    uint32_t chaos_stall_per_mille = 100;
   };
 
   explicit LoadGen(Options options);

@@ -32,6 +32,7 @@ void RegisterIoStats(MetricsRegistry* reg, const std::string& prefix,
   reg->SetCounter(Key(prefix, "coalesced_fsyncs"), io.coalesced_fsyncs);
   reg->SetCounter(Key(prefix, "compactions"), io.compactions);
   reg->SetCounter(Key(prefix, "compaction_bytes"), io.compaction_bytes);
+  reg->SetCounter(Key(prefix, "throttle_us"), io.throttle_us);
 }
 
 void RegisterExecutorStats(MetricsRegistry* reg, const std::string& prefix,
@@ -84,6 +85,7 @@ void RegisterNetStats(MetricsRegistry* reg, const std::string& prefix,
   reg->SetCounter(Key(prefix, "conns_accepted"), net.conns_accepted);
   reg->SetCounter(Key(prefix, "conns_shed"), net.conns_shed);
   reg->SetCounter(Key(prefix, "conns_closed"), net.conns_closed);
+  reg->SetCounter(Key(prefix, "conns_timed_out"), net.conns_timed_out);
   reg->SetCounter(Key(prefix, "bytes_in"), net.bytes_in);
   reg->SetCounter(Key(prefix, "bytes_out"), net.bytes_out);
   reg->SetCounter(Key(prefix, "ops"), net.ops);
@@ -91,6 +93,19 @@ void RegisterNetStats(MetricsRegistry* reg, const std::string& prefix,
   reg->SetCounter(Key(prefix, "ops_not_found"), net.ops_not_found);
   reg->SetCounter(Key(prefix, "ops_error"), net.ops_error);
   reg->SetCounter(Key(prefix, "protocol_errors"), net.protocol_errors);
+}
+
+void RegisterChaosStats(MetricsRegistry* reg, const std::string& prefix,
+                        const chaos::ChaosStats& chaos) {
+  reg->SetCounter(Key(prefix, "fsync_failures"), chaos.fsync_failures);
+  reg->SetCounter(Key(prefix, "torn_transfers"), chaos.torn_transfers);
+  reg->SetCounter(Key(prefix, "slow_flushes"), chaos.slow_flushes);
+  reg->SetCounter(Key(prefix, "throttle_us"), chaos.throttle_us);
+  reg->SetCounter(Key(prefix, "partitions_applied"),
+                  chaos.partitions_applied);
+  reg->SetCounter(Key(prefix, "partitions_healed"),
+                  chaos.partitions_healed);
+  reg->SetCounter(Key(prefix, "total_fired"), chaos.total_fired());
 }
 
 void RegisterRouteResult(MetricsRegistry* reg, const std::string& prefix,

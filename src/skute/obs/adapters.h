@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "skute/backend/io_stats.h"
+#include "skute/chaos/fault_state.h"
 #include "skute/core/comm_stats.h"
 #include "skute/core/decision_cache.h"
 #include "skute/core/net_stats.h"
@@ -38,6 +39,11 @@ void RegisterDecisionStats(MetricsRegistry* reg, const std::string& prefix,
 
 void RegisterNetStats(MetricsRegistry* reg, const std::string& prefix,
                       const NetStats& net);
+
+/// Chaos-plane counters (what the fault director actually fired) —
+/// the sweep report's proof that a fault plan did something.
+void RegisterChaosStats(MetricsRegistry* reg, const std::string& prefix,
+                        const chaos::ChaosStats& chaos);
 
 void RegisterRouteResult(MetricsRegistry* reg, const std::string& prefix,
                          const RouteResult& route);

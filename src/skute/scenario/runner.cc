@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "skute/chaos/fault_plan.h"
 #include "skute/net/loadgen.h"
 #include "skute/net/service.h"
 #include "skute/obs/adapters.h"
@@ -35,6 +36,32 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
       overrides.epochs > 0 ? overrides.epochs : spec.default_epochs;
 
   Simulation sim(std::move(config));
+
+  // Chaos must be armed before Initialize (the director wraps every
+  // backend the store creates). An unknown plan fails the run loudly —
+  // a typo'd --fault must never silently run fault-free.
+  chaos::FaultPlan fault_plan;
+  if (!overrides.fault.empty() && overrides.fault != "none") {
+    Result<chaos::FaultPlan> plan = chaos::FaultPlan::Named(overrides.fault);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "--fault=%s failed: %s\n",
+                   overrides.fault.c_str(),
+                   plan.status().ToString().c_str());
+      outcome.status = plan.status();
+      return outcome;
+    }
+    fault_plan = std::move(*plan);
+    const Status armed = sim.EnableChaos(fault_plan);
+    if (!armed.ok()) {
+      outcome.status = armed;
+      return outcome;
+    }
+    if (options.print) {
+      std::printf("chaos armed: fault plan '%s'\n",
+                  fault_plan.name().c_str());
+    }
+  }
+
   const Status init = sim.Initialize();
   if (!init.ok()) {
     if (options.print) {
@@ -89,6 +116,8 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
       lg.port = service->port();
       lg.clients = overrides.net_clients;
       lg.seed = overrides.seed;
+      lg.chaos_reset_per_mille = fault_plan.conn_reset_per_mille;
+      lg.chaos_stall_ms = fault_plan.client_stall_ms;
       lg.rings.clear();
       const size_t rings = sim.store().catalog().ring_count();
       for (RingId r = 0; r < rings; ++r) lg.rings.push_back(r);
@@ -121,6 +150,7 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
   }
   const auto& series = sim.metrics().series();
   outcome.epochs_run = static_cast<int>(series.size());
+  if (options.chaos_out != nullptr) *options.chaos_out = sim.chaos_stats();
 
   // Wind the service plane down before reporting: stop the clients,
   // keep pumping serve windows until their in-flight ops are answered
@@ -152,14 +182,30 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
       if (loadgen != nullptr) {
         std::printf(
             "loadgen: %llu ops at %.0f ops/sec, latency p50=%.2fms "
-            "p95=%.2fms p99=%.2fms (%llu transport errors)\n",
+            "p95=%.2fms p99=%.2fms (%llu transport errors, "
+            "%llu reconnects)\n",
             static_cast<unsigned long long>(lg_report.ops),
             lg_report.OpsPerSec(), lg_report.latency_ms.Percentile(50),
             lg_report.latency_ms.Percentile(95),
             lg_report.latency_ms.Percentile(99),
-            static_cast<unsigned long long>(lg_report.transport_errors));
+            static_cast<unsigned long long>(lg_report.transport_errors),
+            static_cast<unsigned long long>(lg_report.reconnects));
       }
     }
+  }
+
+  if (sim.chaos_enabled() && options.print) {
+    const chaos::ChaosStats cs = sim.chaos_stats();
+    std::printf(
+        "chaos: %llu faults fired (%llu fsync failures, %llu torn "
+        "transfers, %llu slow flushes, %llu partitions applied / %llu "
+        "healed)\n",
+        static_cast<unsigned long long>(cs.total_fired()),
+        static_cast<unsigned long long>(cs.fsync_failures),
+        static_cast<unsigned long long>(cs.torn_transfers),
+        static_cast<unsigned long long>(cs.slow_flushes),
+        static_cast<unsigned long long>(cs.partitions_applied),
+        static_cast<unsigned long long>(cs.partitions_healed));
   }
 
   if (options.print) {
@@ -199,9 +245,15 @@ ScenarioRunner::Outcome ScenarioRunner::Execute(const ScenarioSpec& spec,
       registry.SetCounter("loadgen.errors", lg_report.errors);
       registry.SetCounter("loadgen.transport_errors",
                           lg_report.transport_errors);
+      registry.SetCounter("loadgen.reconnects", lg_report.reconnects);
+      registry.SetCounter("loadgen.chaos_resets", lg_report.chaos_resets);
       registry.SetGauge("loadgen.seconds", lg_report.seconds);
       registry.SetGauge("loadgen.ops_per_sec", lg_report.OpsPerSec());
       registry.histogram("loadgen.latency_ms").Merge(lg_report.latency_ms);
+    }
+    if (sim.chaos_enabled()) {
+      registry.SetInfo("chaos.plan", fault_plan.name());
+      obs::RegisterChaosStats(&registry, "chaos", sim.chaos_stats());
     }
     const Status written = registry.WriteJson(overrides.metrics_json);
     if (!written.ok()) {

@@ -25,6 +25,9 @@ class ScenarioRunner {
     /// Where the epoch flight recorder dumps when a shape check fails;
     /// nullptr = stderr. Tests capture the dump through this.
     std::ostream* flight_dump = nullptr;
+    /// When set, receives the run's chaos-plane counters (zeroes when no
+    /// --fault plan was armed) — the sweep driver's per-cell evidence.
+    chaos::ChaosStats* chaos_out = nullptr;
   };
 
   struct Outcome {

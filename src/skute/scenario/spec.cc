@@ -55,6 +55,8 @@ RunOverrides ParseOverrides(int argc, char** argv,
       o.serve_port = std::atoi(arg + 8);
     } else if (HasPrefix(arg, "--net-clients=")) {
       o.net_clients = std::atoi(arg + 14);
+    } else if (HasPrefix(arg, "--fault=")) {
+      o.fault = arg + 8;
     } else if (HasPrefix(arg, "--")) {
       bool known = false;
       for (const std::string& exact : extra_exact) {

@@ -55,13 +55,17 @@ struct RunOverrides {
   /// LoadGen with N closed-loop client threads against the served port
   /// for the whole run (requires --serve).
   int net_clients = 0;
+  /// "" = no chaos; --fault=PLAN arms a builtin chaos::FaultPlan before
+  /// Initialize (storage/routing windows on the event schedule, net
+  /// knobs into the loadgen). Unknown names fail the run loudly.
+  std::string fault;
 };
 
 /// Parses --epochs=N, --seed=S, --sample=K, --csv, --threads=T,
 /// --backend=memory|durable|file, --placement=economic|static,
 /// --out=FILE, --trace=FILE, --metrics-json=FILE, --real-data=BYTES,
-/// --io-threads=N, --log-shipping, --serve[=PORT] and
-/// --net-clients=N. Unrecognized `--*`
+/// --io-threads=N, --log-shipping, --serve[=PORT],
+/// --net-clients=N and --fault=PLAN. Unrecognized `--*`
 /// arguments warn to stderr (a typo like --backnd=file must not silently
 /// run the default). `extra_exact` / `extra_prefix` name additional
 /// flags the caller consumes itself (e.g. skute_scenarios' --list /

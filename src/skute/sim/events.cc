@@ -38,6 +38,14 @@ SimEvent SimEvent::Recover(Epoch at, std::vector<ServerId> servers) {
   return e;
 }
 
+SimEvent SimEvent::Chaos(Epoch at, const chaos::Fault& fault) {
+  SimEvent e;
+  e.at = at;
+  e.kind = Kind::kChaos;
+  e.fault = fault;
+  return e;
+}
+
 void EventSchedule::Add(const SimEvent& event) {
   const auto pos = std::upper_bound(
       events_.begin(), events_.end(), event,

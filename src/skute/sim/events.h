@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "skute/chaos/fault.h"
 #include "skute/cluster/server.h"
 #include "skute/topology/location.h"
 
@@ -17,6 +18,7 @@ struct SimEvent {
     kFailRandomServers,  ///< `count` random online servers fail hard
     kFailScope,          ///< every server under `prefix`/`level` fails
     kRecoverServers,     ///< `servers` come back online, empty
+    kChaos,              ///< arm/disarm a chaos fault window (`fault`)
   };
 
   Epoch at = 0;
@@ -25,12 +27,15 @@ struct SimEvent {
   Location prefix{};
   GeoLevel level = GeoLevel::kServer;
   std::vector<ServerId> servers;
+  /// kChaos payload: which fault window to (dis)arm and how hard.
+  chaos::Fault fault{};
 
   static SimEvent AddServers(Epoch at, uint32_t count);
   static SimEvent FailRandom(Epoch at, uint32_t count);
   static SimEvent FailScope(Epoch at, const Location& prefix,
                             GeoLevel level);
   static SimEvent Recover(Epoch at, std::vector<ServerId> servers);
+  static SimEvent Chaos(Epoch at, const chaos::Fault& fault);
 };
 
 /// \brief Ordered event queue consumed by the simulation loop.

@@ -73,6 +73,10 @@ Status Simulation::Initialize() {
   SkuteOptions store_options = config_.store;
   store_options.seed = config_.seed ^ 0xc2b2ae3d27d4eb4full;
   store_ = std::make_unique<SkuteStore>(&cluster_, store_options);
+  if (director_ != nullptr) {
+    // Before any ring attaches: every backend ever created is wrapped.
+    store_->EnableChaos(director_->state(), director_->counters());
+  }
 
   // Applications, rings, popularity, data.
   double fraction_total = 0.0;
@@ -153,6 +157,18 @@ void Simulation::ScheduleEvent(const SimEvent& event) {
   events_.Add(event);
 }
 
+Status Simulation::EnableChaos(const chaos::FaultPlan& plan) {
+  if (initialized_) {
+    return Status::FailedPrecondition(
+        "EnableChaos must be called before Initialize");
+  }
+  if (director_ == nullptr) {
+    director_ = std::make_unique<chaos::ChaosDirector>(config_.seed);
+  }
+  for (const SimEvent& event : plan.Compile()) events_.Add(event);
+  return Status::OK();
+}
+
 void Simulation::ApplyEvent(const SimEvent& event) {
   switch (event.kind) {
     case SimEvent::Kind::kAddServers: {
@@ -191,10 +207,17 @@ void Simulation::ApplyEvent(const SimEvent& event) {
       (void)injector_.RecoverServers(event.servers);
       break;
     }
+    case SimEvent::Kind::kChaos: {
+      if (director_ != nullptr) {
+        director_->Apply(event.fault, steps_, &cluster_);
+      }
+      break;
+    }
   }
 }
 
 void Simulation::Step() {
+  if (director_ != nullptr) director_->BeginEpoch(steps_);
   for (const SimEvent& event : events_.TakeDue(steps_)) {
     ApplyEvent(event);
   }

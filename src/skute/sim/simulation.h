@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "skute/chaos/chaos_director.h"
+#include "skute/chaos/fault_plan.h"
 #include "skute/cluster/cluster.h"
 #include "skute/cluster/failure.h"
 #include "skute/common/result.h"
@@ -45,6 +47,20 @@ class Simulation {
 
   /// Enables the Fig. 5 insert workload from the next Step on.
   void EnableInserts(const InsertWorkloadOptions& options);
+
+  /// Chaos plane: schedules the plan's fault windows and wraps every
+  /// storage backend the store creates in a fault injector. Must be
+  /// called *before* Initialize() (backends created earlier would be
+  /// fault-free); FailedPrecondition otherwise. Idempotent across
+  /// multiple plans — windows accumulate on one director.
+  Status EnableChaos(const chaos::FaultPlan& plan);
+
+  bool chaos_enabled() const { return director_ != nullptr; }
+
+  /// Snapshot of the chaos tallies (all-zero without EnableChaos).
+  chaos::ChaosStats chaos_stats() const {
+    return director_ != nullptr ? director_->stats() : chaos::ChaosStats{};
+  }
 
   /// Schedules a membership event. SimEvent::at is a *run epoch*: the
   /// index of the Step that applies it, counted from the first Step after
@@ -92,6 +108,9 @@ class Simulation {
 
   SimConfig config_;
   Cluster cluster_;
+  /// Declared before store_ so the fault state outlives every wrapped
+  /// backend (members destroy in reverse declaration order).
+  std::unique_ptr<chaos::ChaosDirector> director_;
   std::unique_ptr<SkuteStore> store_;
   FailureInjector injector_;
   EventSchedule events_;

@@ -18,6 +18,11 @@ namespace skute {
 struct TransferResult {
   uint64_t bytes = 0;
   bool delta = false;
+  /// True when the transfer was attempted but did not complete (torn
+  /// stream, import rejection) — distinct from "nothing real to move"
+  /// (synthetic partitions), which is ok with 0 bytes. The executor
+  /// treats a failed transfer as blocked, never as applied.
+  bool failed = false;
 };
 
 /// \brief All real-data partition replicas hosted by one server: a map of

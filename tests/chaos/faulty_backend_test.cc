@@ -1,0 +1,187 @@
+// FaultyBackend unit tests: each injection point fires exactly as armed
+// (pm=1000 always, pm=0 never), counters/IoStats account every firing,
+// the forwarded interface is a transparent pass-through, and the
+// IoPool's bounded retry absorbs transient fsync failures.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "skute/backend/durable_backend.h"
+#include "skute/backend/faulty_backend.h"
+#include "skute/chaos/fault.h"
+#include "skute/chaos/fault_state.h"
+#include "skute/io/io_pool.h"
+#include "skute/storage/wal.h"
+
+namespace skute {
+namespace {
+
+/// Wraps the fixture state every test needs: armed windows + tallies +
+/// a FaultyBackend around a DurableBackend.
+struct Rig {
+  chaos::StorageFaultState state;
+  chaos::ChaosCounters counters;
+  std::unique_ptr<FaultyBackend> backend;
+
+  Rig() {
+    state.seed.store(42);
+    state.epoch.store(7);
+    backend = std::make_unique<FaultyBackend>(
+        std::make_unique<DurableBackend>(), &state, &counters,
+        /*server_id=*/3, /*partition_id=*/11);
+  }
+  chaos::ChaosStats stats() const { return SnapshotCounters(counters); }
+};
+
+TEST(FaultyBackendTest, FsyncFailCertainWindowAlwaysFails) {
+  Rig rig;
+  rig.state.fsync_fail_pm.store(1000);
+  ASSERT_TRUE(rig.backend->Put("k", "v").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(rig.backend->Flush().IsInternal());
+  }
+  EXPECT_EQ(rig.stats().fsync_failures, 5u);
+  // The inner backend was never touched: the write is still unflushed.
+  EXPECT_GT(rig.backend->UnflushedBytes(), 0u);
+  EXPECT_EQ(rig.backend->inner()->io().fsyncs, 0u);
+}
+
+TEST(FaultyBackendTest, DisarmedWindowNeverFires) {
+  Rig rig;
+  ASSERT_TRUE(rig.backend->Put("k", "v").ok());
+  EXPECT_TRUE(rig.backend->Flush().ok());
+  EXPECT_EQ(rig.backend->UnflushedBytes(), 0u);
+  EXPECT_EQ(rig.stats().fsync_failures, 0u);
+  EXPECT_EQ(rig.stats().slow_flushes, 0u);
+  const std::string snapshot = rig.backend->ExportSnapshot();
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_EQ(rig.stats().torn_transfers, 0u);
+}
+
+TEST(FaultyBackendTest, SlowDiskMetersThrottleIntoIoStats) {
+  Rig rig;
+  rig.state.slow_us.store(100);
+  ASSERT_TRUE(rig.backend->Put("k", "v").ok());
+  EXPECT_TRUE(rig.backend->Flush().ok());  // slow, but succeeds
+  EXPECT_TRUE(rig.backend->Flush().ok());
+  const chaos::ChaosStats stats = rig.stats();
+  EXPECT_EQ(stats.slow_flushes, 2u);
+  EXPECT_EQ(stats.throttle_us, 200u);
+  EXPECT_EQ(rig.backend->io().throttle_us, 200u);
+}
+
+TEST(FaultyBackendTest, TornExportIsShorterAndPrefixIntact) {
+  Rig rig;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(rig.backend
+                    ->Put("key:" + std::to_string(i), std::string(64, 'v'))
+                    .ok());
+  }
+  const std::string intact = rig.backend->inner()->ExportSnapshot();
+  rig.state.torn_pm.store(1000);
+  const std::string torn = rig.backend->ExportSnapshot();
+  EXPECT_LT(torn.size(), intact.size());
+  EXPECT_EQ(torn, intact.substr(0, torn.size()));
+  EXPECT_EQ(rig.stats().torn_transfers, 1u);
+  // And the damage is visible to the import side: either a CRC-rejected
+  // tail (corrupt) or a boundary-aligned shorter stream (fewer records).
+  bool corrupt = false;
+  const auto records = WalReader(torn).ReadAll(&corrupt);
+  EXPECT_TRUE(corrupt || records.size() < 16u);
+}
+
+TEST(FaultyBackendTest, DrawsAreDeterministicPerEpoch) {
+  // Two rigs with identical identity replay the identical draw
+  // sequence; moderate probability so both firing and non-firing draws
+  // occur.
+  Rig a;
+  Rig b;
+  a.state.fsync_fail_pm.store(400);
+  b.state.fsync_fail_pm.store(400);
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    a.state.epoch.store(epoch);
+    b.state.epoch.store(epoch);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(a.backend->Flush().ok(), b.backend->Flush().ok())
+          << "epoch " << epoch << " draw " << i;
+    }
+  }
+  EXPECT_EQ(a.stats().fsync_failures, b.stats().fsync_failures);
+  EXPECT_GT(a.stats().fsync_failures, 0u);
+  EXPECT_LT(a.stats().fsync_failures, 128u);
+}
+
+TEST(FaultyBackendTest, ForwardedInterfaceIsTransparent) {
+  Rig rig;
+  ASSERT_TRUE(rig.backend->Put("alpha", "1").ok());
+  ASSERT_TRUE(rig.backend->Put("beta", "2").ok());
+  ASSERT_TRUE(rig.backend->Delete("alpha").ok());
+  EXPECT_FALSE(rig.backend->Contains("alpha"));
+  EXPECT_TRUE(rig.backend->Contains("beta"));
+  EXPECT_EQ(rig.backend->Count(), 1u);
+  const auto got = rig.backend->Get("beta");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "2");
+  EXPECT_EQ(rig.backend->kind(), rig.backend->inner()->kind());
+  rig.backend->NoteGroupCommit(3);
+  EXPECT_EQ(rig.backend->io().group_commits, 1u);
+  EXPECT_EQ(rig.backend->io().coalesced_fsyncs, 3u);
+}
+
+/// Fails the first `fail_n` flushes, then behaves — the transient-fault
+/// shape IoPool's bounded retry exists for.
+class FailNBackend : public DurableBackend {
+ public:
+  explicit FailNBackend(int fail_n) : fails_left_(fail_n) {}
+  Status Flush() override {
+    if (fails_left_ > 0) {
+      --fails_left_;
+      return Status::Internal("test: transient flush failure");
+    }
+    return DurableBackend::Flush();
+  }
+
+ private:
+  int fails_left_;
+};
+
+TEST(FaultyBackendTest, IoPoolRetryAbsorbsTransientFlushFailure) {
+  IoPool pool(1);
+  FailNBackend backend(/*fail_n=*/1);
+  ASSERT_TRUE(backend.Put("k", "v").ok());
+  pool.SubmitFlush(&backend);
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flushed_backends, 1u);
+  EXPECT_EQ(stats.flush_retries, 1u);
+  EXPECT_EQ(stats.failed_flushes, 0u);
+  EXPECT_EQ(backend.UnflushedBytes(), 0u);  // the retry landed the fsync
+}
+
+TEST(FaultyBackendTest, IoPoolGivesUpLoudlyAfterBoundedRetries) {
+  IoPool pool(1);
+  FailNBackend backend(/*fail_n=*/100);  // never recovers in one drain
+  ASSERT_TRUE(backend.Put("k", "v").ok());
+  pool.SubmitFlush(&backend);
+  const IoPool::DrainStats stats = pool.Drain();
+  EXPECT_EQ(stats.flush_retries,
+            static_cast<uint64_t>(IoPool::kMaxFlushAttempts - 1));
+  EXPECT_EQ(stats.failed_flushes, 1u);
+  EXPECT_GT(backend.UnflushedBytes(), 0u);  // sync kept pending, not dropped
+  EXPECT_EQ(pool.total_failed_flushes(), 1u);
+}
+
+TEST(FaultyBackendTest, FaultFiresRespectsProbabilityEdges) {
+  // pm=0 never fires, pm=1000 always fires, and the hash is pure (same
+  // inputs, same verdict).
+  for (uint64_t n = 0; n < 64; ++n) {
+    EXPECT_FALSE(chaos::FaultFires(1, 2, 3, 4, n, 0));
+    EXPECT_TRUE(chaos::FaultFires(1, 2, 3, 4, n, 1000));
+    EXPECT_EQ(chaos::FaultFires(9, 8, 7, 6, n, 500),
+              chaos::FaultFires(9, 8, 7, 6, n, 500));
+  }
+}
+
+}  // namespace
+}  // namespace skute

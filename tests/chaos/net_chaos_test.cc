@@ -1,0 +1,229 @@
+// Net-plane chaos: the acceptor's idle-connection reaper times out
+// silent peers (poll never wakes for them on its own), and the load
+// generator's reconnect-with-backoff survives injected connection
+// resets instead of losing the client thread.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "skute/net/acceptor.h"
+#include "skute/net/loadgen.h"
+#include "skute/net/protocol.h"
+
+namespace skute {
+namespace net {
+namespace {
+
+// Store-free dispatcher (same idiom as acceptor_test.cc): transport
+// behaviour in isolation.
+class MapDispatcher : public Dispatcher {
+ public:
+  bool Dispatch(const Command& cmd, std::string* out,
+                NetStats* stats) override {
+    stats->ops++;
+    switch (cmd.verb) {
+      case Verb::kGet: {
+        auto it = data_.find(cmd.key);
+        if (it == data_.end()) {
+          stats->ops_not_found++;
+          EncodeNotFound(out);
+        } else {
+          stats->ops_ok++;
+          EncodeValue(cmd.key, it->second, out);
+        }
+        return true;
+      }
+      case Verb::kPut:
+        data_[cmd.key] = cmd.value;
+        stats->ops_ok++;
+        EncodeStored(out);
+        return true;
+      case Verb::kDelete:
+        if (data_.erase(cmd.key) > 0) {
+          stats->ops_ok++;
+          EncodeDeleted(out);
+        } else {
+          stats->ops_not_found++;
+          EncodeNotFound(out);
+        }
+        return true;
+      case Verb::kStats:
+        EncodeStatLine("keys", data_.size(), out);
+        EncodeEnd(out);
+        stats->ops_ok++;
+        return true;
+      case Verb::kQuit:
+        stats->ops_ok++;
+        EncodeBye(out);
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> data_;
+};
+
+int ConnectClient(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(NetChaosTest, IdleConnectionIsTimedOutAndReaped) {
+  MapDispatcher dispatcher;
+  NetStats stats;
+  Acceptor::Options options;
+  options.idle_timeout_ms = 50;
+  Acceptor acceptor(options, &dispatcher, &stats);
+  ASSERT_TRUE(acceptor.Listen().ok());
+
+  int fd = ConnectClient(acceptor.port());
+  for (int i = 0; i < 100 && acceptor.live_connections() == 0; ++i) {
+    acceptor.Pump(0);
+    ::usleep(1000);
+  }
+  ASSERT_EQ(acceptor.live_connections(), 1u);
+
+  // Say nothing. The reaper, not the peer, must end this connection.
+  for (int i = 0; i < 2000 && stats.conns_timed_out == 0; ++i) {
+    acceptor.Pump(0);
+    ::usleep(1000);
+  }
+  EXPECT_EQ(stats.conns_timed_out, 1u);
+  for (int i = 0; i < 100 && acceptor.live_connections() > 0; ++i) {
+    acceptor.Pump(0);
+  }
+  EXPECT_EQ(acceptor.live_connections(), 0u);
+  ::close(fd);
+  acceptor.Drain(200);
+}
+
+TEST(NetChaosTest, ActiveConnectionIsNotTimedOut) {
+  MapDispatcher dispatcher;
+  NetStats stats;
+  Acceptor::Options options;
+  options.idle_timeout_ms = 200;
+  Acceptor acceptor(options, &dispatcher, &stats);
+  ASSERT_TRUE(acceptor.Listen().ok());
+
+  int fd = ConnectClient(acceptor.port());
+  // Keep talking for longer than the idle budget: traffic refreshes
+  // last-activity, so the reaper never fires.
+  std::string got;
+  for (int round = 0; round < 6; ++round) {
+    const std::string cmd = "GET 0 nothing\r\n";
+    ASSERT_EQ(::send(fd, cmd.data(), cmd.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(cmd.size()));
+    for (int i = 0; i < 200; ++i) {
+      acceptor.Pump(0);
+      char buf[256];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        got.append(buf, static_cast<size_t>(n));
+        break;
+      }
+      ::usleep(1000);
+    }
+    ::usleep(50 * 1000);  // well inside the 200ms budget each round
+    acceptor.Pump(0);
+  }
+  EXPECT_EQ(stats.conns_timed_out, 0u);
+  EXPECT_EQ(acceptor.live_connections(), 1u);
+  ::close(fd);
+  acceptor.Drain(200);
+}
+
+TEST(NetChaosTest, ZeroTimeoutDisablesReaper) {
+  MapDispatcher dispatcher;
+  NetStats stats;
+  Acceptor acceptor(Acceptor::Options{}, &dispatcher, &stats);
+  ASSERT_TRUE(acceptor.Listen().ok());
+  int fd = ConnectClient(acceptor.port());
+  for (int i = 0; i < 100 && acceptor.live_connections() == 0; ++i) {
+    acceptor.Pump(0);
+    ::usleep(1000);
+  }
+  for (int i = 0; i < 100; ++i) {
+    acceptor.Pump(0);
+    ::usleep(1000);
+  }
+  EXPECT_EQ(stats.conns_timed_out, 0u);
+  EXPECT_EQ(acceptor.live_connections(), 1u);
+  ::close(fd);
+  acceptor.Drain(200);
+}
+
+TEST(NetChaosTest, LoadGenSurvivesInjectedConnectionResets) {
+  MapDispatcher dispatcher;
+  NetStats stats;
+  Acceptor acceptor(Acceptor::Options{}, &dispatcher, &stats);
+  ASSERT_TRUE(acceptor.Listen().ok());
+
+  LoadGen::Options options;
+  options.port = acceptor.port();
+  options.clients = 2;
+  options.max_ops_per_client = 200;
+  options.keyspace = 64;
+  options.chaos_reset_per_mille = 100;  // ~1 op in 10 cuts the wire
+  LoadGen loadgen(options);
+  ASSERT_TRUE(loadgen.Start().ok());
+  while (!loadgen.Finished()) {
+    acceptor.Pump(1);
+  }
+  const LoadGenReport report = loadgen.Join();
+  acceptor.Drain(200);
+
+  // Every op budget completed despite the chaos: resets happened, every
+  // one was healed by a reconnect, and the op tallies add up.
+  EXPECT_EQ(report.ops, 400u);
+  EXPECT_GT(report.chaos_resets, 0u);
+  EXPECT_GE(report.reconnects, report.chaos_resets);
+  EXPECT_EQ(report.ok + report.not_found, report.ops);
+  EXPECT_EQ(report.transport_errors, 0u);
+}
+
+TEST(NetChaosTest, LoadGenReconnectGivesUpWhenServerDies) {
+  // A server that vanishes mid-run: clients drain their reconnect
+  // budget and exit instead of spinning forever.
+  MapDispatcher dispatcher;
+  NetStats stats;
+  auto acceptor = std::make_unique<Acceptor>(Acceptor::Options{},
+                                             &dispatcher, &stats);
+  ASSERT_TRUE(acceptor->Listen().ok());
+
+  LoadGen::Options options;
+  options.port = acceptor->port();
+  options.clients = 1;
+  options.max_ops_per_client = 100000;  // far more than will complete
+  options.recv_timeout_ms = 100;
+  LoadGen loadgen(options);
+  ASSERT_TRUE(loadgen.Start().ok());
+  for (int i = 0; i < 20; ++i) acceptor->Pump(1);
+  acceptor->Drain(100);
+  acceptor.reset();  // the port goes dark
+
+  const LoadGenReport report = loadgen.Join();  // must terminate
+  EXPECT_LT(report.ops, 100000u);
+  EXPECT_GT(report.transport_errors, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace skute
